@@ -1,0 +1,48 @@
+//! Benchmarks of schedule generation and functional execution — the
+//! substrate cost of regenerating every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tarr_collectives::allgather::{
+    bruck, hierarchical, recursive_doubling, ring, HierarchicalConfig, InterAlg, IntraPattern,
+};
+use tarr_mpi::FunctionalState;
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives/generate");
+    group.sample_size(20);
+    for p in [1024u32, 4096] {
+        group.bench_with_input(BenchmarkId::new("rd", p), &p, |b, &p| {
+            b.iter(|| recursive_doubling(p))
+        });
+        group.bench_with_input(BenchmarkId::new("ring", p), &p, |b, &p| b.iter(|| ring(p)));
+        group.bench_with_input(BenchmarkId::new("bruck", p), &p, |b, &p| b.iter(|| bruck(p)));
+        group.bench_with_input(BenchmarkId::new("hierarchical", p), &p, |b, &p| {
+            let groups: Vec<(u32, u32)> = (0..p / 8).map(|g| (g * 8, 8)).collect();
+            let cfg = HierarchicalConfig {
+                intra: IntraPattern::Binomial,
+                inter: InterAlg::Ring,
+            };
+            b.iter(|| hierarchical(p, &groups, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi/functional_exec");
+    group.sample_size(10);
+    for p in [128u32, 512] {
+        let sched = recursive_doubling(p);
+        group.bench_with_input(BenchmarkId::new("rd", p), &sched, |b, sched| {
+            b.iter(|| {
+                let mut st = FunctionalState::init_allgather(p as usize);
+                st.run(sched).unwrap();
+                st.verify_allgather_identity().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_generation, bench_functional_exec);
+criterion_main!(benches);

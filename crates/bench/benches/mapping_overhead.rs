@@ -1,0 +1,70 @@
+//! Criterion companion to Fig. 7(b): wall-clock cost of each mapping
+//! algorithm (the paper's key overhead claim — fine-tuned heuristics are
+//! orders of magnitude cheaper than a general mapper, with better scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tarr_collectives::allgather::{recursive_doubling, ring};
+use tarr_collectives::{pattern_graph, pattern_graph_unweighted};
+use tarr_mapping::{
+    bbmh, bgmh, greedy_map, rdmh, rmh, scotch_like_map_with, InitialMapping, ScotchVariant,
+};
+use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix};
+
+fn matrix(p: usize) -> DistanceMatrix {
+    let cluster = Cluster::gpc(p / 8);
+    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, p);
+    DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default())
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b/heuristics");
+    group.sample_size(10);
+    for p in [256usize, 1024] {
+        let d = matrix(p);
+        group.bench_with_input(BenchmarkId::new("rdmh", p), &d, |b, d| {
+            b.iter(|| rdmh(d, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("rmh", p), &d, |b, d| {
+            b.iter(|| rmh(d, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("bbmh", p), &d, |b, d| {
+            b.iter(|| bbmh(d, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("bgmh", p), &d, |b, d| {
+            b.iter(|| bgmh(d, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_general_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b/general");
+    group.sample_size(10);
+    for p in [256usize, 1024] {
+        let d = matrix(p);
+        // Include the pattern-graph build, as the paper charges it to the
+        // general mappers.
+        group.bench_with_input(BenchmarkId::new("scotch_default", p), &d, |b, d| {
+            b.iter(|| {
+                let g = pattern_graph_unweighted(&ring(d.len() as u32));
+                scotch_like_map_with(&g, d, 0, ScotchVariant::PaperDefault)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scotch_tuned", p), &d, |b, d| {
+            b.iter(|| {
+                let g = pattern_graph(&ring(d.len() as u32), 1);
+                scotch_like_map_with(&g, d, 0, ScotchVariant::Tuned)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", p), &d, |b, d| {
+            b.iter(|| {
+                let g = pattern_graph(&recursive_doubling(d.len() as u32), 1);
+                greedy_map(&g, d)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_general_mappers);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the network-model substrate: distance-matrix construction
+//! (the measured part of Fig. 7a) and stage pricing (the inner loop of every
+//! figure harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tarr_mapping::InitialMapping;
+use tarr_netsim::{fluid_stage_time, Message, NetParams, StageModel};
+use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a/matrix_build");
+    group.sample_size(10);
+    for p in [512usize, 2048] {
+        let cluster = Cluster::gpc(p / 8);
+        let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn cross_node_stage(cluster: &Cluster, n: usize, bytes: u64) -> Vec<Message> {
+    let half = cluster.num_nodes() / 2;
+    (0..n)
+        .map(|i| {
+            let src = cluster.core_id(tarr_topo::NodeId::from_idx(i % half), i % 8);
+            let dst = cluster.core_id(tarr_topo::NodeId::from_idx(half + i % half), (i + 3) % 8);
+            Message::new(src, dst, bytes)
+        })
+        .collect()
+}
+
+fn bench_stage_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/stage_time");
+    group.sample_size(20);
+    let cluster = Cluster::gpc(512);
+    let model = StageModel::new(&cluster, NetParams::default());
+    for n in [1024usize, 4096] {
+        let msgs = cross_node_stage(&cluster, n, 65536);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &msgs, |b, msgs| {
+            b.iter(|| model.stage_time(msgs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fluid_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/fluid_stage_time");
+    group.sample_size(10);
+    let cluster = Cluster::gpc(32);
+    let params = NetParams::default();
+    for n in [64usize, 256] {
+        let msgs = cross_node_stage(&cluster, n, 65536);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &msgs, |b, msgs| {
+            b.iter(|| fluid_stage_time(&cluster, &params, msgs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let cluster = Cluster::gpc(512);
+    let pairs: Vec<(CoreId, CoreId)> = (0..1024)
+        .map(|i| (CoreId(i * 3 % 4096), CoreId((i * 7 + 11) % 4096)))
+        .collect();
+    c.bench_function("topo/path_1024_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(a, bb)| cluster.path(a, bb).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distance_matrix,
+    bench_stage_model,
+    bench_fluid_sim,
+    bench_routing
+);
+criterion_main!(benches);

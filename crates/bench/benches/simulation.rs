@@ -1,0 +1,60 @@
+//! End-to-end benchmarks of the figure-harness inner loop: one topology-aware
+//! allgather evaluation through the public `Session` API (mapping is cached,
+//! so the steady-state cost is schedule generation + stage pricing — the
+//! operation Figs. 3–6 execute hundreds of times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tarr_collectives::allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+use tarr_core::{Scheme, Session, SessionConfig};
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_topo::Cluster;
+
+fn session(p: usize) -> Session {
+    Session::from_layout(
+        Cluster::gpc(p / 8),
+        InitialMapping::CYCLIC_BUNCH,
+        p,
+        SessionConfig::default(),
+    )
+}
+
+fn bench_allgather_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/allgather_time");
+    group.sample_size(10);
+    for p in [512usize, 1024] {
+        let mut s = session(p);
+        // Warm the mapping caches so the benchmark measures steady state.
+        let _ = s.allgather_time(512, Scheme::hrstc(OrderFix::InitComm));
+        let _ = s.allgather_time(65536, Scheme::hrstc(OrderFix::InitComm));
+        group.bench_with_input(BenchmarkId::new("rd_512B", p), &(), |b, _| {
+            b.iter(|| s.allgather_time(512, Scheme::hrstc(OrderFix::InitComm)))
+        });
+        group.bench_with_input(BenchmarkId::new("ring_64K", p), &(), |b, _| {
+            b.iter(|| s.allgather_time(65536, Scheme::hrstc(OrderFix::InitComm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/hierarchical_time");
+    group.sample_size(10);
+    let mut s = Session::from_layout(
+        Cluster::gpc(64),
+        InitialMapping::BLOCK_SCATTER,
+        512,
+        SessionConfig::default(),
+    );
+    let hcfg = HierarchicalConfig {
+        intra: IntraPattern::Binomial,
+        inter: InterAlg::Ring,
+    };
+    let _ = s.hierarchical_allgather_time(16384, hcfg, Scheme::hrstc(OrderFix::InitComm));
+    group.bench_function("nl_ring_16K_p512", |b| {
+        b.iter(|| s.hierarchical_allgather_time(16384, hcfg, Scheme::hrstc(OrderFix::InitComm)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allgather_time, bench_hierarchical_time);
+criterion_main!(benches);

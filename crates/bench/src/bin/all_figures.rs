@@ -1,0 +1,22 @@
+//! Run every figure harness in sequence — the full evaluation of the paper.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin all_figures [--procs N | --quick]`
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in ["fig3", "fig4", "fig5", "fig6", "fig7", "ablations"] {
+        println!("\n################ {bin} ################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

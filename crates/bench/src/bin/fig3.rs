@@ -1,0 +1,62 @@
+//! Fig. 3 — microbenchmark improvements of the **non-hierarchical**
+//! topology-aware allgather, four initial mappings, 4096 processes.
+//!
+//! For every initial mapping and message size, prints the percentage latency
+//! improvement of each reordering scheme over the MVAPICH-like default
+//! (recursive doubling below 1 KiB, ring above). The MVAPICH built-in
+//! block→cyclic reorder is included as an extra baseline column.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin fig3 [--procs N | --quick]`
+
+use tarr_bench::{fig3_schemes, print_improvement_row, print_table_header, HarnessOpts};
+use tarr_core::{Mapper, Scheme};
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_workloads::{percent_improvement, OsuSweep};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let sweep = OsuSweep::paper_range();
+    println!(
+        "Fig. 3 — non-hierarchical topology-aware allgather, {} processes",
+        opts.procs
+    );
+
+    for (panel, layout) in ["(a)", "(b)", "(c)", "(d)"]
+        .iter()
+        .zip(InitialMapping::ALL)
+    {
+        println!("\nFig. 3{panel} initial mapping: {}", layout.name());
+        let mut session = opts.session(layout);
+
+        let schemes = fig3_schemes();
+        let mut cols: Vec<&str> = schemes.iter().map(|(n, _)| *n).collect();
+        cols.push("MvCyclic");
+        print_table_header("size", &cols);
+
+        let base = sweep.run(&mut session, Scheme::Default);
+        let mut series: Vec<Vec<(u64, f64)>> = schemes
+            .iter()
+            .map(|&(_, s)| sweep.run(&mut session, s))
+            .collect();
+        series.push(sweep.run(
+            &mut session,
+            Scheme::Reordered {
+                mapper: Mapper::MvapichCyclic,
+                fix: OrderFix::InitComm,
+            },
+        ));
+
+        for (i, &(size, b)) in base.iter().enumerate() {
+            let mut imps: Vec<Option<f64>> = series
+                .iter()
+                .map(|s| Some(percent_improvement(b, s[i].1)))
+                .collect();
+            // MVAPICH only applies its block→cyclic reorder to recursive
+            // doubling (the sub-1 KiB regime).
+            if size >= tarr_collectives::MVAPICH_RD_THRESHOLD {
+                *imps.last_mut().unwrap() = None;
+            }
+            print_improvement_row(size, &imps);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 4 — microbenchmark improvements of the **hierarchical**
+//! topology-aware allgather, block-bunch / block-scatter initial mappings,
+//! 4096 processes.
+//!
+//! Panels (a)/(b): non-linear (binomial) intra-node gather/broadcast phases;
+//! panels (c)/(d): linear intra-node phases. The inter-leader algorithm
+//! follows the MVAPICH size switch (recursive doubling below 1 KiB, ring
+//! above), matching the paper's observation that the ring regime shows no
+//! headroom under a block mapping.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin fig4 [--procs N | --quick]`
+
+use tarr_bench::{fig3_schemes, print_improvement_row, print_table_header, HarnessOpts};
+use tarr_collectives::allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+use tarr_collectives::MVAPICH_RD_THRESHOLD;
+use tarr_core::Scheme;
+use tarr_mapping::InitialMapping;
+use tarr_workloads::{percent_improvement, OsuSweep};
+
+fn hcfg_for(intra: IntraPattern, msg: u64) -> HierarchicalConfig {
+    let inter = if msg < MVAPICH_RD_THRESHOLD {
+        InterAlg::RecursiveDoubling
+    } else {
+        InterAlg::Ring
+    };
+    HierarchicalConfig { intra, inter }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let sweep = OsuSweep::paper_range();
+    println!(
+        "Fig. 4 — hierarchical topology-aware allgather, {} processes",
+        opts.procs
+    );
+
+    let panels = [
+        ("(a)", InitialMapping::BLOCK_BUNCH, IntraPattern::Binomial, "non-linear"),
+        ("(b)", InitialMapping::BLOCK_SCATTER, IntraPattern::Binomial, "non-linear"),
+        ("(c)", InitialMapping::BLOCK_BUNCH, IntraPattern::Linear, "linear"),
+        ("(d)", InitialMapping::BLOCK_SCATTER, IntraPattern::Linear, "linear"),
+    ];
+
+    for (panel, layout, intra, label) in panels {
+        println!("\nFig. 4{panel} {}, {label} intra phases", layout.name());
+        let mut session = opts.session(layout);
+
+        let schemes = fig3_schemes();
+        let cols: Vec<&str> = schemes.iter().map(|(n, _)| *n).collect();
+        print_table_header("size", &cols);
+
+        for &msg in &sweep.sizes {
+            let hcfg = hcfg_for(intra, msg);
+            let base = session
+                .hierarchical_allgather_time(msg, hcfg, Scheme::Default)
+                .expect("block layouts support hierarchical allgather");
+            let imps: Vec<Option<f64>> = schemes
+                .iter()
+                .map(|&(_, s)| {
+                    session
+                        .hierarchical_allgather_time(msg, hcfg, s)
+                        .map(|t| percent_improvement(base, t))
+                })
+                .collect();
+            print_improvement_row(msg, &imps);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 5 — application execution time (normalized to the default), with the
+//! **non-hierarchical** allgather, 1024 processes, four initial mappings.
+//!
+//! The application is the allgather-dominated N-body mini-app (358
+//! `MPI_Allgather` calls, 4 KiB per-rank messages — the ring regime, like
+//! the paper's application run). Values below 1.0 are speedups; the paper
+//! reports ≈1.0 for block-bunch, ≈0.9 for block-scatter, ≈0.7 for the cyclic
+//! mappings, and a ≈2× slowdown for Scotch.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin fig5 [--quick]`
+
+use tarr_bench::HarnessOpts;
+use tarr_core::Scheme;
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_workloads::AppConfig;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let app = AppConfig::default();
+    println!(
+        "Fig. 5 — normalized application execution time (non-hierarchical), {} processes, {} allgather calls of {} B",
+        opts.app_procs,
+        app.iterations,
+        app.message_bytes()
+    );
+    println!(
+        "{:>16}{:>12}{:>12}{:>12}{:>14}",
+        "initial mapping", "default", "Hrstc", "Scotch", "comm share"
+    );
+
+    for layout in InitialMapping::ALL {
+        let mut session = opts.app_session(layout);
+        let base = app.simulate(&mut session, Scheme::Default);
+        // The paper uses initComm only at application level (it won the
+        // microbenchmark comparison).
+        let hrstc = app.simulate(&mut session, Scheme::hrstc(OrderFix::InitComm));
+        let scotch = app.simulate(&mut session, Scheme::scotch(OrderFix::InitComm));
+        println!(
+            "{:>16}{:>12.3}{:>12.3}{:>12.3}{:>13.1}%",
+            layout.name(),
+            1.0,
+            hrstc.total / base.total,
+            scotch.total / base.total,
+            100.0 * base.comm_fraction()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 6 — application execution time (normalized to the default), with the
+//! **hierarchical** allgather, 1024 processes.
+//!
+//! Panels: (a) block-bunch non-linear, (b) block-scatter non-linear,
+//! (c) block-bunch linear, (d) block-scatter linear. The paper reports ≈1.0
+//! everywhere except ≈0.9 for (b), and no improvement with linear intra
+//! phases.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin fig6 [--quick]`
+
+use tarr_bench::HarnessOpts;
+use tarr_collectives::allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+use tarr_collectives::MVAPICH_RD_THRESHOLD;
+use tarr_core::Scheme;
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_workloads::AppConfig;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let app = AppConfig::default();
+    let inter = if app.message_bytes() < MVAPICH_RD_THRESHOLD {
+        InterAlg::RecursiveDoubling
+    } else {
+        InterAlg::Ring
+    };
+    println!(
+        "Fig. 6 — normalized application execution time (hierarchical), {} processes",
+        opts.app_procs
+    );
+    println!(
+        "{:>8}{:>16}{:>12}{:>12}{:>12}{:>12}",
+        "panel", "initial mapping", "intra", "default", "Hrstc", "Scotch"
+    );
+
+    let panels = [
+        ("(a)", InitialMapping::BLOCK_BUNCH, IntraPattern::Binomial),
+        ("(b)", InitialMapping::BLOCK_SCATTER, IntraPattern::Binomial),
+        ("(c)", InitialMapping::BLOCK_BUNCH, IntraPattern::Linear),
+        ("(d)", InitialMapping::BLOCK_SCATTER, IntraPattern::Linear),
+    ];
+
+    for (panel, layout, intra) in panels {
+        let hcfg = HierarchicalConfig { intra, inter };
+        let mut session = opts.app_session(layout);
+        let base = app
+            .simulate_hierarchical(&mut session, hcfg, Scheme::Default)
+            .expect("block layouts support hierarchical allgather");
+        let hrstc = app
+            .simulate_hierarchical(&mut session, hcfg, Scheme::hrstc(OrderFix::InitComm))
+            .unwrap();
+        let scotch = app
+            .simulate_hierarchical(&mut session, hcfg, Scheme::scotch(OrderFix::InitComm))
+            .unwrap();
+        println!(
+            "{:>8}{:>16}{:>12}{:>12.3}{:>12.3}{:>12.3}",
+            panel,
+            layout.name(),
+            match intra {
+                IntraPattern::Binomial => "non-linear",
+                IntraPattern::Linear => "linear",
+            },
+            1.0,
+            hrstc.total / base.total,
+            scotch.total / base.total,
+        );
+    }
+}

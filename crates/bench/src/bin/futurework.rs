@@ -1,0 +1,153 @@
+//! The paper's §VII future-work agenda, evaluated:
+//!
+//! 1. **Bruck allgather** with the BKMH heuristic (non-power-of-two jobs);
+//! 2. **MPI_Allreduce** (recursive doubling and Rabenseifner) under RDMH
+//!    reordering;
+//! 3. **Many-core intra-node topologies** — BBMH/BGMH on 64-core nodes
+//!    (4 sockets × 16 cores with L2 groups), where the paper expected its
+//!    intra-node heuristics to matter more.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin futurework [--quick]`
+
+use tarr_bench::HarnessOpts;
+use tarr_core::{Scheme, Session, SessionConfig};
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_topo::{Cluster, ClusterConfig, FatTreeConfig, NodeTopology, Rank};
+use tarr_workloads::percent_improvement;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    bruck_with_bkmh(&opts);
+    allreduce_reordering(&opts);
+    manycore_nodes();
+    adaptive_runtime(&opts);
+    congestion_refinement();
+}
+
+/// §VII future work: the adaptive runtime picks per message size whether the
+/// reordered communicator is worth using.
+fn adaptive_runtime(opts: &HarnessOpts) {
+    use tarr_core::Mapper;
+    println!("\n== Future work 4: adaptive scheme selection (block-bunch) ==");
+    let mut s = opts.session(InitialMapping::BLOCK_BUNCH);
+    println!("{:>8}  {:>12}  {:>12}", "size", "chosen", "latency");
+    for msg in [64u64, 512, 4096, 65536] {
+        let (scheme, t) = s.adaptive_allgather(msg, Mapper::Hrstc, OrderFix::InitComm, 0.02);
+        let label = match scheme {
+            Scheme::Default => "default",
+            Scheme::Reordered { .. } => "reordered",
+        };
+        println!("{:>8}  {:>12}  {:>10.1}us", msg, label, t * 1e6);
+    }
+}
+
+/// Beyond the paper: congestion-aware refinement on top of the heuristics
+/// (the authors' follow-up PTRAM direction). Demonstrated on the case where
+/// a distance-optimal mapping is contention-poor: BGMH on a multi-node
+/// standalone gather.
+fn congestion_refinement() {
+    use tarr_core::congestion_refine;
+    use tarr_mpi::{time_schedule, Communicator};
+    use tarr_netsim::{NetParams, StageModel};
+    use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix};
+
+    println!("\n== Future work 5: congestion-aware refinement (binomial gather, 64 procs) ==");
+    let cluster = Cluster::gpc(8);
+    let p = cluster.total_cores();
+    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, p);
+    let comm = Communicator::new(cores.clone());
+    let d = DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default());
+    let sched = tarr_collectives::gather::binomial_gather(p as u32, Rank(0));
+    let params = NetParams::default();
+    let model = StageModel::new(&cluster, params.clone());
+    let bytes = 8192u64;
+
+    let ident: Vec<u32> = (0..p as u32).collect();
+    let t_ident = time_schedule(&sched, &comm.reordered(&ident), &model, bytes);
+    let bgmh_m = tarr_mapping::bgmh(&d, 0);
+    let t_bgmh = time_schedule(&sched, &comm.reordered(&bgmh_m), &model, bytes);
+    let (_, t_refined) =
+        congestion_refine(&cluster, &comm, &sched, bytes, &params, bgmh_m, 800, 7);
+    println!("identity mapping:         {:.1} us", t_ident * 1e6);
+    println!("BGMH (distance-optimal):  {:.1} us  (contention-blind)", t_bgmh * 1e6);
+    println!("BGMH + refinement:        {:.1} us", t_refined * 1e6);
+}
+
+fn bruck_with_bkmh(opts: &HarnessOpts) {
+    // A non-power-of-two job: drop one node from the requested size.
+    let nodes = opts.procs / 8 - 1;
+    let cluster = Cluster::gpc(nodes);
+    let p = nodes * 8;
+    println!("== Future work 1: Bruck allgather + BKMH ({p} processes, cyclic-bunch) ==");
+    let mut s = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_BUNCH,
+        p,
+        SessionConfig::default(),
+    );
+    println!("{:>8}  {:>12}  {:>12}  {:>12}", "size", "default", "BKMH", "improvement");
+    for msg in [16u64, 128, 512] {
+        // Below 1 KiB and non-power-of-two: selection picks Bruck.
+        let b = s.allgather_time(msg, Scheme::Default);
+        let r = s.allgather_time(msg, Scheme::hrstc(OrderFix::InitComm));
+        println!(
+            "{:>8}  {:>10.1}us  {:>10.1}us  {:>11.1}%",
+            msg,
+            b * 1e6,
+            r * 1e6,
+            percent_improvement(b, r)
+        );
+    }
+}
+
+fn allreduce_reordering(opts: &HarnessOpts) {
+    println!("\n== Future work 2: MPI_Allreduce under RDMH reordering (block-bunch) ==");
+    let mut s = opts.session(InitialMapping::BLOCK_BUNCH);
+    println!(
+        "{:>10}  {:>14}  {:>12}  {:>12}  {:>12}",
+        "vector", "algorithm", "default", "reordered", "improvement"
+    );
+    for bytes in [4096u64, 262144] {
+        for (name, rab) in [("rec-doubling", false), ("rabenseifner", true)] {
+            let b = s.allreduce_time(bytes, rab, Scheme::Default);
+            let r = s.allreduce_time(bytes, rab, Scheme::hrstc(OrderFix::InitComm));
+            println!(
+                "{:>10}  {:>14}  {:>10.2}ms  {:>10.2}ms  {:>11.1}%",
+                bytes,
+                name,
+                b * 1e3,
+                r * 1e3,
+                percent_improvement(b, r)
+            );
+        }
+    }
+}
+
+fn manycore_nodes() {
+    println!("\n== Future work 3: many-core nodes (4×16 cores, L2 groups of 4) ==");
+    let cluster = Cluster::new(ClusterConfig {
+        node: NodeTopology::manycore(),
+        fabric: FatTreeConfig::gpc(),
+        num_nodes: 16,
+    });
+    let p = cluster.total_cores();
+    println!("single-job intra-heavy study, {p} processes, cyclic-scatter layout");
+    let mut s = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_SCATTER,
+        p,
+        SessionConfig::default(),
+    );
+    println!("{:>8}  {:>12}  {:>12}  {:>12}", "size", "default", "Hrstc", "improvement");
+    for msg in [512u64, 16384, 262144] {
+        let b = s.allgather_time(msg, Scheme::Default);
+        let r = s.allgather_time(msg, Scheme::hrstc(OrderFix::InitComm));
+        println!(
+            "{:>8}  {:>10.2}ms  {:>10.2}ms  {:>11.1}%",
+            msg,
+            b * 1e3,
+            r * 1e3,
+            percent_improvement(b, r)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared plumbing for the figure-harness binaries.
+//!
+//! Every binary accepts `--procs N` (default 4096, the paper's scale) and
+//! `--quick` (a 512-process smoke configuration for CI-sized runs); results
+//! print as aligned tables with one row per message size and one column per
+//! scheme, mirroring the series of the paper's figures.
+
+use tarr_core::{Scheme, Session, SessionConfig};
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_topo::Cluster;
+
+/// Command-line options shared by the harnesses.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Number of processes (whole nodes are allocated).
+    pub procs: usize,
+    /// Number of processes for the application figures (the paper uses 1024).
+    pub app_procs: usize,
+}
+
+impl HarnessOpts {
+    /// Parse `--procs N` / `--quick` from the process arguments; prints a
+    /// usage message and exits with status 2 on invalid input.
+    pub fn from_args() -> Self {
+        fn usage(msg: &str) -> ! {
+            eprintln!("error: {msg}");
+            eprintln!("usage: [--procs N | --quick]   (N: positive multiple of 8, e.g. 4096)");
+            std::process::exit(2);
+        }
+        let mut procs = 4096usize;
+        let mut app_procs = 1024usize;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--procs" => {
+                    let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                        usage("--procs needs a number");
+                    };
+                    procs = n;
+                    i += 1;
+                }
+                "--quick" => {
+                    procs = 512;
+                    app_procs = 256;
+                }
+                other => usage(&format!("unknown argument {other}")),
+            }
+            i += 1;
+        }
+        if procs == 0 || !procs.is_multiple_of(8) {
+            usage(&format!(
+                "--procs {procs} is not a positive multiple of 8 (whole GPC nodes are allocated)"
+            ));
+        }
+        if procs < 16 {
+            app_procs = procs;
+        }
+        HarnessOpts { procs, app_procs }
+    }
+
+    /// A GPC cluster just large enough for `procs` processes.
+    pub fn cluster_for(&self, procs: usize) -> Cluster {
+        let nodes = procs.div_ceil(8);
+        Cluster::gpc(nodes)
+    }
+
+    /// A fresh session for the given layout at microbenchmark scale.
+    pub fn session(&self, layout: InitialMapping) -> Session {
+        Session::from_layout(
+            self.cluster_for(self.procs),
+            layout,
+            self.procs,
+            SessionConfig::default(),
+        )
+    }
+
+    /// A fresh session at application scale.
+    pub fn app_session(&self, layout: InitialMapping) -> Session {
+        Session::from_layout(
+            self.cluster_for(self.app_procs),
+            layout,
+            self.app_procs,
+            SessionConfig::default(),
+        )
+    }
+}
+
+/// The four reordered schemes of the paper's non-hierarchical figures, with
+/// their legend labels.
+pub fn fig3_schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("Hrstc+initComm", Scheme::hrstc(OrderFix::InitComm)),
+        ("Hrstc+endShfl", Scheme::hrstc(OrderFix::EndShuffle)),
+        ("Scotch+initComm", Scheme::scotch(OrderFix::InitComm)),
+        ("Scotch+endShfl", Scheme::scotch(OrderFix::EndShuffle)),
+    ]
+}
+
+/// Human-readable message size ("512", "4K", "256K").
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{}K", bytes / 1024)
+    } else {
+        bytes.to_string()
+    }
+}
+
+/// Print a header of scheme columns.
+pub fn print_table_header(first: &str, cols: &[&str]) {
+    print!("{first:>8}");
+    for c in cols {
+        print!("{c:>18}");
+    }
+    println!();
+}
+
+/// Print one row of percentage improvements.
+pub fn print_improvement_row(size: u64, imps: &[Option<f64>]) {
+    print!("{:>8}", size_label(size));
+    for imp in imps {
+        match imp {
+            Some(v) => print!("{v:>17.1}%"),
+            None => print!("{:>18}", "n/a"),
+        }
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(1), "1");
+        assert_eq!(size_label(512), "512");
+        assert_eq!(size_label(1024), "1K");
+        assert_eq!(size_label(262144), "256K");
+        assert_eq!(size_label(1500), "1500");
+    }
+
+    #[test]
+    fn cluster_sizing_rounds_up() {
+        let opts = HarnessOpts {
+            procs: 20,
+            app_procs: 16,
+        };
+        assert_eq!(opts.cluster_for(20).num_nodes(), 3);
+    }
+
+    #[test]
+    fn fig3_scheme_labels() {
+        let s = fig3_schemes();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].0, "Hrstc+initComm");
+    }
+}

@@ -1,0 +1,80 @@
+//! Bruck allgather — the paper's future-work extension (§VII), and the
+//! algorithm MPI libraries use for small messages at non-power-of-two sizes.
+//!
+//! `⌈log₂ p⌉` stages; at stage `k` rank `i` sends the first
+//! `min(2ᵏ, p − 2ᵏ)` blocks of its accumulated run `{i, i+1, …}` to rank
+//! `i − 2ᵏ (mod p)`. Blocks are stored at their absolute slots, so the final
+//! local rotation of the classic formulation is unnecessary.
+
+use tarr_mpi::{Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the Bruck allgather schedule for `p` ranks (any `p ≥ 1`).
+pub fn bruck(p: u32) -> Schedule {
+    let mut sched = Schedule::new(p);
+    let mut k = 0u32;
+    while (1u32 << k) < p {
+        let step = 1u32 << k;
+        let len = step.min(p - step);
+        let mut ops = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            let to = (i + p - step) % p;
+            ops.push(SendOp {
+                from: Rank(i),
+                to: Rank(to),
+                payload: tarr_mpi::Payload::blocks(i, len),
+            });
+        }
+        sched.push(Stage::new(ops));
+        k += 1;
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ceil_log2;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn stage_count_is_ceil_log2() {
+        for p in [1u32, 2, 3, 5, 8, 12, 17, 64] {
+            assert_eq!(bruck(p).stages.len() as u32, ceil_log2(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn correctness_for_any_p() {
+        for p in 1u32..=33 {
+            let sched = bruck(p);
+            sched.validate().unwrap();
+            let mut st = FunctionalState::init_allgather(p as usize);
+            st.run(&sched).unwrap();
+            st.verify_allgather_identity()
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn last_stage_is_clipped_for_non_power_of_two() {
+        let sched = bruck(6);
+        // Stages: step 1 (len 1), step 2 (len 2), step 4 (len 2 = 6-4).
+        let lens: Vec<u64> = sched
+            .stages
+            .iter()
+            .map(|s| s.ops[0].payload.bytes(1))
+            .collect();
+        assert_eq!(lens, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn partners_decrease_by_powers_of_two() {
+        let sched = bruck(8);
+        for (k, stage) in sched.stages.iter().enumerate() {
+            for op in &stage.ops {
+                assert_eq!((op.from.0 + 8 - (1 << k)) % 8, op.to.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Hierarchical (leader-based) allgather (§II).
+//!
+//! Three phases executed across node groups:
+//!
+//! 1. **gather** — every node's ranks gather their blocks onto the node
+//!    leader (linear or binomial pattern);
+//! 2. **leader exchange** — the leaders run an allgather (recursive doubling
+//!    or ring) over the node-aggregated blocks;
+//! 3. **broadcast** — each leader distributes the full vector to its node's
+//!    ranks (linear or binomial pattern).
+//!
+//! Groups must be contiguous rank ranges — the regime in which MPI libraries
+//! enable hierarchical collectives; the paper likewise notes "hierarchical
+//! allgather is not supported with cyclic mapping".
+
+use crate::ceil_log2;
+use tarr_mpi::{Communicator, Payload, Schedule, SendOp, Stage};
+use tarr_topo::{Cluster, Rank};
+
+/// Intra-node gather/broadcast pattern (the `L`/`NL` suffixes of the paper's
+/// Figs. 4 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntraPattern {
+    /// All ranks talk directly to the leader.
+    Linear,
+    /// Binomial tree.
+    Binomial,
+}
+
+/// Inter-leader allgather algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterAlg {
+    /// Recursive doubling (requires a power-of-two leader count).
+    RecursiveDoubling,
+    /// Ring.
+    Ring,
+}
+
+/// Configuration of the hierarchical composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HierarchicalConfig {
+    /// Pattern of phases 1 and 3.
+    pub intra: IntraPattern,
+    /// Algorithm of phase 2.
+    pub inter: InterAlg,
+}
+
+/// Derive contiguous `(start, len)` node groups from a communicator, or
+/// `None` if any node's ranks are not a contiguous range (e.g. a cyclic
+/// layout) — in which case hierarchical allgather is unsupported, as in the
+/// paper.
+pub fn groups_by_node(comm: &Communicator, cluster: &Cluster) -> Option<Vec<(u32, u32)>> {
+    let mut groups: Vec<(u32, u32)> = Vec::new();
+    let mut r = 0u32;
+    let p = comm.size() as u32;
+    while r < p {
+        let node = cluster.node_of(comm.core_of(Rank(r)));
+        let start = r;
+        let mut len = 1u32;
+        while r + len < p && cluster.node_of(comm.core_of(Rank(r + len))) == node {
+            len += 1;
+        }
+        groups.push((start, len));
+        r += len;
+    }
+    // Contiguity within the scan is by construction; reject if a node shows
+    // up in two separate runs.
+    let mut seen = std::collections::HashSet::new();
+    for &(start, _) in &groups {
+        let node = cluster.node_of(comm.core_of(Rank(start)));
+        if !seen.insert(node) {
+            return None;
+        }
+    }
+    Some(groups)
+}
+
+/// Build the hierarchical allgather schedule.
+///
+/// `groups` are contiguous rank ranges `(start, len)`; the leader of each
+/// group is its first rank.
+///
+/// # Panics
+/// Panics if the groups do not partition `0..p` into contiguous ranges, or
+/// if recursive doubling is requested with a non-power-of-two group count.
+pub fn hierarchical(p: u32, groups: &[(u32, u32)], cfg: HierarchicalConfig) -> Schedule {
+    // Validate the partition.
+    let mut expect = 0u32;
+    for &(start, len) in groups {
+        assert_eq!(start, expect, "groups must be contiguous and ordered");
+        assert!(len >= 1, "empty group");
+        expect = start + len;
+    }
+    assert_eq!(expect, p, "groups must cover all ranks");
+
+    let mut sched = Schedule::new(p);
+
+    // ----- Phase 1: gather onto leaders -----
+    match cfg.intra {
+        IntraPattern::Linear => {
+            let mut ops = Vec::new();
+            for &(start, len) in groups {
+                for j in 1..len {
+                    ops.push(SendOp {
+                        from: Rank(start + j),
+                        to: Rank(start),
+                        payload: Payload::blocks(start + j, 1),
+                    });
+                }
+            }
+            if !ops.is_empty() {
+                sched.push(Stage::new(ops));
+            }
+        }
+        IntraPattern::Binomial => {
+            let levels = groups.iter().map(|&(_, len)| ceil_log2(len)).max().unwrap_or(0);
+            for k in 0..levels {
+                let step = 1u32 << k;
+                let mut ops = Vec::new();
+                for &(start, len) in groups {
+                    let mut j = step;
+                    while j < len {
+                        let send_len = step.min(len - j);
+                        ops.push(SendOp {
+                            from: Rank(start + j),
+                            to: Rank(start + j - step),
+                            payload: Payload::blocks(start + j, send_len),
+                        });
+                        j += 2 * step;
+                    }
+                }
+                if !ops.is_empty() {
+                    sched.push(Stage::new(ops));
+                }
+            }
+        }
+    }
+
+    // ----- Phase 2: leader exchange -----
+    let g = groups.len() as u32;
+    match cfg.inter {
+        InterAlg::RecursiveDoubling => {
+            assert!(
+                g.is_power_of_two(),
+                "recursive doubling needs a power-of-two leader count"
+            );
+            let mut s = 0u32;
+            while (1u32 << s) < g {
+                let step = 1u32 << s;
+                let mut ops = Vec::new();
+                for i in 0..g {
+                    let partner = i ^ step;
+                    let w0 = (i >> s) << s;
+                    for w in w0..w0 + step {
+                        let (gs, gl) = groups[w as usize];
+                        ops.push(SendOp {
+                            from: Rank(groups[i as usize].0),
+                            to: Rank(groups[partner as usize].0),
+                            payload: Payload::blocks(gs, gl),
+                        });
+                    }
+                }
+                sched.push(Stage::new(ops));
+                s += 1;
+            }
+        }
+        InterAlg::Ring => {
+            for s in 1..g {
+                let mut ops = Vec::new();
+                for i in 0..g {
+                    let w = (i + g - s + 1) % g;
+                    let (gs, gl) = groups[w as usize];
+                    ops.push(SendOp {
+                        from: Rank(groups[i as usize].0),
+                        to: Rank(groups[((i + 1) % g) as usize].0),
+                        payload: Payload::blocks(gs, gl),
+                    });
+                }
+                sched.push(Stage::new(ops));
+            }
+        }
+    }
+
+    // ----- Phase 3: broadcast the full vector inside each group -----
+    match cfg.intra {
+        IntraPattern::Linear => {
+            let mut ops = Vec::new();
+            for &(start, len) in groups {
+                for j in 1..len {
+                    ops.push(SendOp {
+                        from: Rank(start),
+                        to: Rank(start + j),
+                        payload: Payload::blocks(0, p),
+                    });
+                }
+            }
+            if !ops.is_empty() {
+                sched.push(Stage::new(ops));
+            }
+        }
+        IntraPattern::Binomial => {
+            let levels = groups.iter().map(|&(_, len)| ceil_log2(len)).max().unwrap_or(0);
+            for k in 0..levels {
+                let mut ops = Vec::new();
+                for &(start, len) in groups {
+                    let lv = ceil_log2(len);
+                    // Align shorter groups to the *last* global stages so a
+                    // group's own broadcast starts right after its leader has
+                    // the data and uses consecutive stages.
+                    if k < levels - lv {
+                        continue;
+                    }
+                    let kk = k - (levels - lv);
+                    let step = 1u32 << (lv - 1 - kk);
+                    let mut r = 0u32;
+                    while r + step < len {
+                        ops.push(SendOp {
+                            from: Rank(start + r),
+                            to: Rank(start + r + step),
+                            payload: Payload::blocks(0, p),
+                        });
+                        r += 2 * step;
+                    }
+                }
+                if !ops.is_empty() {
+                    sched.push(Stage::new(ops));
+                }
+            }
+        }
+    }
+
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+    use tarr_topo::CoreId;
+
+    fn uniform_groups(nodes: u32, per: u32) -> Vec<(u32, u32)> {
+        (0..nodes).map(|n| (n * per, per)).collect()
+    }
+
+    fn check(p: u32, groups: &[(u32, u32)], cfg: HierarchicalConfig) {
+        let sched = hierarchical(p, groups, cfg);
+        sched.validate().unwrap();
+        let mut st = FunctionalState::init_allgather(p as usize);
+        st.run(&sched).unwrap();
+        st.verify_allgather_identity()
+            .unwrap_or_else(|e| panic!("p={p} cfg={cfg:?}: {e}"));
+    }
+
+    #[test]
+    fn all_variants_are_correct() {
+        for intra in [IntraPattern::Linear, IntraPattern::Binomial] {
+            for inter in [InterAlg::RecursiveDoubling, InterAlg::Ring] {
+                check(32, &uniform_groups(4, 8), HierarchicalConfig { intra, inter });
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_groups_with_ring() {
+        let groups = vec![(0u32, 3u32), (3, 5), (8, 1), (9, 4)];
+        check(
+            13,
+            &groups,
+            HierarchicalConfig {
+                intra: IntraPattern::Binomial,
+                inter: InterAlg::Ring,
+            },
+        );
+        check(
+            13,
+            &groups,
+            HierarchicalConfig {
+                intra: IntraPattern::Linear,
+                inter: InterAlg::Ring,
+            },
+        );
+    }
+
+    #[test]
+    fn single_group_degenerates_to_intra_only() {
+        check(
+            8,
+            &[(0, 8)],
+            HierarchicalConfig {
+                intra: IntraPattern::Binomial,
+                inter: InterAlg::Ring,
+            },
+        );
+    }
+
+    #[test]
+    fn single_rank_groups_degenerate_to_flat() {
+        check(
+            8,
+            &uniform_groups(8, 1),
+            HierarchicalConfig {
+                intra: IntraPattern::Linear,
+                inter: InterAlg::RecursiveDoubling,
+            },
+        );
+    }
+
+    #[test]
+    fn leader_exchange_only_involves_leaders() {
+        let groups = uniform_groups(4, 8);
+        let sched = hierarchical(
+            32,
+            &groups,
+            HierarchicalConfig {
+                intra: IntraPattern::Binomial,
+                inter: InterAlg::Ring,
+            },
+        );
+        let leaders: Vec<u32> = groups.iter().map(|&(s, _)| s).collect();
+        // Phase 2 stages are those whose every op is leader-to-leader; there
+        // must be exactly G−1 = 3 of them for the ring.
+        let n_leader_stages = sched
+            .stages
+            .iter()
+            .filter(|st| {
+                st.ops
+                    .iter()
+                    .all(|op| leaders.contains(&op.from.0) && leaders.contains(&op.to.0))
+                    && !st.ops.is_empty()
+            })
+            .count();
+        assert!(n_leader_stages >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rd_leaders_must_be_power_of_two() {
+        hierarchical(
+            24,
+            &uniform_groups(3, 8),
+            HierarchicalConfig {
+                intra: IntraPattern::Linear,
+                inter: InterAlg::RecursiveDoubling,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_groups_rejected() {
+        hierarchical(
+            16,
+            &[(8, 8), (0, 8)],
+            HierarchicalConfig {
+                intra: IntraPattern::Linear,
+                inter: InterAlg::Ring,
+            },
+        );
+    }
+
+    #[test]
+    fn groups_by_node_on_block_layout() {
+        let cluster = Cluster::gpc(2);
+        let comm = Communicator::new((0..16).map(CoreId::from_idx).collect());
+        let groups = groups_by_node(&comm, &cluster).unwrap();
+        assert_eq!(groups, vec![(0, 8), (8, 8)]);
+    }
+
+    #[test]
+    fn groups_by_node_rejects_cyclic_layout() {
+        let cluster = Cluster::gpc(2);
+        // Ranks alternate between the two nodes.
+        let cores: Vec<CoreId> = (0..8)
+            .flat_map(|i| [CoreId(i), CoreId(8 + i)])
+            .collect();
+        let comm = Communicator::new(cores);
+        assert!(groups_by_node(&comm, &cluster).is_none());
+    }
+}

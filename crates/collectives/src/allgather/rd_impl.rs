@@ -1,0 +1,87 @@
+//! Recursive-doubling allgather (§II, Fig. 1 of the paper).
+//!
+//! `log₂ p` stages; at stage `s` rank `i` exchanges its accumulated window of
+//! `2ˢ` blocks with rank `i ⊕ 2ˢ`. Message volume doubles every stage, which
+//! is why the paper's RDMH heuristic prioritises the *last* stages when
+//! placing ranks.
+
+use tarr_mpi::{Schedule, SendOp, Stage};
+
+/// Build the recursive-doubling allgather schedule for `p` ranks.
+///
+/// # Panics
+/// Panics unless `p` is a power of two (the regime in which MPI libraries
+/// use this algorithm, as the paper notes).
+pub fn recursive_doubling(p: u32) -> Schedule {
+    assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two p");
+    let mut sched = Schedule::new(p);
+    let mut s = 0u32;
+    while (1u32 << s) < p {
+        let step = 1u32 << s;
+        let mut ops = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            let partner = i ^ step;
+            let start = (i >> s) << s;
+            ops.push(SendOp::blocks(i, partner, start, step));
+        }
+        sched.push(Stage::new(ops));
+        s += 1;
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn stage_count_is_log2() {
+        assert_eq!(recursive_doubling(1).stages.len(), 0);
+        assert_eq!(recursive_doubling(8).stages.len(), 3);
+        assert_eq!(recursive_doubling(64).stages.len(), 6);
+    }
+
+    #[test]
+    fn correctness_for_powers_of_two() {
+        for p in [1u32, 2, 4, 8, 16, 32, 128] {
+            let sched = recursive_doubling(p);
+            sched.validate().unwrap();
+            let mut st = FunctionalState::init_allgather(p as usize);
+            st.run(&sched).unwrap();
+            st.verify_allgather_identity()
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn message_volume_doubles_per_stage() {
+        let sched = recursive_doubling(16);
+        for (s, stage) in sched.stages.iter().enumerate() {
+            for op in &stage.ops {
+                assert_eq!(op.payload.bytes(1), 1 << s);
+            }
+        }
+    }
+
+    #[test]
+    fn partners_match_xor_pattern() {
+        let sched = recursive_doubling(8);
+        // Stage 2 (step 4): rank 0 exchanges with rank 4.
+        let stage = &sched.stages[2];
+        assert!(stage
+            .ops
+            .iter()
+            .any(|op| op.from.0 == 0 && op.to.0 == 4));
+        assert!(stage
+            .ops
+            .iter()
+            .any(|op| op.from.0 == 4 && op.to.0 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        recursive_doubling(6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Ring allgather (§II).
+//!
+//! `p − 1` stages; at stage `s` rank `i` forwards to rank `i + 1` the block
+//! it received from rank `i − 1` in the previous stage (its own block at
+//! stage 1). Every stage moves the same byte volume, and every rank talks to
+//! one fixed neighbour — which is why the paper's RMH heuristic simply
+//! chains consecutive ranks as close together as possible.
+
+use tarr_mpi::{Payload, Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the ring allgather schedule for `p` ranks.
+pub fn ring(p: u32) -> Schedule {
+    ring_with_placement(p, None)
+}
+
+/// Ring allgather with an explicit block→slot placement.
+///
+/// `placement[b]` is the buffer slot where block `b` must be stored. This is
+/// the paper's §V-B resolution for the reordered ring: incoming blocks are
+/// stored directly at their correct final offset, so the reordered ring needs
+/// neither the initial exchange nor the final shuffle. `None` is the identity
+/// placement.
+///
+/// # Panics
+/// Panics if `placement` is present and not a `p`-permutation.
+pub fn ring_with_placement(p: u32, placement: Option<&[u32]>) -> Schedule {
+    if let Some(pl) = placement {
+        assert_eq!(pl.len(), p as usize, "placement length mismatch");
+        let mut seen = vec![false; p as usize];
+        for &s in pl {
+            assert!(s < p && !seen[s as usize], "placement is not a permutation");
+            seen[s as usize] = true;
+        }
+    }
+    let slot = |b: u32| -> u32 {
+        match placement {
+            Some(pl) => pl[b as usize],
+            None => b,
+        }
+    };
+
+    let mut sched = Schedule::new(p);
+    for s in 1..p {
+        let mut ops = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            // Block that rank i forwards at stage s.
+            let b = (i + p - s + 1) % p;
+            let to = (i + 1) % p;
+            ops.push(SendOp {
+                from: Rank(i),
+                to: Rank(to),
+                payload: Payload::Blocks {
+                    src_slot: slot(b),
+                    dst_slot: slot(b),
+                    len: 1,
+                },
+            });
+        }
+        sched.push(Stage::new(ops));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn stage_count_is_p_minus_one() {
+        assert_eq!(ring(1).stages.len(), 0);
+        assert_eq!(ring(7).stages.len(), 6);
+        assert_eq!(ring(16).stages.len(), 15);
+    }
+
+    #[test]
+    fn correctness_for_any_p() {
+        for p in [1u32, 2, 3, 5, 8, 13, 24] {
+            let sched = ring(p);
+            sched.validate().unwrap();
+            let mut st = FunctionalState::init_allgather(p as usize);
+            st.run(&sched).unwrap();
+            st.verify_allgather_identity()
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_stage_moves_one_block_per_rank() {
+        let sched = ring(9);
+        for stage in &sched.stages {
+            assert_eq!(stage.ops.len(), 9);
+            for op in &stage.ops {
+                assert_eq!(op.payload.bytes(7), 7);
+                assert_eq!((op.from.0 + 1) % 9, op.to.0);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_stores_blocks_at_mapped_slots() {
+        // Placement reverses the slots; rank r's own block r must start at
+        // slot placement[r] and the run must deliver tag b to slot
+        // placement[b] everywhere.
+        let p = 6u32;
+        let placement: Vec<u32> = (0..p).map(|b| (p - 1) - b).collect();
+        let sched = ring_with_placement(p, Some(&placement));
+        sched.validate().unwrap();
+        let tags: Vec<u32> = (0..p).collect();
+        let slots: Vec<u32> = (0..p as usize).map(|r| placement[r]).collect();
+        let mut st = FunctionalState::init_allgather_with(p as usize, &tags, &slots);
+        st.run(&sched).unwrap();
+        // Expected: slot j holds the tag whose placement is j.
+        let mut expected = vec![0u32; p as usize];
+        for b in 0..p {
+            expected[placement[b as usize] as usize] = b;
+        }
+        st.verify_allgather_tags(&expected).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_placement_rejected() {
+        ring_with_placement(4, Some(&[0, 0, 1, 2]));
+    }
+}

@@ -1,0 +1,13 @@
+//! Allreduce algorithms — the paper's future-work extension (§VII).
+//!
+//! Reduction contents are not tracked functionally (the framework verifies
+//! allgather/broadcast semantics); these schedules exist for *timing*
+//! studies: rank reordering applies to their communication patterns exactly
+//! as to allgather (recursive-doubling allreduce shares RDMH's pattern;
+//! Rabenseifner's allgather phase shares it too).
+
+mod rabenseifner_impl;
+mod rd_impl;
+
+pub use rabenseifner_impl::rabenseifner_allreduce;
+pub use rd_impl::rd_allreduce;

@@ -1,0 +1,75 @@
+//! Rabenseifner's allreduce: recursive-halving reduce-scatter followed by a
+//! recursive-doubling allgather. Bandwidth-optimal for large vectors.
+
+use tarr_mpi::{Schedule, SendOp, Stage};
+
+/// Build Rabenseifner's allreduce schedule for a `vector_bytes`-byte vector.
+///
+/// Stage payloads use raw byte counts: the reduce-scatter halves the payload
+/// every stage; the allgather doubles it back.
+///
+/// # Panics
+/// Panics unless `p` is a power of two.
+pub fn rabenseifner_allreduce(p: u32, vector_bytes: u64) -> Schedule {
+    assert!(p.is_power_of_two(), "Rabenseifner needs a power-of-two p");
+    let mut sched = Schedule::new(p);
+    let log_p = p.trailing_zeros();
+
+    // Reduce-scatter by recursive halving: stage s exchanges vector/2^(s+1)
+    // with the partner at distance p/2^(s+1).
+    for s in 0..log_p {
+        let step = p >> (s + 1);
+        let bytes = (vector_bytes >> (s + 1)).max(1);
+        let mut ops = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            ops.push(SendOp::raw(i, i ^ step, bytes));
+        }
+        sched.push(Stage::new(ops));
+    }
+
+    // Allgather by recursive doubling: stage s exchanges vector/2^(log_p - s)
+    // with the partner at distance 2^s.
+    for s in 0..log_p {
+        let step = 1u32 << s;
+        let bytes = (vector_bytes >> (log_p - s)).max(1);
+        let mut ops = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            ops.push(SendOp::raw(i, i ^ step, bytes));
+        }
+        sched.push(Stage::new(ops));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_structure() {
+        let sched = rabenseifner_allreduce(8, 8192);
+        assert_eq!(sched.stages.len(), 6); // 3 halving + 3 doubling
+        sched.validate().unwrap();
+        let sizes: Vec<u64> = sched
+            .stages
+            .iter()
+            .map(|s| s.ops[0].payload.bytes(1))
+            .collect();
+        assert_eq!(sizes, vec![4096, 2048, 1024, 1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn moves_less_data_than_rd_for_large_vectors() {
+        use super::super::rd_impl::rd_allreduce;
+        let v = 1u64 << 20;
+        let rab = rabenseifner_allreduce(16, v).total_bytes(1);
+        let rd = rd_allreduce(16, v).total_bytes(1);
+        assert!(rab < rd / 2, "rab {rab} rd {rd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        rabenseifner_allreduce(10, 64);
+    }
+}

@@ -1,0 +1,62 @@
+//! Recursive-doubling allreduce: every stage exchanges the **full** vector
+//! with the XOR partner and reduces locally.
+
+use tarr_mpi::{Schedule, SendOp, Stage};
+
+/// Build the recursive-doubling allreduce schedule for a `vector_bytes`-byte
+/// vector.
+///
+/// # Panics
+/// Panics unless `p` is a power of two.
+pub fn rd_allreduce(p: u32, vector_bytes: u64) -> Schedule {
+    assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two p");
+    let mut sched = Schedule::new(p);
+    let mut s = 0u32;
+    while (1u32 << s) < p {
+        let step = 1u32 << s;
+        let mut ops = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            ops.push(SendOp::raw(i, i ^ step, vector_bytes));
+        }
+        sched.push(Stage::new(ops));
+        s += 1;
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_vector_every_stage() {
+        let sched = rd_allreduce(8, 4096);
+        assert_eq!(sched.stages.len(), 3);
+        for stage in &sched.stages {
+            assert_eq!(stage.ops.len(), 8);
+            for op in &stage.ops {
+                assert_eq!(op.payload.bytes(1), 4096);
+            }
+        }
+        sched.validate().unwrap();
+    }
+
+    #[test]
+    fn pattern_matches_allgather_rd() {
+        use crate::allgather::recursive_doubling;
+        let a = rd_allreduce(16, 1);
+        let b = recursive_doubling(16);
+        // Same (from, to) pairs stage by stage.
+        for (sa, sb) in a.stages.iter().zip(&b.stages) {
+            let pa: Vec<_> = sa.ops.iter().map(|o| (o.from, o.to)).collect();
+            let pb: Vec<_> = sb.ops.iter().map(|o| (o.from, o.to)).collect();
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        rd_allreduce(12, 64);
+    }
+}

@@ -1,0 +1,146 @@
+//! Binomial-tree broadcast.
+//!
+//! The halving binomial tree of §V-A.3: at stage `k` every rank that already
+//! holds the payload sends it `p/2ᵏ⁺¹` ranks ahead. Message size is constant
+//! across stages — the property that lets BBMH ignore message sizes and pick
+//! a traversal order instead. The number of concurrent transmissions doubles
+//! every stage, which is the rationale for BBMH's smaller-subtree-first
+//! traversal (later stages are the contention-prone ones).
+
+use crate::ceil_log2;
+use tarr_mpi::{Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the binomial broadcast schedule: `bytes` from `root` to all ranks.
+///
+/// # Panics
+/// Panics if `root ≥ p`.
+pub fn binomial_bcast(p: u32, root: Rank, bytes: u64) -> Schedule {
+    assert!(root.0 < p, "root out of range");
+    let mut sched = Schedule::new(p);
+    let levels = ceil_log2(p);
+    for k in 0..levels {
+        let step = 1u32 << (levels - 1 - k);
+        let mut ops = Vec::new();
+        let mut r = 0u32;
+        while r + step < p {
+            let from = (root.0 + r) % p;
+            let to = (root.0 + r + step) % p;
+            ops.push(SendOp::raw(from, to, bytes));
+            r += 2 * step;
+        }
+        if !ops.is_empty() {
+            sched.push(Stage::new(ops));
+        }
+    }
+    sched
+}
+
+/// Children of relative rank `r` in the halving binomial tree over `p` ranks,
+/// in the order the paper's Algorithm 4 enumerates them (`r + 1, r + 2,
+/// r + 4, …` while the corresponding bit of `r` is clear).
+///
+/// Exposed so the BBMH mapping heuristic and the broadcast schedule are
+/// provably talking about the same tree.
+pub fn binomial_children(p: u32, r: u32) -> Vec<u32> {
+    let mut children = Vec::new();
+    let mut i = 1u32;
+    while (r & i) == 0 && i < p {
+        if r + i < p {
+            children.push(r + i);
+        }
+        i <<= 1;
+    }
+    children
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn everyone_receives() {
+        for p in 1u32..=20 {
+            for root in [0, p / 2, p - 1] {
+                let sched = binomial_bcast(p, Rank(root), 512);
+                sched.validate().unwrap();
+                let mut st = FunctionalState::init_raw(p as usize, Rank(root));
+                st.run(&sched).unwrap();
+                st.verify_bcast()
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn stage_count_is_ceil_log2() {
+        assert_eq!(binomial_bcast(8, Rank(0), 1).stages.len(), 3);
+        assert_eq!(binomial_bcast(9, Rank(0), 1).stages.len(), 4);
+        assert_eq!(binomial_bcast(1, Rank(0), 1).stages.len(), 0);
+    }
+
+    #[test]
+    fn transmissions_double_per_stage() {
+        let sched = binomial_bcast(16, Rank(0), 1);
+        let counts: Vec<usize> = sched.stages.iter().map(|s| s.ops.len()).collect();
+        assert_eq!(counts, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn constant_message_size() {
+        let sched = binomial_bcast(16, Rank(0), 4096);
+        for stage in &sched.stages {
+            for op in &stage.ops {
+                assert_eq!(op.payload.bytes(999), 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn children_match_paper_rule() {
+        // p = 8: 0 → {1, 2, 4}, 2 → {3}, 4 → {5, 6}, 6 → {7}, odd → {}.
+        assert_eq!(binomial_children(8, 0), vec![1, 2, 4]);
+        assert_eq!(binomial_children(8, 2), vec![3]);
+        assert_eq!(binomial_children(8, 4), vec![5, 6]);
+        assert_eq!(binomial_children(8, 6), vec![7]);
+        assert!(binomial_children(8, 1).is_empty());
+        assert!(binomial_children(8, 7).is_empty());
+    }
+
+    #[test]
+    fn children_cover_tree_exactly_once() {
+        for p in [4u32, 8, 16, 32] {
+            let mut seen = vec![false; p as usize];
+            seen[0] = true;
+            let mut queue = vec![0u32];
+            while let Some(r) = queue.pop() {
+                for c in binomial_children(p, r) {
+                    assert!(!seen[c as usize], "p={p}: {c} visited twice");
+                    seen[c as usize] = true;
+                    queue.push(c);
+                }
+            }
+            assert!(seen.iter().all(|&x| x), "p={p}: tree incomplete");
+        }
+    }
+
+    #[test]
+    fn schedule_edges_equal_tree_edges() {
+        // The stage schedule and the recursive children enumeration describe
+        // the same tree.
+        let p = 16u32;
+        let sched = binomial_bcast(p, Rank(0), 1);
+        let mut sched_edges: Vec<(u32, u32)> = sched
+            .stages
+            .iter()
+            .flat_map(|s| s.ops.iter().map(|o| (o.from.0, o.to.0)))
+            .collect();
+        sched_edges.sort_unstable();
+        let mut tree_edges: Vec<(u32, u32)> = (0..p)
+            .flat_map(|r| binomial_children(p, r).into_iter().map(move |c| (r, c)))
+            .collect();
+        tree_edges.sort_unstable();
+        assert_eq!(sched_edges, tree_edges);
+    }
+}

@@ -1,0 +1,51 @@
+//! Flat (linear) broadcast: the root sends directly to every rank.
+
+use tarr_mpi::{Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the linear broadcast schedule (single stage of `p − 1` sends from
+/// the root).
+///
+/// # Panics
+/// Panics if `root ≥ p`.
+pub fn linear_bcast(p: u32, root: Rank, bytes: u64) -> Schedule {
+    assert!(root.0 < p, "root out of range");
+    let mut sched = Schedule::new(p);
+    let mut ops = Vec::with_capacity(p as usize - 1);
+    for i in 0..p {
+        if i != root.0 {
+            ops.push(SendOp::raw(root.0, i, bytes));
+        }
+    }
+    if !ops.is_empty() {
+        sched.push(Stage::new(ops));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn everyone_receives_in_one_stage() {
+        for p in [1u32, 2, 9] {
+            let sched = linear_bcast(p, Rank(0), 64);
+            sched.validate().unwrap();
+            assert!(sched.stages.len() <= 1);
+            let mut st = FunctionalState::init_raw(p as usize, Rank(0));
+            st.run(&sched).unwrap();
+            st.verify_bcast().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_sends_originate_at_root() {
+        let sched = linear_bcast(5, Rank(2), 64);
+        for op in &sched.stages[0].ops {
+            assert_eq!(op.from, Rank(2));
+        }
+        assert_eq!(sched.stages[0].ops.len(), 4);
+    }
+}

@@ -1,0 +1,10 @@
+//! Broadcast algorithms (final phase of the hierarchical allgather; also
+//! `MPI_Bcast`, which the paper's BBMH heuristic covers).
+
+mod binomial_impl;
+mod linear_impl;
+mod scatter_allgather_impl;
+
+pub use binomial_impl::{binomial_bcast, binomial_children};
+pub use linear_impl::linear_bcast;
+pub use scatter_allgather_impl::{scatter_allgather_bcast, ScatterAllgatherInter};

@@ -1,0 +1,119 @@
+//! Scatter-allgather broadcast (Thakur et al., cited by the paper as the
+//! common medium/large-message `MPI_Bcast` algorithm).
+//!
+//! The message is cut into `p` chunks; a reverse-binomial scatter delivers
+//! chunk `i` to rank `i`, then an allgather (recursive doubling or ring over
+//! the chunks) reassembles the full message everywhere. The paper notes it
+//! needs no dedicated mapping heuristic: the allgather phase is covered by
+//! RDMH/RMH and the scatter phase by BGMH (a scatter is a time-reversed
+//! gather).
+
+use crate::allgather::{recursive_doubling, ring};
+use crate::ceil_log2;
+use tarr_mpi::{Payload, Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Allgather phase of the scatter-allgather broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterAllgatherInter {
+    /// Recursive doubling (requires power-of-two `p`).
+    RecursiveDoubling,
+    /// Ring.
+    Ring,
+}
+
+/// Build the scatter-allgather broadcast from rank 0.
+///
+/// Block `i` is the `i`-th chunk of the message (size = total/p, expressed
+/// through the schedule's per-block size); rank 0 starts holding all chunks.
+///
+/// # Panics
+/// Panics if `p` is not a power of two when recursive doubling is requested.
+pub fn scatter_allgather_bcast(p: u32, inter: ScatterAllgatherInter) -> Schedule {
+    let mut sched = Schedule::new(p);
+
+    // Reverse-binomial scatter: holders pass the upper half of their chunk
+    // range down the halving tree.
+    let levels = ceil_log2(p);
+    for k in 0..levels {
+        let step = 1u32 << (levels - 1 - k);
+        let mut ops = Vec::new();
+        let mut r = 0u32;
+        while r + step < p {
+            let len = step.min(p - (r + step));
+            ops.push(SendOp {
+                from: Rank(r),
+                to: Rank(r + step),
+                payload: Payload::blocks(r + step, len),
+            });
+            r += 2 * step;
+        }
+        if !ops.is_empty() {
+            sched.push(Stage::new(ops));
+        }
+    }
+
+    let ag = match inter {
+        ScatterAllgatherInter::RecursiveDoubling => recursive_doubling(p),
+        ScatterAllgatherInter::Ring => ring(p),
+    };
+    sched.then(ag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn ring_variant_works_for_any_p() {
+        for p in 1u32..=17 {
+            let sched = scatter_allgather_bcast(p, ScatterAllgatherInter::Ring);
+            sched.validate().unwrap();
+            let mut st = FunctionalState::init_scatter_root(p as usize, Rank(0));
+            st.run(&sched).unwrap();
+            st.verify_allgather_identity()
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rd_variant_works_for_powers_of_two() {
+        for p in [1u32, 2, 4, 8, 16, 32] {
+            let sched = scatter_allgather_bcast(p, ScatterAllgatherInter::RecursiveDoubling);
+            sched.validate().unwrap();
+            let mut st = FunctionalState::init_scatter_root(p as usize, Rank(0));
+            st.run(&sched).unwrap();
+            st.verify_allgather_identity()
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn scatter_phase_delivers_exactly_own_chunk() {
+        // Run only the scatter stages: rank i must hold chunk i (and the
+        // intermediate holders their subranges).
+        let p = 8u32;
+        let full = scatter_allgather_bcast(p, ScatterAllgatherInter::Ring);
+        let scatter_stages = 3; // ceil_log2(8)
+        let mut scatter = Schedule::new(p);
+        for s in &full.stages[..scatter_stages] {
+            scatter.push(s.clone());
+        }
+        let mut st = FunctionalState::init_scatter_root(p as usize, Rank(0));
+        st.run(&scatter).unwrap();
+        for i in 0..p {
+            assert_eq!(
+                st.buffer(Rank(i))[i as usize],
+                Some(i),
+                "rank {i} lacks its chunk"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rd_variant_rejects_non_power_of_two() {
+        scatter_allgather_bcast(6, ScatterAllgatherInter::RecursiveDoubling);
+    }
+}

@@ -1,0 +1,109 @@
+//! Binomial-tree gather.
+//!
+//! The tree is the halving binomial tree of §V-A.4: the subtree of relative
+//! rank `r` covers relative ranks `[r, r + 2ᵏ)`. Message size grows towards
+//! the root — the property the paper's BGMH heuristic exploits by always
+//! mapping the heaviest remaining edge first.
+
+use crate::ceil_log2;
+use tarr_mpi::{Payload, Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the binomial gather schedule: every rank's block ends up on `root`,
+/// in rank order. Works for any `p ≥ 1` and any root.
+///
+/// # Panics
+/// Panics if `root ≥ p`.
+pub fn binomial_gather(p: u32, root: Rank) -> Schedule {
+    assert!(root.0 < p, "root out of range");
+    let mut sched = Schedule::new(p);
+    let levels = ceil_log2(p);
+    for k in 0..levels {
+        let step = 1u32 << k;
+        let mut ops = Vec::new();
+        let mut r = step;
+        while r < p {
+            // Relative rank r sends its accumulated range [r, r+len) to
+            // r - step.
+            let len = step.min(p - r);
+            let from = (root.0 + r) % p;
+            let to = (root.0 + r - step) % p;
+            ops.push(SendOp {
+                from: Rank(from),
+                to: Rank(to),
+                payload: Payload::blocks(from, len),
+            });
+            r += 2 * step;
+        }
+        sched.push(Stage::new(ops));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn gathers_to_root_zero() {
+        for p in 1u32..=20 {
+            let sched = binomial_gather(p, Rank(0));
+            sched.validate().unwrap();
+            let mut st = FunctionalState::init_allgather(p as usize);
+            st.run(&sched).unwrap();
+            let expected: Vec<u32> = (0..p).collect();
+            st.verify_gather_at(Rank(0), &expected)
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gathers_to_nonzero_root() {
+        for p in [5u32, 8, 12] {
+            for root in 0..p {
+                let sched = binomial_gather(p, Rank(root));
+                sched.validate().unwrap();
+                let mut st = FunctionalState::init_allgather(p as usize);
+                st.run(&sched).unwrap();
+                let expected: Vec<u32> = (0..p).collect();
+                st.verify_gather_at(Rank(root), &expected)
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn stage_count_is_ceil_log2() {
+        assert_eq!(binomial_gather(8, Rank(0)).stages.len(), 3);
+        assert_eq!(binomial_gather(9, Rank(0)).stages.len(), 4);
+        assert_eq!(binomial_gather(1, Rank(0)).stages.len(), 0);
+    }
+
+    #[test]
+    fn message_sizes_grow_towards_root() {
+        let sched = binomial_gather(16, Rank(0));
+        let max_per_stage: Vec<u64> = sched
+            .stages
+            .iter()
+            .map(|s| s.ops.iter().map(|o| o.payload.bytes(1)).max().unwrap())
+            .collect();
+        assert!(max_per_stage.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*max_per_stage.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn last_stage_is_single_heavy_edge() {
+        let sched = binomial_gather(16, Rank(0));
+        let last = sched.stages.last().unwrap();
+        assert_eq!(last.ops.len(), 1);
+        assert_eq!(last.ops[0].from, Rank(8));
+        assert_eq!(last.ops[0].to, Rank(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn bad_root_rejected() {
+        binomial_gather(4, Rank(4));
+    }
+}

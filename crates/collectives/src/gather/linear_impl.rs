@@ -1,0 +1,69 @@
+//! Flat (linear) gather: every rank sends its block directly to the root.
+//!
+//! The paper's hierarchical variants with a *linear* intra-node phase use
+//! this pattern; there is deliberately no structure for a mapping heuristic
+//! to exploit ("all the processes directly communicate with the root
+//! process", §VI-A.2).
+
+use tarr_mpi::{Payload, Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the linear gather schedule (single stage of `p − 1` direct sends).
+///
+/// # Panics
+/// Panics if `root ≥ p`.
+pub fn linear_gather(p: u32, root: Rank) -> Schedule {
+    assert!(root.0 < p, "root out of range");
+    let mut sched = Schedule::new(p);
+    let mut ops = Vec::with_capacity(p as usize - 1);
+    for i in 0..p {
+        if i != root.0 {
+            ops.push(SendOp {
+                from: Rank(i),
+                to: root,
+                payload: Payload::blocks(i, 1),
+            });
+        }
+    }
+    if !ops.is_empty() {
+        sched.push(Stage::new(ops));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn gathers_everything_in_one_stage() {
+        for p in [1u32, 2, 7, 16] {
+            let sched = linear_gather(p, Rank(0));
+            sched.validate().unwrap();
+            assert!(sched.stages.len() <= 1);
+            let mut st = FunctionalState::init_allgather(p as usize);
+            st.run(&sched).unwrap();
+            let expected: Vec<u32> = (0..p).collect();
+            st.verify_gather_at(Rank(0), &expected).unwrap();
+        }
+    }
+
+    #[test]
+    fn arbitrary_root() {
+        let sched = linear_gather(6, Rank(4));
+        let mut st = FunctionalState::init_allgather(6);
+        st.run(&sched).unwrap();
+        st.verify_gather_at(Rank(4), &[0, 1, 2, 3, 4, 5]).unwrap();
+    }
+
+    #[test]
+    fn all_messages_target_root() {
+        let sched = linear_gather(8, Rank(3));
+        for op in &sched.stages[0].ops {
+            assert_eq!(op.to, Rank(3));
+            assert_ne!(op.from, Rank(3));
+        }
+        assert_eq!(sched.stages[0].ops.len(), 7);
+    }
+}

@@ -1,0 +1,8 @@
+//! Gather algorithms (first phase of the hierarchical allgather; also
+//! `MPI_Gather`, which the paper's BGMH heuristic covers).
+
+mod binomial_impl;
+mod linear_impl;
+
+pub use binomial_impl::binomial_gather;
+pub use linear_impl::linear_gather;

@@ -1,0 +1,67 @@
+//! # tarr-collectives — collective algorithms as stage schedules
+//!
+//! Every algorithm the paper's evaluation exercises, generated as a
+//! [`tarr_mpi::Schedule`]:
+//!
+//! * **Allgather**: recursive doubling, ring (with the §V-B in-place
+//!   placement variant), Bruck (the paper's future-work extension), and the
+//!   hierarchical three-phase composition (gather → leader exchange →
+//!   broadcast) with linear or binomial intra-node phases;
+//! * **Broadcast**: binomial tree, flat linear, scatter-allgather (the
+//!   medium/large-message algorithm of Thakur et al. the paper cites);
+//! * **Gather**: binomial tree, flat linear;
+//! * **Allreduce** (future-work extension): recursive doubling and
+//!   Rabenseifner's reduce-scatter + allgather.
+//!
+//! [`selection`] reproduces the MVAPICH-style algorithm choice (recursive
+//! doubling below the 1 KiB eager threshold, ring above), and [`pattern`]
+//! extracts the weighted process-topology graph a general-purpose mapper
+//! (the paper's Scotch baseline) must build — an overhead the fine-tuned
+//! heuristics avoid.
+//!
+//! ```
+//! use tarr_collectives::allgather::recursive_doubling;
+//! use tarr_mpi::FunctionalState;
+//!
+//! let sched = recursive_doubling(16);
+//! assert_eq!(sched.stages.len(), 4);     // log2(16)
+//! // Functionally execute it: every rank ends with all blocks in order.
+//! let mut st = FunctionalState::init_allgather(16);
+//! st.run(&sched).unwrap();
+//! st.verify_allgather_identity().unwrap();
+//! ```
+
+pub mod allgather;
+pub mod allreduce;
+pub mod alltoall;
+pub mod bcast;
+pub mod gather;
+pub mod pattern;
+pub mod selection;
+
+pub use allgather::{bruck, hierarchical, recursive_doubling, ring};
+pub use allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+pub use pattern::{pattern_graph, pattern_graph_unweighted};
+pub use selection::{select_allgather, AllgatherAlg, MVAPICH_RD_THRESHOLD};
+
+/// `⌈log₂ p⌉` for `p ≥ 1`.
+pub(crate) fn ceil_log2(p: u32) -> u32 {
+    debug_assert!(p >= 1);
+    32 - (p - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ceil_log2;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+}

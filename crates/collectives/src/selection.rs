@@ -1,0 +1,88 @@
+//! MVAPICH-style algorithm selection.
+//!
+//! The paper's baseline (MVAPICH2 2.1 on GPC) uses recursive doubling for
+//! per-rank message sizes below 1 KiB and the ring above (§VI-A.1: "MVAPICH
+//! uses recursive doubling in this range of message sizes", "MVAPICH uses the
+//! ring algorithm in this range"). Non-power-of-two communicators fall back
+//! to Bruck for small messages.
+
+use crate::allgather::{bruck, recursive_doubling, ring};
+use tarr_mpi::Schedule;
+
+/// The library-internal switch point between recursive doubling and ring.
+pub const MVAPICH_RD_THRESHOLD: u64 = 1024;
+
+/// A non-hierarchical allgather algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllgatherAlg {
+    /// Recursive doubling (power-of-two `p`, small messages).
+    RecursiveDoubling,
+    /// Ring (large messages).
+    Ring,
+    /// Bruck (non-power-of-two `p`, small messages).
+    Bruck,
+}
+
+impl AllgatherAlg {
+    /// Generate the schedule for `p` ranks.
+    pub fn schedule(self, p: u32) -> Schedule {
+        match self {
+            AllgatherAlg::RecursiveDoubling => recursive_doubling(p),
+            AllgatherAlg::Ring => ring(p),
+            AllgatherAlg::Bruck => bruck(p),
+        }
+    }
+
+    /// Short display name used by the harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllgatherAlg::RecursiveDoubling => "rd",
+            AllgatherAlg::Ring => "ring",
+            AllgatherAlg::Bruck => "bruck",
+        }
+    }
+}
+
+/// Choose the algorithm the way MVAPICH does, from the communicator size and
+/// the per-rank message size.
+pub fn select_allgather(p: u32, block_bytes: u64) -> AllgatherAlg {
+    if block_bytes < MVAPICH_RD_THRESHOLD {
+        if p.is_power_of_two() {
+            AllgatherAlg::RecursiveDoubling
+        } else {
+            AllgatherAlg::Bruck
+        }
+    } else {
+        AllgatherAlg::Ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_use_rd_on_powers_of_two() {
+        assert_eq!(select_allgather(4096, 512), AllgatherAlg::RecursiveDoubling);
+        assert_eq!(select_allgather(4096, 1023), AllgatherAlg::RecursiveDoubling);
+    }
+
+    #[test]
+    fn threshold_switches_to_ring() {
+        assert_eq!(select_allgather(4096, 1024), AllgatherAlg::Ring);
+        assert_eq!(select_allgather(4096, 1 << 18), AllgatherAlg::Ring);
+    }
+
+    #[test]
+    fn non_power_of_two_small_uses_bruck() {
+        assert_eq!(select_allgather(4095, 64), AllgatherAlg::Bruck);
+        assert_eq!(select_allgather(4095, 4096), AllgatherAlg::Ring);
+    }
+
+    #[test]
+    fn schedules_are_generated() {
+        assert_eq!(AllgatherAlg::RecursiveDoubling.schedule(8).stages.len(), 3);
+        assert_eq!(AllgatherAlg::Ring.schedule(8).stages.len(), 7);
+        assert_eq!(AllgatherAlg::Bruck.schedule(6).stages.len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! BBMH — Algorithm 4: the mapping heuristic for the binomial broadcast
+//! communication pattern.
+//!
+//! Binomial broadcast moves a constant-size message along every tree edge,
+//! so no size weighting is needed; what matters is the traversal order. The
+//! paper proposes a DFT variant that visits nodes with **smaller** subtrees
+//! first: later broadcast stages have exponentially more concurrent
+//! transmissions (1 in the first stage, p/2 in the last) and are therefore
+//! the contention-prone ones, so their endpoints are placed while close
+//! cores are still available. The opposite order (larger subtrees first, the
+//! Subramoni et al. choice) is kept for the ablation study.
+
+use crate::scheme::MappingContext;
+use tarr_topo::DistanceMatrix;
+
+/// Order in which a node's children are visited during the recursive
+/// mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalOrder {
+    /// Smaller subtrees first — the paper's proposal (child `r+1` before
+    /// `r+2` before `r+4` …).
+    SmallerFirst,
+    /// Larger subtrees first — the prior-work alternative.
+    LargerFirst,
+}
+
+/// Compute the BBMH mapping with an explicit traversal order.
+///
+/// Works for any process count (children past `p` are skipped, matching the
+/// broadcast schedule's clipping).
+pub fn bbmh_with_order(d: &DistanceMatrix, seed: u64, order: TraversalOrder) -> Vec<u32> {
+    let p = d.len() as u32;
+    let mut m = vec![u32::MAX; p as usize];
+    let mut ctx = MappingContext::new(d, seed);
+    m[0] = 0;
+    ctx.take(0);
+    rec_binomial_map(0, p, order, &mut m, &mut ctx);
+    m
+}
+
+/// BBMH with the paper's smaller-subtree-first traversal.
+pub fn bbmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+    bbmh_with_order(d, seed, TraversalOrder::SmallerFirst)
+}
+
+/// The recursive mapping procedure of Algorithm 4 (`RecBinomialMap`).
+fn rec_binomial_map(
+    r: u32,
+    p: u32,
+    order: TraversalOrder,
+    m: &mut [u32],
+    ctx: &mut MappingContext<'_>,
+) {
+    // Children of r in the binomial tree: r + i for i = 1, 2, 4, … while the
+    // corresponding bit of r is clear and i below the tree height (i ≤ p/2
+    // in the paper's power-of-two setting; i < p in general, with children
+    // past p clipped like the broadcast schedule does).
+    let mut offsets = Vec::new();
+    let mut i = 1u32;
+    while (r & i) == 0 && i < p {
+        if r + i < p {
+            offsets.push(i);
+        }
+        i <<= 1;
+    }
+    if order == TraversalOrder::LargerFirst {
+        offsets.reverse();
+    }
+    for i in offsets {
+        let new_rank = r + i;
+        let target = ctx.claim_closest_to(m[r as usize] as usize);
+        m[new_rank as usize] = target as u32;
+        rec_binomial_map(new_rank, p, order, m, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_permutation, mapping_cost};
+    use tarr_collectives::bcast::binomial_bcast;
+    use tarr_collectives::pattern_graph;
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix, Rank};
+
+    fn matrix_block(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let cores: Vec<CoreId> = c.cores().collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    fn matrix_cyclic(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let p = c.total_cores();
+        let cores: Vec<CoreId> = (0..p)
+            .map(|r| CoreId::from_idx((r % nodes) * c.cores_per_node() + r / nodes))
+            .collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    #[test]
+    fn produces_permutations_both_orders() {
+        for nodes in [1usize, 2, 4, 16] {
+            let d = matrix_block(nodes);
+            for order in [TraversalOrder::SmallerFirst, TraversalOrder::LargerFirst] {
+                let m = bbmh_with_order(&d, 0, order);
+                assert!(is_permutation(&m), "nodes={nodes} order={order:?}");
+                assert_eq!(m[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn works_for_non_power_of_two() {
+        // 24 slots (3 nodes × 8).
+        let c = Cluster::gpc(3);
+        let cores: Vec<CoreId> = c.cores().collect();
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let m = bbmh(&d, 0);
+        assert!(is_permutation(&m));
+    }
+
+    #[test]
+    fn smaller_first_places_last_stage_neighbour_closest() {
+        // With SmallerFirst, the first process placed is rank 1 (the
+        // last-stage partner of rank 0); it must land in rank 0's socket.
+        let d = matrix_block(4);
+        let m = bbmh(&d, 0);
+        assert!(d.get(0, m[1] as usize) <= 2, "rank 1 on slot {}", m[1]);
+    }
+
+    #[test]
+    fn larger_first_places_heavy_subtree_root_closest() {
+        let d = matrix_block(4);
+        let m = bbmh_with_order(&d, 0, TraversalOrder::LargerFirst);
+        // First placed is rank p/2 = 16 (the largest subtree).
+        assert!(d.get(0, m[16] as usize) <= 2, "rank 16 on slot {}", m[16]);
+    }
+
+    #[test]
+    fn improves_bcast_cost_on_cyclic_layout() {
+        let d = matrix_cyclic(8);
+        let g = pattern_graph(&binomial_bcast(64, Rank(0), 4096), 1);
+        let ident: Vec<u32> = (0..64).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &bbmh(&d, 0));
+        assert!(after < before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn no_degradation_on_block_layout() {
+        let d = matrix_block(8);
+        let g = pattern_graph(&binomial_bcast(64, Rank(0), 4096), 1);
+        let ident: Vec<u32> = (0..64).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &bbmh(&d, 0));
+        assert!(after <= before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = matrix_block(4);
+        assert_eq!(bbmh(&d, 11), bbmh(&d, 11));
+    }
+}

@@ -1,0 +1,184 @@
+//! BGMH — Algorithm 5: the mapping heuristic for the binomial gather
+//! communication pattern.
+//!
+//! Unlike broadcast, gather messages grow towards the root, so BGMH picks
+//! the **heaviest remaining edge** of the tree each time: it walks the edge
+//! weight `i` from `p/2` downward and, for every potential reference core in
+//! the set `V` (all ranks mapped so far, in insertion order), maps the child
+//! `ref + i` as close as possible to the reference. Every newly mapped rank
+//! joins `V`. This mirrors the Hoefler–Snir greedy rationale, but derives
+//! the pattern in closed form — no process-topology graph is built.
+
+use crate::scheme::MappingContext;
+use tarr_topo::DistanceMatrix;
+
+/// Compute the BGMH mapping: `m[new_rank] = slot`. Works for any process
+/// count (children past `p` are skipped).
+pub fn bgmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+    let p = d.len() as u32;
+    let mut m = vec![u32::MAX; p as usize];
+    let mut ctx = MappingContext::new(d, seed);
+    m[0] = 0;
+    ctx.take(0);
+
+    if p == 1 {
+        return m;
+    }
+    // V: potential reference cores, in insertion order. The heaviest edge of
+    // the halving tree has weight i = the largest power of two below p.
+    let mut v: Vec<u32> = vec![0];
+    let mut i = next_power_of_two_at_most(p - 1);
+    while i > 0 {
+        // Iterate the snapshot of V (newly mapped ranks become references
+        // only at smaller i, matching the halving-tree levels).
+        let snapshot_len = v.len();
+        for vi in 0..snapshot_len {
+            let ref_rank = v[vi];
+            let new_rank = ref_rank + i;
+            if new_rank >= p {
+                continue;
+            }
+            // In the halving tree each rank has exactly one parent; the
+            // member of V at distance i below ref is unmapped iff ref ≡ 0
+            // (mod 2i) — i.e. ref is a genuine parent at this level.
+            if !ref_rank.is_multiple_of(2 * i) {
+                continue;
+            }
+            let target = ctx.claim_closest_to(m[ref_rank as usize] as usize);
+            m[new_rank as usize] = target as u32;
+            v.push(new_rank);
+        }
+        i /= 2;
+    }
+    m
+}
+
+/// Largest power of two ≤ `x` (0 for `x == 0`).
+fn next_power_of_two_at_most(x: u32) -> u32 {
+    if x == 0 {
+        0
+    } else {
+        1 << (31 - x.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_permutation, mapping_cost};
+    use tarr_collectives::gather::binomial_gather;
+    use tarr_collectives::pattern_graph;
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix, Rank};
+
+    fn matrix_block(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let cores: Vec<CoreId> = c.cores().collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    fn matrix_scatter(nodes: usize) -> DistanceMatrix {
+        // Block across nodes, scatter across sockets within the node.
+        let c = Cluster::gpc(nodes);
+        let p = c.total_cores();
+        let cores: Vec<CoreId> = (0..p)
+            .map(|r| {
+                let node = r / 8;
+                let v = r % 8;
+                let local = (v % 2) * 4 + v / 2;
+                CoreId::from_idx(node * 8 + local)
+            })
+            .collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    #[test]
+    fn produces_permutations() {
+        for nodes in [1usize, 2, 4, 16] {
+            let m = bgmh(&matrix_block(nodes), 0);
+            assert!(is_permutation(&m), "nodes={nodes}");
+            assert_eq!(m[0], 0);
+        }
+    }
+
+    #[test]
+    fn works_for_non_power_of_two() {
+        let c = Cluster::gpc(3);
+        let cores: Vec<CoreId> = c.cores().collect();
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let m = bgmh(&d, 0);
+        assert!(is_permutation(&m));
+    }
+
+    #[test]
+    fn heaviest_edge_mapped_first() {
+        // The heaviest gather edge is p/2 → 0 (carrying p/2 blocks); rank
+        // p/2 must land in rank 0's socket.
+        let d = matrix_block(4); // p = 32
+        let m = bgmh(&d, 0);
+        assert!(d.get(0, m[16] as usize) <= 2, "rank 16 on slot {}", m[16]);
+    }
+
+    #[test]
+    fn tree_edges_match_halving_binomial() {
+        // Verify the parent-selection logic by reconstructing the edge set
+        // BGMH maps: parent(ref) → ref+i exactly when ref ≡ 0 (mod 2i).
+        // That is the same tree binomial_gather(p, 0) uses.
+        let p = 16u32;
+        let sched = binomial_gather(p, Rank(0));
+        let mut sched_edges: Vec<(u32, u32)> = sched
+            .stages
+            .iter()
+            .flat_map(|s| s.ops.iter().map(|o| (o.to.0, o.from.0)))
+            .collect();
+        sched_edges.sort_unstable();
+        let mut bgmh_edges = Vec::new();
+        let mut i = p / 2;
+        while i > 0 {
+            for r in (0..p).step_by((2 * i) as usize) {
+                if r + i < p {
+                    bgmh_edges.push((r, r + i));
+                }
+            }
+            i /= 2;
+        }
+        bgmh_edges.sort_unstable();
+        assert_eq!(sched_edges, bgmh_edges);
+    }
+
+    #[test]
+    fn improves_gather_cost_on_scatter_layout() {
+        // Fig. 4(b): with block-scatter, BGMH pulls the large-message gather
+        // edges back inside a single socket.
+        let d = matrix_scatter(8);
+        let g = pattern_graph(&binomial_gather(64, Rank(0)), 1 << 14);
+        let ident: Vec<u32> = (0..64).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &bgmh(&d, 0));
+        assert!(after < before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn no_degradation_on_block_layout() {
+        let d = matrix_block(8);
+        let g = pattern_graph(&binomial_gather(64, Rank(0)), 1 << 14);
+        let ident: Vec<u32> = (0..64).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &bgmh(&d, 0));
+        assert!(after <= before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = matrix_block(4);
+        assert_eq!(bgmh(&d, 2), bgmh(&d, 2));
+    }
+
+    #[test]
+    fn pow2_helper() {
+        assert_eq!(next_power_of_two_at_most(1), 1);
+        assert_eq!(next_power_of_two_at_most(2), 2);
+        assert_eq!(next_power_of_two_at_most(3), 2);
+        assert_eq!(next_power_of_two_at_most(12), 8);
+        assert_eq!(next_power_of_two_at_most(16), 16);
+    }
+}

@@ -1,0 +1,153 @@
+//! BKMH — mapping heuristic for the Bruck allgather pattern (the paper's
+//! §VII future-work extension, built in the spirit of RDMH).
+//!
+//! In Bruck's algorithm rank `i` sends to `i − 2ᵏ (mod p)` at stage `k`, and
+//! like recursive doubling the carried volume grows with the stage
+//! (`min(2ᵏ, p − 2ᵏ)` blocks). BKMH therefore mirrors RDMH: starting from
+//! rank 0 it places the reference's *latest-stage* peers first (`ref ± 2ᵏ`
+//! for the largest `k` with an unmapped peer), and moves the reference after
+//! two placements. Unlike RDMH it works for any `p` — Bruck's partners are
+//! additive (mod p) rather than XOR, so no power-of-two structure is needed.
+
+use crate::scheme::MappingContext;
+use tarr_topo::DistanceMatrix;
+
+/// Compute the BKMH mapping: `m[new_rank] = slot`, for any `p ≥ 1`.
+pub fn bkmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+    let p = d.len() as u32;
+    let mut m = vec![u32::MAX; p as usize];
+    let mut mapped = vec![false; p as usize];
+    let mut ctx = MappingContext::new(d, seed);
+
+    m[0] = 0;
+    mapped[0] = true;
+    ctx.take(0);
+    if p == 1 {
+        return m;
+    }
+
+    // Stage offsets, largest (heaviest) first.
+    let mut offsets: Vec<u32> = Vec::new();
+    let mut k = 1u32;
+    while k < p {
+        offsets.push(k);
+        k <<= 1;
+    }
+    offsets.reverse();
+
+    let mut ref_rank = 0u32;
+    let mut mapped_with_ref = 0u32;
+    let mut remaining = p - 1;
+    while remaining > 0 {
+        // The reference's unmapped peer of the heaviest stage: receiver
+        // (ref − 2ᵏ) preferred, then sender (ref + 2ᵏ).
+        let mut next: Option<u32> = None;
+        'search: for &off in &offsets {
+            for cand in [(ref_rank + p - off % p) % p, (ref_rank + off) % p] {
+                if !mapped[cand as usize] {
+                    next = Some(cand);
+                    break 'search;
+                }
+            }
+        }
+        let new_rank = match next {
+            Some(r) => r,
+            None => {
+                // All peers of the reference mapped: advance the reference to
+                // the next mapped rank with an unmapped peer (guaranteed to
+                // exist while ranks remain, since the Bruck graph with
+                // offset 1 contains the full ring).
+                let start = ref_rank;
+                loop {
+                    ref_rank = (ref_rank + 1) % p;
+                    assert_ne!(ref_rank, start, "no reference with unmapped peers");
+                    if mapped[ref_rank as usize]
+                        && (!mapped[((ref_rank + 1) % p) as usize]
+                            || !mapped[((ref_rank + p - 1) % p) as usize])
+                    {
+                        break;
+                    }
+                }
+                mapped_with_ref = 0;
+                continue;
+            }
+        };
+
+        let target = ctx.claim_closest_to(m[ref_rank as usize] as usize);
+        m[new_rank as usize] = target as u32;
+        mapped[new_rank as usize] = true;
+        remaining -= 1;
+        mapped_with_ref += 1;
+        if mapped_with_ref >= 2 {
+            ref_rank = new_rank;
+            mapped_with_ref = 0;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_permutation, mapping_cost};
+    use tarr_collectives::allgather::bruck;
+    use tarr_collectives::pattern_graph;
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
+
+    fn matrix_cyclic(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let p = c.total_cores();
+        let cores: Vec<CoreId> = (0..p)
+            .map(|r| CoreId::from_idx((r % nodes) * c.cores_per_node() + r / nodes))
+            .collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    #[test]
+    fn produces_permutations_any_p() {
+        // Including non-power-of-two process counts.
+        for nodes in [1usize, 2, 3, 5, 8, 13] {
+            let c = Cluster::gpc(nodes);
+            let cores: Vec<CoreId> = c.cores().collect();
+            let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+            let m = bkmh(&d, 0);
+            assert!(is_permutation(&m), "nodes={nodes}");
+            assert_eq!(m[0], 0);
+        }
+    }
+
+    #[test]
+    fn heaviest_partner_lands_near_rank_zero() {
+        let c = Cluster::gpc(4); // p = 32
+        let cores: Vec<CoreId> = c.cores().collect();
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let m = bkmh(&d, 0);
+        // The heaviest Bruck peer of 0 is 0 − 16 mod 32 = 16.
+        assert!(d.get(0, m[16] as usize) <= 2, "rank 16 on slot {}", m[16]);
+    }
+
+    #[test]
+    fn improves_bruck_cost_on_cyclic_layout() {
+        let d = matrix_cyclic(8);
+        let p = d.len() as u32;
+        let g = pattern_graph(&bruck(p), 512);
+        let ident: Vec<u32> = (0..p).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &bkmh(&d, 0));
+        assert!(after < before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = matrix_cyclic(4);
+        assert_eq!(bkmh(&d, 3), bkmh(&d, 3));
+    }
+
+    #[test]
+    fn single_rank_trivial() {
+        let c = Cluster::gpc(1);
+        let cores: Vec<CoreId> = c.cores().take(1).collect();
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        assert_eq!(bkmh(&d, 0), vec![0]);
+    }
+}

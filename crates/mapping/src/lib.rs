@@ -1,0 +1,130 @@
+//! # tarr-mapping — topology-aware mapping heuristics
+//!
+//! The paper's primary contribution: four fine-tuned mapping heuristics that
+//! reorder MPI ranks so a collective's fixed communication pattern matches
+//! the physical topology (§V):
+//!
+//! * [`rdmh()`](rdmh()) — recursive doubling (Algorithm 2);
+//! * [`rmh()`](rmh()) — ring (Algorithm 3);
+//! * [`bbmh()`](bbmh()) — binomial broadcast (Algorithm 4, smaller-subtree-first DFT);
+//! * [`bgmh()`](bgmh()) — binomial gather (Algorithm 5, heaviest-edge-first);
+//! * [`bkmh()`](bkmh()) — Bruck allgather (the paper's §VII future-work extension).
+//!
+//! All four instantiate the general greedy scheme of Algorithm 1
+//! ([`scheme::MappingContext`]): fix rank 0, then repeatedly place a
+//! pattern-chosen process on the free core closest to a reference core.
+//!
+//! Baselines: [`scotch_like_map`] (dual recursive bipartitioning, standing in
+//! for the Scotch library), [`greedy_map`] (the Hoefler–Snir general greedy
+//! mapper), and [`initial::mvapich_cyclic_reorder`] (MVAPICH's fixed
+//! block→cyclic reorder for recursive doubling).
+//!
+//! A **mapping** is always an array `M` with `M[new_rank] = slot`, where a
+//! slot is an index into the job's allocated cores in initial-rank order —
+//! exactly the output of the paper's algorithms. `M` is a permutation.
+//!
+//! ```
+//! use tarr_mapping::{is_permutation, rmh, InitialMapping};
+//! use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix};
+//!
+//! let cluster = Cluster::gpc(4);
+//! let cores = InitialMapping::CYCLIC_BUNCH.layout(&cluster, 32);
+//! let d = DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default());
+//! let m = rmh(&d, 0);          // ring mapping heuristic
+//! assert!(is_permutation(&m));
+//! assert_eq!(m[0], 0);         // rank 0 stays on its core
+//! ```
+
+pub mod bbmh;
+pub mod bgmh;
+pub mod bkmh;
+pub mod greedy;
+pub mod initial;
+pub mod rdmh;
+pub mod reorder;
+pub mod rmh;
+pub mod scheme;
+pub mod scotchlike;
+
+pub use bbmh::{bbmh, bbmh_with_order, TraversalOrder};
+pub use bgmh::bgmh;
+pub use bkmh::bkmh;
+pub use greedy::greedy_map;
+pub use initial::{InitialMapping, IntraOrder, NodeOrder};
+pub use rdmh::rdmh;
+pub use reorder::{end_shuffle_perm, init_comm_schedule, ring_placement, OrderFix};
+pub use rmh::rmh;
+pub use scheme::MappingContext;
+pub use scotchlike::{scotch_like_map, scotch_like_map_with, ScotchVariant};
+
+/// Check that `m` is a permutation of `0..m.len()` (every mapping must be).
+pub fn is_permutation(m: &[u32]) -> bool {
+    let mut seen = vec![false; m.len()];
+    for &x in m {
+        let Some(s) = seen.get_mut(x as usize) else {
+            return false;
+        };
+        if *s {
+            return false;
+        }
+        *s = true;
+    }
+    true
+}
+
+/// Invert a mapping: `inv[old] = new` given `m[new] = old`.
+///
+/// # Panics
+/// Panics (in debug) if `m` is not a permutation.
+pub fn invert(m: &[u32]) -> Vec<u32> {
+    debug_assert!(is_permutation(m));
+    let mut inv = vec![0u32; m.len()];
+    for (new, &old) in m.iter().enumerate() {
+        inv[old as usize] = new as u32;
+    }
+    inv
+}
+
+/// Total weighted communication cost of a mapping: `Σ w(a,b) · D(M[a], M[b])`
+/// over the pattern's edges. The objective every mapper minimizes, used to
+/// compare mapping quality independent of the network simulator.
+pub fn mapping_cost(
+    graph: &tarr_collectives::pattern::PatternGraph,
+    d: &tarr_topo::DistanceMatrix,
+    m: &[u32],
+) -> u64 {
+    assert_eq!(graph.p as usize, m.len());
+    let mut cost = 0u64;
+    for (a, nbrs) in graph.adj.iter().enumerate() {
+        for &(b, w) in nbrs {
+            if (b as usize) > a {
+                cost += w * d.get(m[a] as usize, m[b as usize] as usize) as u64;
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation(&[0, 1, 2]));
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 1, 3]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let m = vec![2u32, 0, 3, 1];
+        let inv = invert(&m);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        for (new, &old) in m.iter().enumerate() {
+            assert_eq!(inv[old as usize] as usize, new);
+        }
+    }
+}

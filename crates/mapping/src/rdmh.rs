@@ -1,0 +1,199 @@
+//! RDMH — Algorithm 2: the mapping heuristic for the recursive-doubling
+//! communication pattern.
+//!
+//! Recursive doubling's later stages carry exponentially larger messages, so
+//! the heuristic walks partner distances from `p/2` downward: the first
+//! process placed next to rank 0 is its *last-stage* partner `0 ⊕ p/2`, then
+//! the second-to-last `0 ⊕ p/4`, and after mapping **two** processes against
+//! a reference the reference moves to the most recently mapped rank (whose
+//! last-stage partner also communicates with already-placed ranks in the
+//! second-to-last stage — the paper's two-fold rationale).
+
+use crate::scheme::MappingContext;
+use tarr_topo::DistanceMatrix;
+
+/// Compute the RDMH mapping: `m[new_rank] = slot`.
+///
+/// `update_after` is the number of processes mapped against one reference
+/// core before the reference is updated; the paper uses 2 (Algorithm 2 line
+/// 11), other values are exposed for the ablation study.
+///
+/// # Panics
+/// Panics unless the process count is a power of two (recursive doubling's
+/// own requirement).
+pub fn rdmh_with_cadence(d: &DistanceMatrix, seed: u64, update_after: u32) -> Vec<u32> {
+    let p = d.len();
+    assert!(p.is_power_of_two(), "RDMH needs a power-of-two process count");
+    assert!(update_after >= 1, "reference update cadence must be ≥ 1");
+    let p32 = p as u32;
+
+    let mut m = vec![u32::MAX; p];
+    let mut mapped = vec![false; p];
+    let mut ctx = MappingContext::new(d, seed);
+
+    // Fix rank 0 on its current core; choose it as the reference.
+    m[0] = 0;
+    mapped[0] = true;
+    ctx.take(0);
+    let mut ref_rank = 0u32;
+    let mut i = p32 / 2;
+    let mut mapped_with_ref = 0u32;
+    let mut last_mapped = 0u32;
+
+    let mut remaining = p - 1;
+    while remaining > 0 {
+        // Find the farthest-stage partner of the reference not yet mapped.
+        while i >= 1 && mapped[(ref_rank ^ i) as usize] {
+            i /= 2;
+        }
+        if i == 0 {
+            // Every XOR partner of the reference is mapped (possible late in
+            // the run): fall back to the most recently mapped rank with an
+            // unmapped partner.
+            ref_rank = last_mapped;
+            i = p32 / 2;
+            while mapped[(ref_rank ^ i) as usize] {
+                if i == 1 {
+                    // Scan for any mapped rank with an unmapped partner.
+                    'outer: for r in 0..p32 {
+                        if !mapped[r as usize] {
+                            continue;
+                        }
+                        let mut j = p32 / 2;
+                        while j >= 1 {
+                            if !mapped[(r ^ j) as usize] {
+                                ref_rank = r;
+                                i = j;
+                                break 'outer;
+                            }
+                            j /= 2;
+                        }
+                    }
+                    break;
+                }
+                i /= 2;
+            }
+            mapped_with_ref = 0;
+            continue;
+        }
+
+        let new_rank = ref_rank ^ i;
+        let target = ctx.claim_closest_to(m[ref_rank as usize] as usize);
+        m[new_rank as usize] = target as u32;
+        mapped[new_rank as usize] = true;
+        last_mapped = new_rank;
+        remaining -= 1;
+        mapped_with_ref += 1;
+
+        if mapped_with_ref >= update_after {
+            ref_rank = new_rank;
+            i = p32 / 2;
+            mapped_with_ref = 0;
+        }
+    }
+    m
+}
+
+/// RDMH with the paper's reference-update cadence (2).
+pub fn rdmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+    rdmh_with_cadence(d, seed, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_permutation;
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
+
+    fn matrix(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let cores: Vec<CoreId> = c.cores().collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    fn matrix_cyclic(nodes: usize) -> DistanceMatrix {
+        // Slots in cyclic order: rank r on node r % nodes.
+        let c = Cluster::gpc(nodes);
+        let p = c.total_cores();
+        let cores: Vec<CoreId> = (0..p)
+            .map(|r| {
+                let node = r % nodes;
+                let visit = r / nodes;
+                CoreId::from_idx(node * c.cores_per_node() + visit)
+            })
+            .collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    #[test]
+    fn produces_permutations_at_many_sizes() {
+        for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
+            let d = matrix(nodes);
+            let m = rdmh(&d, 0);
+            assert!(is_permutation(&m), "nodes={nodes}");
+            assert_eq!(m[0], 0, "rank 0 stays on its core");
+        }
+    }
+
+    #[test]
+    fn cadence_variants_also_valid() {
+        let d = matrix(8);
+        for cadence in [1u32, 2, 4, 8] {
+            assert!(is_permutation(&rdmh_with_cadence(&d, 0, cadence)));
+        }
+    }
+
+    #[test]
+    fn last_stage_partner_of_zero_lands_nearby() {
+        // With a block-layout matrix, slot 0's nearest free cores are its
+        // socket mates; RDMH must put rank p/2 (0's heaviest partner) there.
+        let d = matrix(4); // p = 32
+        let m = rdmh(&d, 0);
+        let half = m[16] as usize; // rank p/2 = 16
+        // Same socket as slot 0 ⇒ distance = socket level (2).
+        assert!(d.get(0, half) <= 2, "rank 16 on slot {half}");
+    }
+
+    #[test]
+    fn improves_rd_cost_on_cyclic_layout() {
+        use crate::mapping_cost;
+        use tarr_collectives::allgather::recursive_doubling;
+        use tarr_collectives::pattern_graph;
+        let d = matrix_cyclic(16); // 128 procs, cyclic = RD-hostile at top stages
+        let g = pattern_graph(&recursive_doubling(128), 1024);
+        let ident: Vec<u32> = (0..128).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &rdmh(&d, 0));
+        assert!(after < before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn does_not_degrade_good_layout_much() {
+        // Goal 2 of the paper: on a block layout (already decent for RD's
+        // small stages) the reordered cost must not blow up.
+        use crate::mapping_cost;
+        use tarr_collectives::allgather::recursive_doubling;
+        use tarr_collectives::pattern_graph;
+        let d = matrix(16);
+        let g = pattern_graph(&recursive_doubling(128), 1024);
+        let ident: Vec<u32> = (0..128).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &rdmh(&d, 0));
+        assert!(after <= before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = matrix(8);
+        assert_eq!(rdmh(&d, 5), rdmh(&d, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let c = Cluster::gpc(3);
+        let cores: Vec<CoreId> = c.cores().take(24).collect();
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        rdmh(&d, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! RMH — Algorithm 3: the mapping heuristic for the ring communication
+//! pattern.
+//!
+//! Every rank talks to exactly one fixed successor, so the heuristic simply
+//! chains the ranks: rank 1 as close as possible to rank 0, rank 2 as close
+//! as possible to rank 1, and so on; the reference core advances every step.
+
+use crate::scheme::MappingContext;
+use tarr_topo::DistanceMatrix;
+
+/// Compute the RMH mapping: `m[new_rank] = slot`.
+pub fn rmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+    let p = d.len();
+    let mut m = vec![u32::MAX; p];
+    let mut ctx = MappingContext::new(d, seed);
+
+    m[0] = 0;
+    ctx.take(0);
+    let mut ref_slot = 0usize;
+    for slot in m.iter_mut().skip(1) {
+        let target = ctx.claim_closest_to(ref_slot);
+        *slot = target as u32;
+        ref_slot = target;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_permutation, mapping_cost};
+    use tarr_collectives::allgather::ring;
+    use tarr_collectives::pattern_graph;
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
+
+    fn matrix_block(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let cores: Vec<CoreId> = c.cores().collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    fn matrix_cyclic(nodes: usize) -> DistanceMatrix {
+        let c = Cluster::gpc(nodes);
+        let p = c.total_cores();
+        let cores: Vec<CoreId> = (0..p)
+            .map(|r| CoreId::from_idx((r % nodes) * c.cores_per_node() + r / nodes))
+            .collect();
+        DistanceMatrix::build(&c, &cores, &DistanceConfig::default())
+    }
+
+    #[test]
+    fn produces_permutations() {
+        for nodes in [1usize, 2, 3, 7, 16] {
+            let m = rmh(&matrix_block(nodes), 0);
+            assert!(is_permutation(&m), "nodes={nodes}");
+            assert_eq!(m[0], 0);
+        }
+    }
+
+    #[test]
+    fn block_layout_is_already_optimal_and_preserved() {
+        // On a block layout consecutive slots are already adjacent: RMH must
+        // keep consecutive ranks on consecutive-or-equal-distance slots — in
+        // particular the ring cost must not increase (paper goal 2).
+        let d = matrix_block(8);
+        let g = pattern_graph(&ring(64), 4096);
+        let ident: Vec<u32> = (0..64).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &rmh(&d, 0));
+        assert!(after <= before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn repairs_cyclic_layout() {
+        // Under a cyclic layout every ring neighbour is on another node; RMH
+        // must collapse the chain back into nodes.
+        let d = matrix_cyclic(8);
+        let g = pattern_graph(&ring(64), 4096);
+        let ident: Vec<u32> = (0..64).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &rmh(&d, 0));
+        assert!(
+            after < before / 2,
+            "cyclic ring should improve a lot: before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn chain_is_locally_tight() {
+        // Each consecutive pair must sit at the minimum distance available
+        // when it was placed; in a fresh block layout that means the first 8
+        // ranks fill node 0.
+        let d = matrix_block(4);
+        let m = rmh(&d, 3);
+        let node_of_slot = |s: u32| s / 8;
+        for (r, &slot) in m.iter().enumerate().take(8) {
+            assert_eq!(node_of_slot(slot), 0, "rank {r} on slot {slot}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = matrix_block(4);
+        assert_eq!(rmh(&d, 9), rmh(&d, 9));
+    }
+}

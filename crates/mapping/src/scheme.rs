@@ -1,0 +1,185 @@
+//! Algorithm 1 — the general scheme shared by all four heuristics.
+//!
+//! The scheme state tracks which slots (cores) are still free and answers
+//! `find_closest_to(reference)` queries: the free slot with minimum distance
+//! from the reference slot, ties broken uniformly at random (the paper: "if
+//! more than one core satisfy this condition, one of them is chosen
+//! randomly"). Randomness is seeded for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tarr_topo::DistanceMatrix;
+
+/// Shared state of a running mapping heuristic.
+pub struct MappingContext<'a> {
+    d: &'a DistanceMatrix,
+    free: Vec<bool>,
+    free_count: usize,
+    rng: StdRng,
+}
+
+impl<'a> MappingContext<'a> {
+    /// Fresh context over the distance matrix; all slots free.
+    pub fn new(d: &'a DistanceMatrix, seed: u64) -> Self {
+        let p = d.len();
+        MappingContext {
+            d,
+            free: vec![true; p],
+            free_count: p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of slots (= processes).
+    pub fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Whether no slots exist (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.d.is_empty()
+    }
+
+    /// Number of slots still free.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Mark `slot` as taken.
+    ///
+    /// # Panics
+    /// Panics if the slot was already taken.
+    pub fn take(&mut self, slot: usize) {
+        assert!(self.free[slot], "slot {slot} taken twice");
+        self.free[slot] = false;
+        self.free_count -= 1;
+    }
+
+    /// The free slot closest to `reference` (which need not be free), ties
+    /// broken uniformly at random; the slot is *not* taken.
+    ///
+    /// # Panics
+    /// Panics if no free slot remains.
+    pub fn find_closest_to(&mut self, reference: usize) -> usize {
+        assert!(self.free_count > 0, "no free slots left");
+        let row = self.d.row(reference);
+        let mut best = u16::MAX;
+        let mut choice = usize::MAX;
+        let mut ties = 0u32;
+        for (slot, (&dist, &free)) in row.iter().zip(&self.free).enumerate() {
+            if !free {
+                continue;
+            }
+            if dist < best {
+                best = dist;
+                choice = slot;
+                ties = 1;
+            } else if dist == best {
+                // Reservoir sampling keeps each tied slot equally likely.
+                ties += 1;
+                if self.rng.gen_range(0..ties) == 0 {
+                    choice = slot;
+                }
+            }
+        }
+        choice
+    }
+
+    /// `find_closest_to` followed by `take` — the common step of Algorithm 1.
+    pub fn claim_closest_to(&mut self, reference: usize) -> usize {
+        let slot = self.find_closest_to(reference);
+        self.take(slot);
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_topo::{Cluster, CoreId, DistanceConfig};
+
+    fn ctx_for(nodes: usize) -> (Cluster, Vec<CoreId>) {
+        let c = Cluster::gpc(nodes);
+        let cores: Vec<CoreId> = c.cores().collect();
+        (c, cores)
+    }
+
+    #[test]
+    fn closest_prefers_same_socket() {
+        let (c, cores) = ctx_for(2);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let mut ctx = MappingContext::new(&d, 42);
+        ctx.take(0);
+        // Closest free slot to slot 0 must be within socket 0 (slots 1–3).
+        let s = ctx.claim_closest_to(0);
+        assert!((1..=3).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn exhausting_a_socket_moves_to_next_level() {
+        let (c, cores) = ctx_for(2);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let mut ctx = MappingContext::new(&d, 1);
+        for s in 0..4 {
+            ctx.take(s);
+        }
+        // Socket 0 full: next closest to 0 is socket 1 of node 0 (slots 4–7).
+        let s = ctx.claim_closest_to(0);
+        assert!((4..=7).contains(&s), "got {s}");
+        for _ in 0..3 {
+            let s = ctx.claim_closest_to(0);
+            assert!((4..=7).contains(&s), "got {s}");
+        }
+        // Node 0 full: now the other node.
+        let s = ctx.claim_closest_to(0);
+        assert!((8..16).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn tie_breaking_is_seed_deterministic() {
+        let (c, cores) = ctx_for(4);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let run = |seed: u64| -> Vec<usize> {
+            let mut ctx = MappingContext::new(&d, seed);
+            ctx.take(0);
+            (0..8).map(|_| ctx.claim_closest_to(0)).collect()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn tie_breaking_varies_with_seed() {
+        let (c, cores) = ctx_for(8);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let run = |seed: u64| -> Vec<usize> {
+            let mut ctx = MappingContext::new(&d, seed);
+            ctx.take(0);
+            (0..16).map(|_| ctx.claim_closest_to(0)).collect()
+        };
+        // Across many seeds at least two sequences differ (3 same-socket ties
+        // at the first step).
+        let baseline = run(0);
+        assert!((1..20).any(|s| run(s) != baseline));
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let (c, cores) = ctx_for(1);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let mut ctx = MappingContext::new(&d, 0);
+        ctx.take(3);
+        ctx.take(3);
+    }
+
+    #[test]
+    fn free_count_tracks_claims() {
+        let (c, cores) = ctx_for(1);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let mut ctx = MappingContext::new(&d, 0);
+        assert_eq!(ctx.free_count(), 8);
+        ctx.take(0);
+        let _ = ctx.claim_closest_to(0);
+        assert_eq!(ctx.free_count(), 6);
+    }
+}

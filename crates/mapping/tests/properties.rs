@@ -1,0 +1,99 @@
+//! Property-based tests for the mapping heuristics and baselines.
+
+use proptest::prelude::*;
+use tarr_collectives::allgather::{recursive_doubling, ring};
+use tarr_collectives::pattern_graph;
+use tarr_mapping::{
+    bbmh, bgmh, greedy_map, invert, is_permutation, mapping_cost, rdmh, rmh, scotch_like_map,
+    InitialMapping,
+};
+use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix};
+
+fn matrix_for(layout: InitialMapping, nodes: usize) -> (Cluster, DistanceMatrix) {
+    let cluster = Cluster::gpc(nodes);
+    let p = cluster.total_cores();
+    let cores = layout.layout(&cluster, p);
+    let d = DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default());
+    (cluster, d)
+}
+
+fn arb_layout() -> impl Strategy<Value = InitialMapping> {
+    prop::sample::select(InitialMapping::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every heuristic yields a permutation fixing rank 0, for every layout
+    /// and power-of-two node count.
+    #[test]
+    fn heuristics_yield_permutations(layout in arb_layout(), ln in 0usize..5, seed in any::<u64>()) {
+        let nodes = 1usize << ln;
+        let (_c, d) = matrix_for(layout, nodes);
+        for m in [rdmh(&d, seed), rmh(&d, seed), bbmh(&d, seed), bgmh(&d, seed)] {
+            prop_assert!(is_permutation(&m));
+            prop_assert_eq!(m[0], 0);
+        }
+    }
+
+    /// The general mappers also yield permutations.
+    #[test]
+    fn general_mappers_yield_permutations(layout in arb_layout(), ln in 0usize..4, seed in any::<u64>()) {
+        let nodes = 1usize << ln;
+        let (_c, d) = matrix_for(layout, nodes);
+        let p = d.len() as u32;
+        let g = pattern_graph(&ring(p), 512);
+        prop_assert!(is_permutation(&scotch_like_map(&g, &d, seed)));
+        prop_assert!(is_permutation(&greedy_map(&g, &d)));
+    }
+
+    /// RMH never increases the ring cost relative to the initial layout
+    /// (the paper's "no degradation" goal), for every initial layout.
+    #[test]
+    fn rmh_never_degrades(layout in arb_layout(), ln in 1usize..5, seed in any::<u64>()) {
+        let nodes = 1usize << ln;
+        let (_c, d) = matrix_for(layout, nodes);
+        let p = d.len() as u32;
+        let g = pattern_graph(&ring(p), 4096);
+        let ident: Vec<u32> = (0..p).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &rmh(&d, seed));
+        prop_assert!(after <= before, "layout {} before {} after {}", layout.name(), before, after);
+    }
+
+    /// RDMH never increases the recursive-doubling cost.
+    #[test]
+    fn rdmh_never_degrades(layout in arb_layout(), ln in 1usize..5, seed in any::<u64>()) {
+        let nodes = 1usize << ln;
+        let (_c, d) = matrix_for(layout, nodes);
+        let p = d.len() as u32;
+        let g = pattern_graph(&recursive_doubling(p), 1024);
+        let ident: Vec<u32> = (0..p).collect();
+        let before = mapping_cost(&g, &d, &ident);
+        let after = mapping_cost(&g, &d, &rdmh(&d, seed));
+        prop_assert!(after <= before, "layout {} before {} after {}", layout.name(), before, after);
+    }
+
+    /// Inverting a heuristic mapping twice is the identity.
+    #[test]
+    fn double_inversion_is_identity(ln in 0usize..5, seed in any::<u64>()) {
+        let nodes = 1usize << ln;
+        let (_c, d) = matrix_for(InitialMapping::CYCLIC_SCATTER, nodes);
+        let m = bgmh(&d, seed);
+        prop_assert_eq!(invert(&invert(&m)), m);
+    }
+
+    /// Functional correctness end to end under arbitrary heuristic
+    /// reorderings: initComm + RD restores original-rank order.
+    #[test]
+    fn reordered_allgather_is_functionally_correct(layout in arb_layout(), ln in 0usize..4, seed in any::<u64>()) {
+        let nodes = 1usize << ln;
+        let (_c, d) = matrix_for(layout, nodes);
+        let p = d.len() as u32;
+        let m = rdmh(&d, seed);
+        let sched = tarr_mapping::init_comm_schedule(&m).then(recursive_doubling(p));
+        let mut st = tarr_mapping::reorder::reordered_init_state(&m, false);
+        st.run(&sched).unwrap();
+        prop_assert!(st.verify_allgather_identity().is_ok());
+    }
+}

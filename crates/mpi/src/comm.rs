@@ -1,0 +1,212 @@
+//! Communicators: ordered bindings of ranks to physical cores.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tarr_topo::{Cluster, CoreId, NodeId, Rank};
+
+/// A communicator: rank `r` is the process pinned to `cores[r]`.
+///
+/// Processes never migrate; *rank reordering* produces a new communicator in
+/// which the same cores appear in a different rank order (the paper's
+/// reordered duplicate of `MPI_COMM_WORLD` created once at run time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Communicator {
+    cores: Vec<CoreId>,
+}
+
+impl Communicator {
+    /// Create a communicator over the given cores (rank order = slice order).
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty or contains duplicates.
+    pub fn new(cores: Vec<CoreId>) -> Self {
+        assert!(!cores.is_empty(), "empty communicator");
+        let mut sorted = cores.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cores.len(), "duplicate core in communicator");
+        Communicator { cores }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core hosting `rank`.
+    #[inline]
+    pub fn core_of(&self, rank: Rank) -> CoreId {
+        self.cores[rank.idx()]
+    }
+
+    /// All cores in rank order.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Rank currently bound to `core`, if the core is in this communicator.
+    pub fn rank_of_core(&self, core: CoreId) -> Option<Rank> {
+        self.cores
+            .iter()
+            .position(|&c| c == core)
+            .map(Rank::from_idx)
+    }
+
+    /// Build the reordered communicator from a mapping array.
+    ///
+    /// `mapping[new_rank] = old_rank` — exactly the output `M` of the paper's
+    /// heuristics, which designates for every new rank the core (identified
+    /// by the process's old rank / allocation slot) that hosts it.
+    ///
+    /// # Panics
+    /// Panics if `mapping` is not a permutation of `0..size`.
+    pub fn reordered(&self, mapping: &[u32]) -> Communicator {
+        assert_eq!(mapping.len(), self.size(), "mapping length mismatch");
+        let mut seen = vec![false; self.size()];
+        let mut cores = Vec::with_capacity(self.size());
+        for &old in mapping {
+            let old = old as usize;
+            assert!(old < self.size(), "mapping entry out of range");
+            assert!(!seen[old], "mapping is not a permutation");
+            seen[old] = true;
+            cores.push(self.cores[old]);
+        }
+        Communicator { cores }
+    }
+
+    /// The permutation relating this communicator to `other` over the same
+    /// core set: `perm[rank_in_self] = rank_in_other` for the same process.
+    ///
+    /// # Panics
+    /// Panics if the two communicators do not cover the same cores.
+    pub fn permutation_to(&self, other: &Communicator) -> Vec<u32> {
+        assert_eq!(self.size(), other.size(), "size mismatch");
+        let pos: HashMap<CoreId, u32> = other
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        self.cores
+            .iter()
+            .map(|c| *pos.get(c).expect("core missing from other communicator"))
+            .collect()
+    }
+
+    /// Split into per-node communicators plus the leader communicator
+    /// (hierarchical collectives, §II): each node communicator contains the
+    /// node's ranks in rank order; its first rank is the node leader; the
+    /// leader communicator contains all leaders ordered by leader rank.
+    ///
+    /// Returns `(node_comms, leader_comm, node_index_of_rank)`.
+    pub fn split_by_node(&self, cluster: &Cluster) -> (Vec<Communicator>, Communicator, Vec<usize>) {
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut groups: HashMap<NodeId, Vec<CoreId>> = HashMap::new();
+        for &core in &self.cores {
+            let node = cluster.node_of(core);
+            groups.entry(node).or_insert_with(|| {
+                order.push(node);
+                Vec::new()
+            });
+            groups.get_mut(&node).unwrap().push(core);
+        }
+        let node_comms: Vec<Communicator> = order
+            .iter()
+            .map(|n| Communicator::new(groups[n].clone()))
+            .collect();
+        let leaders = Communicator::new(node_comms.iter().map(|c| c.cores[0]).collect());
+        let node_index: Vec<usize> = self
+            .cores
+            .iter()
+            .map(|&core| {
+                let n = cluster.node_of(core);
+                order.iter().position(|&x| x == n).unwrap()
+            })
+            .collect();
+        (node_comms, leaders, node_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(ids: &[u32]) -> Communicator {
+        Communicator::new(ids.iter().map(|&i| CoreId(i)).collect())
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = comm(&[5, 3, 9]);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.core_of(Rank(0)), CoreId(5));
+        assert_eq!(c.core_of(Rank(2)), CoreId(9));
+        assert_eq!(c.rank_of_core(CoreId(3)), Some(Rank(1)));
+        assert_eq!(c.rank_of_core(CoreId(7)), None);
+    }
+
+    #[test]
+    fn reordered_applies_mapping() {
+        let c = comm(&[10, 11, 12, 13]);
+        // new rank 0 ← old rank 2, etc.
+        let r = c.reordered(&[2, 0, 3, 1]);
+        assert_eq!(r.cores(), &[CoreId(12), CoreId(10), CoreId(13), CoreId(11)]);
+    }
+
+    #[test]
+    fn identity_mapping_is_identity() {
+        let c = comm(&[4, 2, 0]);
+        assert_eq!(c.reordered(&[0, 1, 2]), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn non_permutation_rejected() {
+        comm(&[0, 1, 2]).reordered(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate core")]
+    fn duplicate_cores_rejected() {
+        comm(&[1, 1]);
+    }
+
+    #[test]
+    fn permutation_to_roundtrip() {
+        let a = comm(&[10, 11, 12, 13]);
+        let b = a.reordered(&[3, 1, 0, 2]);
+        let perm = a.permutation_to(&b);
+        // Process at a-rank i sits at b-rank perm[i]; verify cores match.
+        for (i, &pi) in perm.iter().enumerate() {
+            assert_eq!(a.core_of(Rank(i as u32)), b.core_of(Rank(pi)));
+        }
+        // And b→a composed with a→b is the identity.
+        let back = b.permutation_to(&a);
+        for i in 0..a.size() {
+            assert_eq!(back[perm[i] as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn split_by_node_groups_and_leaders() {
+        let cluster = Cluster::gpc(2); // cores 0..8 node0, 8..16 node1
+        // Interleaved ranks across the two nodes.
+        let c = comm(&[0, 8, 1, 9, 2, 10]);
+        let (nodes, leaders, node_idx) = c.split_by_node(&cluster);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].cores(), &[CoreId(0), CoreId(1), CoreId(2)]);
+        assert_eq!(nodes[1].cores(), &[CoreId(8), CoreId(9), CoreId(10)]);
+        assert_eq!(leaders.cores(), &[CoreId(0), CoreId(8)]);
+        assert_eq!(node_idx, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn split_single_node() {
+        let cluster = Cluster::gpc(1);
+        let c = comm(&[0, 1, 2, 3]);
+        let (nodes, leaders, _) = c.split_by_node(&cluster);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(leaders.size(), 1);
+    }
+}

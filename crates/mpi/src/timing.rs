@@ -1,0 +1,568 @@
+//! Timed execution of schedules on the network models.
+//!
+//! * [`time_schedule`] — synchronized-stage pricing on the analytic
+//!   [`StageModel`]; identical stages (the ring algorithm repeats one stage
+//!   `p−1` times) are memoized, which makes 4096-process sweeps tractable.
+//! * [`time_schedule_async`] — asynchronous execution on the fluid
+//!   [`FlowEngine`]: each rank advances to its next stage as soon as *its
+//!   own* sends have drained and its expected receives have arrived, so
+//!   ranks may run several stages apart — the behaviour of a real MPI
+//!   implementation with eager/rendezvous point-to-point collectives.
+
+use crate::comm::Communicator;
+use crate::schedule::Schedule;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use tarr_netsim::{FlowEngine, LinkIdx, Message, NetParams, StageModel};
+use tarr_topo::Hop;
+
+/// Price a schedule with synchronized stage barriers.
+///
+/// `block_bytes` resolves block payloads to bytes; raw payloads are used
+/// verbatim.
+pub fn time_schedule(
+    schedule: &Schedule,
+    comm: &Communicator,
+    model: &StageModel<'_>,
+    block_bytes: u64,
+) -> f64 {
+    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    let mut memo: HashMap<u64, f64> = HashMap::new();
+    let mut total = 0.0;
+    for stage in &schedule.stages {
+        if stage.ops.is_empty() {
+            continue;
+        }
+        // Ops with the same endpoints within one stage travel as a single
+        // message (a hierarchical leader exchange emits one op per carried
+        // node range); merge them before pricing.
+        let msgs = merge_stage(stage, comm, block_bytes);
+        // Timing signature: (src core, dst core, bytes) in merged order.
+        let mut h = DefaultHasher::new();
+        for m in &msgs {
+            (m.src.0, m.dst.0, m.bytes).hash(&mut h);
+        }
+        let key = h.finish();
+        let t = match memo.get(&key) {
+            Some(&t) => t,
+            None => {
+                let t = model.stage_time(&msgs);
+                memo.insert(key, t);
+                t
+            }
+        };
+        total += t;
+    }
+    total
+}
+
+/// Per-stage latency profile of a schedule: one entry per stage (empty
+/// stages price as zero). Summing the profile equals [`time_schedule`];
+/// collective developers use it to find the expensive stages (e.g. the
+/// late, large-message stages of recursive doubling the RDMH heuristic
+/// targets).
+pub fn time_schedule_profile(
+    schedule: &Schedule,
+    comm: &Communicator,
+    model: &StageModel<'_>,
+    block_bytes: u64,
+) -> Vec<f64> {
+    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    let mut memo: HashMap<u64, f64> = HashMap::new();
+    schedule
+        .stages
+        .iter()
+        .map(|stage| {
+            if stage.ops.is_empty() {
+                return 0.0;
+            }
+            let msgs = merge_stage(stage, comm, block_bytes);
+            let mut h = DefaultHasher::new();
+            for m in &msgs {
+                (m.src.0, m.dst.0, m.bytes).hash(&mut h);
+            }
+            *memo
+                .entry(h.finish())
+                .or_insert_with(|| model.stage_time(&msgs))
+        })
+        .collect()
+}
+
+/// Price a schedule whose blocks have **variable sizes** (`MPI_Allgatherv`):
+/// `sizes[slot]` is the byte count of the block stored at that slot. Raw
+/// payloads are used verbatim.
+pub fn time_schedule_sized(
+    schedule: &Schedule,
+    comm: &Communicator,
+    model: &StageModel<'_>,
+    sizes: &[u64],
+) -> f64 {
+    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    assert_eq!(sizes.len(), comm.size(), "sizes/communicator mismatch");
+    let p = schedule.p;
+    let mut total = 0.0;
+    let mut memo: HashMap<u64, f64> = HashMap::new();
+    for stage in &schedule.stages {
+        if stage.ops.is_empty() {
+            continue;
+        }
+        let msgs = merge_stage_with(stage, comm, |payload| match *payload {
+            crate::schedule::Payload::Blocks { src_slot, len, .. } => (0..len)
+                .map(|k| sizes[((src_slot + k) % p) as usize])
+                .sum(),
+            crate::schedule::Payload::Raw { bytes } => bytes,
+        });
+        let mut h = DefaultHasher::new();
+        for m in &msgs {
+            (m.src.0, m.dst.0, m.bytes).hash(&mut h);
+        }
+        let key = h.finish();
+        let t = *memo
+            .entry(key)
+            .or_insert_with(|| model.stage_time(&msgs));
+        total += t;
+    }
+    total
+}
+
+/// Merge a stage's ops into per-(src, dst) messages, preserving first-seen
+/// order.
+fn merge_stage(
+    stage: &crate::schedule::Stage,
+    comm: &Communicator,
+    block_bytes: u64,
+) -> Vec<Message> {
+    merge_stage_with(stage, comm, |payload| payload.bytes(block_bytes))
+}
+
+/// Merge with a custom payload-size resolver.
+fn merge_stage_with(
+    stage: &crate::schedule::Stage,
+    comm: &Communicator,
+    size_of: impl Fn(&crate::schedule::Payload) -> u64,
+) -> Vec<Message> {
+    let mut index: HashMap<(u32, u32), usize> = HashMap::with_capacity(stage.ops.len());
+    let mut msgs: Vec<Message> = Vec::with_capacity(stage.ops.len());
+    for op in &stage.ops {
+        let src = comm.core_of(op.from);
+        let dst = comm.core_of(op.to);
+        let bytes = size_of(&op.payload);
+        match index.entry((src.0, dst.0)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                msgs[*e.get()].bytes += bytes;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(msgs.len());
+                msgs.push(Message::new(src, dst, bytes));
+            }
+        }
+    }
+    msgs
+}
+
+/// Price a schedule asynchronously on the fluid-flow engine.
+///
+/// Per-rank progression: a rank enters stage `s+1` once all its stage-`s`
+/// sends have drained and all its stage-`s` receives have arrived. Senders
+/// are eager — a flow starts when the *sender* reaches the stage, whether or
+/// not the receiver is there yet.
+pub fn time_schedule_async(
+    schedule: &Schedule,
+    comm: &Communicator,
+    cluster: &tarr_topo::Cluster,
+    params: &NetParams,
+    block_bytes: u64,
+) -> f64 {
+    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    let p = comm.size();
+    let n_stages = schedule.stages.len();
+    if n_stages == 0 {
+        return 0.0;
+    }
+
+    // Per rank and stage: outgoing ops (flow descriptors) and expected
+    // receive counts.
+    #[derive(Clone)]
+    struct FlowDesc {
+        path: Vec<LinkIdx>,
+        bytes: u64,
+        alpha: f64,
+        to: usize,
+        stage: usize,
+        /// Message traverses no shared channel (same core — cannot happen
+        /// with distinct cores, kept for safety): completes instantly for
+        /// dependency purposes.
+        local: bool,
+    }
+
+    let mut engine = FlowEngine::new();
+    let mut interned: HashMap<Hop, LinkIdx> = HashMap::new();
+
+    let mut sends: Vec<Vec<Vec<FlowDesc>>> = vec![vec![Vec::new(); n_stages]; p];
+    let mut expected: Vec<Vec<u32>> = vec![vec![0; n_stages]; p];
+    for (si, stage) in schedule.stages.iter().enumerate() {
+        // Same merging rule as the synchronized executor: one flow per
+        // (sender, receiver) pair and stage.
+        let merged = merge_stage(stage, comm, block_bytes);
+        for m in merged {
+            let from = comm.rank_of_core(m.src).expect("unknown src core");
+            let to = comm.rank_of_core(m.dst).expect("unknown dst core");
+            let (src, dst, bytes) = (m.src, m.dst, m.bytes);
+            let hops = cluster.path(src, dst);
+            let mut alpha = params.sw_overhead_s;
+            let mut path = Vec::with_capacity(hops.len());
+            for h in hops {
+                let ch = params.channel_for(&h);
+                alpha += ch.latency_s;
+                let idx = *interned
+                    .entry(h)
+                    .or_insert_with(|| engine.add_link(ch.bandwidth_bps));
+                path.push(idx);
+            }
+            let local = path.is_empty();
+            sends[from.idx()][si].push(FlowDesc {
+                path,
+                bytes,
+                alpha,
+                to: to.idx(),
+                stage: si,
+                local,
+            });
+            expected[to.idx()][si] += 1;
+        }
+    }
+
+    // Runtime state.
+    let mut stage_of: Vec<usize> = vec![0; p]; // current stage per rank
+    let mut sends_left: Vec<u32> = vec![0; p]; // for the current stage
+    let mut arrived: Vec<Vec<u32>> = vec![vec![0; n_stages]; p];
+    let mut flow_meta: HashMap<usize, (usize, usize, usize)> = HashMap::new(); // flow -> (sender, receiver, stage)
+    let mut finish_time = 0.0f64;
+    let mut done_ranks = 0usize;
+
+    // Inject the sends of rank `r`'s current stage as flows. Local
+    // (pathless) ops complete instantly for dependency purposes.
+    #[allow(clippy::too_many_arguments)]
+    fn inject(
+        r: usize,
+        stage_of: &mut [usize],
+        sends_left: &mut [u32],
+        sends: &[Vec<Vec<FlowDesc>>],
+        engine: &mut FlowEngine,
+        flow_meta: &mut HashMap<usize, (usize, usize, usize)>,
+        arrived: &mut [Vec<u32>],
+    ) {
+        let s = stage_of[r];
+        let ops = &sends[r][s];
+        sends_left[r] = 0;
+        for d in ops {
+            if d.local {
+                // Completes immediately: receiver sees the arrival now.
+                arrived[d.to][d.stage] += 1;
+            } else {
+                let id = engine.start_flow(d.path.clone(), d.bytes, d.alpha);
+                flow_meta.insert(id.0, (r, d.to, d.stage));
+                sends_left[r] += 1;
+            }
+        }
+    }
+
+    // A rank may advance (possibly through several empty stages).
+    fn try_advance(
+        r: usize,
+        stage_of: &mut [usize],
+        sends_left: &mut [u32],
+        arrived: &[Vec<u32>],
+        expected: &[Vec<u32>],
+        n_stages: usize,
+        done_ranks: &mut usize,
+    ) -> bool {
+        // Returns true if the rank moved to a new (unstarted) stage.
+        let s = stage_of[r];
+        if s >= n_stages {
+            return false;
+        }
+        if sends_left[r] == 0 && arrived[r][s] >= expected[r][s] {
+            stage_of[r] = s + 1;
+            if stage_of[r] == n_stages {
+                *done_ranks += 1;
+                return false;
+            }
+            return true;
+        }
+        false
+    }
+
+    // Bootstrap: everyone starts stage 0.
+    for r in 0..p {
+        inject(
+            r,
+            &mut stage_of,
+            &mut sends_left,
+            &sends,
+            &mut engine,
+            &mut flow_meta,
+            &mut arrived,
+        );
+    }
+    // Cascade advances at t = 0 (empty stages, local-only stages).
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for r in 0..p {
+            if try_advance(
+                r,
+                &mut stage_of,
+                &mut sends_left,
+                &arrived,
+                &expected,
+                n_stages,
+                &mut done_ranks,
+            ) {
+                inject(
+                    r,
+                    &mut stage_of,
+                    &mut sends_left,
+                    &sends,
+                    &mut engine,
+                    &mut flow_meta,
+                    &mut arrived,
+                );
+                progressed = true;
+            }
+        }
+    }
+
+    while done_ranks < p {
+        let Some((t, completed)) = engine.next_completions() else {
+            panic!("schedule deadlocked: ranks waiting but no active flows");
+        };
+        finish_time = t;
+        for f in completed {
+            let (sender, receiver, stage) = flow_meta.remove(&f.0).expect("unknown flow");
+            // Sender bookkeeping (flows always belong to the sender's current
+            // stage at injection time).
+            if stage_of[sender] == stage {
+                sends_left[sender] -= 1;
+            }
+            arrived[receiver][stage] += 1;
+        }
+        // Cascade all possible advances.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for r in 0..p {
+                if try_advance(
+                    r,
+                    &mut stage_of,
+                    &mut sends_left,
+                    &arrived,
+                    &expected,
+                    n_stages,
+                    &mut done_ranks,
+                ) {
+                    inject(
+                        r,
+                        &mut stage_of,
+                        &mut sends_left,
+                        &sends,
+                        &mut engine,
+                        &mut flow_meta,
+                        &mut arrived,
+                    );
+                    progressed = true;
+                }
+            }
+        }
+    }
+    finish_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{SendOp, Stage};
+    use tarr_topo::{Cluster, CoreId};
+
+    fn line_comm(n: usize) -> Communicator {
+        Communicator::new((0..n).map(CoreId::from_idx).collect())
+    }
+
+    #[test]
+    fn sync_time_sums_stage_times() {
+        let cluster = Cluster::gpc(2);
+        let comm = line_comm(16);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let mut sched = Schedule::new(16);
+        sched.push(Stage::new(vec![SendOp::blocks(0, 1, 0, 1)]));
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 1)]));
+        let t = time_schedule(&sched, &comm, &model, 1024);
+        let t1 = model.stage_time(&[Message::new(CoreId(0), CoreId(1), 1024)]);
+        let t2 = model.stage_time(&[Message::new(CoreId(0), CoreId(8), 1024)]);
+        assert!((t - (t1 + t2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memoization_keeps_repeated_stages_consistent() {
+        let cluster = Cluster::gpc(2);
+        let comm = line_comm(16);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let mut once = Schedule::new(16);
+        once.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 1)]));
+        let t_once = time_schedule(&once, &comm, &model, 4096);
+        let mut many = Schedule::new(16);
+        for _ in 0..10 {
+            many.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 1)]));
+        }
+        let t_many = time_schedule(&many, &comm, &model, 4096);
+        assert!((t_many - 10.0 * t_once).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_free() {
+        let cluster = Cluster::gpc(1);
+        let comm = line_comm(4);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let sched = Schedule::new(4);
+        assert_eq!(time_schedule(&sched, &comm, &model, 1024), 0.0);
+        assert_eq!(
+            time_schedule_async(&sched, &comm, &cluster, &NetParams::default(), 1024),
+            0.0
+        );
+    }
+
+    #[test]
+    fn async_matches_sync_for_single_chain() {
+        // A strict chain 0→1→2 has no overlap to exploit: async == sync.
+        let cluster = Cluster::gpc(2);
+        let comm = line_comm(16);
+        let params = NetParams::default();
+        let model = StageModel::new(&cluster, params.clone());
+        let mut sched = Schedule::new(16);
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 1)]));
+        sched.push(Stage::new(vec![SendOp::blocks(8, 15, 0, 1)]));
+        let sync = time_schedule(&sched, &comm, &model, 1 << 16);
+        let asynch = time_schedule_async(&sched, &comm, &cluster, &params, 1 << 16);
+        assert!(
+            (sync - asynch).abs() / sync < 1e-9,
+            "sync {sync} async {asynch}"
+        );
+    }
+
+    #[test]
+    fn async_exploits_independent_progress() {
+        // Rank 0's only op sits in stage 2 but depends on nothing: the async
+        // model starts it at t = 0 and overlaps it with the stage-1 transfer
+        // on disjoint links; the sync model serializes the two stages.
+        let cluster = Cluster::gpc(4);
+        let comm = line_comm(32);
+        let params = NetParams::default();
+        let model = StageModel::new(&cluster, params.clone());
+        let mut sched = Schedule::new(32);
+        sched.push(Stage::new(vec![SendOp::blocks(16, 24, 16, 1)])); // node 2 → 3
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 1)])); // node 0 → 1
+        let sync = time_schedule(&sched, &comm, &model, 1 << 20);
+        let asynch = time_schedule_async(&sched, &comm, &cluster, &params, 1 << 20);
+        assert!(
+            asynch < 0.6 * sync,
+            "async {asynch} should overlap, sync {sync}"
+        );
+    }
+
+    #[test]
+    fn profile_sums_to_total_and_shows_stage_growth() {
+        let cluster = Cluster::gpc(4);
+        let comm = line_comm(32);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let sched = tarr_rd(32);
+        let profile = time_schedule_profile(&sched, &comm, &model, 2048);
+        let total = time_schedule(&sched, &comm, &model, 2048);
+        assert_eq!(profile.len(), 5); // log2(32)
+        assert!((profile.iter().sum::<f64>() - total).abs() < 1e-15);
+        // RD's late stages carry exponentially more bytes: the last stage
+        // must dominate the first.
+        assert!(profile[4] > 4.0 * profile[0], "{profile:?}");
+    }
+
+    // Minimal RD generator (avoids a dev-dependency on tarr-collectives).
+    fn tarr_rd(p: u32) -> Schedule {
+        let mut sched = Schedule::new(p);
+        let mut s = 0u32;
+        while (1u32 << s) < p {
+            let step = 1u32 << s;
+            let mut ops = Vec::new();
+            for i in 0..p {
+                ops.push(SendOp::blocks(i, i ^ step, (i >> s) << s, step));
+            }
+            sched.push(Stage::new(ops));
+            s += 1;
+        }
+        sched
+    }
+
+    #[test]
+    fn sized_matches_uniform_when_sizes_equal() {
+        let cluster = Cluster::gpc(2);
+        let comm = line_comm(16);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let mut sched = Schedule::new(16);
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 4)]));
+        let uniform = time_schedule(&sched, &comm, &model, 1000);
+        let sized = time_schedule_sized(&sched, &comm, &model, &[1000; 16]);
+        assert!((uniform - sized).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sized_charges_the_actual_slots() {
+        let cluster = Cluster::gpc(2);
+        let comm = line_comm(16);
+        let model = StageModel::new(&cluster, NetParams::default());
+        // One op carrying slots 2..4 (wrapping not involved).
+        let mut sched = Schedule::new(16);
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 2, 2)]));
+        let mut sizes = [0u64; 16];
+        sizes[2] = 1 << 20;
+        sizes[3] = 1 << 10;
+        let t = time_schedule_sized(&sched, &comm, &model, &sizes);
+        // Equivalent single message of the summed bytes.
+        let mut eq = Schedule::new(16);
+        eq.push(Stage::new(vec![SendOp::raw(0, 8, (1 << 20) + (1 << 10))]));
+        let te = time_schedule(&eq, &comm, &model, 0);
+        assert!((t - te).abs() / te < 1e-12, "t {t} te {te}");
+    }
+
+    #[test]
+    fn sized_handles_wrapped_ranges() {
+        let cluster = Cluster::gpc(2);
+        let comm = line_comm(16);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let mut sched = Schedule::new(16);
+        // Slots 15 and 0.
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 15, 2)]));
+        let mut sizes = [0u64; 16];
+        sizes[15] = 4096;
+        sizes[0] = 8192;
+        let t = time_schedule_sized(&sched, &comm, &model, &sizes);
+        let mut eq = Schedule::new(16);
+        eq.push(Stage::new(vec![SendOp::raw(0, 8, 12288)]));
+        let te = time_schedule(&eq, &comm, &model, 0);
+        assert!((t - te).abs() / te < 1e-12);
+    }
+
+    #[test]
+    fn async_respects_receive_dependencies() {
+        // Rank 8 cannot forward before receiving: total ≥ both transfers.
+        let cluster = Cluster::gpc(3);
+        let comm = line_comm(24);
+        let params = NetParams::default();
+        let mut sched = Schedule::new(24);
+        sched.push(Stage::new(vec![SendOp::blocks(0, 8, 0, 1)]));
+        sched.push(Stage::new(vec![SendOp::blocks(8, 16, 0, 1)]));
+        let bytes = 1u64 << 20;
+        let t = time_schedule_async(&sched, &comm, &cluster, &params, bytes);
+        // Each hop needs at least bytes/bandwidth on the HCA links.
+        let min_each = bytes as f64 / params.hca.bandwidth_bps;
+        assert!(t >= 2.0 * min_each, "t = {t}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Calibrated channel constants.
+//!
+//! Values are representative of the paper's GPC platform (Intel Xeon E5540
+//! nodes, Mellanox ConnectX QDR InfiniBand) and of published microbenchmark
+//! numbers for such hardware. The *shape* of the results — who wins and where
+//! crossovers fall — depends on the ratios between channels and on
+//! contention, not on the absolute constants; all constants are nevertheless
+//! configurable.
+
+use crate::memcpy::MemcpyModel;
+use serde::{Deserialize, Serialize};
+use tarr_topo::{Hop, HopKind};
+
+/// Latency/bandwidth pair of one channel class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelParams {
+    /// One-way traversal latency contribution, seconds.
+    pub latency_s: f64,
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl ChannelParams {
+    /// Construct from microseconds and GB/s (10⁹ bytes/s), the units
+    /// datasheets use.
+    pub fn us_gbs(latency_us: f64, bandwidth_gbs: f64) -> Self {
+        ChannelParams {
+            latency_s: latency_us * 1e-6,
+            bandwidth_bps: bandwidth_gbs * 1e9,
+        }
+    }
+}
+
+/// Full parameter set of the network model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Per-message software overhead (MPI stack), seconds.
+    pub sw_overhead_s: f64,
+    /// Intra-socket shared-memory channel.
+    pub shm: ChannelParams,
+    /// Inter-socket (QPI) link.
+    pub qpi: ChannelParams,
+    /// Node HCA link (each direction).
+    pub hca: ChannelParams,
+    /// Leaf↔line fabric link.
+    pub leaf_link: ChannelParams,
+    /// Line↔spine fabric link.
+    pub spine_link: ChannelParams,
+    /// One directed torus link (BlueGene-class fabrics).
+    pub torus_link: ChannelParams,
+    /// Local memory copies (buffer shuffles, self-sends).
+    pub memcpy: MemcpyModel,
+    /// Per-link overrides for what-if studies and failure injection: a
+    /// specific physical channel (e.g. one node's HCA, one leaf uplink) can
+    /// be degraded or upgraded independently of its class. Checked before
+    /// the per-kind defaults.
+    pub link_overrides: Vec<(Hop, ChannelParams)>,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            // MVAPICH2-era software overhead per message.
+            sw_overhead_s: 0.4e-6,
+            // Shared L3 / local DRAM: sub-microsecond latency, high bandwidth.
+            shm: ChannelParams::us_gbs(0.3, 8.0),
+            // QPI: slightly slower, and a shared ~5 GB/s per-direction link.
+            qpi: ChannelParams::us_gbs(0.5, 5.0),
+            // QDR InfiniBand HCA: ~1.3 µs end-to-end is split between the two
+            // HCA hops and the switch hops below.
+            hca: ChannelParams::us_gbs(0.55, 3.2),
+            // Per-switch-hop store-and-forward latency ~0.1 µs; QDR 4x links.
+            leaf_link: ChannelParams::us_gbs(0.1, 3.2),
+            spine_link: ChannelParams::us_gbs(0.1, 3.2),
+            // BG/P-class torus links: ~0.1 us per hop, ~1.7 GB/s per
+            // direction (narrower than IB, but six of them per node).
+            torus_link: ChannelParams::us_gbs(0.1, 1.7),
+            memcpy: MemcpyModel::default(),
+            link_overrides: Vec::new(),
+        }
+    }
+}
+
+impl NetParams {
+    /// Channel parameters for a specific physical hop: the override if one
+    /// is registered, the per-kind default otherwise.
+    #[inline]
+    pub fn channel_for(&self, hop: &Hop) -> ChannelParams {
+        for (h, c) in &self.link_overrides {
+            if h == hop {
+                return *c;
+            }
+        }
+        self.channel(hop.kind())
+    }
+
+    /// Degrade (or upgrade) one specific physical link.
+    pub fn override_link(&mut self, hop: Hop, params: ChannelParams) {
+        self.link_overrides.push((hop, params));
+    }
+
+    /// Channel parameters for a hop class.
+    #[inline]
+    pub fn channel(&self, kind: HopKind) -> ChannelParams {
+        match kind {
+            HopKind::Shm => self.shm,
+            HopKind::Qpi => self.qpi,
+            HopKind::HcaUp | HopKind::HcaDown => self.hca,
+            HopKind::LeafUp | HopKind::LeafDown => self.leaf_link,
+            HopKind::LineUp | HopKind::LineDown => self.spine_link,
+            HopKind::TorusLink => self.torus_link,
+        }
+    }
+
+    /// Sanity-check the parameter set.
+    pub fn validate(&self) -> Result<(), String> {
+        let chans = [
+            self.shm,
+            self.qpi,
+            self.hca,
+            self.leaf_link,
+            self.spine_link,
+            self.torus_link,
+        ];
+        for c in chans {
+            let bw_ok = c.bandwidth_bps.is_finite() && c.bandwidth_bps > 0.0;
+            if c.latency_s.is_nan() || c.latency_s < 0.0 || !bw_ok {
+                return Err(format!("invalid channel parameters: {c:?}"));
+            }
+        }
+        if self.sw_overhead_s.is_nan() || self.sw_overhead_s < 0.0 {
+            return Err("negative software overhead".into());
+        }
+        for (h, c) in &self.link_overrides {
+            let bw_ok = c.bandwidth_bps.is_finite() && c.bandwidth_bps > 0.0;
+            if c.latency_s.is_nan() || c.latency_s < 0.0 || !bw_ok {
+                return Err(format!("invalid override for {h:?}: {c:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        NetParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn unit_conversion() {
+        let c = ChannelParams::us_gbs(2.0, 3.0);
+        assert!((c.latency_s - 2e-6).abs() < 1e-12);
+        assert!((c.bandwidth_bps - 3e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn channel_lookup_covers_all_kinds() {
+        let p = NetParams::default();
+        for kind in [
+            HopKind::Shm,
+            HopKind::Qpi,
+            HopKind::HcaUp,
+            HopKind::HcaDown,
+            HopKind::LeafUp,
+            HopKind::LeafDown,
+            HopKind::LineUp,
+            HopKind::LineDown,
+        ] {
+            assert!(p.channel(kind).bandwidth_bps > 0.0);
+        }
+    }
+
+    #[test]
+    fn intra_node_is_faster_than_network() {
+        let p = NetParams::default();
+        assert!(p.shm.latency_s < p.hca.latency_s);
+        assert!(p.shm.bandwidth_bps > p.hca.bandwidth_bps);
+        assert!(p.qpi.latency_s < p.hca.latency_s);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = NetParams::default();
+        p.qpi.bandwidth_bps = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! A cluster: a fat-tree fabric of identical multi-socket nodes.
+
+use crate::fattree::{FatTree, FatTreeConfig};
+use crate::ids::{CoreId, LeafId, NodeId};
+use crate::node::{IntraLevel, NodeTopology};
+use crate::path::Hop;
+use crate::torus::Torus3D;
+use serde::{Deserialize, Serialize};
+
+/// The inter-node network: a fat-tree (the paper's platform) or a 3D torus
+/// (the BlueGene-class platform of its related work).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fabric {
+    /// Leaf/line/spine fat-tree with deterministic up/down routing.
+    FatTree(FatTree),
+    /// Wrapping 3D torus with dimension-ordered routing.
+    Torus(Torus3D),
+}
+
+impl Fabric {
+    /// Deterministic route between two distinct nodes.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<Hop> {
+        match self {
+            Fabric::FatTree(f) => f.route(src, dst),
+            Fabric::Torus(t) => t.route(src, dst),
+        }
+    }
+
+    /// The fat-tree, when that is the fabric kind.
+    pub fn as_fattree(&self) -> Option<&FatTree> {
+        match self {
+            Fabric::FatTree(f) => Some(f),
+            Fabric::Torus(_) => None,
+        }
+    }
+
+    /// The torus, when that is the fabric kind.
+    pub fn as_torus(&self) -> Option<&Torus3D> {
+        match self {
+            Fabric::FatTree(_) => None,
+            Fabric::Torus(t) => Some(t),
+        }
+    }
+}
+
+/// Everything needed to instantiate a [`Cluster`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Per-node processor hierarchy.
+    pub node: NodeTopology,
+    /// Fabric wiring.
+    pub fabric: FatTreeConfig,
+    /// Number of compute nodes.
+    pub num_nodes: usize,
+}
+
+impl ClusterConfig {
+    /// Validate all components.
+    pub fn validate(&self) -> Result<(), String> {
+        self.node.validate()?;
+        self.fabric.validate()?;
+        if self.num_nodes == 0 {
+            return Err("cluster must have at least one node".into());
+        }
+        Ok(())
+    }
+}
+
+/// An instantiated cluster with global core numbering.
+///
+/// Cores are numbered `node * cores_per_node + local`, i.e. consecutive core
+/// ids walk socket 0 of node 0 first — the numbering SLURM-style launchers
+/// expose and the paper's *block-bunch* layout binds ranks to in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    node_topo: NodeTopology,
+    fabric: Fabric,
+    num_nodes: usize,
+}
+
+impl Cluster {
+    /// Build a cluster from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid cluster configuration");
+        let fabric = Fabric::FatTree(FatTree::new(cfg.fabric, cfg.num_nodes));
+        Cluster {
+            node_topo: cfg.node,
+            fabric,
+            num_nodes: cfg.num_nodes,
+        }
+    }
+
+    /// Build a cluster on a 3D torus fabric (the related-work platform).
+    ///
+    /// # Panics
+    /// Panics if the node topology or torus extents are invalid.
+    pub fn with_torus(node: NodeTopology, dims: [usize; 3]) -> Self {
+        node.validate().expect("invalid node topology");
+        let torus = Torus3D::new(dims);
+        let num_nodes = torus.num_nodes();
+        Cluster {
+            node_topo: node,
+            fabric: Fabric::Torus(torus),
+            num_nodes,
+        }
+    }
+
+    /// The paper's evaluation platform: GPC nodes (2×4 cores) on the GPC QDR
+    /// fat-tree, with `num_nodes` nodes allocated.
+    pub fn gpc(num_nodes: usize) -> Self {
+        Cluster::new(ClusterConfig {
+            node: NodeTopology::gpc(),
+            fabric: FatTreeConfig::gpc(),
+            num_nodes,
+        })
+    }
+
+    /// A small cluster for tests: 2×2-core nodes on the tiny fabric.
+    pub fn tiny(num_nodes: usize) -> Self {
+        Cluster::new(ClusterConfig {
+            node: NodeTopology {
+                sockets: 2,
+                cores_per_socket: 2,
+                cores_per_l2: 1,
+                smt: 1,
+            },
+            fabric: FatTreeConfig::tiny(),
+            num_nodes,
+        })
+    }
+
+    /// Per-node processor hierarchy.
+    pub fn node_topology(&self) -> &NodeTopology {
+        &self.node_topo
+    }
+
+    /// The network fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Number of compute nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Cores per node.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.node_topo.cores_per_node()
+    }
+
+    /// Total cores in the cluster.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.num_nodes * self.cores_per_node()
+    }
+
+    /// Node hosting `core`.
+    #[inline]
+    pub fn node_of(&self, core: CoreId) -> NodeId {
+        debug_assert!(core.idx() < self.total_cores());
+        NodeId::from_idx(core.idx() / self.cores_per_node())
+    }
+
+    /// Node-local index of `core`.
+    #[inline]
+    pub fn local_of(&self, core: CoreId) -> usize {
+        core.idx() % self.cores_per_node()
+    }
+
+    /// Node-local socket index of `core`.
+    #[inline]
+    pub fn socket_of(&self, core: CoreId) -> usize {
+        self.node_topo.socket_of_local(self.local_of(core))
+    }
+
+    /// Global core id of `(node, local)`.
+    #[inline]
+    pub fn core_id(&self, node: NodeId, local: usize) -> CoreId {
+        debug_assert!(local < self.cores_per_node());
+        CoreId::from_idx(node.idx() * self.cores_per_node() + local)
+    }
+
+    /// Leaf switch of the node hosting `core` (fat-tree fabrics only).
+    ///
+    /// # Panics
+    /// Panics on a torus fabric.
+    #[inline]
+    pub fn leaf_of_core(&self, core: CoreId) -> LeafId {
+        self.fabric
+            .as_fattree()
+            .expect("leaf switches exist only on fat-tree fabrics")
+            .leaf_of(self.node_of(core))
+    }
+
+    /// The closest shared hierarchy level between two cores of the *same*
+    /// node.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the cores are on different nodes.
+    pub fn intra_level(&self, a: CoreId, b: CoreId) -> IntraLevel {
+        debug_assert_eq!(self.node_of(a), self.node_of(b));
+        self.node_topo.shared_level(self.local_of(a), self.local_of(b))
+    }
+
+    /// Full channel path a message from `a` to `b` traverses.
+    ///
+    /// * same core: empty (no shared channel is stressed);
+    /// * same socket: the socket's shared-memory channel;
+    /// * same node, different sockets: source memory → QPI → destination memory;
+    /// * different nodes: the routed fabric path (HCA + switch links).
+    pub fn path(&self, a: CoreId, b: CoreId) -> Vec<Hop> {
+        if a == b {
+            return Vec::new();
+        }
+        let na = self.node_of(a);
+        let nb = self.node_of(b);
+        if na == nb {
+            let sa = self.socket_of(a) as u32;
+            let sb = self.socket_of(b) as u32;
+            if sa == sb {
+                vec![Hop::Shm { node: na, socket: sa }]
+            } else {
+                vec![
+                    Hop::Shm { node: na, socket: sa },
+                    Hop::Qpi {
+                        node: na,
+                        from: sa,
+                        to: sb,
+                    },
+                    Hop::Shm { node: na, socket: sb },
+                ]
+            }
+        } else {
+            self.fabric.route(na, nb)
+        }
+    }
+
+    /// Iterator over all core ids.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.total_cores()).map(CoreId::from_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::HopKind;
+
+    #[test]
+    fn gpc_core_counts() {
+        let c = Cluster::gpc(512);
+        assert_eq!(c.cores_per_node(), 8);
+        assert_eq!(c.total_cores(), 4096);
+    }
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c = Cluster::gpc(16);
+        for node in 0..16u32 {
+            for local in 0..8 {
+                let core = c.core_id(NodeId(node), local);
+                assert_eq!(c.node_of(core), NodeId(node));
+                assert_eq!(c.local_of(core), local);
+            }
+        }
+    }
+
+    #[test]
+    fn same_socket_path_is_single_shm_hop() {
+        let c = Cluster::gpc(2);
+        let p = c.path(CoreId(0), CoreId(3));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].kind(), HopKind::Shm);
+    }
+
+    #[test]
+    fn cross_socket_path_crosses_qpi() {
+        let c = Cluster::gpc(2);
+        let p = c.path(CoreId(0), CoreId(7));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[1].kind(), HopKind::Qpi);
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let c = Cluster::gpc(2);
+        assert!(c.path(CoreId(5), CoreId(5)).is_empty());
+    }
+
+    #[test]
+    fn inter_node_path_uses_fabric() {
+        let c = Cluster::gpc(64);
+        let a = c.core_id(NodeId(0), 0);
+        let b = c.core_id(NodeId(40), 5); // different leaf (40 >= 30)
+        let p = c.path(a, b);
+        assert!(p.iter().any(|h| h.is_fabric()), "{p:?}");
+        assert_eq!(p[0].kind(), HopKind::HcaUp);
+        assert_eq!(p.last().unwrap().kind(), HopKind::HcaDown);
+    }
+
+    #[test]
+    fn path_hops_never_mix_intra_and_fabric() {
+        let c = Cluster::gpc(64);
+        for (a, b) in [(0u32, 1), (0, 7), (0, 9), (0, 300)] {
+            let p = c.path(CoreId(a), CoreId(b));
+            let intra = p.iter().filter(|h| h.is_intra_node()).count();
+            let net = p.len() - intra;
+            assert!(intra == 0 || net == 0, "mixed path {p:?}");
+        }
+    }
+
+    #[test]
+    fn socket_of_matches_local_layout() {
+        let c = Cluster::gpc(1);
+        assert_eq!(c.socket_of(CoreId(0)), 0);
+        assert_eq!(c.socket_of(CoreId(3)), 0);
+        assert_eq!(c.socket_of(CoreId(4)), 1);
+        assert_eq!(c.socket_of(CoreId(7)), 1);
+    }
+
+    #[test]
+    fn cores_iterator_covers_all() {
+        let c = Cluster::tiny(3);
+        let v: Vec<_> = c.cores().collect();
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0], CoreId(0));
+        assert_eq!(v[11], CoreId(11));
+    }
+}

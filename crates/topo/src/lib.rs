@@ -1,0 +1,49 @@
+//! # tarr-topo — hardware topology model
+//!
+//! This crate models the physical topology of a hierarchical HPC cluster:
+//!
+//! * the **intra-node** hierarchy (SMT threads, shared L2 groups, sockets with a
+//!   shared last-level cache, the inter-socket QPI link) — the information the
+//!   paper extracts with [hwloc];
+//! * the **inter-node** InfiniBand fat-tree fabric (leaf, line and spine
+//!   switches with deterministic up/down routing) — the information the paper
+//!   extracts with InfiniBand subnet tools;
+//! * the **distance matrix** between cores derived from both, which is the only
+//!   topology input consumed by the mapping heuristics of the paper.
+//!
+//! The default [`Cluster::gpc`] preset reproduces the SciNet GPC cluster used
+//! in the paper's evaluation: two quad-core sockets per node, 30 nodes per
+//! 36-port leaf switch, two "324-port" core switches that are internally
+//! 2-level fat-trees of 18 line and 9 spine switches, and 3 uplinks from every
+//! leaf to each core switch (a 5:1 blocking QDR network).
+//!
+//! [hwloc]: https://www.open-mpi.org/projects/hwloc/
+//!
+//! ```
+//! use tarr_topo::{Cluster, CoreId, DistanceConfig, distance::core_distance};
+//!
+//! let cluster = Cluster::gpc(64);                 // 64 nodes × 8 cores
+//! assert_eq!(cluster.total_cores(), 512);
+//! let cfg = DistanceConfig::default();
+//! // Distances are ordinal and strictly ordered by hierarchy level.
+//! let socket = core_distance(&cluster, &cfg, CoreId(0), CoreId(1));
+//! let node = core_distance(&cluster, &cfg, CoreId(0), CoreId(4));
+//! let network = core_distance(&cluster, &cfg, CoreId(0), CoreId(8));
+//! assert!(socket < node && node < network);
+//! ```
+
+pub mod cluster;
+pub mod distance;
+pub mod fattree;
+pub mod ids;
+pub mod node;
+pub mod path;
+pub mod torus;
+
+pub use cluster::{Cluster, ClusterConfig, Fabric};
+pub use distance::{DistanceConfig, DistanceMatrix, ExtractionCostModel};
+pub use fattree::{FatTree, FatTreeConfig};
+pub use ids::{CoreId, LeafId, NodeId, Rank};
+pub use node::NodeTopology;
+pub use path::{Hop, HopKind};
+pub use torus::Torus3D;

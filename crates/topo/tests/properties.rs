@@ -1,0 +1,143 @@
+//! Property-based tests for the topology model.
+
+use proptest::prelude::*;
+use tarr_topo::{
+    cluster::Cluster, distance::core_distance, CoreId, DistanceConfig, DistanceMatrix, FatTree,
+    FatTreeConfig, NodeId,
+};
+
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    (1usize..40).prop_map(Cluster::gpc)
+}
+
+proptest! {
+    /// Routes are valid up/down paths: HCA-up first, HCA-down last, every
+    /// upward fabric hop before every downward fabric hop.
+    #[test]
+    fn routes_are_updown(nodes in 2usize..600, seed in any::<u64>()) {
+        let t = FatTree::new(FatTreeConfig::gpc(), nodes);
+        let src = NodeId::from_idx((seed as usize) % nodes);
+        let dst = NodeId::from_idx((seed as usize / 7 + 1) % nodes);
+        prop_assume!(src != dst);
+        let hops = t.route(src, dst);
+        prop_assert_eq!(hops[0], tarr_topo::Hop::HcaUp { node: src });
+        prop_assert_eq!(*hops.last().unwrap(), tarr_topo::Hop::HcaDown { node: dst });
+        let mut seen_down = false;
+        for h in &hops {
+            match h {
+                tarr_topo::Hop::LeafUp { .. } | tarr_topo::Hop::LineUp { .. } => {
+                    prop_assert!(!seen_down, "up hop after down hop: {:?}", hops);
+                }
+                tarr_topo::Hop::LeafDown { .. } | tarr_topo::Hop::LineDown { .. } => {
+                    seen_down = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Distance is symmetric, zero on the diagonal, and positive elsewhere.
+    #[test]
+    fn distance_metric_basics(cluster in arb_cluster(), a in 0usize..320, b in 0usize..320) {
+        let n = cluster.total_cores();
+        let (a, b) = (a % n, b % n);
+        let cfg = DistanceConfig::default();
+        let da = core_distance(&cluster, &cfg, CoreId::from_idx(a), CoreId::from_idx(b));
+        let db = core_distance(&cluster, &cfg, CoreId::from_idx(b), CoreId::from_idx(a));
+        prop_assert_eq!(da, db);
+        if a == b {
+            prop_assert_eq!(da, 0);
+        } else {
+            prop_assert!(da > 0);
+        }
+    }
+
+    /// Hierarchy monotonicity: cores sharing a closer level are never farther
+    /// apart than cores sharing only a more remote level.
+    #[test]
+    fn distance_respects_hierarchy(nodes in 2usize..60) {
+        let c = Cluster::gpc(nodes);
+        let cfg = DistanceConfig::default();
+        let same_socket = core_distance(&c, &cfg, CoreId(0), CoreId(1));
+        let cross_socket = core_distance(&c, &cfg, CoreId(0), CoreId(4));
+        let cross_node = core_distance(&c, &cfg, CoreId(0), CoreId(8));
+        prop_assert!(same_socket < cross_socket);
+        prop_assert!(cross_socket < cross_node);
+    }
+
+    /// The dense matrix agrees with the direct distance function everywhere.
+    #[test]
+    fn matrix_matches_direct(nodes in 1usize..8) {
+        let c = Cluster::gpc(nodes);
+        let cores: Vec<CoreId> = c.cores().collect();
+        let cfg = DistanceConfig::default();
+        let m = DistanceMatrix::build(&c, &cores, &cfg);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                prop_assert_eq!(m.get(i, j), core_distance(&c, &cfg, cores[i], cores[j]));
+            }
+        }
+    }
+
+    /// Torus routes are valid: length = hop count + HCA endpoints, no
+    /// repeated links, dimension-ordered.
+    #[test]
+    fn torus_routes_are_valid(dx in 1usize..6, dy in 1usize..6, dz in 1usize..6,
+                              a in any::<u32>(), b in any::<u32>()) {
+        let t = tarr_topo::Torus3D::new([dx, dy, dz]);
+        let n = t.num_nodes() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        prop_assume!(a != b);
+        let route = t.route(a, b);
+        prop_assert_eq!(route.len(), 2 + t.hops(a, b));
+        let mut seen = std::collections::HashSet::new();
+        for h in &route {
+            prop_assert!(seen.insert(h), "repeated hop");
+        }
+        let dims: Vec<u8> = route.iter().filter_map(|h| match h {
+            tarr_topo::Hop::TorusLink { dim, .. } => Some(*dim),
+            _ => None,
+        }).collect();
+        prop_assert!(dims.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Torus hop counts satisfy the triangle inequality.
+    #[test]
+    fn torus_hops_triangle(dx in 1usize..5, dy in 1usize..5, dz in 1usize..5,
+                           x in any::<u32>(), y in any::<u32>(), z in any::<u32>()) {
+        let t = tarr_topo::Torus3D::new([dx, dy, dz]);
+        let n = t.num_nodes() as u32;
+        let (a, b, c) = (NodeId(x % n), NodeId(y % n), NodeId(z % n));
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+    }
+
+    /// The snake order is a unit-step Hamiltonian path for arbitrary extents.
+    #[test]
+    fn snake_is_hamiltonian(dx in 1usize..6, dy in 1usize..6, dz in 1usize..6) {
+        let t = tarr_topo::Torus3D::new([dx, dy, dz]);
+        let order = t.snake_order();
+        prop_assert_eq!(order.len(), t.num_nodes());
+        let mut seen = vec![false; t.num_nodes()];
+        for &nd in &order {
+            prop_assert!(!seen[nd.idx()]);
+            seen[nd.idx()] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert_eq!(t.hops(w[0], w[1]), 1);
+        }
+    }
+
+    /// Paths never contain a repeated hop (no loops).
+    #[test]
+    fn paths_are_loop_free(nodes in 2usize..200, x in any::<u32>(), y in any::<u32>()) {
+        let c = Cluster::gpc(nodes);
+        let n = c.total_cores() as u32;
+        let a = CoreId(x % n);
+        let b = CoreId(y % n);
+        let p = c.path(a, b);
+        let mut set = std::collections::HashSet::new();
+        for h in &p {
+            prop_assert!(set.insert(h), "repeated hop in {:?}", p);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # tarr-workloads — benchmark workloads
+//!
+//! * [`osu`] — an OSU-Micro-Benchmarks-style `MPI_Allgather` latency sweep
+//!   over message sizes (the workload of the paper's Figs. 3–4);
+//! * [`nbody`] — an allgather-dominated N-body mini-application standing in
+//!   for the paper's application benchmark (358 `MPI_Allgather` calls at
+//!   1024 processes, Figs. 5–6), with a real small-scale force kernel for
+//!   the examples and an analytic compute model for at-scale simulation.
+
+pub mod nbody;
+pub mod osu;
+
+pub use nbody::{AppConfig, AppReport, NBodySystem};
+pub use osu::{percent_improvement, OsuSweep};

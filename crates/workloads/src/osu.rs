@@ -1,0 +1,152 @@
+//! OSU-Micro-Benchmarks-style allgather latency sweep.
+//!
+//! The paper measures `MPI_Allgather` latency with the OSU suite for message
+//! sizes from 1 B to 256 KiB at 4096 processes and reports the percentage
+//! improvement of each reordering scheme over the MVAPICH default.
+
+use tarr_collectives::allgather::HierarchicalConfig;
+use tarr_core::{Scheme, Session};
+
+/// A message-size sweep.
+#[derive(Debug, Clone)]
+pub struct OsuSweep {
+    /// Per-rank message sizes in bytes.
+    pub sizes: Vec<u64>,
+}
+
+impl OsuSweep {
+    /// The paper's range: powers of two from 1 B to 256 KiB.
+    pub fn paper_range() -> Self {
+        OsuSweep {
+            sizes: (0..=18).map(|i| 1u64 << i).collect(),
+        }
+    }
+
+    /// A shorter range for quick runs and tests.
+    pub fn short() -> Self {
+        OsuSweep {
+            sizes: vec![16, 256, 4096, 65536],
+        }
+    }
+
+    /// Latency (seconds) of the non-hierarchical allgather at every size.
+    pub fn run(&self, session: &mut Session, scheme: Scheme) -> Vec<(u64, f64)> {
+        self.sizes
+            .iter()
+            .map(|&m| (m, session.allgather_time(m, scheme)))
+            .collect()
+    }
+
+    /// Latency of the hierarchical allgather at every size; `None` entries
+    /// appear when the configuration is unsupported for the session layout.
+    pub fn run_hierarchical(
+        &self,
+        session: &mut Session,
+        hcfg: HierarchicalConfig,
+        scheme: Scheme,
+    ) -> Vec<(u64, Option<f64>)> {
+        self.sizes
+            .iter()
+            .map(|&m| (m, session.hierarchical_allgather_time(m, hcfg, scheme)))
+            .collect()
+    }
+}
+
+/// Percentage improvement of `t` over `base` (positive = faster), as the
+/// paper's figures report.
+pub fn percent_improvement(base: f64, t: f64) -> f64 {
+    100.0 * (base - t) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_core::SessionConfig;
+    use tarr_mapping::{InitialMapping, OrderFix};
+    use tarr_topo::Cluster;
+
+    #[test]
+    fn paper_range_covers_1b_to_256k() {
+        let s = OsuSweep::paper_range();
+        assert_eq!(*s.sizes.first().unwrap(), 1);
+        assert_eq!(*s.sizes.last().unwrap(), 256 * 1024);
+        assert_eq!(s.sizes.len(), 19);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_size_for_default() {
+        let cluster = Cluster::gpc(4);
+        let mut session = Session::from_layout(
+            cluster,
+            InitialMapping::BLOCK_BUNCH,
+            32,
+            SessionConfig::default(),
+        );
+        let res = OsuSweep::paper_range().run(&mut session, Scheme::Default);
+        // Latency grows with message size within each algorithm regime.
+        for w in res.windows(2) {
+            let ((s1, t1), (s2, t2)) = (w[0], w[1]);
+            if (s1 < 1024) == (s2 < 1024) {
+                assert!(t2 >= t1, "sizes {s1}->{s2}: {t1} -> {t2}");
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!(percent_improvement(2.0, 1.0) > 0.0);
+        assert!(percent_improvement(1.0, 2.0) < 0.0);
+        assert_eq!(percent_improvement(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_sweep_reports_support() {
+        use tarr_collectives::allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+        let hcfg = HierarchicalConfig {
+            intra: IntraPattern::Binomial,
+            inter: InterAlg::Ring,
+        };
+        let sweep = OsuSweep::short();
+        // Block layout: supported at every size.
+        let mut blk = Session::from_layout(
+            Cluster::gpc(4),
+            InitialMapping::BLOCK_BUNCH,
+            32,
+            SessionConfig::default(),
+        );
+        let res = sweep.run_hierarchical(&mut blk, hcfg, Scheme::Default);
+        assert!(res.iter().all(|(_, t)| t.is_some()));
+        // Cyclic layout: unsupported, every entry None.
+        let mut cyc = Session::from_layout(
+            Cluster::gpc(4),
+            InitialMapping::CYCLIC_BUNCH,
+            32,
+            SessionConfig::default(),
+        );
+        let res = sweep.run_hierarchical(&mut cyc, hcfg, Scheme::Default);
+        assert!(res.iter().all(|(_, t)| t.is_none()));
+    }
+
+    #[test]
+    fn reordered_sweep_beats_default_on_cyclic() {
+        let cluster = Cluster::gpc(8);
+        let mut session = Session::from_layout(
+            cluster,
+            InitialMapping::CYCLIC_BUNCH,
+            64,
+            SessionConfig::default(),
+        );
+        let sweep = OsuSweep::short();
+        let base = sweep.run(&mut session, Scheme::Default);
+        let reord = sweep.run(&mut session, Scheme::hrstc(OrderFix::InitComm));
+        // Ring region (≥1 KiB): large gains.
+        for ((m, b), (_, r)) in base.iter().zip(&reord) {
+            if *m >= 1024 {
+                assert!(
+                    percent_improvement(*b, *r) > 30.0,
+                    "size {m}: base {b} reordered {r}"
+                );
+            }
+        }
+    }
+}

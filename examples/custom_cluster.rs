@@ -1,0 +1,88 @@
+//! Build a custom cluster model — the paper's future-work scenario of nodes
+//! with "a more complicated intra-node topology and a larger number of cores"
+//! — and inspect the topology the mapping heuristics consume. Also prints the
+//! GPC preset matching the paper's Fig. 2 description.
+//!
+//! ```text
+//! cargo run --release --example custom_cluster
+//! ```
+
+use tarr::core::{Scheme, Session, SessionConfig};
+use tarr::mapping::{InitialMapping, OrderFix};
+use tarr::topo::{Cluster, ClusterConfig, CoreId, FatTreeConfig, NodeTopology};
+
+fn main() {
+    // ---- The paper's evaluation platform (Fig. 2) ----
+    let gpc = Cluster::gpc(512);
+    let f = gpc.fabric().as_fattree().expect("GPC is a fat-tree");
+    println!("GPC preset: {} nodes × {} cores = {} processes max", gpc.num_nodes(), gpc.cores_per_node(), gpc.total_cores());
+    println!(
+        "fabric: {} leaf switches ({} nodes each), {} core switches, {}:1 blocking",
+        f.num_leaves(),
+        f.config().nodes_per_leaf,
+        f.config().core_switches,
+        f.config().nodes_per_leaf / (f.config().core_switches * f.config().uplinks_per_core)
+    );
+
+    // ---- A custom many-core cluster ----
+    let cluster = Cluster::new(ClusterConfig {
+        node: NodeTopology {
+            sockets: 4,
+            cores_per_socket: 16,
+            cores_per_l2: 4,
+            smt: 1,
+        },
+        fabric: FatTreeConfig {
+            nodes_per_leaf: 16,
+            core_switches: 2,
+            uplinks_per_core: 4,
+            lines_per_core: 8,
+            spines_per_core: 4,
+            line_spine_links: 2,
+        },
+        num_nodes: 16,
+    });
+    println!(
+        "\ncustom cluster: {} nodes × {} cores ({} sockets, L2 groups of {})",
+        cluster.num_nodes(),
+        cluster.cores_per_node(),
+        cluster.node_topology().sockets,
+        cluster.node_topology().cores_per_l2
+    );
+
+    // Distances between a probe core and representatives of each level.
+    let probe = CoreId(0);
+    println!("\ndistance levels from core 0:");
+    for (label, other) in [
+        ("same L2 group", CoreId(1)),
+        ("same socket", CoreId(5)),
+        ("cross socket", CoreId(17)),
+        ("other node", CoreId(64)),
+    ] {
+        let d = tarr::topo::distance::core_distance(
+            &cluster,
+            &tarr::topo::DistanceConfig::default(),
+            probe,
+            other,
+        );
+        println!("  {label:>14}: {d}");
+    }
+
+    // The heuristics work unchanged on the deeper hierarchy.
+    let p = cluster.total_cores();
+    let mut session = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_SCATTER,
+        p,
+        SessionConfig::default(),
+    );
+    let before = session.allgather_time(65536, Scheme::Default);
+    let after = session.allgather_time(65536, Scheme::hrstc(OrderFix::InitComm));
+    println!(
+        "\nring allgather at 64 KiB on {} many-core ranks: {:.1} ms -> {:.1} ms ({:.0}% faster)",
+        p,
+        before * 1e3,
+        after * 1e3,
+        100.0 * (before - after) / before
+    );
+}

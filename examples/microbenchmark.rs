@@ -1,0 +1,59 @@
+//! OSU-style microbenchmark: the full message-size sweep of the paper's
+//! Fig. 3 for one initial mapping, with every scheme side by side.
+//!
+//! ```text
+//! cargo run --release --example microbenchmark [block-bunch|block-scatter|cyclic-bunch|cyclic-scatter]
+//! ```
+
+use tarr::core::{Scheme, Session, SessionConfig};
+use tarr::mapping::{InitialMapping, OrderFix};
+use tarr::topo::Cluster;
+use tarr::workloads::{percent_improvement, OsuSweep};
+
+fn main() {
+    let layout = match std::env::args().nth(1).as_deref() {
+        None | Some("cyclic-bunch") => InitialMapping::CYCLIC_BUNCH,
+        Some("block-bunch") => InitialMapping::BLOCK_BUNCH,
+        Some("block-scatter") => InitialMapping::BLOCK_SCATTER,
+        Some("cyclic-scatter") => InitialMapping::CYCLIC_SCATTER,
+        Some(other) => panic!("unknown layout {other}"),
+    };
+
+    let procs = 512;
+    let mut session = Session::from_layout(
+        Cluster::gpc(procs / 8),
+        layout,
+        procs,
+        SessionConfig::default(),
+    );
+    println!(
+        "allgather latency improvement over the default, {} ranks, {} layout",
+        procs,
+        layout.name()
+    );
+
+    let sweep = OsuSweep::paper_range();
+    let base = sweep.run(&mut session, Scheme::Default);
+    let schemes = [
+        ("Hrstc+initComm", Scheme::hrstc(OrderFix::InitComm)),
+        ("Hrstc+endShfl", Scheme::hrstc(OrderFix::EndShuffle)),
+        ("Scotch+initComm", Scheme::scotch(OrderFix::InitComm)),
+    ];
+    let series: Vec<Vec<(u64, f64)>> = schemes
+        .iter()
+        .map(|&(_, s)| sweep.run(&mut session, s))
+        .collect();
+
+    print!("{:>8}  {:>12}", "size", "default(us)");
+    for (name, _) in &schemes {
+        print!("  {name:>16}");
+    }
+    println!();
+    for (i, &(size, b)) in base.iter().enumerate() {
+        print!("{size:>8}  {:>12.1}", b * 1e6);
+        for s in &series {
+            print!("  {:>15.1}%", percent_improvement(b, s[i].1));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: make an MPI_Allgather topology-aware in four steps.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tarr::core::{Scheme, Session, SessionConfig};
+use tarr::mapping::{InitialMapping, OrderFix};
+use tarr::topo::Cluster;
+
+fn main() {
+    // 1. Model the machine: 64 GPC-style nodes (2×4 cores, QDR fat-tree).
+    let cluster = Cluster::gpc(64);
+
+    // 2. Bind 512 ranks with a cyclic-bunch layout — a layout that is
+    //    hostile to the ring allgather (every neighbour is on another node).
+    let mut session = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_BUNCH,
+        512,
+        SessionConfig::default(),
+    );
+
+    // 3. Price the default allgather and the topology-aware one.
+    println!("MPI_Allgather latency, 512 ranks, cyclic-bunch layout\n");
+    println!("{:>8}  {:>12}  {:>12}  {:>12}", "size", "default", "reordered", "improvement");
+    for msg in [64u64, 1024, 16384, 262144] {
+        let before = session.allgather_time(msg, Scheme::Default);
+        let after = session.allgather_time(msg, Scheme::hrstc(OrderFix::InitComm));
+        println!(
+            "{:>8}  {:>10.1}us  {:>10.1}us  {:>11.1}%",
+            msg,
+            before * 1e6,
+            after * 1e6,
+            100.0 * (before - after) / before
+        );
+    }
+
+    // 4. The reordering is not just fast — it is *correct*: every rank ends
+    //    with all blocks in original-rank order (§V-B machinery).
+    session
+        .verify_allgather(16384, Scheme::hrstc(OrderFix::InitComm))
+        .expect("output buffer must be in original-rank order");
+    println!("\nfunctional verification: output order preserved ✓");
+}

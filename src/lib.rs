@@ -1,0 +1,20 @@
+//! # tarr — Topology-Aware Rank Reordering for MPI collectives
+//!
+//! Facade crate re-exporting the whole workspace. See the individual crates
+//! for details:
+//!
+//! * [`topo`] — hardware topology model (nodes, fat-tree fabric, distances);
+//! * [`netsim`] — network performance models (analytic + discrete-event);
+//! * [`mpi`] — simulated MPI layer (communicators, schedules, executors);
+//! * [`collectives`] — allgather/bcast/gather/allreduce algorithms;
+//! * [`mapping`] — the paper's mapping heuristics and baseline mappers;
+//! * [`core`] — the public [`core::Session`] API;
+//! * [`workloads`] — microbenchmark sweeps and the mini-application.
+
+pub use tarr_collectives as collectives;
+pub use tarr_core as core;
+pub use tarr_mapping as mapping;
+pub use tarr_mpi as mpi;
+pub use tarr_netsim as netsim;
+pub use tarr_topo as topo;
+pub use tarr_workloads as workloads;

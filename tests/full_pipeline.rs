@@ -1,0 +1,117 @@
+//! Cross-crate integration: cluster model → initial layout → distance matrix
+//! → mapping heuristic → reordered communicator → collective schedule →
+//! functional verification + network timing, through the public facade.
+
+use tarr::collectives::allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+use tarr::core::{Mapper, PatternKind, Scheme, Session, SessionConfig};
+use tarr::mapping::{InitialMapping, OrderFix};
+use tarr::topo::Cluster;
+
+fn session(layout: InitialMapping, nodes: usize) -> Session {
+    let cluster = Cluster::gpc(nodes);
+    let p = cluster.total_cores();
+    Session::from_layout(cluster, layout, p, SessionConfig::default())
+}
+
+#[test]
+fn every_scheme_times_and_verifies_on_every_layout() {
+    for layout in InitialMapping::ALL {
+        let mut s = session(layout, 4);
+        for msg in [16u64, 512, 4096, 65536] {
+            // Timing is positive and finite for all schemes.
+            let base = s.allgather_time(msg, Scheme::Default);
+            assert!(base.is_finite() && base > 0.0);
+            for fix in [OrderFix::InitComm, OrderFix::EndShuffle] {
+                for mapper in [Mapper::Hrstc, Mapper::ScotchLike, Mapper::ScotchTuned] {
+                    let t = s.allgather_time(msg, Scheme::Reordered { mapper, fix });
+                    assert!(t.is_finite() && t > 0.0, "{layout:?} {mapper:?} {fix:?}");
+                    // And the data actually arrives in order.
+                    s.verify_allgather(msg, Scheme::Reordered { mapper, fix })
+                        .unwrap_or_else(|e| panic!("{mapper:?}/{fix:?}/{msg}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_supported_only_for_block_layouts() {
+    let hcfg = HierarchicalConfig {
+        intra: IntraPattern::Binomial,
+        inter: InterAlg::Ring,
+    };
+    for layout in [InitialMapping::BLOCK_BUNCH, InitialMapping::BLOCK_SCATTER] {
+        let mut s = session(layout, 4);
+        assert!(s
+            .hierarchical_allgather_time(4096, hcfg, Scheme::Default)
+            .is_some());
+    }
+    for layout in [InitialMapping::CYCLIC_BUNCH, InitialMapping::CYCLIC_SCATTER] {
+        let mut s = session(layout, 4);
+        assert!(s
+            .hierarchical_allgather_time(4096, hcfg, Scheme::Default)
+            .is_none());
+    }
+}
+
+#[test]
+fn hierarchical_all_phase_combinations_verify() {
+    for layout in [InitialMapping::BLOCK_BUNCH, InitialMapping::BLOCK_SCATTER] {
+        let mut s = session(layout, 4);
+        for intra in [IntraPattern::Linear, IntraPattern::Binomial] {
+            for inter in [InterAlg::RecursiveDoubling, InterAlg::Ring] {
+                let hcfg = HierarchicalConfig { intra, inter };
+                for scheme in [
+                    Scheme::Default,
+                    Scheme::hrstc(OrderFix::InitComm),
+                    Scheme::hrstc(OrderFix::EndShuffle),
+                    Scheme::scotch(OrderFix::InitComm),
+                ] {
+                    s.verify_hierarchical_allgather(hcfg, scheme)
+                        .expect("supported")
+                        .unwrap_or_else(|e| panic!("{layout:?} {intra:?} {inter:?} {scheme:?}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mappings_cached_once_per_pattern() {
+    let mut s = session(InitialMapping::BLOCK_BUNCH, 2);
+    let a = s.mapping(Mapper::Hrstc, PatternKind::Rd).mapping.clone();
+    // Trigger through the timing API too; must reuse the same mapping.
+    let _ = s.allgather_time(64, Scheme::hrstc(OrderFix::InitComm));
+    let b = s.mapping(Mapper::Hrstc, PatternKind::Rd).mapping.clone();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn non_power_of_two_jobs_fall_back_to_bruck() {
+    // 3 nodes = 24 ranks (not a power of two): the small-message algorithm
+    // must be Bruck and remain correct under reordering.
+    let mut s = session(InitialMapping::CYCLIC_BUNCH, 3);
+    assert_eq!(s.size(), 24);
+    s.verify_allgather(64, Scheme::Default).unwrap();
+    s.verify_allgather(64, Scheme::hrstc(OrderFix::InitComm))
+        .unwrap();
+    s.verify_allgather(64, Scheme::hrstc(OrderFix::EndShuffle))
+        .unwrap();
+    let t = s.allgather_time(64, Scheme::hrstc(OrderFix::InitComm));
+    assert!(t > 0.0);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Touch one item from each re-exported crate through the facade.
+    let cluster: tarr::topo::Cluster = Cluster::gpc(1);
+    let params = tarr::netsim::NetParams::default();
+    let model = tarr::netsim::StageModel::new(&cluster, params);
+    let msg = tarr::netsim::Message::new(tarr::topo::CoreId(0), tarr::topo::CoreId(1), 64);
+    assert!(model.stage_time(&[msg]) > 0.0);
+    let sched = tarr::collectives::allgather::ring(8);
+    assert_eq!(sched.stages.len(), 7);
+    assert!(tarr::mapping::is_permutation(&[1, 0, 2]));
+    let sys = tarr::workloads::NBodySystem::new(4, 1);
+    assert_eq!(sys.len(), 4);
+}

@@ -1,0 +1,86 @@
+//! End-to-end property tests: for *arbitrary* core bindings (not just the
+//! four standard layouts), every scheme must produce a functionally correct,
+//! order-preserving allgather, and the asynchronous fluid executor must agree
+//! with the analytic model to within a factor bound.
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tarr::core::{Mapper, Scheme, Session, SessionConfig};
+use tarr::mapping::{InitialMapping, OrderFix};
+use tarr::mpi::{time_schedule, time_schedule_async};
+use tarr::netsim::{NetParams, StageModel};
+use tarr::topo::{Cluster, CoreId};
+
+fn shuffled_session(nodes: usize, seed: u64) -> Session {
+    let cluster = Cluster::gpc(nodes);
+    let mut cores: Vec<CoreId> = cluster.cores().collect();
+    cores.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    Session::new(cluster, cores, SessionConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random bindings: all schemes verify, all timings positive/finite.
+    #[test]
+    fn random_bindings_all_schemes_correct(ln in 0usize..4, seed in any::<u64>(), msg in 1u64..100_000) {
+        let mut s = shuffled_session(1 << ln, seed);
+        for scheme in [
+            Scheme::Default,
+            Scheme::hrstc(OrderFix::InitComm),
+            Scheme::hrstc(OrderFix::EndShuffle),
+            Scheme::Reordered { mapper: Mapper::ScotchTuned, fix: OrderFix::InitComm },
+        ] {
+            prop_assert!(s.verify_allgather(msg, scheme).is_ok());
+            let t = s.allgather_time(msg, scheme);
+            prop_assert!(t.is_finite() && t > 0.0);
+        }
+    }
+
+    /// Reordering never makes the ring slower than the default by more than
+    /// rounding, for any random binding (the heuristic either helps or
+    /// leaves it alone — ring has no fix overhead).
+    #[test]
+    fn ring_reordering_never_hurts_random_bindings(ln in 1usize..4, seed in any::<u64>()) {
+        let mut s = shuffled_session(1 << ln, seed);
+        let before = s.allgather_time(65536, Scheme::Default);
+        let after = s.allgather_time(65536, Scheme::hrstc(OrderFix::InitComm));
+        prop_assert!(after <= before * 1.0001, "before {} after {}", before, after);
+    }
+
+    /// The async fluid executor and the analytic stage model agree within a
+    /// factor of 2 on real collective schedules (same contention physics;
+    /// async can only be faster by overlap, slower never by more than the
+    /// barrier slack).
+    #[test]
+    fn fluid_and_analytic_agree_on_collectives(ln in 0usize..3, msg in 64u64..65536) {
+        let cluster = Cluster::gpc(1 << ln);
+        let p = cluster.total_cores() as u32;
+        let comm = tarr::mpi::Communicator::new(cluster.cores().collect());
+        let params = NetParams::default();
+        let model = StageModel::new(&cluster, params.clone());
+        for sched in [
+            tarr::collectives::allgather::recursive_doubling(p),
+            tarr::collectives::allgather::ring(p),
+        ] {
+            let sync = time_schedule(&sched, &comm, &model, msg);
+            let asyn = time_schedule_async(&sched, &comm, &cluster, &params, msg);
+            prop_assert!(asyn <= sync * 1.0001, "async {} sync {}", asyn, sync);
+            prop_assert!(asyn >= sync * 0.5, "async {} sync {}", asyn, sync);
+        }
+    }
+
+    /// Standard layouts are bijections onto the allocated cores and the
+    /// session accepts them at any node count.
+    #[test]
+    fn layouts_always_valid(nodes in 1usize..20, which in 0usize..4) {
+        let layout = InitialMapping::ALL[which];
+        let cluster = Cluster::gpc(nodes);
+        let p = cluster.total_cores();
+        let cores = layout.layout(&cluster, p);
+        let mut ids: Vec<u32> = cores.iter().map(|c| c.0).collect();
+        ids.sort_unstable();
+        prop_assert!(ids.windows(2).all(|w| w[0] + 1 == w[1]));
+    }
+}
