@@ -15,7 +15,9 @@ fn bench_schedule_generation(c: &mut Criterion) {
             b.iter(|| recursive_doubling(p))
         });
         group.bench_with_input(BenchmarkId::new("ring", p), &p, |b, &p| b.iter(|| ring(p)));
-        group.bench_with_input(BenchmarkId::new("bruck", p), &p, |b, &p| b.iter(|| bruck(p)));
+        group.bench_with_input(BenchmarkId::new("bruck", p), &p, |b, &p| {
+            b.iter(|| bruck(p))
+        });
         group.bench_with_input(BenchmarkId::new("hierarchical", p), &p, |b, &p| {
             let groups: Vec<(u32, u32)> = (0..p / 8).map(|g| (g * 8, 8)).collect();
             let cfg = HierarchicalConfig {

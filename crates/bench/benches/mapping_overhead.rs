@@ -2,18 +2,25 @@
 //! algorithm (the paper's key overhead claim — fine-tuned heuristics are
 //! orders of magnitude cheaper than a general mapper, with better scaling).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use tarr_collectives::allgather::{recursive_doubling, ring};
 use tarr_collectives::{pattern_graph, pattern_graph_unweighted};
 use tarr_mapping::{
-    bbmh, bgmh, greedy_map, rdmh, rmh, scotch_like_map_with, InitialMapping, ScotchVariant,
+    bbmh, bgmh, greedy_map, rdmh, rdmh_bucketed, rmh, rmh_bucketed, scotch_like_map_with,
+    InitialMapping, ScotchVariant,
 };
-use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix};
+use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix, ImplicitDistance};
 
 fn matrix(p: usize) -> DistanceMatrix {
     let cluster = Cluster::gpc(p / 8);
     let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, p);
     DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default())
+}
+
+fn implicit(p: usize) -> ImplicitDistance {
+    let cluster = Cluster::gpc(p / 8);
+    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, p);
+    ImplicitDistance::build(&cluster, &cores, &DistanceConfig::default())
 }
 
 fn bench_heuristics(c: &mut Criterion) {
@@ -24,9 +31,7 @@ fn bench_heuristics(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rdmh", p), &d, |b, d| {
             b.iter(|| rdmh(d, 0))
         });
-        group.bench_with_input(BenchmarkId::new("rmh", p), &d, |b, d| {
-            b.iter(|| rmh(d, 0))
-        });
+        group.bench_with_input(BenchmarkId::new("rmh", p), &d, |b, d| b.iter(|| rmh(d, 0)));
         group.bench_with_input(BenchmarkId::new("bbmh", p), &d, |b, d| {
             b.iter(|| bbmh(d, 0))
         });
@@ -66,5 +71,39 @@ fn bench_general_mappers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_heuristics, bench_general_mappers);
-criterion_main!(benches);
+fn bench_bucketed(c: &mut Criterion) {
+    // The scaled pipeline: same heuristics through the implicit oracle and
+    // the bucketed free-slot index. Sizes the dense path cannot reach are
+    // exercised by `--large` (and the fig7_scaled binary) instead of the
+    // timing loop, which would rebuild oracles per sample.
+    let mut group = c.benchmark_group("fig7b/bucketed");
+    group.sample_size(10);
+    for p in [1024usize, 4096] {
+        let o = implicit(p);
+        group.bench_with_input(BenchmarkId::new("rmh_bucketed", p), &o, |b, o| {
+            b.iter(|| rmh_bucketed(o, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("rdmh_bucketed", p), &o, |b, o| {
+            b.iter(|| rdmh_bucketed(o, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics,
+    bench_general_mappers,
+    bench_bucketed
+);
+
+fn main() {
+    // `--large`: skip the criterion loops and run the 65 536-process
+    // harness (one timed pass per heuristic; a timing loop at that scale
+    // would take minutes for no extra information).
+    if std::env::args().any(|a| a == "--large") {
+        tarr_bench::scaled::run_report(&[65536], 42);
+        return;
+    }
+    benches();
+}

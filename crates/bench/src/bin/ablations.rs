@@ -15,7 +15,9 @@
 //! Run: `cargo run -p tarr-bench --release --bin ablations [--quick]`
 
 use tarr_bench::HarnessOpts;
-use tarr_collectives::allgather::{recursive_doubling, ring, HierarchicalConfig, InterAlg, IntraPattern};
+use tarr_collectives::allgather::{
+    recursive_doubling, ring, HierarchicalConfig, InterAlg, IntraPattern,
+};
 use tarr_collectives::bcast::binomial_bcast;
 use tarr_core::hier::HierMapper;
 use tarr_core::{Mapper, Scheme, Session, SessionConfig};
@@ -164,7 +166,10 @@ fn ablate_stage_profile(opts: &HarnessOpts) {
     let before = time_schedule_profile(&sched, session.comm(), &model, 512);
     let m = rdmh(&d, 0);
     let after = time_schedule_profile(&sched, &session.comm().reordered(&m), &model, 512);
-    println!("{:>6}  {:>14}  {:>14}", "stage", "default (us)", "RDMH (us)");
+    println!(
+        "{:>6}  {:>14}  {:>14}",
+        "stage", "default (us)", "RDMH (us)"
+    );
     for (i, (b, a)) in before.iter().zip(&after).enumerate() {
         println!("{:>6}  {:>14.1}  {:>14.1}", i, b * 1e6, a * 1e6);
     }

@@ -21,10 +21,7 @@ fn main() {
         opts.procs
     );
 
-    for (panel, layout) in ["(a)", "(b)", "(c)", "(d)"]
-        .iter()
-        .zip(InitialMapping::ALL)
-    {
+    for (panel, layout) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(InitialMapping::ALL) {
         println!("\nFig. 3{panel} initial mapping: {}", layout.name());
         let mut session = opts.session(layout);
 

@@ -35,10 +35,30 @@ fn main() {
     );
 
     let panels = [
-        ("(a)", InitialMapping::BLOCK_BUNCH, IntraPattern::Binomial, "non-linear"),
-        ("(b)", InitialMapping::BLOCK_SCATTER, IntraPattern::Binomial, "non-linear"),
-        ("(c)", InitialMapping::BLOCK_BUNCH, IntraPattern::Linear, "linear"),
-        ("(d)", InitialMapping::BLOCK_SCATTER, IntraPattern::Linear, "linear"),
+        (
+            "(a)",
+            InitialMapping::BLOCK_BUNCH,
+            IntraPattern::Binomial,
+            "non-linear",
+        ),
+        (
+            "(b)",
+            InitialMapping::BLOCK_SCATTER,
+            IntraPattern::Binomial,
+            "non-linear",
+        ),
+        (
+            "(c)",
+            InitialMapping::BLOCK_BUNCH,
+            IntraPattern::Linear,
+            "linear",
+        ),
+        (
+            "(d)",
+            InitialMapping::BLOCK_SCATTER,
+            IntraPattern::Linear,
+            "linear",
+        ),
     ];
 
     for (panel, layout, intra, label) in panels {

@@ -13,8 +13,8 @@
 
 use std::time::Instant;
 use tarr_bench::HarnessOpts;
-use tarr_mapping::{bbmh, bgmh, rdmh, rmh, InitialMapping};
 use tarr_core::{Mapper, PatternKind, Session, SessionConfig};
+use tarr_mapping::{bbmh, bgmh, rdmh, rmh, InitialMapping};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -63,7 +63,9 @@ fn main() {
         let _ = bgmh(&d, 0);
         let heuristic_avg = t0.elapsed().as_secs_f64() / 4.0;
 
-        let info = session.mapping(Mapper::ScotchLike, PatternKind::Ring).clone();
+        let info = session
+            .mapping(Mapper::ScotchLike, PatternKind::Ring)
+            .clone();
         println!(
             "{:>8}  {:>14.4}  {:>14.4}  {:>18.4}",
             p,

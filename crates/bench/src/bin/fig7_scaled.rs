@@ -1,0 +1,42 @@
+//! Fig. 7 extended past the dense-matrix ceiling: mapping overhead of the
+//! fine-tuned heuristics at 4 Ki – 64 Ki processes, through the implicit
+//! distance oracle and the bucketed free-slot index (O(P) memory).
+//!
+//! Default sizes stop at 16 384; `--large` adds the 65 536-process row
+//! (8192 GPC nodes — a dense matrix would need 8 GiB there). A dense ==
+//! bucketed cross-check at 512 processes runs first, so every printed row
+//! comes from a pipeline whose outputs were just verified bit-identical to
+//! the reference at dense-feasible scale.
+//!
+//! usage: fig7_scaled [--large] [--seed N]
+
+use tarr_bench::scaled::run_report;
+
+fn main() {
+    let mut sizes = vec![4096usize, 16384];
+    let mut seed = 42u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--large" => sizes.push(65536),
+            "--seed" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("error: --seed needs a number");
+                    std::process::exit(2);
+                };
+                seed = n;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                eprintln!("usage: fig7_scaled [--large] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("== Fig. 7 (scaled): mapping overhead via implicit oracle + bucketed index ==\n");
+    run_report(&sizes, seed);
+}

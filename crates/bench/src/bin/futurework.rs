@@ -66,10 +66,12 @@ fn congestion_refinement() {
     let t_ident = time_schedule(&sched, &comm.reordered(&ident), &model, bytes);
     let bgmh_m = tarr_mapping::bgmh(&d, 0);
     let t_bgmh = time_schedule(&sched, &comm.reordered(&bgmh_m), &model, bytes);
-    let (_, t_refined) =
-        congestion_refine(&cluster, &comm, &sched, bytes, &params, bgmh_m, 800, 7);
+    let (_, t_refined) = congestion_refine(&cluster, &comm, &sched, bytes, &params, bgmh_m, 800, 7);
     println!("identity mapping:         {:.1} us", t_ident * 1e6);
-    println!("BGMH (distance-optimal):  {:.1} us  (contention-blind)", t_bgmh * 1e6);
+    println!(
+        "BGMH (distance-optimal):  {:.1} us  (contention-blind)",
+        t_bgmh * 1e6
+    );
     println!("BGMH + refinement:        {:.1} us", t_refined * 1e6);
 }
 
@@ -85,7 +87,10 @@ fn bruck_with_bkmh(opts: &HarnessOpts) {
         p,
         SessionConfig::default(),
     );
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "size", "default", "BKMH", "improvement");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "size", "default", "BKMH", "improvement"
+    );
     for msg in [16u64, 128, 512] {
         // Below 1 KiB and non-power-of-two: selection picks Bruck.
         let b = s.allgather_time(msg, Scheme::Default);
@@ -138,7 +143,10 @@ fn manycore_nodes() {
         p,
         SessionConfig::default(),
     );
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "size", "default", "Hrstc", "improvement");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "size", "default", "Hrstc", "improvement"
+    );
     for msg in [512u64, 16384, 262144] {
         let b = s.allgather_time(msg, Scheme::Default);
         let r = s.allgather_time(msg, Scheme::hrstc(OrderFix::InitComm));

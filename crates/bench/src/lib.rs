@@ -5,6 +5,8 @@
 //! print as aligned tables with one row per message size and one column per
 //! scheme, mirroring the series of the paper's figures.
 
+pub mod scaled;
+
 use tarr_core::{Scheme, Session, SessionConfig};
 use tarr_mapping::{InitialMapping, OrderFix};
 use tarr_topo::Cluster;

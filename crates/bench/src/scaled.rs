@@ -1,0 +1,175 @@
+//! Large-scale mapping-overhead harness (Fig. 7 past the dense-matrix
+//! ceiling).
+//!
+//! The dense `DistanceMatrix` needs `P² · 2` bytes — 32 MiB at 4096
+//! processes but 8 GiB at 65 536 — which is what used to cap the mapping
+//! pipeline around 4096 ranks. The implicit oracle plus the bucketed
+//! free-slot index run the same heuristics bit-identically in O(P) memory,
+//! so the fine-tuned heuristics scale to full-system process counts. This
+//! module measures exactly that claim and prints one row per size.
+
+use std::time::Instant;
+
+use tarr_mapping::{is_permutation, rdmh_bucketed, rmh_bucketed, InitialMapping};
+use tarr_topo::{
+    Cluster, DistanceConfig, DistanceMatrix, DistanceOracle, ImplicitDistance, SlotPath,
+};
+
+/// Per-size measurements from one large-scale run.
+#[derive(Debug, Clone)]
+pub struct ScaledRow {
+    /// Process count.
+    pub procs: usize,
+    /// Seconds to build the implicit oracle (paths + line-peer table).
+    pub build_s: f64,
+    /// Seconds for one `rmh_bucketed` mapping.
+    pub rmh_s: f64,
+    /// Seconds for one `rdmh_bucketed` mapping.
+    pub rdmh_s: f64,
+    /// Approximate resident bytes of the implicit oracle.
+    pub implicit_bytes: u64,
+    /// Bytes a dense `u16` matrix would need at this size (`P² · 2`).
+    pub dense_bytes: u64,
+}
+
+/// Approximate heap footprint of the implicit oracle: per-slot path + core
+/// id, plus the line-peer table.
+fn implicit_footprint(o: &ImplicitDistance) -> u64 {
+    let per_slot = (std::mem::size_of::<SlotPath>() + std::mem::size_of::<u32>()) as u64;
+    let slots = o.len() as u64;
+    let peers: u64 = (0..o
+        .cluster()
+        .fabric()
+        .as_fattree()
+        .map_or(0, |f| f.num_leaves()))
+        .map(|l| o.line_peers(l as u32).len() as u64 * 4)
+        .sum();
+    slots * per_slot + peers
+}
+
+/// Run RMH + RDMH through the bucketed pipeline at `procs` processes on a
+/// block-layout GPC cluster and measure build and mapping wall-clock.
+pub fn measure_scaled(procs: usize, seed: u64) -> ScaledRow {
+    assert!(
+        procs.is_multiple_of(8) && procs.is_power_of_two(),
+        "scaled harness sizes must be power-of-two multiples of 8 (whole GPC \
+         nodes, RDMH needs a power of two)"
+    );
+    let cluster = Cluster::gpc(procs / 8);
+    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, procs);
+
+    let t = Instant::now();
+    let oracle = ImplicitDistance::build(&cluster, &cores, &DistanceConfig::default());
+    let build_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let m_rmh = rmh_bucketed(&oracle, seed);
+    let rmh_s = t.elapsed().as_secs_f64();
+    assert!(is_permutation(&m_rmh), "rmh produced a non-permutation");
+
+    let t = Instant::now();
+    let m_rdmh = rdmh_bucketed(&oracle, seed);
+    let rdmh_s = t.elapsed().as_secs_f64();
+    assert!(is_permutation(&m_rdmh), "rdmh produced a non-permutation");
+
+    ScaledRow {
+        procs,
+        build_s,
+        rmh_s,
+        rdmh_s,
+        implicit_bytes: implicit_footprint(&oracle),
+        dense_bytes: (procs as u64) * (procs as u64) * 2,
+    }
+}
+
+/// Cross-check at a dense-feasible size: the bucketed pipeline must produce
+/// exactly the dense reference mapping. Panics on divergence.
+pub fn cross_check(procs: usize, seed: u64) {
+    let cluster = Cluster::gpc(procs / 8);
+    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, procs);
+    let cfg = DistanceConfig::default();
+    let dense = DistanceMatrix::build(&cluster, &cores, &cfg);
+    let implicit = ImplicitDistance::build(&cluster, &cores, &cfg);
+    assert_eq!(
+        tarr_mapping::rmh(&dense, seed),
+        rmh_bucketed(&implicit, seed),
+        "rmh: dense and bucketed mappings diverged at P = {procs}"
+    );
+    assert_eq!(
+        tarr_mapping::rdmh(&dense, seed),
+        rdmh_bucketed(&implicit, seed),
+        "rdmh: dense and bucketed mappings diverged at P = {procs}"
+    );
+}
+
+/// Human-readable byte count.
+pub fn bytes_label(b: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = KIB * 1024;
+    const GIB: u64 = MIB * 1024;
+    if b >= GIB {
+        format!("{:.1} GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.1} MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.1} KiB", b as f64 / KIB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Run the full report: cross-check, then one measured row per size.
+pub fn run_report(sizes: &[usize], seed: u64) {
+    println!("cross-check: dense == bucketed at P = 512 (seed {seed}) ...");
+    cross_check(512, seed);
+    println!("cross-check: OK\n");
+
+    println!(
+        "{:>8} {:>11} {:>11} {:>11} {:>14} {:>14}",
+        "procs", "build(ms)", "rmh(ms)", "rdmh(ms)", "oracle mem", "dense would be"
+    );
+    for &p in sizes {
+        let row = measure_scaled(p, seed);
+        println!(
+            "{:>8} {:>11.3} {:>11.3} {:>11.3} {:>14} {:>14}",
+            row.procs,
+            row.build_s * 1e3,
+            row.rmh_s * 1e3,
+            row.rdmh_s * 1e3,
+            bytes_label(row.implicit_bytes),
+            bytes_label(row.dense_bytes),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_small_size() {
+        let row = measure_scaled(256, 0);
+        assert_eq!(row.procs, 256);
+        assert_eq!(row.dense_bytes, 256 * 256 * 2);
+        assert!(row.implicit_bytes < row.dense_bytes);
+    }
+
+    #[test]
+    fn cross_check_small() {
+        cross_check(64, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        measure_scaled(24, 0);
+    }
+
+    #[test]
+    fn byte_labels() {
+        assert_eq!(bytes_label(512), "512 B");
+        assert_eq!(bytes_label(2048), "2.0 KiB");
+        assert_eq!(bytes_label(32 * 1024 * 1024), "32.0 MiB");
+        assert_eq!(bytes_label(8 * 1024 * 1024 * 1024), "8.0 GiB");
+    }
+}

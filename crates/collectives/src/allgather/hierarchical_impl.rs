@@ -113,7 +113,11 @@ pub fn hierarchical(p: u32, groups: &[(u32, u32)], cfg: HierarchicalConfig) -> S
             }
         }
         IntraPattern::Binomial => {
-            let levels = groups.iter().map(|&(_, len)| ceil_log2(len)).max().unwrap_or(0);
+            let levels = groups
+                .iter()
+                .map(|&(_, len)| ceil_log2(len))
+                .max()
+                .unwrap_or(0);
             for k in 0..levels {
                 let step = 1u32 << k;
                 let mut ops = Vec::new();
@@ -199,7 +203,11 @@ pub fn hierarchical(p: u32, groups: &[(u32, u32)], cfg: HierarchicalConfig) -> S
             }
         }
         IntraPattern::Binomial => {
-            let levels = groups.iter().map(|&(_, len)| ceil_log2(len)).max().unwrap_or(0);
+            let levels = groups
+                .iter()
+                .map(|&(_, len)| ceil_log2(len))
+                .max()
+                .unwrap_or(0);
             for k in 0..levels {
                 let mut ops = Vec::new();
                 for &(start, len) in groups {
@@ -255,7 +263,11 @@ mod tests {
     fn all_variants_are_correct() {
         for intra in [IntraPattern::Linear, IntraPattern::Binomial] {
             for inter in [InterAlg::RecursiveDoubling, InterAlg::Ring] {
-                check(32, &uniform_groups(4, 8), HierarchicalConfig { intra, inter });
+                check(
+                    32,
+                    &uniform_groups(4, 8),
+                    HierarchicalConfig { intra, inter },
+                );
             }
         }
     }
@@ -370,9 +382,7 @@ mod tests {
     fn groups_by_node_rejects_cyclic_layout() {
         let cluster = Cluster::gpc(2);
         // Ranks alternate between the two nodes.
-        let cores: Vec<CoreId> = (0..8)
-            .flat_map(|i| [CoreId(i), CoreId(8 + i)])
-            .collect();
+        let cores: Vec<CoreId> = (0..8).flat_map(|i| [CoreId(i), CoreId(8 + i)]).collect();
         let comm = Communicator::new(cores);
         assert!(groups_by_node(&comm, &cluster).is_none());
     }

@@ -6,6 +6,8 @@ mod rd_impl;
 mod ring_impl;
 
 pub use bruck_impl::bruck;
-pub use hierarchical_impl::{groups_by_node, hierarchical, HierarchicalConfig, InterAlg, IntraPattern};
+pub use hierarchical_impl::{
+    groups_by_node, hierarchical, HierarchicalConfig, InterAlg, IntraPattern,
+};
 pub use rd_impl::recursive_doubling;
 pub use ring_impl::{ring, ring_with_placement};

@@ -13,7 +13,10 @@ use tarr_mpi::{Schedule, SendOp, Stage};
 /// Panics unless `p` is a power of two (the regime in which MPI libraries
 /// use this algorithm, as the paper notes).
 pub fn recursive_doubling(p: u32) -> Schedule {
-    assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two p");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling needs a power-of-two p"
+    );
     let mut sched = Schedule::new(p);
     let mut s = 0u32;
     while (1u32 << s) < p {
@@ -69,14 +72,8 @@ mod tests {
         let sched = recursive_doubling(8);
         // Stage 2 (step 4): rank 0 exchanges with rank 4.
         let stage = &sched.stages[2];
-        assert!(stage
-            .ops
-            .iter()
-            .any(|op| op.from.0 == 0 && op.to.0 == 4));
-        assert!(stage
-            .ops
-            .iter()
-            .any(|op| op.from.0 == 4 && op.to.0 == 0));
+        assert!(stage.ops.iter().any(|op| op.from.0 == 0 && op.to.0 == 4));
+        assert!(stage.ops.iter().any(|op| op.from.0 == 4 && op.to.0 == 0));
     }
 
     #[test]

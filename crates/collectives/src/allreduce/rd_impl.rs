@@ -9,7 +9,10 @@ use tarr_mpi::{Schedule, SendOp, Stage};
 /// # Panics
 /// Panics unless `p` is a power of two.
 pub fn rd_allreduce(p: u32, vector_bytes: u64) -> Schedule {
-    assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two p");
+    assert!(
+        p.is_power_of_two(),
+        "recursive doubling needs a power-of-two p"
+    );
     let mut sched = Schedule::new(p);
     let mut s = 0u32;
     while (1u32 << s) < p {

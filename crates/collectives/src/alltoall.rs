@@ -22,7 +22,10 @@ use tarr_mpi::{Schedule, SendOp, Stage};
 /// # Panics
 /// Panics unless `p` is a power of two.
 pub fn pairwise_alltoall(p: u32, block_bytes: u64) -> Schedule {
-    assert!(p.is_power_of_two(), "pairwise exchange needs a power-of-two p");
+    assert!(
+        p.is_power_of_two(),
+        "pairwise exchange needs a power-of-two p"
+    );
     let mut sched = Schedule::new(p);
     for s in 1..p {
         let mut ops = Vec::with_capacity(p as usize);

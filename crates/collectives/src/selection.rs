@@ -64,7 +64,10 @@ mod tests {
     #[test]
     fn small_messages_use_rd_on_powers_of_two() {
         assert_eq!(select_allgather(4096, 512), AllgatherAlg::RecursiveDoubling);
-        assert_eq!(select_allgather(4096, 1023), AllgatherAlg::RecursiveDoubling);
+        assert_eq!(
+            select_allgather(4096, 1023),
+            AllgatherAlg::RecursiveDoubling
+        );
     }
 
     #[test]

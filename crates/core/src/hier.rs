@@ -153,9 +153,8 @@ mod tests {
         let (d, groups) = setup(4, InitialMapping::BLOCK_SCATTER);
         for inter in [InterAlg::RecursiveDoubling, InterAlg::Ring] {
             for intra in [IntraPattern::Linear, IntraPattern::Binomial] {
-                let m =
-                    hierarchical_mapping(&d, &groups, inter, intra, HierMapper::Heuristic, 0)
-                        .unwrap();
+                let m = hierarchical_mapping(&d, &groups, inter, intra, HierMapper::Heuristic, 0)
+                    .unwrap();
                 assert!(is_permutation(&m), "{inter:?} {intra:?}");
             }
         }

@@ -92,9 +92,8 @@ mod tests {
         let model = StageModel::new(&cluster, params.clone());
         let ident: Vec<u32> = (0..32).collect();
         let before = time_schedule(&sched, &comm.reordered(&ident), &model, 8192);
-        let (refined, after) = congestion_refine(
-            &cluster, &comm, &sched, 8192, &params, ident, 100, 1,
-        );
+        let (refined, after) =
+            congestion_refine(&cluster, &comm, &sched, 8192, &params, ident, 100, 1);
         assert!(after <= before);
         assert!(tarr_mapping::is_permutation(&refined));
     }
@@ -115,9 +114,8 @@ mod tests {
         let greedy = bgmh(&d, 0);
         let greedy_t = time_schedule(&sched, &comm.reordered(&greedy), &model, 8192);
 
-        let (_, refined_t) = congestion_refine(
-            &cluster, &comm, &sched, 8192, &params, greedy, 600, 7,
-        );
+        let (_, refined_t) =
+            congestion_refine(&cluster, &comm, &sched, 8192, &params, greedy, 600, 7);
         assert!(
             refined_t < greedy_t * 0.95,
             "refinement should repair contention: {greedy_t} -> {refined_t}"

@@ -10,19 +10,19 @@
 use crate::hier::{hierarchical_mapping, reordered_groups, HierMapper};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use tarr_collectives::allgather::{groups_by_node, hierarchical, HierarchicalConfig, InterAlg, IntraPattern};
+use tarr_collectives::allgather::{
+    groups_by_node, hierarchical, HierarchicalConfig, InterAlg, IntraPattern,
+};
 use tarr_collectives::gather::binomial_gather;
 use tarr_collectives::{pattern_graph, pattern_graph_unweighted, select_allgather, AllgatherAlg};
+use tarr_mapping::initial::mvapich_cyclic_reorder;
 use tarr_mapping::{
     bbmh, bgmh, bkmh, end_shuffle_perm, greedy_map, init_comm_schedule, rdmh, reorder,
     ring_placement, rmh, scotch_like_map_with, InitialMapping, OrderFix, ScotchVariant,
 };
-use tarr_mapping::initial::mvapich_cyclic_reorder;
 use tarr_mpi::{time_schedule, Communicator, FunctionalState, Schedule};
 use tarr_netsim::{NetParams, StageModel};
-use tarr_topo::{
-    Cluster, CoreId, DistanceConfig, DistanceMatrix, ExtractionCostModel, Rank,
-};
+use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix, ExtractionCostModel, Rank};
 
 /// Mapping engine choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -297,7 +297,10 @@ impl Session {
                     let sched = Self::flat_schedule(pattern, p);
                     let tg = Instant::now();
                     let (graph, variant) = if mapper == Mapper::ScotchLike {
-                        (pattern_graph_unweighted(&sched), ScotchVariant::PaperDefault)
+                        (
+                            pattern_graph_unweighted(&sched),
+                            ScotchVariant::PaperDefault,
+                        )
                     } else {
                         (pattern_graph(&sched, 1), ScotchVariant::Tuned)
                     };
@@ -363,9 +366,7 @@ impl Session {
             PatternKind::Rd => AllgatherAlg::RecursiveDoubling.schedule(p),
             PatternKind::Ring => AllgatherAlg::Ring.schedule(p),
             PatternKind::Bruck => AllgatherAlg::Bruck.schedule(p),
-            PatternKind::BinomialBcast => {
-                tarr_collectives::bcast::binomial_bcast(p, Rank(0), 1)
-            }
+            PatternKind::BinomialBcast => tarr_collectives::bcast::binomial_bcast(p, Rank(0), 1),
             PatternKind::BinomialGather => binomial_gather(p, Rank(0)),
             PatternKind::Hier(..) => unreachable!("hierarchical handled separately"),
         }
@@ -495,7 +496,10 @@ impl Session {
                 tarr_mpi::traffic_breakdown(&sched, &self.comm, &self.cluster, msg_bytes)
             }
             Scheme::Reordered { mapper, .. } => {
-                let m = self.mapping(mapper, PatternKind::of_alg(alg)).mapping.clone();
+                let m = self
+                    .mapping(mapper, PatternKind::of_alg(alg))
+                    .mapping
+                    .clone();
                 let comm2 = self.comm.reordered(&m);
                 tarr_mpi::traffic_breakdown(&sched, &comm2, &self.cluster, msg_bytes)
             }
@@ -555,12 +559,7 @@ impl Session {
     /// recursive-doubling XOR pattern, so reordering uses the RDMH mapping;
     /// allreduce output is identical on every rank, so no §V-B ordering
     /// machinery is needed.
-    pub fn allreduce_time(
-        &mut self,
-        vector_bytes: u64,
-        rabenseifner: bool,
-        scheme: Scheme,
-    ) -> f64 {
+    pub fn allreduce_time(&mut self, vector_bytes: u64, rabenseifner: bool, scheme: Scheme) -> f64 {
         let p = self.size() as u32;
         let sched = if rabenseifner {
             tarr_collectives::allreduce::rabenseifner_allreduce(p, vector_bytes)
@@ -593,7 +592,10 @@ impl Session {
             }
             Scheme::Reordered { mapper, .. } => {
                 // Broadcast output is a scalar buffer: no ordering machinery.
-                let m = self.mapping(mapper, PatternKind::BinomialBcast).mapping.clone();
+                let m = self
+                    .mapping(mapper, PatternKind::BinomialBcast)
+                    .mapping
+                    .clone();
                 let comm2 = self.comm.reordered(&m);
                 let model = self.model();
                 time_schedule(&sched, &comm2, &model, bytes)
@@ -612,7 +614,10 @@ impl Session {
                 time_schedule(&sched, &self.comm, &model, msg_bytes)
             }
             Scheme::Reordered { mapper, fix } => {
-                let m = self.mapping(mapper, PatternKind::BinomialGather).mapping.clone();
+                let m = self
+                    .mapping(mapper, PatternKind::BinomialGather)
+                    .mapping
+                    .clone();
                 let comm2 = self.comm.reordered(&m);
                 let model = self.model();
                 match fix {
@@ -691,7 +696,10 @@ impl Session {
                 // Reordering changes which *process* is rank 0; the schedule
                 // is unchanged, so functional coverage is the same — but the
                 // mapping must still be a valid permutation to build it.
-                let m = self.mapping(mapper, PatternKind::BinomialBcast).mapping.clone();
+                let m = self
+                    .mapping(mapper, PatternKind::BinomialBcast)
+                    .mapping
+                    .clone();
                 let _ = self.comm.reordered(&m);
             }
         }
@@ -712,7 +720,10 @@ impl Session {
                 st.verify_gather_at(Rank(0), &expected)
             }
             Scheme::Reordered { mapper, fix } => {
-                let m = self.mapping(mapper, PatternKind::BinomialGather).mapping.clone();
+                let m = self
+                    .mapping(mapper, PatternKind::BinomialGather)
+                    .mapping
+                    .clone();
                 let mut st = reorder::reordered_init_state(&m, false);
                 match fix {
                     OrderFix::InitComm => {
@@ -847,7 +858,12 @@ mod tests {
         let mut s = session(InitialMapping::CYCLIC_SCATTER, 4);
         for msg in [64u64, 4096] {
             s.verify_allgather(msg, Scheme::Default).unwrap();
-            for mapper in [Mapper::Hrstc, Mapper::ScotchLike, Mapper::Greedy, Mapper::MvapichCyclic] {
+            for mapper in [
+                Mapper::Hrstc,
+                Mapper::ScotchLike,
+                Mapper::Greedy,
+                Mapper::MvapichCyclic,
+            ] {
                 for fix in [OrderFix::InitComm, OrderFix::EndShuffle] {
                     s.verify_allgather(msg, Scheme::Reordered { mapper, fix })
                         .unwrap_or_else(|e| panic!("{mapper:?}/{fix:?}/{msg}: {e}"));
@@ -922,7 +938,9 @@ mod tests {
         let mut cores: Vec<_> = cluster.cores().collect();
         cores.shuffle(&mut rand::rngs::StdRng::seed_from_u64(17));
         let mut s = Session::new(cluster, cores, SessionConfig::default());
-        let info = s.mapping(Mapper::Hrstc, PatternKind::BinomialGather).clone();
+        let info = s
+            .mapping(Mapper::Hrstc, PatternKind::BinomialGather)
+            .clone();
         let g = pattern_graph(&binomial_gather(64, Rank(0)), 8192);
         let ident: Vec<u32> = (0..64).collect();
         let before = tarr_mapping::mapping_cost(&g, s.distance_matrix(), &ident);
@@ -938,7 +956,9 @@ mod tests {
     fn allgatherv_reordering_helps_cyclic() {
         let mut s = session(InitialMapping::CYCLIC_BUNCH, 8);
         // Skewed sizes: a handful of heavy contributors.
-        let sizes: Vec<u64> = (0..64u64).map(|r| if r % 8 == 0 { 65536 } else { 64 }).collect();
+        let sizes: Vec<u64> = (0..64u64)
+            .map(|r| if r % 8 == 0 { 65536 } else { 64 })
+            .collect();
         let b = s.allgatherv_time(&sizes, Scheme::Default);
         let r = s.allgatherv_time(&sizes, Scheme::hrstc(OrderFix::InPlace));
         assert!(r < b, "allgatherv cyclic: {b} -> {r}");
@@ -990,7 +1010,10 @@ mod tests {
         let rd = s.allreduce_time(v, false, Scheme::Default);
         let rab = s.allreduce_time(v, true, Scheme::Default);
         assert!(rd > 0.0 && rab > 0.0);
-        assert!(rab < rd, "rabenseifner {rab} must beat rd {rd} for large vectors");
+        assert!(
+            rab < rd,
+            "rabenseifner {rab} must beat rd {rd} for large vectors"
+        );
         // Reordering reuses the RD mapping and changes the time.
         let r = s.allreduce_time(v, true, Scheme::hrstc(OrderFix::InitComm));
         assert!(r.is_finite() && r > 0.0);
@@ -1046,11 +1069,14 @@ mod tests {
         let m = t.mapping(Mapper::Hrstc, PatternKind::Ring).mapping.clone();
         assert!(tarr_mapping::is_permutation(&m));
         // Consecutive new ranks within the first node share that node.
-        let cores: Vec<_> = (0..8).map(|r| t.comm().reordered(&m).core_of(Rank(r))).collect();
+        let cores: Vec<_> = (0..8)
+            .map(|r| t.comm().reordered(&m).core_of(Rank(r)))
+            .collect();
         let node0 = t.cluster().node_of(cores[0]);
         assert!(cores.iter().all(|&c| t.cluster().node_of(c) == node0));
         // Functional correctness holds through the snake path too.
-        t.verify_allgather(65536, Scheme::hrstc(OrderFix::InitComm)).unwrap();
+        t.verify_allgather(65536, Scheme::hrstc(OrderFix::InitComm))
+            .unwrap();
     }
 
     #[test]

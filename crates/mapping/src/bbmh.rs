@@ -10,8 +10,9 @@
 //! cores are still available. The opposite order (larger subtrees first, the
 //! Subramoni et al. choice) is kept for the ablation study.
 
-use crate::scheme::MappingContext;
-use tarr_topo::DistanceMatrix;
+use crate::bucket::BucketContext;
+use crate::scheme::{MappingContext, PlacementContext};
+use tarr_topo::{DistanceOracle, ImplicitDistance};
 
 /// Order in which a node's children are visited during the recursive
 /// mapping.
@@ -24,32 +25,46 @@ pub enum TraversalOrder {
     LargerFirst,
 }
 
-/// Compute the BBMH mapping with an explicit traversal order.
+/// Compute the BBMH mapping with an explicit traversal order, via a linear
+/// scan over any distance oracle.
 ///
 /// Works for any process count (children past `p` are skipped, matching the
 /// broadcast schedule's clipping).
-pub fn bbmh_with_order(d: &DistanceMatrix, seed: u64, order: TraversalOrder) -> Vec<u32> {
-    let p = d.len() as u32;
-    let mut m = vec![u32::MAX; p as usize];
-    let mut ctx = MappingContext::new(d, seed);
-    m[0] = 0;
-    ctx.take(0);
-    rec_binomial_map(0, p, order, &mut m, &mut ctx);
-    m
+pub fn bbmh_with_order<O: DistanceOracle>(d: &O, seed: u64, order: TraversalOrder) -> Vec<u32> {
+    bbmh_in(&mut MappingContext::new(d, seed), order)
 }
 
 /// BBMH with the paper's smaller-subtree-first traversal.
-pub fn bbmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+pub fn bbmh<O: DistanceOracle>(d: &O, seed: u64) -> Vec<u32> {
     bbmh_with_order(d, seed, TraversalOrder::SmallerFirst)
 }
 
+/// BBMH over the bucketed free-slot index: same mapping as [`bbmh`] for the
+/// same seed, in O(P) memory and sublinear per-step time.
+pub fn bbmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
+    bbmh_in(
+        &mut BucketContext::new(o, seed),
+        TraversalOrder::SmallerFirst,
+    )
+}
+
+/// Algorithm 4 against any placement context.
+pub fn bbmh_in<C: PlacementContext>(ctx: &mut C, order: TraversalOrder) -> Vec<u32> {
+    let p = ctx.len() as u32;
+    let mut m = vec![u32::MAX; p as usize];
+    m[0] = 0;
+    ctx.take(0);
+    rec_binomial_map(0, p, order, &mut m, ctx);
+    m
+}
+
 /// The recursive mapping procedure of Algorithm 4 (`RecBinomialMap`).
-fn rec_binomial_map(
+fn rec_binomial_map<C: PlacementContext>(
     r: u32,
     p: u32,
     order: TraversalOrder,
     m: &mut [u32],
-    ctx: &mut MappingContext<'_>,
+    ctx: &mut C,
 ) {
     // Children of r in the binomial tree: r + i for i = 1, 2, 4, … while the
     // corresponding bit of r is clear and i below the tree height (i ≤ p/2

@@ -9,15 +9,27 @@
 //! joins `V`. This mirrors the Hoefler–Snir greedy rationale, but derives
 //! the pattern in closed form — no process-topology graph is built.
 
-use crate::scheme::MappingContext;
-use tarr_topo::DistanceMatrix;
+use crate::bucket::BucketContext;
+use crate::scheme::{MappingContext, PlacementContext};
+use tarr_topo::{DistanceOracle, ImplicitDistance};
 
-/// Compute the BGMH mapping: `m[new_rank] = slot`. Works for any process
-/// count (children past `p` are skipped).
-pub fn bgmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
-    let p = d.len() as u32;
+/// Compute the BGMH mapping: `m[new_rank] = slot`, via a linear scan over
+/// any distance oracle. Works for any process count (children past `p` are
+/// skipped).
+pub fn bgmh<O: DistanceOracle>(d: &O, seed: u64) -> Vec<u32> {
+    bgmh_in(&mut MappingContext::new(d, seed))
+}
+
+/// BGMH over the bucketed free-slot index: same mapping as [`bgmh`] for the
+/// same seed, in O(P) memory and sublinear per-step time.
+pub fn bgmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
+    bgmh_in(&mut BucketContext::new(o, seed))
+}
+
+/// Algorithm 5 against any placement context.
+pub fn bgmh_in<C: PlacementContext>(ctx: &mut C) -> Vec<u32> {
+    let p = ctx.len() as u32;
     let mut m = vec![u32::MAX; p as usize];
-    let mut ctx = MappingContext::new(d, seed);
     m[0] = 0;
     ctx.take(0);
 

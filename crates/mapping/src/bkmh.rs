@@ -9,15 +9,27 @@
 //! two placements. Unlike RDMH it works for any `p` — Bruck's partners are
 //! additive (mod p) rather than XOR, so no power-of-two structure is needed.
 
-use crate::scheme::MappingContext;
-use tarr_topo::DistanceMatrix;
+use crate::bucket::BucketContext;
+use crate::scheme::{MappingContext, PlacementContext};
+use tarr_topo::{DistanceOracle, ImplicitDistance};
 
-/// Compute the BKMH mapping: `m[new_rank] = slot`, for any `p ≥ 1`.
-pub fn bkmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
-    let p = d.len() as u32;
+/// Compute the BKMH mapping: `m[new_rank] = slot`, for any `p ≥ 1`, via a
+/// linear scan over any distance oracle.
+pub fn bkmh<O: DistanceOracle>(d: &O, seed: u64) -> Vec<u32> {
+    bkmh_in(&mut MappingContext::new(d, seed))
+}
+
+/// BKMH over the bucketed free-slot index: same mapping as [`bkmh`] for the
+/// same seed, in O(P) memory and sublinear per-step time.
+pub fn bkmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
+    bkmh_in(&mut BucketContext::new(o, seed))
+}
+
+/// The BKMH procedure against any placement context.
+pub fn bkmh_in<C: PlacementContext>(ctx: &mut C) -> Vec<u32> {
+    let p = ctx.len() as u32;
     let mut m = vec![u32::MAX; p as usize];
     let mut mapped = vec![false; p as usize];
-    let mut ctx = MappingContext::new(d, seed);
 
     m[0] = 0;
     mapped[0] = true;

@@ -8,10 +8,10 @@
 //! a single greedy sweep.
 
 use tarr_collectives::pattern::PatternGraph;
-use tarr_topo::DistanceMatrix;
+use tarr_topo::DistanceOracle;
 
 /// Compute a greedy mapping `m[rank] = slot`, with rank 0 fixed on slot 0.
-pub fn greedy_map(graph: &PatternGraph, d: &DistanceMatrix) -> Vec<u32> {
+pub fn greedy_map<O: DistanceOracle>(graph: &PatternGraph, d: &O) -> Vec<u32> {
     assert_eq!(graph.p as usize, d.len(), "graph/matrix size mismatch");
     let p = d.len();
     let mut m = vec![u32::MAX; p];
@@ -21,11 +21,11 @@ pub fn greedy_map(graph: &PatternGraph, d: &DistanceMatrix) -> Vec<u32> {
     let mut conn = vec![0u64; p];
 
     let place = |r: usize,
-                     slot: usize,
-                     m: &mut [u32],
-                     mapped: &mut [bool],
-                     free: &mut [bool],
-                     conn: &mut [u64]| {
+                 slot: usize,
+                 m: &mut [u32],
+                 mapped: &mut [bool],
+                 free: &mut [bool],
+                 conn: &mut [u64]| {
         m[r] = slot as u32;
         mapped[r] = true;
         free[slot] = false;
@@ -57,7 +57,7 @@ pub fn greedy_map(graph: &PatternGraph, d: &DistanceMatrix) -> Vec<u32> {
             let mut cost = 0u64;
             for &(j, w) in &graph.adj[best_r] {
                 if mapped[j as usize] {
-                    cost += w * d.get(slot, m[j as usize] as usize) as u64;
+                    cost += w * d.distance(slot, m[j as usize] as usize) as u64;
                 }
             }
             if cost < best_cost {
@@ -76,7 +76,7 @@ mod tests {
     use crate::{is_permutation, mapping_cost};
     use tarr_collectives::allgather::{recursive_doubling, ring};
     use tarr_collectives::pattern_graph;
-    use tarr_topo::{Cluster, CoreId, DistanceConfig};
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
 
     fn matrix_cyclic(nodes: usize) -> DistanceMatrix {
         let c = Cluster::gpc(nodes);

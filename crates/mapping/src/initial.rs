@@ -88,7 +88,10 @@ impl InitialMapping {
     /// most the cluster size (whole nodes are allocated, as on GPC).
     pub fn layout(&self, cluster: &Cluster, p: usize) -> Vec<CoreId> {
         let cpn = cluster.cores_per_node();
-        assert!(p > 0 && p.is_multiple_of(cpn), "p must be a positive multiple of {cpn}");
+        assert!(
+            p > 0 && p.is_multiple_of(cpn),
+            "p must be a positive multiple of {cpn}"
+        );
         let nodes = p / cpn;
         assert!(
             nodes <= cluster.num_nodes(),
@@ -153,7 +156,10 @@ impl InitialMapping {
 /// usual `m[new_rank] = slot` convention for a job of `p` ranks on nodes of
 /// `cpn` cores.
 pub fn mvapich_cyclic_reorder(p: usize, cpn: usize) -> Vec<u32> {
-    assert!(p > 0 && p.is_multiple_of(cpn), "p must be a multiple of cpn");
+    assert!(
+        p > 0 && p.is_multiple_of(cpn),
+        "p must be a multiple of cpn"
+    );
     let nodes = p / cpn;
     (0..p)
         .map(|r| ((r % nodes) * cpn + r / nodes) as u32)
@@ -220,7 +226,12 @@ mod tests {
         let names: Vec<&str> = InitialMapping::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["block-bunch", "block-scatter", "cyclic-bunch", "cyclic-scatter"]
+            vec![
+                "block-bunch",
+                "block-scatter",
+                "cyclic-bunch",
+                "cyclic-scatter"
+            ]
         );
     }
 

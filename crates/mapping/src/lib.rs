@@ -38,6 +38,7 @@
 pub mod bbmh;
 pub mod bgmh;
 pub mod bkmh;
+pub mod bucket;
 pub mod greedy;
 pub mod initial;
 pub mod rdmh;
@@ -46,15 +47,16 @@ pub mod rmh;
 pub mod scheme;
 pub mod scotchlike;
 
-pub use bbmh::{bbmh, bbmh_with_order, TraversalOrder};
-pub use bgmh::bgmh;
-pub use bkmh::bkmh;
+pub use bbmh::{bbmh, bbmh_bucketed, bbmh_with_order, TraversalOrder};
+pub use bgmh::{bgmh, bgmh_bucketed};
+pub use bkmh::{bkmh, bkmh_bucketed};
+pub use bucket::BucketContext;
 pub use greedy::greedy_map;
 pub use initial::{InitialMapping, IntraOrder, NodeOrder};
-pub use rdmh::rdmh;
+pub use rdmh::{rdmh, rdmh_bucketed, rdmh_with_cadence};
 pub use reorder::{end_shuffle_perm, init_comm_schedule, ring_placement, OrderFix};
-pub use rmh::rmh;
-pub use scheme::MappingContext;
+pub use rmh::{rmh, rmh_bucketed};
+pub use scheme::{MappingContext, PlacementContext};
 pub use scotchlike::{scotch_like_map, scotch_like_map_with, ScotchVariant};
 
 /// Check that `m` is a permutation of `0..m.len()` (every mapping must be).
@@ -75,9 +77,15 @@ pub fn is_permutation(m: &[u32]) -> bool {
 /// Invert a mapping: `inv[old] = new` given `m[new] = old`.
 ///
 /// # Panics
-/// Panics (in debug) if `m` is not a permutation.
+/// Panics if `m` is not a permutation of `0..m.len()` — a non-permutation
+/// would silently produce an inverse with aliased entries, so the input is
+/// validated unconditionally.
 pub fn invert(m: &[u32]) -> Vec<u32> {
-    debug_assert!(is_permutation(m));
+    assert!(
+        is_permutation(m),
+        "invert: input is not a permutation of 0..{}",
+        m.len()
+    );
     let mut inv = vec![0u32; m.len()];
     for (new, &old) in m.iter().enumerate() {
         inv[old as usize] = new as u32;
@@ -88,9 +96,9 @@ pub fn invert(m: &[u32]) -> Vec<u32> {
 /// Total weighted communication cost of a mapping: `Σ w(a,b) · D(M[a], M[b])`
 /// over the pattern's edges. The objective every mapper minimizes, used to
 /// compare mapping quality independent of the network simulator.
-pub fn mapping_cost(
+pub fn mapping_cost<O: tarr_topo::DistanceOracle>(
     graph: &tarr_collectives::pattern::PatternGraph,
-    d: &tarr_topo::DistanceMatrix,
+    d: &O,
     m: &[u32],
 ) -> u64 {
     assert_eq!(graph.p as usize, m.len());
@@ -98,7 +106,7 @@ pub fn mapping_cost(
     for (a, nbrs) in graph.adj.iter().enumerate() {
         for &(b, w) in nbrs {
             if (b as usize) > a {
-                cost += w * d.get(m[a] as usize, m[b as usize] as usize) as u64;
+                cost += w * d.distance(m[a] as usize, m[b as usize] as usize) as u64;
             }
         }
     }
@@ -126,5 +134,17 @@ mod tests {
         for (new, &old) in m.iter().enumerate() {
             assert_eq!(inv[old as usize] as usize, new);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invert_rejects_duplicate_entries() {
+        invert(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invert_rejects_out_of_range_entries() {
+        invert(&[0, 1, 3]);
     }
 }

@@ -9,10 +9,12 @@
 //! last-stage partner also communicates with already-placed ranks in the
 //! second-to-last stage — the paper's two-fold rationale).
 
-use crate::scheme::MappingContext;
-use tarr_topo::DistanceMatrix;
+use crate::bucket::BucketContext;
+use crate::scheme::{MappingContext, PlacementContext};
+use tarr_topo::{DistanceOracle, ImplicitDistance};
 
-/// Compute the RDMH mapping: `m[new_rank] = slot`.
+/// Compute the RDMH mapping: `m[new_rank] = slot`, via a linear scan over
+/// any distance oracle.
 ///
 /// `update_after` is the number of processes mapped against one reference
 /// core before the reference is updated; the paper uses 2 (Algorithm 2 line
@@ -21,15 +23,31 @@ use tarr_topo::DistanceMatrix;
 /// # Panics
 /// Panics unless the process count is a power of two (recursive doubling's
 /// own requirement).
-pub fn rdmh_with_cadence(d: &DistanceMatrix, seed: u64, update_after: u32) -> Vec<u32> {
-    let p = d.len();
-    assert!(p.is_power_of_two(), "RDMH needs a power-of-two process count");
+pub fn rdmh_with_cadence<O: DistanceOracle>(d: &O, seed: u64, update_after: u32) -> Vec<u32> {
+    rdmh_in(&mut MappingContext::new(d, seed), update_after)
+}
+
+/// RDMH over the bucketed free-slot index: same mapping as [`rdmh`] for the
+/// same seed, in O(P) memory and sublinear per-step time.
+pub fn rdmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
+    rdmh_in(&mut BucketContext::new(o, seed), 2)
+}
+
+/// Algorithm 2 against any placement context.
+///
+/// # Panics
+/// Panics unless the process count is a power of two.
+pub fn rdmh_in<C: PlacementContext>(ctx: &mut C, update_after: u32) -> Vec<u32> {
+    let p = ctx.len();
+    assert!(
+        p.is_power_of_two(),
+        "RDMH needs a power-of-two process count"
+    );
     assert!(update_after >= 1, "reference update cadence must be ≥ 1");
     let p32 = p as u32;
 
     let mut m = vec![u32::MAX; p];
     let mut mapped = vec![false; p];
-    let mut ctx = MappingContext::new(d, seed);
 
     // Fix rank 0 on its current core; choose it as the reference.
     m[0] = 0;
@@ -95,7 +113,7 @@ pub fn rdmh_with_cadence(d: &DistanceMatrix, seed: u64, update_after: u32) -> Ve
 }
 
 /// RDMH with the paper's reference-update cadence (2).
-pub fn rdmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+pub fn rdmh<O: DistanceOracle>(d: &O, seed: u64) -> Vec<u32> {
     rdmh_with_cadence(d, seed, 2)
 }
 
@@ -150,7 +168,7 @@ mod tests {
         let d = matrix(4); // p = 32
         let m = rdmh(&d, 0);
         let half = m[16] as usize; // rank p/2 = 16
-        // Same socket as slot 0 ⇒ distance = socket level (2).
+                                   // Same socket as slot 0 ⇒ distance = socket level (2).
         assert!(d.get(0, half) <= 2, "rank 16 on slot {half}");
     }
 

@@ -117,7 +117,6 @@ pub fn reordered_init_state(m: &[u32], in_place: bool) -> tarr_mpi::FunctionalSt
 mod tests {
     use super::*;
     use tarr_collectives::allgather::{recursive_doubling, ring_with_placement};
-    
 
     /// A scrambled but fixed mapping for 8 ranks.
     fn m8() -> Vec<u32> {

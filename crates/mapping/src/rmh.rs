@@ -5,14 +5,26 @@
 //! chains the ranks: rank 1 as close as possible to rank 0, rank 2 as close
 //! as possible to rank 1, and so on; the reference core advances every step.
 
-use crate::scheme::MappingContext;
-use tarr_topo::DistanceMatrix;
+use crate::bucket::BucketContext;
+use crate::scheme::{MappingContext, PlacementContext};
+use tarr_topo::{DistanceOracle, ImplicitDistance};
 
-/// Compute the RMH mapping: `m[new_rank] = slot`.
-pub fn rmh(d: &DistanceMatrix, seed: u64) -> Vec<u32> {
-    let p = d.len();
+/// Compute the RMH mapping: `m[new_rank] = slot`, via a linear scan over any
+/// distance oracle.
+pub fn rmh<O: DistanceOracle>(d: &O, seed: u64) -> Vec<u32> {
+    rmh_in(&mut MappingContext::new(d, seed))
+}
+
+/// RMH over the bucketed free-slot index: same mapping as [`rmh`] for the
+/// same seed, in O(P) memory and sublinear per-step time.
+pub fn rmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
+    rmh_in(&mut BucketContext::new(o, seed))
+}
+
+/// Algorithm 3 against any placement context.
+pub fn rmh_in<C: PlacementContext>(ctx: &mut C) -> Vec<u32> {
+    let p = ctx.len();
     let mut m = vec![u32::MAX; p];
-    let mut ctx = MappingContext::new(d, seed);
 
     m[0] = 0;
     ctx.take(0);

@@ -1,102 +1,159 @@
-//! Algorithm 1 — the general scheme shared by all four heuristics.
+//! Algorithm 1 — the general scheme shared by all the heuristics.
 //!
 //! The scheme state tracks which slots (cores) are still free and answers
 //! `find_closest_to(reference)` queries: the free slot with minimum distance
 //! from the reference slot, ties broken uniformly at random (the paper: "if
 //! more than one core satisfy this condition, one of them is chosen
 //! randomly"). Randomness is seeded for reproducibility.
+//!
+//! Two interchangeable implementations exist: [`MappingContext`], a linear
+//! scan over any [`DistanceOracle`], and
+//! [`BucketContext`](crate::bucket::BucketContext), a bucketed free-slot
+//! index over the implicit oracle that answers the same queries without
+//! touching all P slots. To let them produce **bit-identical** choices, the
+//! tie-break is defined canonically for both:
+//!
+//! 1. find the minimum distance and the number `k` of free slots at it;
+//! 2. draw one `gen_range(0..k)` from the seeded RNG **only when `k > 1`**;
+//! 3. pick the drawn candidate counting in **ascending physical-core-id
+//!    order**.
+//!
+//! Because the RNG is consumed identically (`k` depends only on the free
+//! set, not on how it is scanned) and the candidate ordering is a property
+//! of the hardware, any two correct implementations walk the same mapping
+//! for a fixed seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tarr_topo::DistanceMatrix;
+use tarr_topo::DistanceOracle;
 
-/// Shared state of a running mapping heuristic.
-pub struct MappingContext<'a> {
-    d: &'a DistanceMatrix,
-    free: Vec<bool>,
-    free_count: usize,
-    rng: StdRng,
+/// The canonical tie-break draw: uniform in `0..k`, consuming RNG only for
+/// genuine ties. Both context implementations must use this.
+pub(crate) fn tie_break(rng: &mut StdRng, k: usize) -> usize {
+    if k <= 1 {
+        0
+    } else {
+        rng.gen_range(0..k)
+    }
 }
 
-impl<'a> MappingContext<'a> {
-    /// Fresh context over the distance matrix; all slots free.
-    pub fn new(d: &'a DistanceMatrix, seed: u64) -> Self {
-        let p = d.len();
-        MappingContext {
-            d,
-            free: vec![true; p],
-            free_count: p,
-            rng: StdRng::seed_from_u64(seed),
-        }
-    }
-
+/// The slot-placement interface of Algorithm 1, as consumed by every
+/// heuristic: query the closest free slot to a reference, claim slots.
+pub trait PlacementContext {
     /// Number of slots (= processes).
-    pub fn len(&self) -> usize {
-        self.d.len()
-    }
+    fn len(&self) -> usize;
 
     /// Whether no slots exist (never true in practice).
-    pub fn is_empty(&self) -> bool {
-        self.d.is_empty()
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Number of slots still free.
-    pub fn free_count(&self) -> usize {
-        self.free_count
-    }
+    fn free_count(&self) -> usize;
 
     /// Mark `slot` as taken.
     ///
     /// # Panics
     /// Panics if the slot was already taken.
-    pub fn take(&mut self, slot: usize) {
-        assert!(self.free[slot], "slot {slot} taken twice");
-        self.free[slot] = false;
-        self.free_count -= 1;
-    }
+    fn take(&mut self, slot: usize);
 
     /// The free slot closest to `reference` (which need not be free), ties
     /// broken uniformly at random; the slot is *not* taken.
     ///
     /// # Panics
     /// Panics if no free slot remains.
-    pub fn find_closest_to(&mut self, reference: usize) -> usize {
-        assert!(self.free_count > 0, "no free slots left");
-        let row = self.d.row(reference);
-        let mut best = u16::MAX;
-        let mut choice = usize::MAX;
-        let mut ties = 0u32;
-        for (slot, (&dist, &free)) in row.iter().zip(&self.free).enumerate() {
-            if !free {
-                continue;
-            }
-            if dist < best {
-                best = dist;
-                choice = slot;
-                ties = 1;
-            } else if dist == best {
-                // Reservoir sampling keeps each tied slot equally likely.
-                ties += 1;
-                if self.rng.gen_range(0..ties) == 0 {
-                    choice = slot;
-                }
-            }
-        }
-        choice
-    }
+    fn find_closest_to(&mut self, reference: usize) -> usize;
 
     /// `find_closest_to` followed by `take` — the common step of Algorithm 1.
-    pub fn claim_closest_to(&mut self, reference: usize) -> usize {
+    fn claim_closest_to(&mut self, reference: usize) -> usize {
         let slot = self.find_closest_to(reference);
         self.take(slot);
         slot
     }
 }
 
+/// Linear-scan placement state over any distance oracle.
+///
+/// Reference implementation: every query walks all slots. Works with the
+/// dense matrix (the validation path) and the implicit oracle alike; for
+/// large P prefer [`BucketContext`](crate::bucket::BucketContext).
+pub struct MappingContext<'a, O: DistanceOracle = tarr_topo::DistanceMatrix> {
+    d: &'a O,
+    free: Vec<bool>,
+    free_count: usize,
+    /// Slot indices in ascending physical-core-id order — the canonical
+    /// candidate order (allocation order need not follow core ids, e.g.
+    /// under cyclic layouts).
+    order: Vec<u32>,
+    rng: StdRng,
+}
+
+impl<'a, O: DistanceOracle> MappingContext<'a, O> {
+    /// Fresh context over the oracle; all slots free.
+    pub fn new(d: &'a O, seed: u64) -> Self {
+        let p = d.len();
+        let mut order: Vec<u32> = (0..p as u32).collect();
+        order.sort_unstable_by_key(|&s| d.slot_core(s as usize));
+        MappingContext {
+            d,
+            free: vec![true; p],
+            free_count: p,
+            order,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<O: DistanceOracle> PlacementContext for MappingContext<'_, O> {
+    fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    fn take(&mut self, slot: usize) {
+        assert!(self.free[slot], "slot {slot} taken twice");
+        self.free[slot] = false;
+        self.free_count -= 1;
+    }
+
+    fn find_closest_to(&mut self, reference: usize) -> usize {
+        assert!(self.free_count > 0, "no free slots left");
+        let mut best = u16::MAX;
+        let mut k = 0usize;
+        for &slot in &self.order {
+            if !self.free[slot as usize] {
+                continue;
+            }
+            let dist = self.d.distance(reference, slot as usize);
+            if dist < best {
+                best = dist;
+                k = 1;
+            } else if dist == best {
+                k += 1;
+            }
+        }
+        let pick = tie_break(&mut self.rng, k);
+        let mut seen = 0usize;
+        for &slot in &self.order {
+            if !self.free[slot as usize] || self.d.distance(reference, slot as usize) != best {
+                continue;
+            }
+            if seen == pick {
+                return slot as usize;
+            }
+            seen += 1;
+        }
+        unreachable!("tie-break index {pick} beyond {k} candidates")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tarr_topo::{Cluster, CoreId, DistanceConfig};
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
 
     fn ctx_for(nodes: usize) -> (Cluster, Vec<CoreId>) {
         let c = Cluster::gpc(nodes);
@@ -160,6 +217,42 @@ mod tests {
         // at the first step).
         let baseline = run(0);
         assert!((1..20).any(|s| run(s) != baseline));
+    }
+
+    #[test]
+    fn singleton_minimum_consumes_no_randomness() {
+        // With a unique closest slot the RNG must not advance, so a
+        // subsequent genuine tie is broken identically regardless of how
+        // many singleton queries preceded it.
+        let (c, cores) = ctx_for(2);
+        let d = DistanceMatrix::build(&c, &cores, &DistanceConfig::default());
+        let run = |warmup_singletons: bool| -> usize {
+            let mut ctx = MappingContext::new(&d, 99);
+            for s in [0usize, 1, 2] {
+                ctx.take(s);
+            }
+            if warmup_singletons {
+                // Slot 3 is the unique same-socket candidate: k = 1.
+                let s = ctx.find_closest_to(0);
+                assert_eq!(s, 3);
+                let s = ctx.find_closest_to(0);
+                assert_eq!(s, 3);
+            }
+            ctx.take(3);
+            // Now slots 4–7 tie at node distance: k = 4, one RNG draw.
+            ctx.find_closest_to(0)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn works_over_implicit_oracle() {
+        let (c, cores) = ctx_for(2);
+        let o = tarr_topo::ImplicitDistance::build(&c, &cores, &DistanceConfig::default());
+        let mut ctx = MappingContext::new(&o, 42);
+        ctx.take(0);
+        let s = ctx.claim_closest_to(0);
+        assert!((1..=3).contains(&s), "got {s}");
     }
 
     #[test]

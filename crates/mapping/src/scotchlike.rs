@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tarr_collectives::pattern::PatternGraph;
-use tarr_topo::DistanceMatrix;
+use tarr_topo::DistanceOracle;
 
 /// How the host (architecture) side is bisected.
 ///
@@ -42,14 +42,14 @@ pub enum ScotchVariant {
 
 /// Compute a mapping `m[rank] = slot` by dual recursive bipartitioning with
 /// the paper-default variant.
-pub fn scotch_like_map(graph: &PatternGraph, d: &DistanceMatrix, seed: u64) -> Vec<u32> {
+pub fn scotch_like_map<O: DistanceOracle>(graph: &PatternGraph, d: &O, seed: u64) -> Vec<u32> {
     scotch_like_map_with(graph, d, seed, ScotchVariant::PaperDefault)
 }
 
 /// Compute a mapping `m[rank] = slot` by dual recursive bipartitioning.
-pub fn scotch_like_map_with(
+pub fn scotch_like_map_with<O: DistanceOracle>(
     graph: &PatternGraph,
-    d: &DistanceMatrix,
+    d: &O,
     seed: u64,
     variant: ScotchVariant,
 ) -> Vec<u32> {
@@ -65,9 +65,9 @@ pub fn scotch_like_map_with(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn map_rec(
+fn map_rec<O: DistanceOracle>(
     graph: &PatternGraph,
-    d: &DistanceMatrix,
+    d: &O,
     ranks: Vec<u32>,
     slots: Vec<usize>,
     m: &mut [u32],
@@ -97,18 +97,18 @@ fn map_rec(
 /// Paper-default host bisection: two far-apart seeds, every slot goes to the
 /// side it is *relatively* closer to, ties (slots equidistant from both
 /// seeds) broken by index order — which arbitrarily splits third-party nodes.
-fn bisect_host_affinity(d: &DistanceMatrix, slots: &[usize]) -> (Vec<usize>, Vec<usize>) {
+fn bisect_host_affinity<O: DistanceOracle>(d: &O, slots: &[usize]) -> (Vec<usize>, Vec<usize>) {
     let n = slots.len();
     let seed_a = slots[0];
     let seed_b = *slots
         .iter()
-        .max_by_key(|&&s| d.get(seed_a, s))
+        .max_by_key(|&&s| d.distance(seed_a, s))
         .expect("non-empty");
 
     // Affinity = d(s, seed_b) − d(s, seed_a): larger means more a-side.
     let mut order: Vec<usize> = slots.to_vec();
     order.sort_by_key(|&s| {
-        let aff = d.get(s, seed_b) as i32 - d.get(s, seed_a) as i32;
+        let aff = d.distance(s, seed_b) as i32 - d.distance(s, seed_a) as i32;
         (-aff, s)
     });
     let half = n.div_ceil(2);
@@ -123,14 +123,14 @@ fn bisect_host_affinity(d: &DistanceMatrix, slots: &[usize]) -> (Vec<usize>, Vec
 /// seeds; repeatedly assign the most *decided* remaining slot (largest gap
 /// between its distances to the two growing clusters) to its nearer side, so
 /// whole nodes and sockets stay together.
-fn bisect_host_linkage(d: &DistanceMatrix, slots: &[usize]) -> (Vec<usize>, Vec<usize>) {
+fn bisect_host_linkage<O: DistanceOracle>(d: &O, slots: &[usize]) -> (Vec<usize>, Vec<usize>) {
     let n = slots.len();
     let cap_a = n.div_ceil(2);
     let cap_b = n - cap_a;
     let seed_a = slots[0];
     let seed_b = *slots
         .iter()
-        .max_by_key(|&&s| d.get(seed_a, s))
+        .max_by_key(|&&s| d.distance(seed_a, s))
         .expect("non-empty");
 
     let mut a = vec![seed_a];
@@ -141,8 +141,8 @@ fn bisect_host_linkage(d: &DistanceMatrix, slots: &[usize]) -> (Vec<usize>, Vec<
         .filter(|&s| s != seed_a && s != seed_b)
         .collect();
     // Single-linkage distances to each cluster, updated incrementally.
-    let mut da: Vec<u16> = remaining.iter().map(|&s| d.get(s, seed_a)).collect();
-    let mut db: Vec<u16> = remaining.iter().map(|&s| d.get(s, seed_b)).collect();
+    let mut da: Vec<u16> = remaining.iter().map(|&s| d.distance(s, seed_a)).collect();
+    let mut db: Vec<u16> = remaining.iter().map(|&s| d.distance(s, seed_b)).collect();
 
     while !remaining.is_empty() {
         // Most decided slot first.
@@ -167,12 +167,12 @@ fn bisect_host_linkage(d: &DistanceMatrix, slots: &[usize]) -> (Vec<usize>, Vec<
         if to_a {
             a.push(s);
             for (i, &r) in remaining.iter().enumerate() {
-                da[i] = da[i].min(d.get(r, s));
+                da[i] = da[i].min(d.distance(r, s));
             }
         } else {
             b.push(s);
             for (i, &r) in remaining.iter().enumerate() {
-                db[i] = db[i].min(d.get(r, s));
+                db[i] = db[i].min(d.distance(r, s));
             }
         }
     }
@@ -253,13 +253,25 @@ fn bisect_guest(
         g
     };
 
-    let mut b: Vec<u32> = ranks.iter().copied().filter(|&r| !in_a[r as usize]).collect();
+    let mut b: Vec<u32> = ranks
+        .iter()
+        .copied()
+        .filter(|&r| !in_a[r as usize])
+        .collect();
     let max_swaps = n.min(64);
     for _ in 0..max_swaps {
         // Consider the top boundary candidates on each side.
         const K: usize = 16;
-        let mut ga: Vec<(i64, usize)> = a.iter().enumerate().map(|(i, &r)| (gain(r, &in_a), i)).collect();
-        let mut gb: Vec<(i64, usize)> = b.iter().enumerate().map(|(i, &r)| (gain(r, &in_a), i)).collect();
+        let mut ga: Vec<(i64, usize)> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (gain(r, &in_a), i))
+            .collect();
+        let mut gb: Vec<(i64, usize)> = b
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (gain(r, &in_a), i))
+            .collect();
         ga.sort_unstable_by_key(|&(g, _)| -g);
         gb.sort_unstable_by_key(|&(g, _)| -g);
         let mut best: Option<(i64, usize, usize)> = None;
@@ -297,7 +309,7 @@ mod tests {
     use crate::{is_permutation, mapping_cost};
     use tarr_collectives::allgather::ring;
     use tarr_collectives::pattern_graph;
-    use tarr_topo::{Cluster, CoreId, DistanceConfig};
+    use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix};
 
     fn matrix(nodes: usize) -> DistanceMatrix {
         let c = Cluster::gpc(nodes);

@@ -100,7 +100,10 @@ impl Communicator {
     /// leader communicator contains all leaders ordered by leader rank.
     ///
     /// Returns `(node_comms, leader_comm, node_index_of_rank)`.
-    pub fn split_by_node(&self, cluster: &Cluster) -> (Vec<Communicator>, Communicator, Vec<usize>) {
+    pub fn split_by_node(
+        &self,
+        cluster: &Cluster,
+    ) -> (Vec<Communicator>, Communicator, Vec<usize>) {
         let mut order: Vec<NodeId> = Vec::new();
         let mut groups: HashMap<NodeId, Vec<CoreId>> = HashMap::new();
         for &core in &self.cores {
@@ -191,7 +194,7 @@ mod tests {
     #[test]
     fn split_by_node_groups_and_leaders() {
         let cluster = Cluster::gpc(2); // cores 0..8 node0, 8..16 node1
-        // Interleaved ranks across the two nodes.
+                                       // Interleaved ranks across the two nodes.
         let c = comm(&[0, 8, 1, 9, 2, 10]);
         let (nodes, leaders, node_idx) = c.split_by_node(&cluster);
         assert_eq!(nodes.len(), 2);

@@ -51,7 +51,10 @@ impl std::fmt::Display for ExecError {
                 write!(f, "stage {stage}: rank {from} sends empty slot {slot}")
             }
             ExecError::MissingRaw { stage, from } => {
-                write!(f, "stage {stage}: rank {from} forwards a raw payload it lacks")
+                write!(
+                    f,
+                    "stage {stage}: rank {from} forwards a raw payload it lacks"
+                )
             }
             ExecError::Conflict { stage, to, slot } => {
                 write!(f, "stage {stage}: rank {to} slot {slot} written twice")

@@ -154,7 +154,8 @@ impl Schedule {
     /// within one stage.
     pub fn validate(&self) -> Result<(), String> {
         for (si, stage) in self.stages.iter().enumerate() {
-            let mut writes: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+            let mut writes: std::collections::HashSet<(u32, u32)> =
+                std::collections::HashSet::new();
             for op in &stage.ops {
                 if op.from.0 >= self.p || op.to.0 >= self.p {
                     return Err(format!("stage {si}: rank out of range in {op:?}"));

@@ -139,7 +139,11 @@ mod tests {
         let comm = Communicator::new(cores.clone());
         let sched = tarr_collectives_ring(p as u32);
         let before = traffic_breakdown(&sched, &comm, &cluster, 4096);
-        assert_eq!(before.intra_socket + before.qpi, 0, "cyclic ring is all network");
+        assert_eq!(
+            before.intra_socket + before.qpi,
+            0,
+            "cyclic ring is all network"
+        );
 
         let d = DistanceMatrix::build(&cluster, &cores, &DistanceConfig::default());
         let m = tarr_mapping_rmh(&d);

@@ -27,7 +27,11 @@ pub fn time_schedule(
     model: &StageModel<'_>,
     block_bytes: u64,
 ) -> f64 {
-    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    assert_eq!(
+        schedule.p as usize,
+        comm.size(),
+        "schedule/comm size mismatch"
+    );
     let mut memo: HashMap<u64, f64> = HashMap::new();
     let mut total = 0.0;
     for stage in &schedule.stages {
@@ -68,7 +72,11 @@ pub fn time_schedule_profile(
     model: &StageModel<'_>,
     block_bytes: u64,
 ) -> Vec<f64> {
-    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    assert_eq!(
+        schedule.p as usize,
+        comm.size(),
+        "schedule/comm size mismatch"
+    );
     let mut memo: HashMap<u64, f64> = HashMap::new();
     schedule
         .stages
@@ -98,7 +106,11 @@ pub fn time_schedule_sized(
     model: &StageModel<'_>,
     sizes: &[u64],
 ) -> f64 {
-    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    assert_eq!(
+        schedule.p as usize,
+        comm.size(),
+        "schedule/comm size mismatch"
+    );
     assert_eq!(sizes.len(), comm.size(), "sizes/communicator mismatch");
     let p = schedule.p;
     let mut total = 0.0;
@@ -108,9 +120,9 @@ pub fn time_schedule_sized(
             continue;
         }
         let msgs = merge_stage_with(stage, comm, |payload| match *payload {
-            crate::schedule::Payload::Blocks { src_slot, len, .. } => (0..len)
-                .map(|k| sizes[((src_slot + k) % p) as usize])
-                .sum(),
+            crate::schedule::Payload::Blocks { src_slot, len, .. } => {
+                (0..len).map(|k| sizes[((src_slot + k) % p) as usize]).sum()
+            }
             crate::schedule::Payload::Raw { bytes } => bytes,
         });
         let mut h = DefaultHasher::new();
@@ -118,9 +130,7 @@ pub fn time_schedule_sized(
             (m.src.0, m.dst.0, m.bytes).hash(&mut h);
         }
         let key = h.finish();
-        let t = *memo
-            .entry(key)
-            .or_insert_with(|| model.stage_time(&msgs));
+        let t = *memo.entry(key).or_insert_with(|| model.stage_time(&msgs));
         total += t;
     }
     total
@@ -174,7 +184,11 @@ pub fn time_schedule_async(
     params: &NetParams,
     block_bytes: u64,
 ) -> f64 {
-    assert_eq!(schedule.p as usize, comm.size(), "schedule/comm size mismatch");
+    assert_eq!(
+        schedule.p as usize,
+        comm.size(),
+        "schedule/comm size mismatch"
+    );
     let p = comm.size();
     let n_stages = schedule.stages.len();
     if n_stages == 0 {

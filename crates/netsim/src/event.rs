@@ -26,9 +26,14 @@ pub struct FlowId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
     /// Pipeline-fill latency before bytes start moving.
-    Latency { until: f64 },
+    Latency {
+        until: f64,
+    },
     /// Bytes draining at the current max-min rate.
-    Transferring { remaining: f64, rate: f64 },
+    Transferring {
+        remaining: f64,
+        rate: f64,
+    },
     Done,
 }
 
@@ -70,10 +75,7 @@ impl FlowEngine {
 
     /// Number of flows not yet completed.
     pub fn active_flows(&self) -> usize {
-        self.flows
-            .iter()
-            .filter(|f| f.phase != Phase::Done)
-            .count()
+        self.flows.iter().filter(|f| f.phase != Phase::Done).count()
     }
 
     /// Start a flow at the current time: it idles for `latency_s`, then

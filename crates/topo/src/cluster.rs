@@ -204,7 +204,8 @@ impl Cluster {
     /// Panics (in debug) if the cores are on different nodes.
     pub fn intra_level(&self, a: CoreId, b: CoreId) -> IntraLevel {
         debug_assert_eq!(self.node_of(a), self.node_of(b));
-        self.node_topo.shared_level(self.local_of(a), self.local_of(b))
+        self.node_topo
+            .shared_level(self.local_of(a), self.local_of(b))
     }
 
     /// Full channel path a message from `a` to `b` traverses.
@@ -223,16 +224,25 @@ impl Cluster {
             let sa = self.socket_of(a) as u32;
             let sb = self.socket_of(b) as u32;
             if sa == sb {
-                vec![Hop::Shm { node: na, socket: sa }]
+                vec![Hop::Shm {
+                    node: na,
+                    socket: sa,
+                }]
             } else {
                 vec![
-                    Hop::Shm { node: na, socket: sa },
+                    Hop::Shm {
+                        node: na,
+                        socket: sa,
+                    },
                     Hop::Qpi {
                         node: na,
                         from: sa,
                         to: sb,
                     },
-                    Hop::Shm { node: na, socket: sb },
+                    Hop::Shm {
+                        node: na,
+                        socket: sb,
+                    },
                 ]
             }
         } else {

@@ -158,10 +158,10 @@ impl DistanceMatrix {
                 .unwrap_or(4)
                 .min(p);
             let rows_per = p.div_ceil(workers);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (w, chunk) in d.chunks_mut(rows_per * p).enumerate() {
                     let cores = &cores;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let row0 = w * rows_per;
                         for (k, cell) in chunk.iter_mut().enumerate() {
                             let i = row0 + k / p;
@@ -170,8 +170,7 @@ impl DistanceMatrix {
                         }
                     });
                 }
-            })
-            .expect("distance matrix worker panicked");
+            });
         }
 
         DistanceMatrix {

@@ -158,7 +158,10 @@ impl FatTree {
     /// Number of switch-to-switch fabric links on the *routed* path between
     /// two nodes (0 = same leaf).
     pub fn fabric_hops(&self, src: NodeId, dst: NodeId) -> usize {
-        self.route(src, dst).iter().filter(|h| h.is_fabric()).count()
+        self.route(src, dst)
+            .iter()
+            .filter(|h| h.is_fabric())
+            .count()
     }
 
     /// Deterministic up/down route from `src` to `dst`, as a sequence of
@@ -276,7 +279,9 @@ mod tests {
             .filter(|(_, h)| matches!(h, Hop::LeafDown { .. } | Hop::LineDown { .. }))
             .map(|(i, _)| i)
             .collect();
-        assert!(up_positions.iter().all(|u| down_positions.iter().all(|d| u < d)));
+        assert!(up_positions
+            .iter()
+            .all(|u| down_positions.iter().all(|d| u < d)));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod distance;
 pub mod fattree;
 pub mod ids;
 pub mod node;
+pub mod oracle;
 pub mod path;
 pub mod torus;
 
@@ -45,5 +46,6 @@ pub use distance::{DistanceConfig, DistanceMatrix, ExtractionCostModel};
 pub use fattree::{FatTree, FatTreeConfig};
 pub use ids::{CoreId, LeafId, NodeId, Rank};
 pub use node::NodeTopology;
+pub use oracle::{DistanceOracle, ImplicitDistance, SlotPath};
 pub use path::{Hop, HopKind};
 pub use torus::Torus3D;

@@ -1,0 +1,357 @@
+//! Distance oracles — the query interface the mapping layer consumes.
+//!
+//! The dense [`DistanceMatrix`] answers `d(i, j)` from a precomputed `P × P`
+//! table: exact and fast, but quadratic in memory (128 MiB of `u16` at
+//! 8192 processes, 8 GiB at 65 536), which caps the mapping pipeline around
+//! 4096 ranks. [`ImplicitDistance`] answers the same queries in O(1) from
+//! O(P) state: one precomputed [`SlotPath`] (physical core, L2 group,
+//! socket, node and leaf keys) per slot, plus a per-leaf table of the leaves
+//! reachable through a shared line switch. The two implementations are
+//! differentially tested to agree cell-for-cell, and the dense matrix is
+//! kept as the reference/validation path.
+//!
+//! [`DistanceOracle`] abstracts over both so every heuristic, the general
+//! mappers and the cost function run unchanged against either.
+
+use crate::cluster::{Cluster, Fabric};
+use crate::distance::{DistanceConfig, DistanceMatrix};
+use crate::ids::CoreId;
+
+/// Pairwise slot distances for a job's allocated cores.
+///
+/// Slot indices are positions in the job's allocated core list (allocation
+/// order), exactly as in [`DistanceMatrix`]. Implementations must be
+/// symmetric (`d(i, j) == d(j, i)`) and agree with
+/// [`core_distance`](crate::distance::core_distance) on the underlying cores.
+pub trait DistanceOracle {
+    /// Number of slots (allocated cores).
+    fn len(&self) -> usize;
+
+    /// Whether the job has no allocated cores.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between slots `i` and `j`.
+    fn distance(&self, i: usize, j: usize) -> u16;
+
+    /// Physical core occupied by `slot`.
+    fn slot_core(&self, slot: usize) -> CoreId;
+}
+
+impl DistanceOracle for DistanceMatrix {
+    #[inline]
+    fn len(&self) -> usize {
+        DistanceMatrix::len(self)
+    }
+
+    #[inline]
+    fn distance(&self, i: usize, j: usize) -> u16 {
+        self.get(i, j)
+    }
+
+    #[inline]
+    fn slot_core(&self, slot: usize) -> CoreId {
+        self.core(slot)
+    }
+}
+
+/// Position of one slot in the physical hierarchy, with globally unique keys
+/// per level (two slots share a level iff the keys are equal).
+///
+/// With `cores_per_l2 == 1` the L2 key coincides with the physical-core key,
+/// so the "same L2, different core" relation is automatically empty —
+/// matching [`core_distance`](crate::distance::core_distance), which only reports the L2 level on
+/// topologies that have one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotPath {
+    /// Global physical-core key (`node · phys_cores_per_node + core`).
+    pub core: u32,
+    /// Global L2-group key (`node · l2_groups_per_node + group`).
+    pub l2: u32,
+    /// Global socket key (`node · sockets_per_node + socket`).
+    pub socket: u32,
+    /// Hosting node.
+    pub node: u32,
+    /// Hosting leaf switch (fat-tree) or the node again (torus, where the
+    /// "leaf" level is the node itself).
+    pub leaf: u32,
+}
+
+/// O(P)-memory distance oracle answering queries directly from the cluster
+/// hierarchy.
+///
+/// Build cost is O(P) for the slot paths plus O(L²) for the line-sharing
+/// table over the fabric's L leaf switches — negligible next to the O(P²)
+/// dense build, and the whole structure fits in a few machine words per
+/// slot regardless of P.
+#[derive(Debug, Clone)]
+pub struct ImplicitDistance {
+    cluster: Cluster,
+    cfg: DistanceConfig,
+    cores: Vec<CoreId>,
+    paths: Vec<SlotPath>,
+    /// Fat-tree only: for each leaf, the sorted *other* leaves sharing a
+    /// line switch with it (⇒ `same_line` distance). Empty for torus.
+    line_peers: Vec<Vec<u32>>,
+}
+
+impl ImplicitDistance {
+    /// Build the oracle for the given allocated cores.
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty or contains duplicates, or if `cfg` is
+    /// invalid — the same contract as [`DistanceMatrix::build`].
+    pub fn build(cluster: &Cluster, cores: &[CoreId], cfg: &DistanceConfig) -> Self {
+        cfg.validate().expect("invalid distance configuration");
+        assert!(!cores.is_empty(), "no cores allocated");
+        {
+            let mut sorted = cores.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cores.len(), "duplicate cores in allocation");
+        }
+
+        let nt = cluster.node_topology();
+        let phys_per_node = (nt.sockets * nt.cores_per_socket) as u32;
+        let l2_per_node = phys_per_node / nt.cores_per_l2 as u32;
+        let sockets = nt.sockets as u32;
+
+        let paths: Vec<SlotPath> = cores
+            .iter()
+            .map(|&c| {
+                let node = cluster.node_of(c).idx() as u32;
+                let local = cluster.local_of(c);
+                let leaf = match cluster.fabric() {
+                    Fabric::FatTree(f) => f.leaf_of(cluster.node_of(c)).idx() as u32,
+                    Fabric::Torus(_) => node,
+                };
+                SlotPath {
+                    core: node * phys_per_node + nt.core_of_local(local) as u32,
+                    l2: node * l2_per_node + nt.l2_group_of_local(local) as u32,
+                    socket: node * sockets + nt.socket_of_local(local) as u32,
+                    node,
+                    leaf,
+                }
+            })
+            .collect();
+
+        let line_peers = match cluster.fabric() {
+            Fabric::FatTree(f) => {
+                let leaves = f.num_leaves();
+                (0..leaves)
+                    .map(|a| {
+                        (0..leaves)
+                            .filter(|&b| {
+                                a != b
+                                    && f.leaves_share_line(
+                                        crate::ids::LeafId::from_idx(a),
+                                        crate::ids::LeafId::from_idx(b),
+                                    )
+                            })
+                            .map(|b| b as u32)
+                            .collect()
+                    })
+                    .collect()
+            }
+            Fabric::Torus(_) => Vec::new(),
+        };
+
+        ImplicitDistance {
+            cluster: cluster.clone(),
+            cfg: cfg.clone(),
+            cores: cores.to_vec(),
+            paths,
+            line_peers,
+        }
+    }
+
+    /// The cluster the oracle was built over.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The distance configuration in effect.
+    pub fn config(&self) -> &DistanceConfig {
+        &self.cfg
+    }
+
+    /// The allocated cores, in slot order.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Per-slot hierarchy paths, in slot order.
+    pub fn paths(&self) -> &[SlotPath] {
+        &self.paths
+    }
+
+    /// Sorted leaves sharing a line switch with `leaf` (fat-tree only;
+    /// excludes `leaf` itself).
+    ///
+    /// # Panics
+    /// Panics on a torus fabric.
+    pub fn line_peers(&self, leaf: u32) -> &[u32] {
+        assert!(
+            matches!(self.cluster.fabric(), Fabric::FatTree(_)),
+            "line switches exist only on fat-tree fabrics"
+        );
+        &self.line_peers[leaf as usize]
+    }
+}
+
+impl DistanceOracle for ImplicitDistance {
+    #[inline]
+    fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> u16 {
+        let (a, b) = (&self.paths[i], &self.paths[j]);
+        if a.core == b.core {
+            return self.cfg.same_core;
+        }
+        if a.l2 == b.l2 {
+            return self.cfg.l2;
+        }
+        if a.socket == b.socket {
+            return self.cfg.socket;
+        }
+        if a.node == b.node {
+            return self.cfg.node;
+        }
+        match self.cluster.fabric() {
+            Fabric::FatTree(_) => {
+                if a.leaf == b.leaf {
+                    self.cfg.same_leaf
+                } else if self.line_peers[a.leaf as usize]
+                    .binary_search(&b.leaf)
+                    .is_ok()
+                {
+                    self.cfg.same_line
+                } else {
+                    self.cfg.cross_spine
+                }
+            }
+            Fabric::Torus(t) => {
+                let hops = t.hops(crate::ids::NodeId(a.node), crate::ids::NodeId(b.node)) as u16;
+                self.cfg.same_leaf + (hops - 1) * self.cfg.torus_hop
+            }
+        }
+    }
+
+    #[inline]
+    fn slot_core(&self, slot: usize) -> CoreId {
+        self.cores[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeTopology;
+
+    fn check_equivalence(cluster: &Cluster, cores: &[CoreId]) {
+        let cfg = DistanceConfig::default();
+        let dense = DistanceMatrix::build(cluster, cores, &cfg);
+        let implicit = ImplicitDistance::build(cluster, cores, &cfg);
+        assert_eq!(DistanceOracle::len(&dense), implicit.len());
+        for i in 0..cores.len() {
+            assert_eq!(dense.slot_core(i), implicit.slot_core(i));
+            for j in 0..cores.len() {
+                assert_eq!(
+                    dense.distance(i, j),
+                    implicit.distance(i, j),
+                    "slots {i},{j} (cores {:?},{:?})",
+                    cores[i],
+                    cores[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_gpc_block() {
+        let c = Cluster::gpc(64);
+        let cores: Vec<CoreId> = c.cores().collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn matches_dense_on_gpc_cyclic() {
+        let c = Cluster::gpc(8);
+        let p = c.total_cores();
+        let cores: Vec<CoreId> = (0..p)
+            .map(|r| CoreId::from_idx((r % 8) * c.cores_per_node() + r / 8))
+            .collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn matches_dense_on_manycore_l2_groups() {
+        let c = Cluster::new(crate::cluster::ClusterConfig {
+            node: NodeTopology::manycore(),
+            fabric: crate::fattree::FatTreeConfig::tiny(),
+            num_nodes: 4,
+        });
+        let cores: Vec<CoreId> = c.cores().collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn matches_dense_on_torus() {
+        let c = Cluster::with_torus(NodeTopology::gpc(), [3, 4, 2]);
+        let cores: Vec<CoreId> = c.cores().collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn matches_dense_on_smt_siblings() {
+        let c = Cluster::new(crate::cluster::ClusterConfig {
+            node: NodeTopology {
+                sockets: 2,
+                cores_per_socket: 2,
+                cores_per_l2: 2,
+                smt: 2,
+            },
+            fabric: crate::fattree::FatTreeConfig::tiny(),
+            num_nodes: 3,
+        });
+        let cores: Vec<CoreId> = c.cores().collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn partial_allocations_agree() {
+        // A fragmented allocation: every third core of a 16-node cluster.
+        let c = Cluster::gpc(16);
+        let cores: Vec<CoreId> = c.cores().step_by(3).collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn line_peers_symmetric_and_sorted() {
+        let c = Cluster::gpc(512);
+        let cores: Vec<CoreId> = c.cores().take(64).collect();
+        let o = ImplicitDistance::build(&c, &cores, &DistanceConfig::default());
+        let leaves = c.fabric().as_fattree().unwrap().num_leaves() as u32;
+        for a in 0..leaves {
+            let peers = o.line_peers(a);
+            assert!(peers.windows(2).all(|w| w[0] < w[1]), "leaf {a} unsorted");
+            for &b in peers {
+                assert!(o.line_peers(b).binary_search(&a).is_ok(), "{a}<->{b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cores")]
+    fn duplicate_cores_rejected() {
+        let c = Cluster::gpc(2);
+        ImplicitDistance::build(
+            &c,
+            &[CoreId(0), CoreId(1), CoreId(0)],
+            &DistanceConfig::default(),
+        );
+    }
+}

@@ -53,10 +53,20 @@ pub enum Hop {
     LeafDown { leaf: LeafId, core: u32, up: u32 },
     /// Sub-link `sub` from line switch `line` to spine `spine` inside core
     /// switch `core`.
-    LineUp { core: u32, line: u32, spine: u32, sub: u32 },
+    LineUp {
+        core: u32,
+        line: u32,
+        spine: u32,
+        sub: u32,
+    },
     /// Sub-link `sub` from spine `spine` down to line switch `line` inside
     /// core switch `core`.
-    LineDown { core: u32, spine: u32, line: u32, sub: u32 },
+    LineDown {
+        core: u32,
+        spine: u32,
+        line: u32,
+        sub: u32,
+    },
     /// The torus link leaving `node` along dimension `dim` in the plus or
     /// minus direction.
     TorusLink {

@@ -23,7 +23,10 @@ impl Torus3D {
     /// # Panics
     /// Panics if any extent is zero.
     pub fn new(dims: [usize; 3]) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "torus extents must be non-zero");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "torus extents must be non-zero"
+        );
         Torus3D { dims }
     }
 

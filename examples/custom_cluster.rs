@@ -15,7 +15,12 @@ fn main() {
     // ---- The paper's evaluation platform (Fig. 2) ----
     let gpc = Cluster::gpc(512);
     let f = gpc.fabric().as_fattree().expect("GPC is a fat-tree");
-    println!("GPC preset: {} nodes × {} cores = {} processes max", gpc.num_nodes(), gpc.cores_per_node(), gpc.total_cores());
+    println!(
+        "GPC preset: {} nodes × {} cores = {} processes max",
+        gpc.num_nodes(),
+        gpc.cores_per_node(),
+        gpc.total_cores()
+    );
     println!(
         "fabric: {} leaf switches ({} nodes each), {} core switches, {}:1 blocking",
         f.num_leaves(),

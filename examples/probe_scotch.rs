@@ -1,13 +1,21 @@
+use tarr_collectives::{allgather::ring, pattern_graph};
 use tarr_core::{Mapper, PatternKind, Scheme, Session, SessionConfig};
 use tarr_mapping::{mapping_cost, rmh, InitialMapping, OrderFix};
-use tarr_collectives::{allgather::ring, pattern_graph};
 use tarr_topo::Cluster;
 
 fn main() {
     let cluster = Cluster::gpc(128);
     let p = 1024;
-    let mut s = Session::from_layout(cluster, InitialMapping::CYCLIC_BUNCH, p, SessionConfig::default());
-    let m = s.mapping(Mapper::ScotchLike, PatternKind::Ring).mapping.clone();
+    let mut s = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_BUNCH,
+        p,
+        SessionConfig::default(),
+    );
+    let m = s
+        .mapping(Mapper::ScotchLike, PatternKind::Ring)
+        .mapping
+        .clone();
     let g = pattern_graph(&ring(p as u32), 4096);
     let ident: Vec<u32> = (0..p as u32).collect();
     let d = s.distance_matrix();

@@ -23,7 +23,10 @@ fn main() {
 
     // 3. Price the default allgather and the topology-aware one.
     println!("MPI_Allgather latency, 512 ranks, cyclic-bunch layout\n");
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "size", "default", "reordered", "improvement");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "size", "default", "reordered", "improvement"
+    );
     for msg in [64u64, 1024, 16384, 262144] {
         let before = session.allgather_time(msg, Scheme::Default);
         let after = session.allgather_time(msg, Scheme::hrstc(OrderFix::InitComm));

@@ -45,7 +45,10 @@ fn main() {
     // Fix 2: memory shuffling at the end.
     let mut st = reordered_init_state(&m, false);
     st.run(&recursive_doubling(p as u32)).unwrap();
-    assert!(st.verify_allgather_identity().is_err(), "order wrong before shuffle");
+    assert!(
+        st.verify_allgather_identity().is_err(),
+        "order wrong before shuffle"
+    );
     st.shuffle_outputs(&end_shuffle_perm(&m));
     st.verify_allgather_identity().unwrap();
     println!("endShfl: RD then per-rank buffer permutation: order restored ✓");

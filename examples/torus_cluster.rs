@@ -28,12 +28,8 @@ fn main() {
     );
 
     for layout in [InitialMapping::BLOCK_BUNCH, InitialMapping::CYCLIC_BUNCH] {
-        let mut session = Session::from_layout(
-            cluster.clone(),
-            layout,
-            p,
-            SessionConfig::default(),
-        );
+        let mut session =
+            Session::from_layout(cluster.clone(), layout, p, SessionConfig::default());
         println!("\n  layout: {}", layout.name());
         println!(
             "  {:>8}  {:>12}  {:>12}  {:>12}",

@@ -32,12 +32,8 @@ fn main() {
     );
 
     for layout in InitialMapping::ALL {
-        let mut session = Session::from_layout(
-            Cluster::gpc(64),
-            layout,
-            512,
-            SessionConfig::default(),
-        );
+        let mut session =
+            Session::from_layout(Cluster::gpc(64), layout, 512, SessionConfig::default());
         println!("\n  initial mapping: {}", layout.name());
         print_row("default", session.allgather_traffic(msg, Scheme::Default));
         print_row(

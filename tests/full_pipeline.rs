@@ -69,7 +69,9 @@ fn hierarchical_all_phase_combinations_verify() {
                 ] {
                     s.verify_hierarchical_allgather(hcfg, scheme)
                         .expect("supported")
-                        .unwrap_or_else(|e| panic!("{layout:?} {intra:?} {inter:?} {scheme:?}: {e}"));
+                        .unwrap_or_else(|e| {
+                            panic!("{layout:?} {intra:?} {inter:?} {scheme:?}: {e}")
+                        });
                 }
             }
         }

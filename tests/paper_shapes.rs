@@ -36,7 +36,10 @@ fn fig3a_block_bunch_shape() {
     assert!(mid > 50.0, "large RD-region gains, got {mid:.1}%");
     for m in [2048u64, 65536, 262144] {
         let v = imp(&mut s, m);
-        assert!(v.abs() < 1.0, "ring region must be ~0% on block-bunch, got {v:.1}% at {m}");
+        assert!(
+            v.abs() < 1.0,
+            "ring region must be ~0% on block-bunch, got {v:.1}% at {m}"
+        );
     }
 }
 
@@ -48,7 +51,10 @@ fn fig3b_block_scatter_ring_gains() {
     for m in [4096u64, 65536] {
         let b = s.allgather_time(m, Scheme::Default);
         let v = percent_improvement(b, s.allgather_time(m, Scheme::hrstc(OrderFix::InitComm)));
-        assert!((5.0..70.0).contains(&v), "expected modest ring gains, got {v:.1}% at {m}");
+        assert!(
+            (5.0..70.0).contains(&v),
+            "expected modest ring gains, got {v:.1}% at {m}"
+        );
     }
 }
 
@@ -60,18 +66,29 @@ fn fig3b_block_scatter_ring_gains() {
 fn fig3cd_cyclic_shape() {
     let mut cyc = session(InitialMapping::CYCLIC_BUNCH);
     let b = cyc.allgather_time(262144, Scheme::Default);
-    let ring_gain =
-        percent_improvement(b, cyc.allgather_time(262144, Scheme::hrstc(OrderFix::InitComm)));
-    assert!(ring_gain > 60.0, "cyclic ring gains must be large, got {ring_gain:.1}%");
+    let ring_gain = percent_improvement(
+        b,
+        cyc.allgather_time(262144, Scheme::hrstc(OrderFix::InitComm)),
+    );
+    assert!(
+        ring_gain > 60.0,
+        "cyclic ring gains must be large, got {ring_gain:.1}%"
+    );
 
     let rd_gain_cyclic = {
         let b = cyc.allgather_time(512, Scheme::Default);
-        percent_improvement(b, cyc.allgather_time(512, Scheme::hrstc(OrderFix::InitComm)))
+        percent_improvement(
+            b,
+            cyc.allgather_time(512, Scheme::hrstc(OrderFix::InitComm)),
+        )
     };
     let mut blk = session(InitialMapping::BLOCK_BUNCH);
     let rd_gain_block = {
         let b = blk.allgather_time(512, Scheme::Default);
-        percent_improvement(b, blk.allgather_time(512, Scheme::hrstc(OrderFix::InitComm)))
+        percent_improvement(
+            b,
+            blk.allgather_time(512, Scheme::hrstc(OrderFix::InitComm)),
+        )
     };
     assert!(
         rd_gain_cyclic < rd_gain_block,
@@ -140,7 +157,10 @@ fn fig4_hierarchical_shape() {
         .hierarchical_allgather_time(16384, hcfg, Scheme::hrstc(OrderFix::InitComm))
         .unwrap();
     let drift = percent_improvement(b, r);
-    assert!(drift.abs() < 10.0, "block-bunch NL should barely move, got {drift:.1}%");
+    assert!(
+        drift.abs() < 10.0,
+        "block-bunch NL should barely move, got {drift:.1}%"
+    );
 }
 
 /// Fig. 4(c)/(d): with linear intra phases there is no intra-node structure
@@ -160,7 +180,11 @@ fn fig4_linear_intra_no_ring_gains() {
             .hierarchical_allgather_time(65536, hcfg, Scheme::hrstc(OrderFix::InitComm))
             .unwrap();
         let v = percent_improvement(b, r);
-        assert!(v < 5.0, "{}: linear intra ring gains should vanish, got {v:.1}%", layout.name());
+        assert!(
+            v < 5.0,
+            "{}: linear intra ring gains should vanish, got {v:.1}%",
+            layout.name()
+        );
     }
 }
 
@@ -195,7 +219,10 @@ fn fig7b_overhead_ordering() {
     let _ = tarr::mapping::rmh(&d, 0);
     let heuristic = t0.elapsed();
     let info = s
-        .mapping(tarr::core::Mapper::ScotchLike, tarr::core::PatternKind::Ring)
+        .mapping(
+            tarr::core::Mapper::ScotchLike,
+            tarr::core::PatternKind::Ring,
+        )
         .clone();
     let scotch = info.compute + info.graph_build;
     // Unoptimized builds distort constant factors; only enforce the full

@@ -1,0 +1,241 @@
+//! Offline micro-bench harness, API-compatible with the subset of
+//! [criterion](https://docs.rs/criterion) this workspace's `benches/` use.
+//!
+//! Instead of criterion's warm-up/outlier statistics it runs each benchmark
+//! `sample_size` times (after one untimed warm-up call), prints min / median
+//! wall-clock per iteration, and exits. `cargo bench` therefore completes in
+//! seconds; `--bench <name> -- <filter>` filters by benchmark id substring,
+//! and `--test` (passed by `cargo test --benches`) runs every body once.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called once per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state; tracks the id filter and run mode.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run an input-less `routine` outside any group (default sample size).
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.run(id, |b| routine(b));
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `routine` once per sample with a shared `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        self.run(&full_id, |b| routine(b, input));
+    }
+
+    /// Run an input-less `routine` once per sample.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        self.run(&full_id, |b| routine(b));
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, full_id: &str, mut routine: F) {
+        if !self.parent.matches(full_id) {
+            return;
+        }
+        if self.parent.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            println!("test {full_id} ... ok");
+            return;
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            per_iter.push(b.elapsed);
+        }
+        per_iter.sort();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{full_id:<48} min {min:>12.3?}   median {median:>12.3?}   ({} samples)",
+            per_iter.len()
+        );
+    }
+
+    /// End the group (printing is incremental; this is a no-op for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("no_such_bench".into()),
+            test_mode: false,
+        };
+        // Routine would panic if run; the filter must skip it.
+        let mut group = c.benchmark_group("g");
+        group.bench_function("other", |_b| panic!("should have been filtered"));
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("rd", 1024).to_string(), "rd/1024");
+        assert_eq!(BenchmarkId::from_parameter(4096).to_string(), "4096");
+    }
+}

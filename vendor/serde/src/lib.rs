@@ -1,0 +1,17 @@
+//! Offline facade for the `serde` API surface this workspace uses.
+//!
+//! Model types across the workspace carry `#[derive(Serialize,
+//! Deserialize)]` markers; no in-tree code serializes anything (there is no
+//! serde_json/bincode dependency to drive the traits). This facade provides
+//! the trait *names* so `use serde::{Deserialize, Serialize}` resolves, and
+//! re-exports no-op derive macros under the same names so the derive
+//! attributes parse. Swapping back to real serde is a one-line change in the
+//! workspace manifest.
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the facade).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the facade).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

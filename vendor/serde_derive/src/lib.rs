@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace annotates model types with `#[derive(Serialize,
+//! Deserialize)]` so they stay serde-ready, but nothing in-tree actually
+//! serializes (there is no serde_json / bincode dependency). These derives
+//! therefore expand to nothing: the attribute parses, no impls are emitted,
+//! and no code can depend on the absent impls without failing to compile —
+//! which is exactly the guard we want until a real serializer is needed.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
