@@ -1,0 +1,199 @@
+//! Before/after benchmark of the schedule-pricing hot path.
+//!
+//! The "before" is the pre-compilation executor, kept verbatim as
+//! `tarr_mpi::timing::reference`: every call re-merges all P−1 stages of the
+//! 4096-rank ring and re-hashes them into a memo table. The "after" is the
+//! [`TimedSchedule`] pipeline this series introduced, measured in the three
+//! shapes it is actually used:
+//!
+//! * `compiled_cold` — `time_schedule`, i.e. compile + price in one call
+//!   (what a one-shot caller pays);
+//! * `compiled_reuse` — pricing an already-compiled schedule at a new
+//!   message size (what `Session` sweeps and `congestion_refine` pay per
+//!   evaluation);
+//! * `analytic_ring` — `TimedSchedule::ring_allgather(p)` + price (what
+//!   `Session` actually executes for the ring region, never materializing
+//!   the O(P²)-op dense ring schedule).
+//!
+//! Every variant is asserted bit-identical to the reference before anything
+//! is timed. A full (unfiltered) `cargo bench --bench timing` run finishes
+//! by re-measuring the same quantities directly and writing the
+//! machine-readable summary to `BENCH_timing.json` at the workspace root.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use tarr_collectives::allgather::ring;
+use tarr_mpi::{time_schedule, timing, Communicator, Schedule, TimedSchedule};
+use tarr_netsim::{NetParams, StageModel};
+use tarr_topo::{Cluster, CoreId};
+
+const P: u32 = 4096;
+const MSG: u64 = 65536;
+
+struct Fixture {
+    cluster: Cluster,
+    comm: Communicator,
+    sched: Schedule,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let cluster = Cluster::gpc((P / 8) as usize);
+        let comm = Communicator::new((0..P as usize).map(CoreId::from_idx).collect());
+        let sched = ring(P);
+        Fixture {
+            cluster,
+            comm,
+            sched,
+        }
+    }
+
+    fn model(&self) -> StageModel<'_> {
+        StageModel::new(&self.cluster, NetParams::default())
+    }
+}
+
+fn bench_ring4096(c: &mut Criterion) {
+    let f = Fixture::new();
+    let model = f.model();
+    let ts = TimedSchedule::compile(&f.sched);
+
+    // Equal output, bit-exact, before any timing.
+    let want = timing::reference::time_schedule(&f.sched, &f.comm, &model, MSG);
+    assert_eq!(want, time_schedule(&f.sched, &f.comm, &model, MSG));
+    assert_eq!(want, ts.time(&f.comm, &model, MSG));
+    assert_eq!(
+        want,
+        TimedSchedule::ring_allgather(P).time(&f.comm, &model, MSG)
+    );
+
+    let mut group = c.benchmark_group("timing/ring4096");
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        b.iter(|| timing::reference::time_schedule(&f.sched, &f.comm, &model, MSG))
+    });
+    group.bench_function("compiled_cold", |b| {
+        b.iter(|| time_schedule(&f.sched, &f.comm, &model, MSG))
+    });
+    group.bench_function("compiled_reuse", |b| {
+        b.iter(|| ts.time(&f.comm, &model, MSG))
+    });
+    group.bench_function("analytic_ring", |b| {
+        b.iter(|| TimedSchedule::ring_allgather(P).time(&f.comm, &model, MSG))
+    });
+    group.finish();
+}
+
+/// Median wall-clock seconds of `reps` runs of `work`.
+fn median_secs(reps: usize, mut work: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let out = work();
+            let dt = t.elapsed().as_secs_f64();
+            assert!(out.is_finite());
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Direct before/after measurement, written as `BENCH_timing.json`.
+fn write_summary() {
+    let f = Fixture::new();
+    let model = f.model();
+    // The figure-harness sweep shape: one schedule priced at every message
+    // size of the paper's x-axis.
+    let sweep: [u64; 8] = [1, 64, 512, 4096, 16384, 65536, 131072, 262144];
+
+    // Equal output across the full sweep first.
+    let ts = TimedSchedule::compile(&f.sched);
+    for &m in &sweep {
+        let want = timing::reference::time_schedule(&f.sched, &f.comm, &model, m);
+        assert_eq!(want, ts.time(&f.comm, &model, m));
+        assert_eq!(
+            want,
+            TimedSchedule::ring_allgather(P).time(&f.comm, &model, m)
+        );
+    }
+
+    let reference_s = median_secs(5, || {
+        timing::reference::time_schedule(&f.sched, &f.comm, &model, MSG)
+    });
+    let cold_s = median_secs(5, || time_schedule(&f.sched, &f.comm, &model, MSG));
+    let reuse_s = median_secs(25, || ts.time(&f.comm, &model, MSG));
+    let analytic_s = median_secs(25, || {
+        TimedSchedule::ring_allgather(P).time(&f.comm, &model, MSG)
+    });
+    let sweep_ref_s = median_secs(3, || {
+        sweep
+            .iter()
+            .map(|&m| timing::reference::time_schedule(&f.sched, &f.comm, &model, m))
+            .sum()
+    });
+    let sweep_new_s = median_secs(3, || {
+        let ts = TimedSchedule::compile(&f.sched);
+        sweep.iter().map(|&m| ts.time(&f.comm, &model, m)).sum()
+    });
+
+    let json = format!(
+        r#"{{
+  "benchmark": "time_schedule on the {p}-rank ring allgather ({stages} stages, {ops} ops), GPC cluster, 64 KiB blocks",
+  "equal_output": true,
+  "reference_ms": {ref_ms:.3},
+  "compiled_cold_ms": {cold_ms:.3},
+  "compiled_reuse_ms": {reuse_ms:.4},
+  "analytic_ring_ms": {analytic_ms:.4},
+  "speedup_cold": {s_cold:.2},
+  "speedup_reuse": {s_reuse:.1},
+  "speedup_analytic": {s_analytic:.1},
+  "sweep": {{
+    "sizes": {n_sizes},
+    "reference_ms": {sw_ref:.3},
+    "compiled_ms": {sw_new:.3},
+    "speedup": {sw_speedup:.2}
+  }}
+}}
+"#,
+        p = P,
+        stages = f.sched.stages.len(),
+        ops = f.sched.num_ops(),
+        ref_ms = reference_s * 1e3,
+        cold_ms = cold_s * 1e3,
+        reuse_ms = reuse_s * 1e3,
+        analytic_ms = analytic_s * 1e3,
+        s_cold = reference_s / cold_s,
+        s_reuse = reference_s / reuse_s,
+        s_analytic = reference_s / analytic_s,
+        n_sizes = sweep.len(),
+        sw_ref = sweep_ref_s * 1e3,
+        sw_new = sweep_new_s * 1e3,
+        sw_speedup = sweep_ref_s / sweep_new_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_timing.json");
+    std::fs::write(path, &json).expect("write BENCH_timing.json");
+    println!("wrote {path}");
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_ring4096);
+
+fn main() {
+    // A benchmark-name filter (`cargo bench -- reference`) or test mode
+    // (`cargo test --benches`) skips the summary: a partial or smoke run
+    // should not overwrite the committed numbers.
+    let mut full_run = true;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => full_run = false,
+            s if s.starts_with('-') => {}
+            _ => full_run = false,
+        }
+    }
+    benches();
+    if full_run {
+        write_summary();
+    }
+}

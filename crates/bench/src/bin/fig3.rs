@@ -6,6 +6,10 @@
 //! (recursive doubling below 1 KiB, ring above). The MVAPICH built-in
 //! block→cyclic reorder is included as an extra baseline column.
 //!
+//! The four panels are independent sessions, so they are computed on one
+//! thread each (`std::thread::scope`) and printed in figure order once all
+//! have joined — the output is byte-identical to the sequential harness.
+//!
 //! Run: `cargo run -p tarr-bench --release --bin fig3 [--procs N | --quick]`
 
 use tarr_bench::{fig3_schemes, print_improvement_row, print_table_header, HarnessOpts};
@@ -13,37 +17,30 @@ use tarr_core::{Mapper, Scheme};
 use tarr_mapping::{InitialMapping, OrderFix};
 use tarr_workloads::{percent_improvement, OsuSweep};
 
-fn main() {
-    let opts = HarnessOpts::from_args();
-    let sweep = OsuSweep::paper_range();
-    println!(
-        "Fig. 3 — non-hierarchical topology-aware allgather, {} processes",
-        opts.procs
-    );
+/// One figure panel: per message size, the improvement of every scheme
+/// column over the default (`None` where the baseline doesn't apply).
+fn compute_panel(
+    opts: &HarnessOpts,
+    sweep: &OsuSweep,
+    layout: InitialMapping,
+) -> Vec<(u64, Vec<Option<f64>>)> {
+    let mut session = opts.session(layout);
+    let base = sweep.run(&mut session, Scheme::Default);
+    let mut series: Vec<Vec<(u64, f64)>> = fig3_schemes()
+        .iter()
+        .map(|&(_, s)| sweep.run(&mut session, s))
+        .collect();
+    series.push(sweep.run(
+        &mut session,
+        Scheme::Reordered {
+            mapper: Mapper::MvapichCyclic,
+            fix: OrderFix::InitComm,
+        },
+    ));
 
-    for (panel, layout) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(InitialMapping::ALL) {
-        println!("\nFig. 3{panel} initial mapping: {}", layout.name());
-        let mut session = opts.session(layout);
-
-        let schemes = fig3_schemes();
-        let mut cols: Vec<&str> = schemes.iter().map(|(n, _)| *n).collect();
-        cols.push("MvCyclic");
-        print_table_header("size", &cols);
-
-        let base = sweep.run(&mut session, Scheme::Default);
-        let mut series: Vec<Vec<(u64, f64)>> = schemes
-            .iter()
-            .map(|&(_, s)| sweep.run(&mut session, s))
-            .collect();
-        series.push(sweep.run(
-            &mut session,
-            Scheme::Reordered {
-                mapper: Mapper::MvapichCyclic,
-                fix: OrderFix::InitComm,
-            },
-        ));
-
-        for (i, &(size, b)) in base.iter().enumerate() {
+    base.iter()
+        .enumerate()
+        .map(|(i, &(size, b))| {
             let mut imps: Vec<Option<f64>> = series
                 .iter()
                 .map(|s| Some(percent_improvement(b, s[i].1)))
@@ -53,6 +50,38 @@ fn main() {
             if size >= tarr_collectives::MVAPICH_RD_THRESHOLD {
                 *imps.last_mut().unwrap() = None;
             }
+            (size, imps)
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let sweep = OsuSweep::paper_range();
+    println!(
+        "Fig. 3 — non-hierarchical topology-aware allgather, {} processes",
+        opts.procs
+    );
+
+    let (opts, sweep) = (&opts, &sweep);
+    let panels: Vec<Vec<(u64, Vec<Option<f64>>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = InitialMapping::ALL
+            .into_iter()
+            .map(|layout| s.spawn(move || compute_panel(opts, sweep, layout)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ((panel, layout), rows) in ["(a)", "(b)", "(c)", "(d)"]
+        .iter()
+        .zip(InitialMapping::ALL)
+        .zip(panels)
+    {
+        println!("\nFig. 3{panel} initial mapping: {}", layout.name());
+        let mut cols: Vec<&str> = fig3_schemes().iter().map(|&(n, _)| n).collect();
+        cols.push("MvCyclic");
+        print_table_header("size", &cols);
+        for (size, imps) in rows {
             print_improvement_row(size, &imps);
         }
     }

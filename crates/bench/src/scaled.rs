@@ -102,6 +102,15 @@ pub fn cross_check(procs: usize, seed: u64) {
     );
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// Human-readable byte count.
 pub fn bytes_label(b: u64) -> String {
     const KIB: u64 = 1024;

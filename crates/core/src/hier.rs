@@ -6,7 +6,7 @@
 use tarr_collectives::allgather::{InterAlg, IntraPattern};
 use tarr_collectives::{pattern_graph, AllgatherAlg};
 use tarr_mapping::{bbmh, bgmh, rdmh, rmh, scotch_like_map};
-use tarr_topo::DistanceMatrix;
+use tarr_topo::{DistanceOracle, SubsetOracle};
 
 /// Which engine computes the leader and intra-node mappings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,8 +41,14 @@ pub enum HierMapper {
 ///
 /// Returns `None` when recursive doubling is requested with a
 /// non-power-of-two leader count.
-pub fn hierarchical_mapping(
-    d: &DistanceMatrix,
+///
+/// Generic over the distance backend: the leader and intra-node heuristics
+/// run over [`SubsetOracle`] views, so an O(P)-memory
+/// [`tarr_topo::ImplicitDistance`] session never materializes a dense
+/// submatrix. View queries equal the corresponding submatrix cells, so the
+/// mappings are bit-identical across backends.
+pub fn hierarchical_mapping<O: DistanceOracle>(
+    d: &O,
     groups: &[(u32, u32)],
     inter: InterAlg,
     intra: IntraPattern,
@@ -54,9 +60,9 @@ pub fn hierarchical_mapping(
         return None;
     }
 
-    // --- Leader mapping over the leaders' distance matrix ---
+    // --- Leader mapping over the leaders' distances ---
     let leader_slots: Vec<usize> = groups.iter().map(|&(s, _)| s as usize).collect();
-    let d_leaders = d.submatrix(&leader_slots);
+    let d_leaders = SubsetOracle::new(d, &leader_slots);
     let leader_perm: Vec<u32> = if g == 1 {
         vec![0]
     } else {
@@ -90,7 +96,7 @@ pub fn hierarchical_mapping(
                 m.extend(local_slots.iter().map(|&s| s as u32));
             }
             (IntraPattern::Binomial, _) => {
-                let d_local = d.submatrix(&local_slots);
+                let d_local = SubsetOracle::new(d, &local_slots);
                 let local_perm = match mapper {
                     HierMapper::Heuristic => bbmh(&d_local, seed),
                     HierMapper::HeuristicBgmhIntra => bgmh(&d_local, seed),
@@ -136,7 +142,7 @@ pub fn reordered_groups(groups: &[(u32, u32)], m: &[u32]) -> Vec<(u32, u32)> {
 mod tests {
     use super::*;
     use tarr_mapping::{is_permutation, InitialMapping};
-    use tarr_topo::{Cluster, DistanceConfig};
+    use tarr_topo::{Cluster, DistanceConfig, DistanceMatrix};
 
     fn setup(nodes: usize, layout: InitialMapping) -> (DistanceMatrix, Vec<(u32, u32)>) {
         let c = Cluster::gpc(nodes);

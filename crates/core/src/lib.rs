@@ -33,4 +33,6 @@ pub mod session;
 
 pub use hier::hierarchical_mapping;
 pub use refine::congestion_refine;
-pub use session::{Mapper, MappingInfo, PatternKind, Scheme, Session, SessionConfig};
+pub use session::{
+    DistanceBackend, Mapper, MappingInfo, PatternKind, Scheme, Session, SessionConfig,
+};

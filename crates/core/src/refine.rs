@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tarr_mpi::{time_schedule, Communicator, Schedule};
+use tarr_mpi::{Communicator, Schedule, TimedSchedule};
 use tarr_netsim::{NetParams, StageModel};
 use tarr_topo::Cluster;
 
@@ -39,8 +39,11 @@ pub fn congestion_refine(
     assert_eq!(mapping.len(), comm.size(), "mapping/communicator mismatch");
     let p = mapping.len();
     let model = StageModel::new(cluster, params.clone());
+    // Each proposal re-prices the same schedule under a different
+    // communicator: compile once, price many times.
+    let ts = TimedSchedule::compile(schedule);
     let mut best = mapping;
-    let mut best_t = time_schedule(schedule, &comm.reordered(&best), &model, block_bytes);
+    let mut best_t = ts.time(&comm.reordered(&best), &model, block_bytes);
     if p < 2 {
         return (best, best_t);
     }
@@ -55,7 +58,7 @@ pub fn congestion_refine(
             b += 1;
         }
         current.swap(a, b);
-        let t = time_schedule(schedule, &comm.reordered(&current), &model, block_bytes);
+        let t = ts.time(&comm.reordered(&current), &model, block_bytes);
         if t < current_t {
             current_t = t;
             if t < best_t {
@@ -75,6 +78,7 @@ mod tests {
     use super::*;
     use tarr_collectives::gather::binomial_gather;
     use tarr_mapping::{bgmh, InitialMapping};
+    use tarr_mpi::time_schedule;
     use tarr_topo::{DistanceConfig, DistanceMatrix, Rank};
 
     fn setup(nodes: usize) -> (Cluster, Communicator) {

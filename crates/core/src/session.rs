@@ -1,13 +1,30 @@
 //! The [`Session`] — the paper's run-time rank-reordering framework (§IV).
 //!
 //! A session owns the cluster model, the initial rank→core binding and the
-//! extracted distance matrix. Reordered communicators are created lazily and
-//! **once** per (mapper, communication pattern) — "the whole rank reordering
-//! process happens only once at run-time; any subsequent calls to the
-//! corresponding collective … will be conducted over the reordered copy of
-//! the given communicator."
+//! extracted distance structure. Reordered communicators are created lazily
+//! and **once** per (mapper, communication pattern) — "the whole rank
+//! reordering process happens only once at run-time; any subsequent calls to
+//! the corresponding collective … will be conducted over the reordered copy
+//! of the given communicator."
+//!
+//! Three caches back that promise:
+//!
+//! * the **mapping cache** — one [`MappingInfo`] per (mapper, pattern);
+//! * the **communicator cache** — the reordered [`Communicator`] per
+//!   (mapper, pattern), so repeated `*_time` calls stop rebuilding an O(P)
+//!   permutation per call;
+//! * the **schedule cache** — size-independent compiled [`TimedSchedule`]s,
+//!   so a message-size sweep prices each unique stage once per size instead
+//!   of re-merging and re-hashing O(P) operations per stage per call.
+//!
+//! The distance backend is selectable: the dense [`DistanceMatrix`]
+//! (reference/validation path) or the O(P)-memory
+//! [`ImplicitDistance`] oracle, which takes a 65,536-rank session from
+//! an 8 GiB dense extraction to a few MiBs. The two backends produce
+//! bit-identical mappings and timings.
 
 use crate::hier::{hierarchical_mapping, reordered_groups, HierMapper};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use tarr_collectives::allgather::{
@@ -17,12 +34,15 @@ use tarr_collectives::gather::binomial_gather;
 use tarr_collectives::{pattern_graph, pattern_graph_unweighted, select_allgather, AllgatherAlg};
 use tarr_mapping::initial::mvapich_cyclic_reorder;
 use tarr_mapping::{
-    bbmh, bgmh, bkmh, end_shuffle_perm, greedy_map, init_comm_schedule, rdmh, reorder,
-    ring_placement, rmh, scotch_like_map_with, InitialMapping, OrderFix, ScotchVariant,
+    bbmh, bbmh_bucketed, bgmh, bgmh_bucketed, bkmh, bkmh_bucketed, end_shuffle_perm, greedy_map,
+    init_comm_schedule, rdmh, rdmh_bucketed, reorder, ring_placement, rmh, rmh_bucketed,
+    scotch_like_map_with, InitialMapping, OrderFix, ScotchVariant,
 };
-use tarr_mpi::{time_schedule, Communicator, FunctionalState, Schedule};
+use tarr_mpi::{time_schedule, Communicator, FunctionalState, Schedule, TimedSchedule};
 use tarr_netsim::{NetParams, StageModel};
-use tarr_topo::{Cluster, CoreId, DistanceConfig, DistanceMatrix, ExtractionCostModel, Rank};
+use tarr_topo::{
+    Cluster, CoreId, DistanceConfig, DistanceMatrix, ExtractionCostModel, ImplicitDistance, Rank,
+};
 
 /// Mapping engine choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,6 +134,19 @@ impl Scheme {
     }
 }
 
+/// Which distance structure the session extracts at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceBackend {
+    /// The dense O(P²) [`DistanceMatrix`] — exact reference path; caps
+    /// sessions around 4096 ranks (8 GiB of `u16` at 65,536).
+    #[default]
+    Dense,
+    /// The O(P)-memory [`ImplicitDistance`] oracle; bit-identical distances,
+    /// sessions build in MiBs at 65,536 ranks. The fine-tuned heuristics run
+    /// through their bucketed O(P·L) variants on this backend.
+    Implicit,
+}
+
 /// Session-wide knobs.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -125,6 +158,8 @@ pub struct SessionConfig {
     pub dist: DistanceConfig,
     /// Wall-clock model of on-system distance extraction (Fig. 7a).
     pub extraction: ExtractionCostModel,
+    /// Distance structure to extract (dense reference vs O(P) oracle).
+    pub backend: DistanceBackend,
 }
 
 impl Default for SessionConfig {
@@ -134,6 +169,17 @@ impl Default for SessionConfig {
             net: NetParams::default(),
             dist: DistanceConfig::default(),
             extraction: ExtractionCostModel::default(),
+            backend: DistanceBackend::Dense,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// The default configuration on the O(P) implicit-distance backend.
+    pub fn implicit() -> Self {
+        SessionConfig {
+            backend: DistanceBackend::Implicit,
+            ..SessionConfig::default()
         }
     }
 }
@@ -150,14 +196,42 @@ pub struct MappingInfo {
     pub graph_build: Duration,
 }
 
+/// The extracted distance structure (dense table or O(P) oracle).
+enum SessionDistance {
+    Dense(DistanceMatrix),
+    Implicit(ImplicitDistance),
+}
+
+/// Key of one compiled [`TimedSchedule`] in the schedule cache. Schedules
+/// whose *structure* depends on a mapping (an initComm prefix, or
+/// hierarchical phases over reordered groups) carry the responsible mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SchedKey {
+    /// A flat allgather algorithm over the default rank order.
+    Flat(AllgatherAlg),
+    /// A flat allgather prefixed with the mapper's initComm stage.
+    FlatInit(AllgatherAlg, Mapper),
+    /// The binomial gather to rank 0.
+    Gather,
+    /// The binomial gather prefixed with the mapper's initComm stage.
+    GatherInit(Mapper),
+    /// Hierarchical phases; `None` = default node groups, `Some(mapper)` =
+    /// the mapper's reordered groups.
+    Hier(InterAlg, IntraPattern, Option<Mapper>),
+    /// Hierarchical phases over reordered groups, initComm-prefixed.
+    HierInit(InterAlg, IntraPattern, Mapper),
+}
+
 /// The rank-reordering framework bound to one job.
 pub struct Session {
     cluster: Cluster,
     cfg: SessionConfig,
     comm: Communicator,
-    d: DistanceMatrix,
+    d: SessionDistance,
     dist_build: Duration,
     cache: HashMap<(Mapper, PatternKind), MappingInfo>,
+    comm_cache: HashMap<(Mapper, PatternKind), Communicator>,
+    sched_cache: HashMap<SchedKey, TimedSchedule>,
 }
 
 impl Session {
@@ -165,7 +239,16 @@ impl Session {
     pub fn new(cluster: Cluster, cores: Vec<CoreId>, cfg: SessionConfig) -> Self {
         let comm = Communicator::new(cores);
         let t0 = Instant::now();
-        let d = DistanceMatrix::build(&cluster, comm.cores(), &cfg.dist);
+        let d = match cfg.backend {
+            DistanceBackend::Dense => {
+                SessionDistance::Dense(DistanceMatrix::build(&cluster, comm.cores(), &cfg.dist))
+            }
+            DistanceBackend::Implicit => SessionDistance::Implicit(ImplicitDistance::build(
+                &cluster,
+                comm.cores(),
+                &cfg.dist,
+            )),
+        };
         let dist_build = t0.elapsed();
         Session {
             cluster,
@@ -174,6 +257,8 @@ impl Session {
             d,
             dist_build,
             cache: HashMap::new(),
+            comm_cache: HashMap::new(),
+            sched_cache: HashMap::new(),
         }
     }
 
@@ -203,12 +288,27 @@ impl Session {
         &self.comm
     }
 
-    /// The extracted distance matrix.
-    pub fn distance_matrix(&self) -> &DistanceMatrix {
-        &self.d
+    /// The distance backend in effect.
+    pub fn backend(&self) -> DistanceBackend {
+        self.cfg.backend
     }
 
-    /// Wall-clock time spent building the distance matrix (real, measured).
+    /// The extracted dense distance matrix.
+    ///
+    /// # Panics
+    /// Panics on the [`DistanceBackend::Implicit`] backend, which never
+    /// builds one — that is its point.
+    pub fn distance_matrix(&self) -> &DistanceMatrix {
+        match &self.d {
+            SessionDistance::Dense(d) => d,
+            SessionDistance::Implicit(_) => {
+                panic!("implicit-backend session has no dense distance matrix")
+            }
+        }
+    }
+
+    /// Wall-clock time spent building the distance structure (real,
+    /// measured).
     pub fn dist_build_time(&self) -> Duration {
         self.dist_build
     }
@@ -225,151 +325,107 @@ impl Session {
 
     /// The mapping (and its overhead record) for a mapper/pattern pair —
     /// computed once, then cached, as in §IV.
+    ///
+    /// # Panics
+    /// Panics on configurations [`Session::try_mapping`] reports as
+    /// unsupported (e.g. hierarchical patterns over non-node-contiguous
+    /// layouts).
     pub fn mapping(&mut self, mapper: Mapper, pattern: PatternKind) -> &MappingInfo {
-        if !self.cache.contains_key(&(mapper, pattern)) {
-            let info = self.compute_mapping(mapper, pattern);
-            self.cache.insert((mapper, pattern), info);
-        }
-        &self.cache[&(mapper, pattern)]
+        self.try_mapping(mapper, pattern)
+            .expect("unsupported mapper/pattern configuration")
     }
 
-    fn compute_mapping(&self, mapper: Mapper, pattern: PatternKind) -> MappingInfo {
+    /// The mapping for a mapper/pattern pair, or `None` when the
+    /// configuration is unsupported (hierarchical patterns need
+    /// node-contiguous ranks, and recursive doubling a power-of-two leader
+    /// count). Shared cache-fill path for every caller.
+    pub fn try_mapping(&mut self, mapper: Mapper, pattern: PatternKind) -> Option<&MappingInfo> {
+        let Session {
+            cache,
+            d,
+            cluster,
+            comm,
+            cfg,
+            ..
+        } = self;
+        match cache.entry((mapper, pattern)) {
+            Entry::Occupied(e) => Some(e.into_mut()),
+            Entry::Vacant(e) => {
+                let info = compute_mapping(d, cluster, comm, cfg, mapper, pattern)?;
+                Some(e.insert(info))
+            }
+        }
+    }
+
+    /// The reordered communicator for a mapper/pattern pair — built once,
+    /// then cached (tentpole: every `*_time` call used to rebuild the O(P)
+    /// permutation).
+    fn ensure_reordered(&mut self, mapper: Mapper, pattern: PatternKind) -> Option<()> {
+        if !self.comm_cache.contains_key(&(mapper, pattern)) {
+            let m = self.try_mapping(mapper, pattern)?.mapping.clone();
+            let comm2 = self.comm.reordered(&m);
+            self.comm_cache.insert((mapper, pattern), comm2);
+        }
+        Some(())
+    }
+
+    /// Compile (once) and cache the [`TimedSchedule`] for `key`. Returns
+    /// `None` when the key needs a mapping or node grouping the session
+    /// cannot produce.
+    fn ensure_sched(&mut self, key: SchedKey) -> Option<()> {
+        if self.sched_cache.contains_key(&key) {
+            return Some(());
+        }
         let p = self.size() as u32;
-        let seed = self.cfg.seed;
-        match mapper {
-            Mapper::Hrstc => {
-                let t0 = Instant::now();
-                let mapping = match pattern {
-                    PatternKind::Rd => rdmh(&self.d, seed),
-                    // On torus fabrics the ring embeds exactly along the
-                    // snake (Hamiltonian) order; the greedy RMH chain can
-                    // strand itself on flat mesh geometry, so the
-                    // fabric-specialized mapping is preferred when available.
-                    PatternKind::Ring => self
-                        .torus_snake_mapping()
-                        .unwrap_or_else(|| rmh(&self.d, seed)),
-                    PatternKind::Bruck => bkmh(&self.d, seed),
-                    PatternKind::BinomialBcast => bbmh(&self.d, seed),
-                    PatternKind::BinomialGather => bgmh(&self.d, seed),
-                    PatternKind::Hier(inter, intra) => {
-                        let groups = self
-                            .node_groups()
-                            .expect("hierarchical mapping needs node-contiguous ranks");
-                        hierarchical_mapping(
-                            &self.d,
-                            &groups,
-                            inter,
-                            intra,
-                            HierMapper::Heuristic,
-                            seed,
-                        )
-                        .expect("unsupported hierarchical configuration")
+        let ts = match key {
+            // The ring is the scaling hazard: materializing its schedule is
+            // O(P²) operations. The analytic constructor builds the compiled
+            // form directly in O(P).
+            SchedKey::Flat(AllgatherAlg::Ring) => TimedSchedule::ring_allgather(p),
+            SchedKey::Flat(alg) => TimedSchedule::compile(&alg.schedule(p)),
+            SchedKey::FlatInit(alg, mapper) => {
+                let m = self
+                    .try_mapping(mapper, PatternKind::of_alg(alg))?
+                    .mapping
+                    .clone();
+                TimedSchedule::compile(&init_comm_schedule(&m).then(alg.schedule(p)))
+            }
+            SchedKey::Gather => TimedSchedule::compile(&binomial_gather(p, Rank(0))),
+            SchedKey::GatherInit(mapper) => {
+                let m = self
+                    .try_mapping(mapper, PatternKind::BinomialGather)?
+                    .mapping
+                    .clone();
+                TimedSchedule::compile(&init_comm_schedule(&m).then(binomial_gather(p, Rank(0))))
+            }
+            SchedKey::Hier(inter, intra, reorderer) => {
+                let groups = self.node_groups()?;
+                let hcfg = HierarchicalConfig { inter, intra };
+                let sched = match reorderer {
+                    None => hierarchical(p, &groups, hcfg),
+                    Some(mapper) => {
+                        let m = self
+                            .try_mapping(mapper, PatternKind::Hier(inter, intra))?
+                            .mapping
+                            .clone();
+                        hierarchical(p, &reordered_groups(&groups, &m), hcfg)
                     }
                 };
-                MappingInfo {
-                    mapping,
-                    compute: t0.elapsed(),
-                    graph_build: Duration::ZERO,
-                }
+                TimedSchedule::compile(&sched)
             }
-            Mapper::ScotchLike | Mapper::ScotchTuned => match pattern {
-                PatternKind::Hier(inter, intra) => {
-                    let groups = self
-                        .node_groups()
-                        .expect("hierarchical mapping needs node-contiguous ranks");
-                    let t0 = Instant::now();
-                    let mapping = hierarchical_mapping(
-                        &self.d,
-                        &groups,
-                        inter,
-                        intra,
-                        HierMapper::ScotchLike,
-                        seed,
-                    )
-                    .expect("unsupported hierarchical configuration");
-                    MappingInfo {
-                        mapping,
-                        compute: t0.elapsed(),
-                        graph_build: Duration::ZERO,
-                    }
-                }
-                _ => {
-                    let sched = Self::flat_schedule(pattern, p);
-                    let tg = Instant::now();
-                    let (graph, variant) = if mapper == Mapper::ScotchLike {
-                        (
-                            pattern_graph_unweighted(&sched),
-                            ScotchVariant::PaperDefault,
-                        )
-                    } else {
-                        (pattern_graph(&sched, 1), ScotchVariant::Tuned)
-                    };
-                    let graph_build = tg.elapsed();
-                    let t0 = Instant::now();
-                    let mapping = scotch_like_map_with(&graph, &self.d, seed, variant);
-                    MappingInfo {
-                        mapping,
-                        compute: t0.elapsed(),
-                        graph_build,
-                    }
-                }
-            },
-            Mapper::Greedy => {
-                let sched = Self::flat_schedule(pattern, p);
-                let tg = Instant::now();
-                let graph = pattern_graph(&sched, 1);
-                let graph_build = tg.elapsed();
-                let t0 = Instant::now();
-                let mapping = greedy_map(&graph, &self.d);
-                MappingInfo {
-                    mapping,
-                    compute: t0.elapsed(),
-                    graph_build,
-                }
+            SchedKey::HierInit(inter, intra, mapper) => {
+                let groups = self.node_groups()?;
+                let hcfg = HierarchicalConfig { inter, intra };
+                let m = self
+                    .try_mapping(mapper, PatternKind::Hier(inter, intra))?
+                    .mapping
+                    .clone();
+                let sched = hierarchical(p, &reordered_groups(&groups, &m), hcfg);
+                TimedSchedule::compile(&init_comm_schedule(&m).then(sched))
             }
-            Mapper::MvapichCyclic => {
-                let t0 = Instant::now();
-                let mapping = mvapich_cyclic_reorder(p as usize, self.cluster.cores_per_node());
-                MappingInfo {
-                    mapping,
-                    compute: t0.elapsed(),
-                    graph_build: Duration::ZERO,
-                }
-            }
-        }
-    }
-
-    /// The snake ring mapping for full-allocation torus jobs: consecutive
-    /// new ranks walk whole nodes along the boustrophedon Hamiltonian path,
-    /// so every ring edge is intra-node or one torus hop. `None` when the
-    /// fabric is not a torus or the job does not cover whole nodes.
-    fn torus_snake_mapping(&self) -> Option<Vec<u32>> {
-        let torus = self.cluster.fabric().as_torus()?;
-        let cpn = self.cluster.cores_per_node();
-        if self.size() != self.cluster.total_cores() {
-            return None;
-        }
-        let mut m = Vec::with_capacity(self.size());
-        for node in torus.snake_order() {
-            for local in 0..cpn {
-                let core = self.cluster.core_id(node, local);
-                let slot = self.comm.rank_of_core(core)?;
-                m.push(slot.0);
-            }
-        }
-        debug_assert!(tarr_mapping::is_permutation(&m));
-        Some(m)
-    }
-
-    fn flat_schedule(pattern: PatternKind, p: u32) -> Schedule {
-        match pattern {
-            PatternKind::Rd => AllgatherAlg::RecursiveDoubling.schedule(p),
-            PatternKind::Ring => AllgatherAlg::Ring.schedule(p),
-            PatternKind::Bruck => AllgatherAlg::Bruck.schedule(p),
-            PatternKind::BinomialBcast => tarr_collectives::bcast::binomial_bcast(p, Rank(0), 1),
-            PatternKind::BinomialGather => binomial_gather(p, Rank(0)),
-            PatternKind::Hier(..) => unreachable!("hierarchical handled separately"),
-        }
+        };
+        self.sched_cache.insert(key, ts);
+        Some(())
     }
 
     fn node_groups(&self) -> Option<Vec<(u32, u32)>> {
@@ -384,32 +440,28 @@ impl Session {
         let alg = select_allgather(p, msg_bytes);
         match scheme {
             Scheme::Default => {
-                let model = self.model();
-                time_schedule(&alg.schedule(p), &self.comm, &model, msg_bytes)
+                self.ensure_sched(SchedKey::Flat(alg)).unwrap();
+                let ts = &self.sched_cache[&SchedKey::Flat(alg)];
+                ts.time(&self.comm, &self.model(), msg_bytes)
             }
             Scheme::Reordered { mapper, fix } => {
                 let pattern = PatternKind::of_alg(alg);
-                let m = self.mapping(mapper, pattern).mapping.clone();
-                let comm2 = self.comm.reordered(&m);
-                let model = self.model();
-                match alg {
-                    // The ring stores blocks in place: no fix cost (§V-B).
-                    AllgatherAlg::Ring => {
-                        time_schedule(&alg.schedule(p), &comm2, &model, msg_bytes)
-                    }
-                    _ => match fix {
-                        OrderFix::InitComm => {
-                            let sched = init_comm_schedule(&m).then(alg.schedule(p));
-                            time_schedule(&sched, &comm2, &model, msg_bytes)
-                        }
-                        OrderFix::EndShuffle => {
-                            time_schedule(&alg.schedule(p), &comm2, &model, msg_bytes)
-                                + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
-                        }
-                        OrderFix::InPlace => {
-                            time_schedule(&alg.schedule(p), &comm2, &model, msg_bytes)
-                        }
-                    },
+                self.ensure_reordered(mapper, pattern)
+                    .expect("flat mappings are always available");
+                // The ring stores blocks in place: no fix cost (§V-B).
+                let key = match (alg, fix) {
+                    (AllgatherAlg::Ring, _) => SchedKey::Flat(alg),
+                    (_, OrderFix::InitComm) => SchedKey::FlatInit(alg, mapper),
+                    (_, OrderFix::EndShuffle | OrderFix::InPlace) => SchedKey::Flat(alg),
+                };
+                self.ensure_sched(key).unwrap();
+                let ts = &self.sched_cache[&key];
+                let comm2 = &self.comm_cache[&(mapper, pattern)];
+                let t = ts.time(comm2, &self.model(), msg_bytes);
+                if alg != AllgatherAlg::Ring && fix == OrderFix::EndShuffle {
+                    t + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
+                } else {
+                    t
                 }
             }
         }
@@ -431,51 +483,32 @@ impl Session {
         }
         match scheme {
             Scheme::Default => {
-                let sched = hierarchical(p, &groups, hcfg);
-                let model = self.model();
-                Some(time_schedule(&sched, &self.comm, &model, msg_bytes))
+                let key = SchedKey::Hier(hcfg.inter, hcfg.intra, None);
+                self.ensure_sched(key)?;
+                let ts = &self.sched_cache[&key];
+                Some(ts.time(&self.comm, &self.model(), msg_bytes))
             }
             Scheme::Reordered { mapper, fix } => {
-                let hm = match mapper {
-                    Mapper::Hrstc => HierMapper::Heuristic,
-                    Mapper::ScotchLike => HierMapper::ScotchLike,
-                    _ => return None,
-                };
-                let pattern = PatternKind::Hier(hcfg.inter, hcfg.intra);
-                if !self.cache.contains_key(&(mapper, pattern)) {
-                    let t0 = Instant::now();
-                    let mapping = hierarchical_mapping(
-                        &self.d,
-                        &groups,
-                        hcfg.inter,
-                        hcfg.intra,
-                        hm,
-                        self.cfg.seed,
-                    )?;
-                    let info = MappingInfo {
-                        mapping,
-                        compute: t0.elapsed(),
-                        graph_build: Duration::ZERO,
-                    };
-                    self.cache.insert((mapper, pattern), info);
+                if !matches!(mapper, Mapper::Hrstc | Mapper::ScotchLike) {
+                    return None;
                 }
-                let m = self.cache[&(mapper, pattern)].mapping.clone();
-                let comm2 = self.comm.reordered(&m);
-                let new_groups = reordered_groups(&groups, &m);
-                let sched = hierarchical(p, &new_groups, hcfg);
-                let model = self.model();
-                let t = match fix {
-                    OrderFix::InitComm => {
-                        let full = init_comm_schedule(&m).then(sched);
-                        time_schedule(&full, &comm2, &model, msg_bytes)
+                let pattern = PatternKind::Hier(hcfg.inter, hcfg.intra);
+                self.ensure_reordered(mapper, pattern)?;
+                let key = match fix {
+                    OrderFix::InitComm => SchedKey::HierInit(hcfg.inter, hcfg.intra, mapper),
+                    OrderFix::EndShuffle | OrderFix::InPlace => {
+                        SchedKey::Hier(hcfg.inter, hcfg.intra, Some(mapper))
                     }
-                    OrderFix::EndShuffle => {
-                        time_schedule(&sched, &comm2, &model, msg_bytes)
-                            + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
-                    }
-                    OrderFix::InPlace => time_schedule(&sched, &comm2, &model, msg_bytes),
                 };
-                Some(t)
+                self.ensure_sched(key)?;
+                let ts = &self.sched_cache[&key];
+                let comm2 = &self.comm_cache[&(mapper, pattern)];
+                let t = ts.time(comm2, &self.model(), msg_bytes);
+                Some(if fix == OrderFix::EndShuffle {
+                    t + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
+                } else {
+                    t
+                })
             }
         }
     }
@@ -496,12 +529,11 @@ impl Session {
                 tarr_mpi::traffic_breakdown(&sched, &self.comm, &self.cluster, msg_bytes)
             }
             Scheme::Reordered { mapper, .. } => {
-                let m = self
-                    .mapping(mapper, PatternKind::of_alg(alg))
-                    .mapping
-                    .clone();
-                let comm2 = self.comm.reordered(&m);
-                tarr_mpi::traffic_breakdown(&sched, &comm2, &self.cluster, msg_bytes)
+                let pattern = PatternKind::of_alg(alg);
+                self.ensure_reordered(mapper, pattern)
+                    .expect("flat mappings are always available");
+                let comm2 = &self.comm_cache[&(mapper, pattern)];
+                tarr_mpi::traffic_breakdown(&sched, comm2, &self.cluster, msg_bytes)
             }
         }
     }
@@ -513,6 +545,9 @@ impl Session {
     pub fn allgatherv_time(&mut self, sizes: &[u64], scheme: Scheme) -> f64 {
         assert_eq!(sizes.len(), self.size(), "one size per rank");
         let p = self.size() as u32;
+        // Variable block sizes defeat the size-independent compiled form
+        // (the ring rotates which slots each stage carries), so the sized
+        // executor prices the materialized schedule directly.
         let sched = AllgatherAlg::Ring.schedule(p);
         match scheme {
             Scheme::Default => {
@@ -520,13 +555,14 @@ impl Session {
                 tarr_mpi::time_schedule_sized(&sched, &self.comm, &model, sizes)
             }
             Scheme::Reordered { mapper, .. } => {
-                let m = self.mapping(mapper, PatternKind::Ring).mapping.clone();
-                let comm2 = self.comm.reordered(&m);
+                self.ensure_reordered(mapper, PatternKind::Ring)
+                    .expect("flat mappings are always available");
+                let m = &self.cache[&(mapper, PatternKind::Ring)].mapping;
                 // Block `b` of the reordered communicator is the contribution
                 // of original rank `m[b]`.
                 let permuted: Vec<u64> = m.iter().map(|&old| sizes[old as usize]).collect();
-                let model = self.model();
-                tarr_mpi::time_schedule_sized(&sched, &comm2, &model, &permuted)
+                let comm2 = &self.comm_cache[&(mapper, PatternKind::Ring)];
+                tarr_mpi::time_schedule_sized(&sched, comm2, &self.model(), &permuted)
             }
         }
     }
@@ -561,21 +597,20 @@ impl Session {
     /// machinery is needed.
     pub fn allreduce_time(&mut self, vector_bytes: u64, rabenseifner: bool, scheme: Scheme) -> f64 {
         let p = self.size() as u32;
+        // The schedule's payloads depend on the vector size, so it is not
+        // cacheable across sizes; the reordered communicator still is.
         let sched = if rabenseifner {
             tarr_collectives::allreduce::rabenseifner_allreduce(p, vector_bytes)
         } else {
             tarr_collectives::allreduce::rd_allreduce(p, vector_bytes)
         };
         match scheme {
-            Scheme::Default => {
-                let model = self.model();
-                time_schedule(&sched, &self.comm, &model, vector_bytes)
-            }
+            Scheme::Default => time_schedule(&sched, &self.comm, &self.model(), vector_bytes),
             Scheme::Reordered { mapper, .. } => {
-                let m = self.mapping(mapper, PatternKind::Rd).mapping.clone();
-                let comm2 = self.comm.reordered(&m);
-                let model = self.model();
-                time_schedule(&sched, &comm2, &model, vector_bytes)
+                self.ensure_reordered(mapper, PatternKind::Rd)
+                    .expect("flat mappings are always available");
+                let comm2 = &self.comm_cache[&(mapper, PatternKind::Rd)];
+                time_schedule(&sched, comm2, &self.model(), vector_bytes)
             }
         }
     }
@@ -584,21 +619,16 @@ impl Session {
     /// the BBMH use case.
     pub fn bcast_time(&mut self, bytes: u64, scheme: Scheme) -> f64 {
         let p = self.size() as u32;
+        // Payloads carry the byte count: size-dependent, not cacheable.
         let sched = tarr_collectives::bcast::binomial_bcast(p, Rank(0), bytes);
         match scheme {
-            Scheme::Default => {
-                let model = self.model();
-                time_schedule(&sched, &self.comm, &model, bytes)
-            }
+            Scheme::Default => time_schedule(&sched, &self.comm, &self.model(), bytes),
             Scheme::Reordered { mapper, .. } => {
                 // Broadcast output is a scalar buffer: no ordering machinery.
-                let m = self
-                    .mapping(mapper, PatternKind::BinomialBcast)
-                    .mapping
-                    .clone();
-                let comm2 = self.comm.reordered(&m);
-                let model = self.model();
-                time_schedule(&sched, &comm2, &model, bytes)
+                self.ensure_reordered(mapper, PatternKind::BinomialBcast)
+                    .expect("flat mappings are always available");
+                let comm2 = &self.comm_cache[&(mapper, PatternKind::BinomialBcast)];
+                time_schedule(&sched, comm2, &self.model(), bytes)
             }
         }
     }
@@ -607,30 +637,28 @@ impl Session {
     /// to rank 0 — the BGMH use case.
     pub fn gather_time(&mut self, msg_bytes: u64, scheme: Scheme) -> f64 {
         let p = self.size() as u32;
-        let sched = binomial_gather(p, Rank(0));
         match scheme {
             Scheme::Default => {
-                let model = self.model();
-                time_schedule(&sched, &self.comm, &model, msg_bytes)
+                self.ensure_sched(SchedKey::Gather).unwrap();
+                let ts = &self.sched_cache[&SchedKey::Gather];
+                ts.time(&self.comm, &self.model(), msg_bytes)
             }
             Scheme::Reordered { mapper, fix } => {
-                let m = self
-                    .mapping(mapper, PatternKind::BinomialGather)
-                    .mapping
-                    .clone();
-                let comm2 = self.comm.reordered(&m);
-                let model = self.model();
-                match fix {
-                    OrderFix::InitComm => {
-                        let full = init_comm_schedule(&m).then(sched);
-                        time_schedule(&full, &comm2, &model, msg_bytes)
-                    }
-                    OrderFix::EndShuffle => {
-                        // Only the root shuffles its gathered buffer.
-                        time_schedule(&sched, &comm2, &model, msg_bytes)
-                            + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
-                    }
-                    OrderFix::InPlace => time_schedule(&sched, &comm2, &model, msg_bytes),
+                self.ensure_reordered(mapper, PatternKind::BinomialGather)
+                    .expect("flat mappings are always available");
+                let key = match fix {
+                    OrderFix::InitComm => SchedKey::GatherInit(mapper),
+                    OrderFix::EndShuffle | OrderFix::InPlace => SchedKey::Gather,
+                };
+                self.ensure_sched(key).unwrap();
+                let ts = &self.sched_cache[&key];
+                let comm2 = &self.comm_cache[&(mapper, PatternKind::BinomialGather)];
+                let t = ts.time(comm2, &self.model(), msg_bytes);
+                if fix == OrderFix::EndShuffle {
+                    // Only the root shuffles its gathered buffer.
+                    t + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
+                } else {
+                    t
                 }
             }
         }
@@ -696,11 +724,8 @@ impl Session {
                 // Reordering changes which *process* is rank 0; the schedule
                 // is unchanged, so functional coverage is the same — but the
                 // mapping must still be a valid permutation to build it.
-                let m = self
-                    .mapping(mapper, PatternKind::BinomialBcast)
-                    .mapping
-                    .clone();
-                let _ = self.comm.reordered(&m);
+                self.ensure_reordered(mapper, PatternKind::BinomialBcast)
+                    .expect("flat mappings are always available");
             }
         }
         st.run(&sched).map_err(|e| e.to_string())?;
@@ -766,19 +791,13 @@ impl Session {
                 }
             }
             Scheme::Reordered { mapper, fix } => {
-                let hm = match mapper {
-                    Mapper::Hrstc => HierMapper::Heuristic,
-                    Mapper::ScotchLike => HierMapper::ScotchLike,
-                    _ => return None,
-                };
-                let m = hierarchical_mapping(
-                    &self.d,
-                    &groups,
-                    hcfg.inter,
-                    hcfg.intra,
-                    hm,
-                    self.cfg.seed,
-                )?;
+                if !matches!(mapper, Mapper::Hrstc | Mapper::ScotchLike) {
+                    return None;
+                }
+                let m = self
+                    .try_mapping(mapper, PatternKind::Hier(hcfg.inter, hcfg.intra))?
+                    .mapping
+                    .clone();
                 let new_groups = reordered_groups(&groups, &m);
                 let sched = hierarchical(p, &new_groups, hcfg);
                 let mut st = reorder::reordered_init_state(&m, false);
@@ -804,6 +823,178 @@ impl Session {
                 }
             }
         })
+    }
+}
+
+/// Compute the mapping for one (mapper, pattern) pair over whichever
+/// distance backend the session extracted. Free function over the session's
+/// sibling fields so the cache's `entry` borrow and the computation cannot
+/// conflict. `None` = unsupported configuration.
+fn compute_mapping(
+    d: &SessionDistance,
+    cluster: &Cluster,
+    comm: &Communicator,
+    cfg: &SessionConfig,
+    mapper: Mapper,
+    pattern: PatternKind,
+) -> Option<MappingInfo> {
+    let p = comm.size() as u32;
+    let seed = cfg.seed;
+    match mapper {
+        Mapper::Hrstc => {
+            let t0 = Instant::now();
+            let mapping = match pattern {
+                // The fine-tuned heuristics dispatch per backend: the
+                // linear-scan generic implementations over the dense matrix
+                // (reference), the bucketed O(P·L) variants over the
+                // implicit oracle — proven bit-identical by the equivalence
+                // suites in tarr-mapping.
+                PatternKind::Rd => match d {
+                    SessionDistance::Dense(d) => rdmh(d, seed),
+                    SessionDistance::Implicit(o) => rdmh_bucketed(o, seed),
+                },
+                // On torus fabrics the ring embeds exactly along the
+                // snake (Hamiltonian) order; the greedy RMH chain can
+                // strand itself on flat mesh geometry, so the
+                // fabric-specialized mapping is preferred when available.
+                PatternKind::Ring => {
+                    torus_snake_mapping(cluster, comm).unwrap_or_else(|| match d {
+                        SessionDistance::Dense(d) => rmh(d, seed),
+                        SessionDistance::Implicit(o) => rmh_bucketed(o, seed),
+                    })
+                }
+                PatternKind::Bruck => match d {
+                    SessionDistance::Dense(d) => bkmh(d, seed),
+                    SessionDistance::Implicit(o) => bkmh_bucketed(o, seed),
+                },
+                PatternKind::BinomialBcast => match d {
+                    SessionDistance::Dense(d) => bbmh(d, seed),
+                    SessionDistance::Implicit(o) => bbmh_bucketed(o, seed),
+                },
+                PatternKind::BinomialGather => match d {
+                    SessionDistance::Dense(d) => bgmh(d, seed),
+                    SessionDistance::Implicit(o) => bgmh_bucketed(o, seed),
+                },
+                PatternKind::Hier(inter, intra) => {
+                    let groups = groups_by_node(comm, cluster)?;
+                    hier_dispatch(d, &groups, inter, intra, HierMapper::Heuristic, seed)?
+                }
+            };
+            Some(MappingInfo {
+                mapping,
+                compute: t0.elapsed(),
+                graph_build: Duration::ZERO,
+            })
+        }
+        Mapper::ScotchLike | Mapper::ScotchTuned => match pattern {
+            PatternKind::Hier(inter, intra) => {
+                let groups = groups_by_node(comm, cluster)?;
+                let t0 = Instant::now();
+                let mapping =
+                    hier_dispatch(d, &groups, inter, intra, HierMapper::ScotchLike, seed)?;
+                Some(MappingInfo {
+                    mapping,
+                    compute: t0.elapsed(),
+                    graph_build: Duration::ZERO,
+                })
+            }
+            _ => {
+                let sched = flat_schedule(pattern, p);
+                let tg = Instant::now();
+                let (graph, variant) = if mapper == Mapper::ScotchLike {
+                    (
+                        pattern_graph_unweighted(&sched),
+                        ScotchVariant::PaperDefault,
+                    )
+                } else {
+                    (pattern_graph(&sched, 1), ScotchVariant::Tuned)
+                };
+                let graph_build = tg.elapsed();
+                let t0 = Instant::now();
+                let mapping = match d {
+                    SessionDistance::Dense(d) => scotch_like_map_with(&graph, d, seed, variant),
+                    SessionDistance::Implicit(o) => scotch_like_map_with(&graph, o, seed, variant),
+                };
+                Some(MappingInfo {
+                    mapping,
+                    compute: t0.elapsed(),
+                    graph_build,
+                })
+            }
+        },
+        Mapper::Greedy => {
+            let sched = flat_schedule(pattern, p);
+            let tg = Instant::now();
+            let graph = pattern_graph(&sched, 1);
+            let graph_build = tg.elapsed();
+            let t0 = Instant::now();
+            let mapping = match d {
+                SessionDistance::Dense(d) => greedy_map(&graph, d),
+                SessionDistance::Implicit(o) => greedy_map(&graph, o),
+            };
+            Some(MappingInfo {
+                mapping,
+                compute: t0.elapsed(),
+                graph_build,
+            })
+        }
+        Mapper::MvapichCyclic => {
+            let t0 = Instant::now();
+            let mapping = mvapich_cyclic_reorder(p as usize, cluster.cores_per_node());
+            Some(MappingInfo {
+                mapping,
+                compute: t0.elapsed(),
+                graph_build: Duration::ZERO,
+            })
+        }
+    }
+}
+
+/// Run [`hierarchical_mapping`] over whichever backend the session holds.
+fn hier_dispatch(
+    d: &SessionDistance,
+    groups: &[(u32, u32)],
+    inter: InterAlg,
+    intra: IntraPattern,
+    hm: HierMapper,
+    seed: u64,
+) -> Option<Vec<u32>> {
+    match d {
+        SessionDistance::Dense(d) => hierarchical_mapping(d, groups, inter, intra, hm, seed),
+        SessionDistance::Implicit(o) => hierarchical_mapping(o, groups, inter, intra, hm, seed),
+    }
+}
+
+/// The snake ring mapping for full-allocation torus jobs: consecutive
+/// new ranks walk whole nodes along the boustrophedon Hamiltonian path,
+/// so every ring edge is intra-node or one torus hop. `None` when the
+/// fabric is not a torus or the job does not cover whole nodes.
+fn torus_snake_mapping(cluster: &Cluster, comm: &Communicator) -> Option<Vec<u32>> {
+    let torus = cluster.fabric().as_torus()?;
+    let cpn = cluster.cores_per_node();
+    if comm.size() != cluster.total_cores() {
+        return None;
+    }
+    let mut m = Vec::with_capacity(comm.size());
+    for node in torus.snake_order() {
+        for local in 0..cpn {
+            let core = cluster.core_id(node, local);
+            let slot = comm.rank_of_core(core)?;
+            m.push(slot.0);
+        }
+    }
+    debug_assert!(tarr_mapping::is_permutation(&m));
+    Some(m)
+}
+
+fn flat_schedule(pattern: PatternKind, p: u32) -> Schedule {
+    match pattern {
+        PatternKind::Rd => AllgatherAlg::RecursiveDoubling.schedule(p),
+        PatternKind::Ring => AllgatherAlg::Ring.schedule(p),
+        PatternKind::Bruck => AllgatherAlg::Bruck.schedule(p),
+        PatternKind::BinomialBcast => tarr_collectives::bcast::binomial_bcast(p, Rank(0), 1),
+        PatternKind::BinomialGather => binomial_gather(p, Rank(0)),
+        PatternKind::Hier(..) => unreachable!("hierarchical handled separately"),
     }
 }
 
@@ -851,6 +1042,20 @@ mod tests {
         let b = s.mapping(Mapper::Hrstc, PatternKind::Ring).mapping.clone();
         assert_eq!(a, b);
         assert_eq!(s.cache.len(), 1);
+    }
+
+    #[test]
+    fn reordered_comm_and_schedule_are_cached() {
+        let mut s = session(InitialMapping::CYCLIC_BUNCH, 4);
+        let scheme = Scheme::hrstc(OrderFix::InitComm);
+        let a = s.allgather_time(512, scheme);
+        assert_eq!(s.comm_cache.len(), 1);
+        let n_scheds = s.sched_cache.len();
+        // A second size in the same (RD) region reuses both caches.
+        let b = s.allgather_time(768, scheme);
+        assert_eq!(s.comm_cache.len(), 1);
+        assert_eq!(s.sched_cache.len(), n_scheds);
+        assert!(a > 0.0 && b > a, "monotone in size: {a} vs {b}");
     }
 
     #[test]
@@ -1088,5 +1293,54 @@ mod tests {
         assert!(info.graph_build > Duration::ZERO);
         let info_h = s.mapping(Mapper::Hrstc, PatternKind::Ring).clone();
         assert_eq!(info_h.graph_build, Duration::ZERO);
+    }
+
+    #[test]
+    fn implicit_backend_has_no_dense_matrix() {
+        let cluster = Cluster::gpc(4);
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::CYCLIC_BUNCH,
+            32,
+            SessionConfig::implicit(),
+        );
+        assert_eq!(s.backend(), DistanceBackend::Implicit);
+        // The full API works without a dense matrix.
+        let t = s.allgather_time(65536, Scheme::hrstc(OrderFix::InitComm));
+        assert!(t.is_finite() && t > 0.0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.distance_matrix();
+        }));
+        assert!(r.is_err(), "distance_matrix must panic on implicit backend");
+    }
+
+    #[test]
+    fn implicit_backend_matches_dense_exactly() {
+        // The fast differential smoke test; the exhaustive suite lives in
+        // tests/session_oracle_equiv.rs.
+        let cluster = Cluster::gpc(8);
+        let mk = |backend| {
+            let cfg = SessionConfig {
+                backend,
+                ..SessionConfig::default()
+            };
+            Session::from_layout(cluster.clone(), InitialMapping::CYCLIC_BUNCH, 64, cfg)
+        };
+        let mut dense = mk(DistanceBackend::Dense);
+        let mut implicit = mk(DistanceBackend::Implicit);
+        for msg in [256u64, 65536] {
+            for scheme in [
+                Scheme::Default,
+                Scheme::hrstc(OrderFix::InitComm),
+                Scheme::hrstc(OrderFix::EndShuffle),
+            ] {
+                let a = dense.allgather_time(msg, scheme);
+                let b = implicit.allgather_time(msg, scheme);
+                assert_eq!(a, b, "{msg} {scheme:?}");
+            }
+        }
+        for (k, info) in &dense.cache {
+            assert_eq!(info.mapping, implicit.cache[k].mapping, "{k:?}");
+        }
     }
 }

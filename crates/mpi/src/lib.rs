@@ -41,4 +41,7 @@ pub use comm::Communicator;
 pub use exec::{ExecError, FunctionalState};
 pub use schedule::{Payload, Schedule, SendOp, Stage};
 pub use stats::{traffic_breakdown, TrafficBreakdown};
-pub use timing::{time_schedule, time_schedule_async, time_schedule_profile, time_schedule_sized};
+pub use timing::{
+    time_schedule, time_schedule_async, time_schedule_profile, time_schedule_sized, MergedOp,
+    TimedSchedule,
+};

@@ -1,26 +1,302 @@
 //! Timed execution of schedules on the network models.
 //!
+//! * [`TimedSchedule`] — a schedule compiled for pricing: per stage, ops are
+//!   merged to one entry per `(sender, receiver)` pair (rank reordering is a
+//!   bijection, so rank-level merging equals the core-level merging the
+//!   models need) and structurally identical stages are deduplicated. The
+//!   ring algorithm repeats one communication stage `p − 1` times, so its
+//!   compiled form holds **one** unique stage — and
+//!   [`TimedSchedule::ring_allgather`] builds that form analytically in
+//!   O(P), never materializing the O(P²)-op dense schedule at all. A
+//!   compiled schedule is reusable across message sizes and communicators.
 //! * [`time_schedule`] — synchronized-stage pricing on the analytic
-//!   [`StageModel`]; identical stages (the ring algorithm repeats one stage
-//!   `p−1` times) are memoized, which makes 4096-process sweeps tractable.
+//!   [`StageModel`]; compiles on the fly. Callers pricing the same schedule
+//!   repeatedly (figure sweeps, refinement loops) should compile once and
+//!   call [`TimedSchedule::time`].
 //! * [`time_schedule_async`] — asynchronous execution on the fluid
 //!   [`FlowEngine`]: each rank advances to its next stage as soon as *its
 //!   own* sends have drained and its expected receives have arrived, so
 //!   ranks may run several stages apart — the behaviour of a real MPI
 //!   implementation with eager/rendezvous point-to-point collectives.
+//! * [`reference`] — the pre-compilation executors, kept verbatim as the
+//!   differential-validation baseline for the compiled path.
 
 use crate::comm::Communicator;
-use crate::schedule::Schedule;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use tarr_netsim::{FlowEngine, LinkIdx, Message, NetParams, StageModel};
-use tarr_topo::Hop;
+use crate::schedule::{Payload, Schedule};
+use tarr_netsim::{
+    fx_hash_one, FlowEngine, FxHashMap, FxHasher, LinkIdx, Message, NetParams, StageModel,
+};
+use tarr_topo::{Hop, Rank};
+
+/// One merged per-stage transfer: everything rank `from` sends to rank `to`
+/// within the stage, expressed size-independently (`blocks` allgather blocks
+/// plus `raw` literal bytes — resolved to bytes only at pricing time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MergedOp {
+    /// Sending rank.
+    pub from: u32,
+    /// Receiving rank.
+    pub to: u32,
+    /// Number of allgather blocks carried (bytes = `blocks · block_bytes`).
+    pub blocks: u64,
+    /// Raw payload bytes carried (broadcast/reduction traffic).
+    pub raw: u64,
+}
+
+/// Sentinel in [`TimedSchedule::order`] for a stage with no operations.
+const EMPTY_STAGE: u32 = u32::MAX;
+
+/// A schedule compiled for repeated pricing: merged per-(sender, receiver)
+/// transfers, with structurally identical stages stored once.
+#[derive(Debug, Clone)]
+pub struct TimedSchedule {
+    p: u32,
+    /// The distinct merged stages, in first-appearance order.
+    uniq: Vec<Vec<MergedOp>>,
+    /// For every original stage, the index into `uniq` (or [`EMPTY_STAGE`]).
+    order: Vec<u32>,
+}
+
+impl TimedSchedule {
+    /// Compile a schedule: merge each stage's ops per `(from, to)` pair
+    /// (first-seen order, matching the reference executors) and deduplicate
+    /// identical merged stages under full structural equality.
+    ///
+    /// Two dedup levels keep repeated stages cheap. Merged content is a
+    /// pure function of the per-op `(from, to, blocks, raw)` key sequence
+    /// (buffer slots don't survive merging), so a stage whose key sequence
+    /// matches an already-compiled stage reuses that stage's merged form
+    /// with **no** merge work — the ring's P−1 slot-rotated repetitions of
+    /// one communication stage all take this path. Candidates for that
+    /// comparison are found by a cheap fingerprint of the length and the
+    /// first few keys; the full key-by-key comparison then both *verifies*
+    /// the match and *is* the only pass over the stage's ops, so repeated
+    /// stages cost one touch per op. Stages that miss are merged through an
+    /// epoch-stamped chained index (no hashing per op) and deduplicated
+    /// once more on the merged content. Fingerprints only gate; equality
+    /// decides, so a collision costs a compare, never a wrong answer.
+    pub fn compile(schedule: &Schedule) -> Self {
+        /// Ops hashed into the candidate-selection fingerprint.
+        const PREFIX: usize = 8;
+        let p = schedule.p as usize;
+        let mut uniq: Vec<Vec<MergedOp>> = Vec::new();
+        let mut order: Vec<u32> = Vec::with_capacity(schedule.stages.len());
+        // Compiled representatives: the raw merge-key sequence of a stage
+        // and the `uniq` slot it resolved to.
+        let mut reps: Vec<(Vec<MergeKey>, u32)> = Vec::new();
+        // Prefix fingerprint → candidate indices into `reps`.
+        let mut by_prefix: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        // Merged-content fingerprint → candidate unique-stage indices.
+        let mut by_merged: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        // Per-sender chained index into `merged`, stamped per stage so it
+        // clears in O(1): head[from] → first merged op from that sender,
+        // next[i] → the following one. Lookups are O(chain) with chains of
+        // length 1 in every schedule in this workspace.
+        let mut head: Vec<u32> = vec![u32::MAX; p];
+        let mut stamp: Vec<u32> = vec![u32::MAX; p];
+        let mut next: Vec<u32> = Vec::new();
+        let mut merged: Vec<MergedOp> = Vec::new();
+
+        for (si, stage) in schedule.stages.iter().enumerate() {
+            if stage.ops.is_empty() {
+                order.push(EMPTY_STAGE);
+                continue;
+            }
+
+            // Candidate fingerprint: length + the first PREFIX merge keys.
+            let mut h = FxHasher::default();
+            std::hash::Hash::hash(&stage.ops.len(), &mut h);
+            for op in stage.ops.iter().take(PREFIX) {
+                std::hash::Hash::hash(&merge_key(op), &mut h);
+            }
+            let pfp = std::hash::Hasher::finish(&h);
+
+            // Level 1: raw-sequence dedup — one pass over the ops, comparing
+            // against each candidate's stored key sequence.
+            let hit = by_prefix.get(&pfp).and_then(|cands| {
+                cands.iter().copied().find_map(|ri| {
+                    let (keys, val) = &reps[ri as usize];
+                    let equal = keys.len() == stage.ops.len()
+                        && keys
+                            .iter()
+                            .zip(&stage.ops)
+                            .all(|(k, op)| *k == merge_key(op));
+                    equal.then_some(*val)
+                })
+            });
+            if let Some(val) = hit {
+                order.push(val);
+                continue;
+            }
+
+            // Level 2: extract the key sequence, merge it through the
+            // chained index, then dedup on the merged content.
+            let keys: Vec<MergeKey> = stage.ops.iter().map(merge_key).collect();
+            merged.clear();
+            next.clear();
+            for &(from, to, blocks, raw) in &keys {
+                let f = from as usize;
+                if stamp[f] != si as u32 {
+                    stamp[f] = si as u32;
+                    head[f] = u32::MAX;
+                }
+                let mut at = head[f];
+                while at != u32::MAX && merged[at as usize].to != to {
+                    at = next[at as usize];
+                }
+                if at != u32::MAX {
+                    let m = &mut merged[at as usize];
+                    m.blocks += blocks;
+                    m.raw += raw;
+                } else {
+                    next.push(head[f]);
+                    head[f] = merged.len() as u32;
+                    merged.push(MergedOp {
+                        from,
+                        to,
+                        blocks,
+                        raw,
+                    });
+                }
+            }
+            let h = fx_hash_one(&merged);
+            let candidates = by_merged.entry(h).or_default();
+            let k = match candidates
+                .iter()
+                .copied()
+                .find(|&k| uniq[k as usize] == merged)
+            {
+                Some(k) => k,
+                None => {
+                    let k = uniq.len() as u32;
+                    uniq.push(merged.clone());
+                    candidates.push(k);
+                    k
+                }
+            };
+            order.push(k);
+            by_prefix.entry(pfp).or_default().push(reps.len() as u32);
+            reps.push((keys, k));
+        }
+        TimedSchedule {
+            p: schedule.p,
+            uniq,
+            order,
+        }
+    }
+
+    /// The compiled ring allgather for `p` ranks, built analytically in
+    /// O(P): one unique stage (every rank forwards one block to its
+    /// successor) repeated `p − 1` times. Identical to
+    /// `compile(&ring(p))` — which would cost O(P²) ops to even
+    /// materialize — because merging discards the per-stage slot rotation.
+    pub fn ring_allgather(p: u32) -> Self {
+        if p <= 1 {
+            return TimedSchedule {
+                p,
+                uniq: Vec::new(),
+                order: Vec::new(),
+            };
+        }
+        let stage: Vec<MergedOp> = (0..p)
+            .map(|i| MergedOp {
+                from: i,
+                to: (i + 1) % p,
+                blocks: 1,
+                raw: 0,
+            })
+            .collect();
+        TimedSchedule {
+            p,
+            uniq: vec![stage],
+            order: vec![0; (p - 1) as usize],
+        }
+    }
+
+    /// Communicator size the schedule was compiled for.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Number of original (pre-dedup) stages.
+    pub fn num_stages(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of distinct merged stages that actually get priced.
+    pub fn num_unique_stages(&self) -> usize {
+        self.uniq.len()
+    }
+
+    /// Resolve unique stage `k` to messages under `comm` and `block_bytes`.
+    fn resolve(&self, k: u32, comm: &Communicator, block_bytes: u64, msgs: &mut Vec<Message>) {
+        msgs.clear();
+        for m in &self.uniq[k as usize] {
+            msgs.push(Message::new(
+                comm.core_of(Rank(m.from)),
+                comm.core_of(Rank(m.to)),
+                m.blocks * block_bytes + m.raw,
+            ));
+        }
+    }
+
+    /// Total synchronized-stage latency under `comm` on `model`, with
+    /// per-block size `block_bytes`. Each unique stage is priced once;
+    /// accumulation runs in original stage order, so the result is
+    /// bit-identical to the reference executor's memoized sum.
+    pub fn time(&self, comm: &Communicator, model: &StageModel<'_>, block_bytes: u64) -> f64 {
+        assert_eq!(self.p as usize, comm.size(), "schedule/comm size mismatch");
+        let mut cache: Vec<f64> = vec![f64::NAN; self.uniq.len()];
+        let mut msgs: Vec<Message> = Vec::new();
+        let mut total = 0.0;
+        for &k in &self.order {
+            if k == EMPTY_STAGE {
+                continue;
+            }
+            let mut t = cache[k as usize];
+            if t.is_nan() {
+                self.resolve(k, comm, block_bytes, &mut msgs);
+                t = model.stage_time(&msgs);
+                cache[k as usize] = t;
+            }
+            total += t;
+        }
+        total
+    }
+
+    /// Per-stage latency profile (one entry per original stage; empty stages
+    /// price as zero). Summing the profile equals [`TimedSchedule::time`].
+    pub fn time_profile(
+        &self,
+        comm: &Communicator,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+    ) -> Vec<f64> {
+        assert_eq!(self.p as usize, comm.size(), "schedule/comm size mismatch");
+        let mut cache: Vec<f64> = vec![f64::NAN; self.uniq.len()];
+        let mut msgs: Vec<Message> = Vec::new();
+        self.order
+            .iter()
+            .map(|&k| {
+                if k == EMPTY_STAGE {
+                    return 0.0;
+                }
+                let mut t = cache[k as usize];
+                if t.is_nan() {
+                    self.resolve(k, comm, block_bytes, &mut msgs);
+                    t = model.stage_time(&msgs);
+                    cache[k as usize] = t;
+                }
+                t
+            })
+            .collect()
+    }
+}
 
 /// Price a schedule with synchronized stage barriers.
 ///
-/// `block_bytes` resolves block payloads to bytes; raw payloads are used
-/// verbatim.
+/// Compiles on the fly; for repeated pricing of one schedule compile once
+/// with [`TimedSchedule::compile`] and call [`TimedSchedule::time`].
 pub fn time_schedule(
     schedule: &Schedule,
     comm: &Communicator,
@@ -32,33 +308,7 @@ pub fn time_schedule(
         comm.size(),
         "schedule/comm size mismatch"
     );
-    let mut memo: HashMap<u64, f64> = HashMap::new();
-    let mut total = 0.0;
-    for stage in &schedule.stages {
-        if stage.ops.is_empty() {
-            continue;
-        }
-        // Ops with the same endpoints within one stage travel as a single
-        // message (a hierarchical leader exchange emits one op per carried
-        // node range); merge them before pricing.
-        let msgs = merge_stage(stage, comm, block_bytes);
-        // Timing signature: (src core, dst core, bytes) in merged order.
-        let mut h = DefaultHasher::new();
-        for m in &msgs {
-            (m.src.0, m.dst.0, m.bytes).hash(&mut h);
-        }
-        let key = h.finish();
-        let t = match memo.get(&key) {
-            Some(&t) => t,
-            None => {
-                let t = model.stage_time(&msgs);
-                memo.insert(key, t);
-                t
-            }
-        };
-        total += t;
-    }
-    total
+    TimedSchedule::compile(schedule).time(comm, model, block_bytes)
 }
 
 /// Per-stage latency profile of a schedule: one entry per stage (empty
@@ -77,29 +327,17 @@ pub fn time_schedule_profile(
         comm.size(),
         "schedule/comm size mismatch"
     );
-    let mut memo: HashMap<u64, f64> = HashMap::new();
-    schedule
-        .stages
-        .iter()
-        .map(|stage| {
-            if stage.ops.is_empty() {
-                return 0.0;
-            }
-            let msgs = merge_stage(stage, comm, block_bytes);
-            let mut h = DefaultHasher::new();
-            for m in &msgs {
-                (m.src.0, m.dst.0, m.bytes).hash(&mut h);
-            }
-            *memo
-                .entry(h.finish())
-                .or_insert_with(|| model.stage_time(&msgs))
-        })
-        .collect()
+    TimedSchedule::compile(schedule).time_profile(comm, model, block_bytes)
 }
 
 /// Price a schedule whose blocks have **variable sizes** (`MPI_Allgatherv`):
 /// `sizes[slot]` is the byte count of the block stored at that slot. Raw
 /// payloads are used verbatim.
+///
+/// Unlike the uniform executors this cannot reuse the size-independent
+/// compiled stages — the ring rotates which slots each stage carries, so
+/// stages that merge identically at block granularity resolve to different
+/// byte vectors — and instead memoizes on the fully resolved messages.
 pub fn time_schedule_sized(
     schedule: &Schedule,
     comm: &Communicator,
@@ -114,26 +352,42 @@ pub fn time_schedule_sized(
     assert_eq!(sizes.len(), comm.size(), "sizes/communicator mismatch");
     let p = schedule.p;
     let mut total = 0.0;
-    let mut memo: HashMap<u64, f64> = HashMap::new();
+    let mut memo: FxHashMap<Vec<Message>, f64> = FxHashMap::default();
     for stage in &schedule.stages {
         if stage.ops.is_empty() {
             continue;
         }
         let msgs = merge_stage_with(stage, comm, |payload| match *payload {
-            crate::schedule::Payload::Blocks { src_slot, len, .. } => {
+            Payload::Blocks { src_slot, len, .. } => {
                 (0..len).map(|k| sizes[((src_slot + k) % p) as usize]).sum()
             }
-            crate::schedule::Payload::Raw { bytes } => bytes,
+            Payload::Raw { bytes } => bytes,
         });
-        let mut h = DefaultHasher::new();
-        for m in &msgs {
-            (m.src.0, m.dst.0, m.bytes).hash(&mut h);
-        }
-        let key = h.finish();
-        let t = *memo.entry(key).or_insert_with(|| model.stage_time(&msgs));
+        let t = match memo.get(&msgs) {
+            Some(&t) => t,
+            None => {
+                let t = model.stage_time(&msgs);
+                memo.insert(msgs, t);
+                t
+            }
+        };
         total += t;
     }
     total
+}
+
+/// The part of a [`SendOp`](crate::schedule::SendOp) that survives merging:
+/// `(from, to, blocks, raw)`. Merged stage content is a pure function of the
+/// per-op sequence of these keys, which is what makes the raw-sequence dedup
+/// in [`TimedSchedule::compile`] sound.
+type MergeKey = (u32, u32, u64, u64);
+
+#[inline]
+fn merge_key(op: &crate::schedule::SendOp) -> MergeKey {
+    match op.payload {
+        Payload::Blocks { len, .. } => (op.from.0, op.to.0, len as u64, 0),
+        Payload::Raw { bytes } => (op.from.0, op.to.0, 0, bytes),
+    }
 }
 
 /// Merge a stage's ops into per-(src, dst) messages, preserving first-seen
@@ -150,9 +404,10 @@ fn merge_stage(
 fn merge_stage_with(
     stage: &crate::schedule::Stage,
     comm: &Communicator,
-    size_of: impl Fn(&crate::schedule::Payload) -> u64,
+    size_of: impl Fn(&Payload) -> u64,
 ) -> Vec<Message> {
-    let mut index: HashMap<(u32, u32), usize> = HashMap::with_capacity(stage.ops.len());
+    let mut index: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    index.reserve(stage.ops.len());
     let mut msgs: Vec<Message> = Vec::with_capacity(stage.ops.len());
     for op in &stage.ops {
         let src = comm.core_of(op.from);
@@ -169,6 +424,111 @@ fn merge_stage_with(
         }
     }
     msgs
+}
+
+/// The pre-compilation executors, kept **verbatim** as the
+/// differential-validation baseline: the compiled path must reproduce these
+/// sums bit-for-bit, and the committed `BENCH_timing.json` speedup is
+/// measured against them.
+pub mod reference {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+
+    /// Reference synchronized-stage pricing (per-stage merge + memoized
+    /// stage hash), exactly as shipped before the compiled path existed.
+    pub fn time_schedule(
+        schedule: &Schedule,
+        comm: &Communicator,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+    ) -> f64 {
+        assert_eq!(
+            schedule.p as usize,
+            comm.size(),
+            "schedule/comm size mismatch"
+        );
+        let mut memo: HashMap<u64, f64> = HashMap::new();
+        let mut total = 0.0;
+        for stage in &schedule.stages {
+            if stage.ops.is_empty() {
+                continue;
+            }
+            let msgs = reference_merge_stage(stage, comm, block_bytes);
+            let mut h = DefaultHasher::new();
+            for m in &msgs {
+                (m.src.0, m.dst.0, m.bytes).hash(&mut h);
+            }
+            let key = h.finish();
+            let t = match memo.get(&key) {
+                Some(&t) => t,
+                None => {
+                    let t = model.stage_time(&msgs);
+                    memo.insert(key, t);
+                    t
+                }
+            };
+            total += t;
+        }
+        total
+    }
+
+    /// Reference per-stage profile.
+    pub fn time_schedule_profile(
+        schedule: &Schedule,
+        comm: &Communicator,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+    ) -> Vec<f64> {
+        assert_eq!(
+            schedule.p as usize,
+            comm.size(),
+            "schedule/comm size mismatch"
+        );
+        let mut memo: HashMap<u64, f64> = HashMap::new();
+        schedule
+            .stages
+            .iter()
+            .map(|stage| {
+                if stage.ops.is_empty() {
+                    return 0.0;
+                }
+                let msgs = reference_merge_stage(stage, comm, block_bytes);
+                let mut h = DefaultHasher::new();
+                for m in &msgs {
+                    (m.src.0, m.dst.0, m.bytes).hash(&mut h);
+                }
+                *memo
+                    .entry(h.finish())
+                    .or_insert_with(|| model.stage_time(&msgs))
+            })
+            .collect()
+    }
+
+    fn reference_merge_stage(
+        stage: &crate::schedule::Stage,
+        comm: &Communicator,
+        block_bytes: u64,
+    ) -> Vec<Message> {
+        let mut index: HashMap<(u32, u32), usize> = HashMap::with_capacity(stage.ops.len());
+        let mut msgs: Vec<Message> = Vec::with_capacity(stage.ops.len());
+        for op in &stage.ops {
+            let src = comm.core_of(op.from);
+            let dst = comm.core_of(op.to);
+            let bytes = op.payload.bytes(block_bytes);
+            match index.entry((src.0, dst.0)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    msgs[*e.get()].bytes += bytes;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(msgs.len());
+                    msgs.push(Message::new(src, dst, bytes));
+                }
+            }
+        }
+        msgs
+    }
 }
 
 /// Price a schedule asynchronously on the fluid-flow engine.
@@ -211,7 +571,7 @@ pub fn time_schedule_async(
     }
 
     let mut engine = FlowEngine::new();
-    let mut interned: HashMap<Hop, LinkIdx> = HashMap::new();
+    let mut interned: FxHashMap<Hop, LinkIdx> = FxHashMap::default();
 
     let mut sends: Vec<Vec<Vec<FlowDesc>>> = vec![vec![Vec::new(); n_stages]; p];
     let mut expected: Vec<Vec<u32>> = vec![vec![0; n_stages]; p];
@@ -251,7 +611,7 @@ pub fn time_schedule_async(
     let mut stage_of: Vec<usize> = vec![0; p]; // current stage per rank
     let mut sends_left: Vec<u32> = vec![0; p]; // for the current stage
     let mut arrived: Vec<Vec<u32>> = vec![vec![0; n_stages]; p];
-    let mut flow_meta: HashMap<usize, (usize, usize, usize)> = HashMap::new(); // flow -> (sender, receiver, stage)
+    let mut flow_meta: FxHashMap<usize, (usize, usize, usize)> = FxHashMap::default(); // flow -> (sender, receiver, stage)
     let mut finish_time = 0.0f64;
     let mut done_ranks = 0usize;
 
@@ -264,7 +624,7 @@ pub fn time_schedule_async(
         sends_left: &mut [u32],
         sends: &[Vec<Vec<FlowDesc>>],
         engine: &mut FlowEngine,
-        flow_meta: &mut HashMap<usize, (usize, usize, usize)>,
+        flow_meta: &mut FxHashMap<usize, (usize, usize, usize)>,
         arrived: &mut [Vec<u32>],
     ) {
         let s = stage_of[r];
@@ -431,6 +791,7 @@ mod tests {
         }
         let t_many = time_schedule(&many, &comm, &model, 4096);
         assert!((t_many - 10.0 * t_once).abs() < 1e-12);
+        assert_eq!(TimedSchedule::compile(&many).num_unique_stages(), 1);
     }
 
     #[test]
@@ -444,6 +805,59 @@ mod tests {
             time_schedule_async(&sched, &comm, &cluster, &NetParams::default(), 1024),
             0.0
         );
+    }
+
+    #[test]
+    fn compiled_matches_reference_exactly() {
+        let cluster = Cluster::gpc(4);
+        let comm = line_comm(32);
+        let model = StageModel::new(&cluster, NetParams::default());
+        for sched in [tarr_rd(32), mixed_schedule()] {
+            for bytes in [0u64, 1, 1024, 1 << 20] {
+                let r = reference::time_schedule(&sched, &comm, &model, bytes);
+                let n = time_schedule(&sched, &comm, &model, bytes);
+                assert_eq!(r, n, "bytes {bytes}");
+                let rp = reference::time_schedule_profile(&sched, &comm, &model, bytes);
+                let np = time_schedule_profile(&sched, &comm, &model, bytes);
+                assert_eq!(rp, np, "profile, bytes {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_reuse_across_sizes_and_comms() {
+        let cluster = Cluster::gpc(4);
+        let comm = line_comm(32);
+        let reordered = comm.reordered(&{
+            let mut m: Vec<u32> = (0..32).rev().collect();
+            m.rotate_left(1);
+            m
+        });
+        let model = StageModel::new(&cluster, NetParams::default());
+        let sched = tarr_rd(32);
+        let ts = TimedSchedule::compile(&sched);
+        for c in [&comm, &reordered] {
+            for bytes in [64u64, 4096, 1 << 18] {
+                assert_eq!(
+                    ts.time(c, &model, bytes),
+                    reference::time_schedule(&sched, c, &model, bytes)
+                );
+            }
+        }
+    }
+
+    // A schedule exercising merging (two ops, same endpoints), raw payloads
+    // and an empty stage.
+    fn mixed_schedule() -> Schedule {
+        let mut sched = Schedule::new(32);
+        sched.push(Stage::new(vec![
+            SendOp::blocks(0, 8, 0, 1),
+            SendOp::blocks(0, 8, 4, 2),
+            SendOp::raw(1, 9, 777),
+        ]));
+        sched.push(Stage::new(Vec::new()));
+        sched.push(Stage::new(vec![SendOp::raw(8, 0, 123)]));
+        sched
     }
 
     #[test]
@@ -513,6 +927,53 @@ mod tests {
             s += 1;
         }
         sched
+    }
+
+    // Minimal ring generator mirroring tarr-collectives' `ring(p)`.
+    fn tarr_ring(p: u32) -> Schedule {
+        let mut sched = Schedule::new(p);
+        for s in 1..p {
+            let mut ops = Vec::with_capacity(p as usize);
+            for i in 0..p {
+                let b = (i + p - s + 1) % p;
+                ops.push(SendOp {
+                    from: Rank(i),
+                    to: Rank((i + 1) % p),
+                    payload: Payload::Blocks {
+                        src_slot: b,
+                        dst_slot: b,
+                        len: 1,
+                    },
+                });
+            }
+            sched.push(Stage::new(ops));
+        }
+        sched
+    }
+
+    #[test]
+    fn analytic_ring_equals_compiled_dense_ring() {
+        let cluster = Cluster::gpc(3);
+        let comm = line_comm(24);
+        let model = StageModel::new(&cluster, NetParams::default());
+        for p in [2u32, 3, 8, 24] {
+            let analytic = TimedSchedule::ring_allgather(p);
+            let dense = TimedSchedule::compile(&tarr_ring(p));
+            assert_eq!(analytic.uniq, dense.uniq, "p = {p}");
+            assert_eq!(analytic.order, dense.order, "p = {p}");
+        }
+        let analytic = TimedSchedule::ring_allgather(24);
+        assert_eq!(analytic.num_unique_stages(), 1);
+        assert_eq!(
+            analytic.time(&comm, &model, 4096),
+            reference::time_schedule(&tarr_ring(24), &comm, &model, 4096)
+        );
+    }
+
+    #[test]
+    fn ring_allgather_degenerate_sizes() {
+        assert_eq!(TimedSchedule::ring_allgather(0).num_stages(), 0);
+        assert_eq!(TimedSchedule::ring_allgather(1).num_stages(), 0);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! A minimal Fx-style hasher for the simulator hot paths.
+//!
+//! The per-stage pricing loops hash millions of small fixed-size keys (hop
+//! identifiers, `(rank, rank)` endpoint pairs); the standard library's
+//! SipHash is DoS-resistant but an order of magnitude slower than needed for
+//! trusted, in-process keys. This is the classic Firefox/rustc "Fx" mix — a
+//! wrapping multiply by a 64-bit constant with a rotate per word — which is
+//! the common choice for compiler-style workloads (no untrusted input, small
+//! keys, hashing on the critical path).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the rustc-hash crate (π-derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: one 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(buf[0] as u64 | u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Hash one `Hash` value with the Fx hasher (stand-alone fingerprinting).
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(fx_hash_one(&(1u32, 2u32)), fx_hash_one(&(1u32, 2u32)));
+        assert_ne!(fx_hash_one(&(1u32, 2u32)), fx_hash_one(&(2u32, 1u32)));
+        assert_ne!(fx_hash_one(&0u64), fx_hash_one(&1u64));
+    }
+
+    #[test]
+    fn map_works_as_drop_in() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(13, 91)], 13);
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a test");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello world, this is a tesu");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

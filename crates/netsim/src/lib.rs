@@ -27,12 +27,14 @@
 //! ```
 
 pub mod event;
+pub mod fxhash;
 pub mod memcpy;
 pub mod message;
 pub mod params;
 pub mod stage;
 
 pub use event::{fluid_stage_time, FlowEngine, FlowId, LinkIdx};
+pub use fxhash::{fx_hash_one, FxHashMap, FxHasher};
 pub use memcpy::MemcpyModel;
 pub use message::Message;
 pub use params::{ChannelParams, NetParams};

@@ -12,9 +12,9 @@
 //! is what produces the 5:1 uplink penalty that the paper's cyclic layouts
 //! suffer from.
 
+use crate::fxhash::FxHashMap;
 use crate::message::Message;
 use crate::params::NetParams;
-use std::collections::HashMap;
 use tarr_topo::{Cluster, Hop};
 
 /// Analytic stage-timing model bound to a cluster and parameter set.
@@ -53,23 +53,28 @@ impl<'a> StageModel<'a> {
             return 0.0;
         }
 
-        // Count contention per physical hop across the stage.
-        let mut load: HashMap<Hop, u32> = HashMap::with_capacity(msgs.len() * 4);
-        let mut paths: Vec<Vec<Hop>> = Vec::with_capacity(msgs.len());
+        // Count contention per physical hop across the stage. Paths live in
+        // one flat buffer (two allocations per stage, not one per message —
+        // this is the innermost loop of every figure sweep).
+        let mut load: FxHashMap<Hop, u32> = FxHashMap::default();
+        load.reserve(msgs.len() * 4);
+        let mut hops_flat: Vec<Hop> = Vec::with_capacity(msgs.len() * 4);
+        let mut ends: Vec<usize> = Vec::with_capacity(msgs.len());
         for m in msgs {
-            let path = if m.is_local() {
-                Vec::new()
-            } else {
-                self.cluster.path(m.src, m.dst)
-            };
-            for h in &path {
-                *load.entry(*h).or_insert(0) += 1;
+            if !m.is_local() {
+                hops_flat.extend(self.cluster.path(m.src, m.dst));
             }
-            paths.push(path);
+            ends.push(hops_flat.len());
+        }
+        for h in &hops_flat {
+            *load.entry(*h).or_insert(0) += 1;
         }
 
         let mut worst = 0.0f64;
-        for (m, path) in msgs.iter().zip(&paths) {
+        let mut start = 0usize;
+        for (m, &end) in msgs.iter().zip(&ends) {
+            let path = &hops_flat[start..end];
+            start = end;
             let t = if m.is_local() {
                 self.params.memcpy.copy_time(m.bytes)
             } else {

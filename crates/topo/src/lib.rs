@@ -46,6 +46,6 @@ pub use distance::{DistanceConfig, DistanceMatrix, ExtractionCostModel};
 pub use fattree::{FatTree, FatTreeConfig};
 pub use ids::{CoreId, LeafId, NodeId, Rank};
 pub use node::NodeTopology;
-pub use oracle::{DistanceOracle, ImplicitDistance, SlotPath};
+pub use oracle::{DistanceOracle, ImplicitDistance, SlotPath, SubsetOracle};
 pub use path::{Hop, HopKind};
 pub use torus::Torus3D;

@@ -200,6 +200,62 @@ impl ImplicitDistance {
     }
 }
 
+/// A view of a parent oracle restricted to a subset of its slots — the
+/// oracle analogue of [`DistanceMatrix::submatrix`], without the O(n²) copy.
+///
+/// Slot `i` of the view is slot `slots[i]` of the parent, so hierarchical
+/// mapping can run the leader or intra-node heuristics over any oracle
+/// backend with the exact distances the dense submatrix would contain.
+#[derive(Debug, Clone)]
+pub struct SubsetOracle<'a, O: DistanceOracle> {
+    parent: &'a O,
+    slots: Vec<usize>,
+}
+
+impl<'a, O: DistanceOracle> SubsetOracle<'a, O> {
+    /// Restrict `parent` to `slots` (view slot `i` ↦ parent slot `slots[i]`).
+    ///
+    /// # Panics
+    /// Panics if `slots` is empty, contains duplicates, or indexes past the
+    /// parent — the same contract as [`DistanceMatrix::submatrix`].
+    pub fn new(parent: &'a O, slots: &[usize]) -> Self {
+        assert!(!slots.is_empty(), "empty slot subset");
+        {
+            let mut sorted = slots.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), slots.len(), "duplicate slots in subset");
+            assert!(*sorted.last().unwrap() < parent.len(), "slot out of range");
+        }
+        SubsetOracle {
+            parent,
+            slots: slots.to_vec(),
+        }
+    }
+
+    /// The parent slots the view covers, in view-slot order.
+    pub fn slots(&self) -> &[usize] {
+        &self.slots
+    }
+}
+
+impl<O: DistanceOracle> DistanceOracle for SubsetOracle<'_, O> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn distance(&self, i: usize, j: usize) -> u16 {
+        self.parent.distance(self.slots[i], self.slots[j])
+    }
+
+    #[inline]
+    fn slot_core(&self, slot: usize) -> CoreId {
+        self.parent.slot_core(self.slots[slot])
+    }
+}
+
 impl DistanceOracle for ImplicitDistance {
     #[inline]
     fn len(&self) -> usize {
@@ -342,6 +398,38 @@ mod tests {
                 assert!(o.line_peers(b).binary_search(&a).is_ok(), "{a}<->{b}");
             }
         }
+    }
+
+    #[test]
+    fn subset_matches_submatrix() {
+        let c = Cluster::gpc(8);
+        let cores: Vec<CoreId> = c.cores().collect();
+        let cfg = DistanceConfig::default();
+        let dense = DistanceMatrix::build(&c, &cores, &cfg);
+        let implicit = ImplicitDistance::build(&c, &cores, &cfg);
+        let slots: Vec<usize> = (0..cores.len()).step_by(5).collect();
+        let sub = dense.submatrix(&slots);
+        for parent in [
+            &SubsetOracle::new(&dense, &slots) as &dyn DistanceOracle,
+            &SubsetOracle::new(&implicit, &slots),
+        ] {
+            assert_eq!(parent.len(), sub.len());
+            for i in 0..slots.len() {
+                assert_eq!(parent.slot_core(i), sub.core(i));
+                for j in 0..slots.len() {
+                    assert_eq!(parent.distance(i, j), sub.get(i, j), "{i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slots")]
+    fn subset_rejects_duplicates() {
+        let c = Cluster::gpc(2);
+        let cores: Vec<CoreId> = c.cores().collect();
+        let o = ImplicitDistance::build(&c, &cores, &DistanceConfig::default());
+        SubsetOracle::new(&o, &[0, 1, 0]);
     }
 
     #[test]
