@@ -98,10 +98,31 @@ criterion_group!(
 );
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `--trace-out PATH`: one traced pass of the scaled report instead of
+    // the criterion loops — criterion rejects unknown flags, and a traced
+    // timing loop would record thousands of identical spans.
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("error: --trace-out needs a path");
+            std::process::exit(2);
+        };
+        tarr_trace::set_enabled(true);
+        tarr_bench::scaled::run_report(&[4096], 42);
+        print!("{}", tarr_trace::summary_table());
+        match tarr_trace::export_jsonl(path) {
+            Ok(()) => eprintln!("trace: wrote {path}"),
+            Err(e) => {
+                eprintln!("trace: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     // `--large`: skip the criterion loops and run the 65 536-process
     // harness (one timed pass per heuristic; a timing loop at that scale
     // would take minutes for no extra information).
-    if std::env::args().any(|a| a == "--large") {
+    if args.iter().any(|a| a == "--large") {
         tarr_bench::scaled::run_report(&[65536], 42);
         return;
     }

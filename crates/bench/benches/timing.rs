@@ -18,7 +18,9 @@
 //! Every variant is asserted bit-identical to the reference before anything
 //! is timed. A full (unfiltered) `cargo bench --bench timing` run finishes
 //! by re-measuring the same quantities directly and writing the
-//! machine-readable summary to `BENCH_timing.json` at the workspace root.
+//! machine-readable summary to `BENCH_timing.json` at the workspace root,
+//! including the tarr-trace instrumentation overhead on the compiled
+//! pricing sweep (asserted under 2% with the recorder enabled).
 
 use std::time::Instant;
 
@@ -138,6 +140,35 @@ fn write_summary() {
         sweep.iter().map(|&m| ts.time(&f.comm, &model, m)).sum()
     });
 
+    // Instrumentation overhead on the pricing hot path: the full sweep over
+    // the pre-compiled schedule, with the tarr-trace recorder off (one
+    // relaxed atomic load per site) and on (spans + counters buffered).
+    // Measured last so the enabled phase cannot pollute the numbers above.
+    let trace_off_s = median_secs(25, || {
+        sweep
+            .iter()
+            .map(|&m| ts.time(&f.comm, &model, m))
+            .sum::<f64>()
+    });
+    tarr_trace::set_enabled(true);
+    let trace_on_s = median_secs(25, || {
+        sweep
+            .iter()
+            .map(|&m| ts.time(&f.comm, &model, m))
+            .sum::<f64>()
+    });
+    tarr_trace::set_enabled(false);
+    tarr_trace::reset();
+    let trace_overhead_pct = (trace_on_s / trace_off_s - 1.0) * 100.0;
+    assert!(
+        trace_overhead_pct < 2.0,
+        "tracing overhead {trace_overhead_pct:.2}% on the compiled pricing \
+         sweep exceeds the 2% acceptance bound \
+         (off {:.4} ms, on {:.4} ms)",
+        trace_off_s * 1e3,
+        trace_on_s * 1e3,
+    );
+
     let json = format!(
         r#"{{
   "benchmark": "time_schedule on the {p}-rank ring allgather ({stages} stages, {ops} ops), GPC cluster, 64 KiB blocks",
@@ -154,6 +185,11 @@ fn write_summary() {
     "reference_ms": {sw_ref:.3},
     "compiled_ms": {sw_new:.3},
     "speedup": {sw_speedup:.2}
+  }},
+  "trace_overhead": {{
+    "disabled_ms": {tr_off:.4},
+    "enabled_ms": {tr_on:.4},
+    "overhead_pct": {tr_pct:.2}
   }}
 }}
 "#,
@@ -171,6 +207,9 @@ fn write_summary() {
         sw_ref = sweep_ref_s * 1e3,
         sw_new = sweep_new_s * 1e3,
         sw_speedup = sweep_ref_s / sweep_new_s,
+        tr_off = trace_off_s * 1e3,
+        tr_on = trace_on_s * 1e3,
+        tr_pct = trace_overhead_pct,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_timing.json");
     std::fs::write(path, &json).expect("write BENCH_timing.json");

@@ -57,6 +57,7 @@ fn compute_panel(
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    opts.trace.init();
     let sweep = OsuSweep::paper_range();
     println!(
         "Fig. 3 — non-hierarchical topology-aware allgather, {} processes",
@@ -85,4 +86,5 @@ fn main() {
             print_improvement_row(size, &imps);
         }
     }
+    opts.trace.finish();
 }

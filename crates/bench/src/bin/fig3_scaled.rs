@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use tarr_bench::scaled::{bytes_label, peak_rss_bytes};
-use tarr_bench::{print_table_header, size_label};
+use tarr_bench::{print_table_header, size_label, TraceOpts};
 use tarr_core::{Scheme, Session, SessionConfig};
 use tarr_mapping::{InitialMapping, OrderFix};
 use tarr_topo::Cluster;
@@ -27,6 +27,7 @@ const RSS_LIMIT: u64 = 1 << 30;
 
 fn main() {
     let mut procs = 65536usize;
+    let mut trace = TraceOpts::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -40,10 +41,27 @@ fn main() {
                 i += 1;
             }
             "--quick" => procs = 4096,
+            "--trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                };
+                trace.jsonl = Some(p.into());
+                i += 1;
+            }
+            "--trace-chrome" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --trace-chrome needs a path");
+                    std::process::exit(2);
+                };
+                trace.chrome = Some(p.into());
+                i += 1;
+            }
             other => {
                 eprintln!("error: unknown argument {other}");
                 eprintln!(
-                    "usage: fig3_scaled [--procs N | --quick]   (N: power-of-two multiple of 8)"
+                    "usage: fig3_scaled [--procs N | --quick] [--trace-out PATH] \
+                     [--trace-chrome PATH]   (N: power-of-two multiple of 8)"
                 );
                 std::process::exit(2);
             }
@@ -58,6 +76,7 @@ fn main() {
         std::process::exit(2);
     }
 
+    trace.init();
     println!("== Fig. 3 (scaled): end-to-end session allgather at {procs} processes ==");
     println!("   implicit oracle backend, cyclic-bunch layout, O(P) memory\n");
 
@@ -86,6 +105,9 @@ fn main() {
             .map(|&m| (m, session.allgather_time(m, scheme)))
             .collect();
         let cold_s = t.elapsed().as_secs_f64();
+        // Stamp counter values between the cold and warm phases so the
+        // exported series show cache misses concentrating in the cold sweep.
+        tarr_trace::sample_metrics();
         let t = Instant::now();
         for &m in &sizes {
             let again = session.allgather_time(m, scheme);
@@ -94,6 +116,16 @@ fn main() {
         let warm_s = t.elapsed().as_secs_f64();
         println!("{name:>16}: cold sweep {cold_s:>8.3} s   warm sweep {warm_s:>8.3} s");
         series.push(cold);
+    }
+
+    // Per-stage traffic profile (classified once per unique compiled stage);
+    // emits the bounded `session.traffic` instants the CI smoke validates.
+    if trace.active() {
+        for (_, scheme) in schemes {
+            for &m in &sizes {
+                let _ = session.allgather_traffic_stages(m, scheme);
+            }
+        }
     }
 
     println!("\nmodel latency (s), improvement over Default in brackets:");
@@ -128,4 +160,5 @@ fn main() {
         }
         None => println!("\npeak RSS: unavailable (no /proc/self/status)"),
     }
+    trace.finish();
 }

@@ -18,6 +18,7 @@ use tarr_mapping::{bbmh, bgmh, rdmh, rmh, InitialMapping};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    opts.trace.init();
     let sizes: Vec<usize> = if opts.procs <= 512 {
         vec![128, 256, 512]
     } else {
@@ -74,4 +75,5 @@ fn main() {
             info.graph_build.as_secs_f64()
         );
     }
+    opts.trace.finish();
 }

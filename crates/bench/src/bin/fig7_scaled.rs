@@ -8,13 +8,15 @@
 //! comes from a pipeline whose outputs were just verified bit-identical to
 //! the reference at dense-feasible scale.
 //!
-//! usage: fig7_scaled [--large] [--seed N]
+//! usage: fig7_scaled [--large] [--seed N] [--trace-out PATH] [--trace-chrome PATH]
 
 use tarr_bench::scaled::run_report;
+use tarr_bench::TraceOpts;
 
 fn main() {
     let mut sizes = vec![4096usize, 16384];
     let mut seed = 42u64;
+    let mut trace = TraceOpts::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -28,15 +30,36 @@ fn main() {
                 seed = n;
                 i += 1;
             }
+            "--trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                };
+                trace.jsonl = Some(p.into());
+                i += 1;
+            }
+            "--trace-chrome" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --trace-chrome needs a path");
+                    std::process::exit(2);
+                };
+                trace.chrome = Some(p.into());
+                i += 1;
+            }
             other => {
                 eprintln!("error: unknown argument {other}");
-                eprintln!("usage: fig7_scaled [--large] [--seed N]");
+                eprintln!(
+                    "usage: fig7_scaled [--large] [--seed N] [--trace-out PATH] \
+                     [--trace-chrome PATH]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
+    trace.init();
     println!("== Fig. 7 (scaled): mapping overhead via implicit oracle + bucketed index ==\n");
     run_report(&sizes, seed);
+    trace.finish();
 }

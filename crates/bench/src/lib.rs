@@ -3,13 +3,62 @@
 //! Every binary accepts `--procs N` (default 4096, the paper's scale) and
 //! `--quick` (a 512-process smoke configuration for CI-sized runs); results
 //! print as aligned tables with one row per message size and one column per
-//! scheme, mirroring the series of the paper's figures.
+//! scheme, mirroring the series of the paper's figures. `--trace-out PATH`
+//! (JSONL) and `--trace-chrome PATH` (Perfetto-loadable) enable the
+//! tarr-trace recorder for the run and export it at exit.
 
 pub mod scaled;
 
 use tarr_core::{Scheme, Session, SessionConfig};
 use tarr_mapping::{InitialMapping, OrderFix};
 use tarr_topo::Cluster;
+
+/// `--trace-out` / `--trace-chrome` plumbing shared by every harness,
+/// including the scaled binaries with hand-rolled argument parsers.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOpts {
+    /// JSONL export path (`tarr-trace` line schema; see `trace-validate`).
+    pub jsonl: Option<std::path::PathBuf>,
+    /// Chrome trace-event export path (load in Perfetto / `about:tracing`).
+    pub chrome: Option<std::path::PathBuf>,
+}
+
+impl TraceOpts {
+    /// Whether any trace output was requested.
+    pub fn active(&self) -> bool {
+        self.jsonl.is_some() || self.chrome.is_some()
+    }
+
+    /// Enable the recorder iff an output path was requested. Call before the
+    /// first session is built so distance-build spans are captured.
+    pub fn init(&self) {
+        if self.active() {
+            tarr_trace::set_enabled(true);
+        }
+    }
+
+    /// Export the requested formats, print the end-of-run metrics summary
+    /// and disable the recorder. Export failures are reported, not fatal.
+    pub fn finish(&self) {
+        if !self.active() {
+            return;
+        }
+        print!("{}", tarr_trace::summary_table());
+        if let Some(p) = &self.jsonl {
+            match tarr_trace::export_jsonl(p) {
+                Ok(()) => eprintln!("trace: wrote {}", p.display()),
+                Err(e) => eprintln!("trace: failed to write {}: {e}", p.display()),
+            }
+        }
+        if let Some(p) = &self.chrome {
+            match tarr_trace::export_chrome(p) {
+                Ok(()) => eprintln!("trace: wrote {}", p.display()),
+                Err(e) => eprintln!("trace: failed to write {}: {e}", p.display()),
+            }
+        }
+        tarr_trace::set_enabled(false);
+    }
+}
 
 /// Command-line options shared by the harnesses.
 #[derive(Debug, Clone)]
@@ -18,6 +67,8 @@ pub struct HarnessOpts {
     pub procs: usize,
     /// Number of processes for the application figures (the paper uses 1024).
     pub app_procs: usize,
+    /// Trace export configuration.
+    pub trace: TraceOpts,
 }
 
 impl HarnessOpts {
@@ -26,11 +77,15 @@ impl HarnessOpts {
     pub fn from_args() -> Self {
         fn usage(msg: &str) -> ! {
             eprintln!("error: {msg}");
-            eprintln!("usage: [--procs N | --quick]   (N: positive multiple of 8, e.g. 4096)");
+            eprintln!(
+                "usage: [--procs N | --quick] [--trace-out PATH] [--trace-chrome PATH]   \
+                 (N: positive multiple of 8, e.g. 4096)"
+            );
             std::process::exit(2);
         }
         let mut procs = 4096usize;
         let mut app_procs = 1024usize;
+        let mut trace = TraceOpts::default();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -46,6 +101,20 @@ impl HarnessOpts {
                     procs = 512;
                     app_procs = 256;
                 }
+                "--trace-out" => {
+                    let Some(p) = args.get(i + 1) else {
+                        usage("--trace-out needs a path");
+                    };
+                    trace.jsonl = Some(p.into());
+                    i += 1;
+                }
+                "--trace-chrome" => {
+                    let Some(p) = args.get(i + 1) else {
+                        usage("--trace-chrome needs a path");
+                    };
+                    trace.chrome = Some(p.into());
+                    i += 1;
+                }
                 other => usage(&format!("unknown argument {other}")),
             }
             i += 1;
@@ -58,7 +127,11 @@ impl HarnessOpts {
         if procs < 16 {
             app_procs = procs;
         }
-        HarnessOpts { procs, app_procs }
+        HarnessOpts {
+            procs,
+            app_procs,
+            trace,
+        }
     }
 
     /// A GPC cluster just large enough for `procs` processes.
@@ -147,6 +220,7 @@ mod tests {
         let opts = HarnessOpts {
             procs: 20,
             app_procs: 16,
+            trace: TraceOpts::default(),
         };
         assert_eq!(opts.cluster_for(20).num_nodes(), 3);
     }

@@ -68,6 +68,7 @@ pub fn pattern_graph_unweighted(schedule: &Schedule) -> PatternGraph {
 /// with `block_bytes`.
 pub fn pattern_graph(schedule: &Schedule, block_bytes: u64) -> PatternGraph {
     let p = schedule.p;
+    let mut span = tarr_trace::span("collectives.pattern_graph").arg("p", p);
     let mut edges: HashMap<(u32, u32), u64> = HashMap::new();
     for stage in &schedule.stages {
         for op in &stage.ops {
@@ -87,6 +88,7 @@ pub fn pattern_graph(schedule: &Schedule, block_bytes: u64) -> PatternGraph {
     for n in &mut adj {
         n.sort_unstable();
     }
+    span.record("edges", edges.len());
     PatternGraph { p, adj }
 }
 

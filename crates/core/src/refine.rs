@@ -48,9 +48,13 @@ pub fn congestion_refine(
         return (best, best_t);
     }
 
+    let mut span = tarr_trace::span("core.congestion_refine")
+        .arg("p", p)
+        .arg("proposals", proposals);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = best.clone();
     let mut current_t = best_t;
+    let mut accepted = 0u64;
     for _ in 0..proposals {
         let a = rng.gen_range(0..p);
         let mut b = rng.gen_range(0..p - 1);
@@ -61,6 +65,7 @@ pub fn congestion_refine(
         let t = ts.time(&comm.reordered(&current), &model, block_bytes);
         if t < current_t {
             current_t = t;
+            accepted += 1;
             if t < best_t {
                 best_t = t;
                 best.copy_from_slice(&current);
@@ -69,6 +74,11 @@ pub fn congestion_refine(
             // Revert the swap (strict hill climbing).
             current.swap(a, b);
         }
+    }
+    if tarr_trace::enabled() {
+        span.record("accepted", accepted);
+        tarr_trace::counter_add!("refine.proposals", proposals as u64);
+        tarr_trace::counter_add!("refine.accepted", accepted);
     }
     (best, best_t)
 }

@@ -26,7 +26,7 @@
 use crate::hier::{hierarchical_mapping, reordered_groups, HierMapper};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tarr_collectives::allgather::{
     groups_by_node, hierarchical, HierarchicalConfig, InterAlg, IntraPattern,
 };
@@ -196,6 +196,26 @@ pub struct MappingInfo {
     pub graph_build: Duration,
 }
 
+/// Hit/miss counts of the session's three caches (one pair per cache,
+/// counted per lookup). Mirrored onto the `session.cache.*` trace counters
+/// when tracing is enabled; these per-session fields stay exact under
+/// parallel test runs where the global counters aggregate across sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Mapping-cache lookups that found a [`MappingInfo`] already computed.
+    pub mapping_hits: u64,
+    /// Mapping-cache lookups that had to run the mapping algorithm.
+    pub mapping_misses: u64,
+    /// Reordered-communicator cache hits.
+    pub comm_hits: u64,
+    /// Reordered-communicator cache misses (O(P) permutation rebuilt).
+    pub comm_misses: u64,
+    /// Compiled-schedule cache hits.
+    pub sched_hits: u64,
+    /// Compiled-schedule cache misses (schedule compiled).
+    pub sched_misses: u64,
+}
+
 /// The extracted distance structure (dense table or O(P) oracle).
 enum SessionDistance {
     Dense(DistanceMatrix),
@@ -232,13 +252,14 @@ pub struct Session {
     cache: HashMap<(Mapper, PatternKind), MappingInfo>,
     comm_cache: HashMap<(Mapper, PatternKind), Communicator>,
     sched_cache: HashMap<SchedKey, TimedSchedule>,
+    stats: CacheStats,
 }
 
 impl Session {
     /// Create a session over an explicit rank→core binding.
     pub fn new(cluster: Cluster, cores: Vec<CoreId>, cfg: SessionConfig) -> Self {
         let comm = Communicator::new(cores);
-        let t0 = Instant::now();
+        let sp = tarr_trace::timed_span("session.distance_build").arg("p", comm.size());
         let d = match cfg.backend {
             DistanceBackend::Dense => {
                 SessionDistance::Dense(DistanceMatrix::build(&cluster, comm.cores(), &cfg.dist))
@@ -249,7 +270,7 @@ impl Session {
                 &cfg.dist,
             )),
         };
-        let dist_build = t0.elapsed();
+        let dist_build = sp.finish();
         Session {
             cluster,
             cfg,
@@ -259,6 +280,7 @@ impl Session {
             cache: HashMap::new(),
             comm_cache: HashMap::new(),
             sched_cache: HashMap::new(),
+            stats: CacheStats::default(),
         }
     }
 
@@ -313,6 +335,12 @@ impl Session {
         self.dist_build
     }
 
+    /// Hit/miss counts of the mapping, reordered-communicator and
+    /// compiled-schedule caches since the session was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
     /// Modelled on-system extraction time (hwloc + IB tools probing), per the
     /// calibrated Fig. 7(a) model.
     pub fn extraction_model_seconds(&self) -> f64 {
@@ -346,11 +374,18 @@ impl Session {
             cluster,
             comm,
             cfg,
+            stats,
             ..
         } = self;
         match cache.entry((mapper, pattern)) {
-            Entry::Occupied(e) => Some(e.into_mut()),
+            Entry::Occupied(e) => {
+                stats.mapping_hits += 1;
+                tarr_trace::counter_add!("session.cache.mapping.hit", 1);
+                Some(e.into_mut())
+            }
             Entry::Vacant(e) => {
+                stats.mapping_misses += 1;
+                tarr_trace::counter_add!("session.cache.mapping.miss", 1);
                 let info = compute_mapping(d, cluster, comm, cfg, mapper, pattern)?;
                 Some(e.insert(info))
             }
@@ -361,7 +396,12 @@ impl Session {
     /// then cached (tentpole: every `*_time` call used to rebuild the O(P)
     /// permutation).
     fn ensure_reordered(&mut self, mapper: Mapper, pattern: PatternKind) -> Option<()> {
-        if !self.comm_cache.contains_key(&(mapper, pattern)) {
+        if self.comm_cache.contains_key(&(mapper, pattern)) {
+            self.stats.comm_hits += 1;
+            tarr_trace::counter_add!("session.cache.comm.hit", 1);
+        } else {
+            self.stats.comm_misses += 1;
+            tarr_trace::counter_add!("session.cache.comm.miss", 1);
             let m = self.try_mapping(mapper, pattern)?.mapping.clone();
             let comm2 = self.comm.reordered(&m);
             self.comm_cache.insert((mapper, pattern), comm2);
@@ -374,8 +414,12 @@ impl Session {
     /// cannot produce.
     fn ensure_sched(&mut self, key: SchedKey) -> Option<()> {
         if self.sched_cache.contains_key(&key) {
+            self.stats.sched_hits += 1;
+            tarr_trace::counter_add!("session.cache.sched.hit", 1);
             return Some(());
         }
+        self.stats.sched_misses += 1;
+        tarr_trace::counter_add!("session.cache.sched.miss", 1);
         let p = self.size() as u32;
         let ts = match key {
             // The ring is the scaling hazard: materializing its schedule is
@@ -536,6 +580,57 @@ impl Session {
                 tarr_mpi::traffic_breakdown(&sched, comm2, &self.cluster, msg_bytes)
             }
         }
+    }
+
+    /// Per-stage traffic breakdowns of the non-hierarchical allgather under
+    /// `scheme` — one [`tarr_mpi::TrafficBreakdown`] per schedule stage, in
+    /// execution order. Reuses the compiled schedule from the cache (each
+    /// unique stage is classified once), so a ring at 65,536 ranks costs
+    /// O(P) rather than O(P²). Emits a bounded `session.traffic` instant
+    /// (whole-schedule totals plus the heaviest-stage index) when tracing is
+    /// enabled; the returned vector always carries the full profile.
+    pub fn allgather_traffic_stages(
+        &mut self,
+        msg_bytes: u64,
+        scheme: Scheme,
+    ) -> Vec<tarr_mpi::TrafficBreakdown> {
+        let p = self.size() as u32;
+        let alg = select_allgather(p, msg_bytes);
+        let key = SchedKey::Flat(alg);
+        self.ensure_sched(key).unwrap();
+        let comm = match scheme {
+            Scheme::Default => &self.comm,
+            Scheme::Reordered { mapper, .. } => {
+                let pattern = PatternKind::of_alg(alg);
+                self.ensure_reordered(mapper, pattern)
+                    .expect("flat mappings are always available");
+                &self.comm_cache[&(mapper, pattern)]
+            }
+        };
+        let ts = &self.sched_cache[&key];
+        let stages = ts.traffic_breakdown_stages(comm, &self.cluster, msg_bytes);
+        if tarr_trace::enabled() {
+            let mut total = tarr_mpi::TrafficBreakdown::default();
+            let mut worst = (0usize, 0u64);
+            for (i, tb) in stages.iter().enumerate() {
+                total.accumulate(tb);
+                if tb.network() >= worst.1 {
+                    worst = (i, tb.network());
+                }
+            }
+            tarr_trace::instant("session.traffic")
+                .arg("alg", alg.name())
+                .arg("msg_bytes", msg_bytes)
+                .arg("stages", stages.len())
+                .arg("intra_socket", total.intra_socket)
+                .arg("qpi", total.qpi)
+                .arg("same_leaf", total.same_leaf)
+                .arg("cross_leaf", total.cross_leaf)
+                .arg("worst_stage", worst.0)
+                .arg("worst_stage_network", worst.1)
+                .emit();
+        }
+        stages
     }
 
     /// Simulated latency of an `MPI_Allgatherv` with per-rank contribution
@@ -842,65 +937,66 @@ fn compute_mapping(
     let seed = cfg.seed;
     match mapper {
         Mapper::Hrstc => {
-            let t0 = Instant::now();
-            let mapping = match pattern {
-                // The fine-tuned heuristics dispatch per backend: the
-                // linear-scan generic implementations over the dense matrix
-                // (reference), the bucketed O(P·L) variants over the
-                // implicit oracle — proven bit-identical by the equivalence
-                // suites in tarr-mapping.
-                PatternKind::Rd => match d {
-                    SessionDistance::Dense(d) => rdmh(d, seed),
-                    SessionDistance::Implicit(o) => rdmh_bucketed(o, seed),
-                },
-                // On torus fabrics the ring embeds exactly along the
-                // snake (Hamiltonian) order; the greedy RMH chain can
-                // strand itself on flat mesh geometry, so the
-                // fabric-specialized mapping is preferred when available.
-                PatternKind::Ring => {
-                    torus_snake_mapping(cluster, comm).unwrap_or_else(|| match d {
-                        SessionDistance::Dense(d) => rmh(d, seed),
-                        SessionDistance::Implicit(o) => rmh_bucketed(o, seed),
-                    })
-                }
-                PatternKind::Bruck => match d {
-                    SessionDistance::Dense(d) => bkmh(d, seed),
-                    SessionDistance::Implicit(o) => bkmh_bucketed(o, seed),
-                },
-                PatternKind::BinomialBcast => match d {
-                    SessionDistance::Dense(d) => bbmh(d, seed),
-                    SessionDistance::Implicit(o) => bbmh_bucketed(o, seed),
-                },
-                PatternKind::BinomialGather => match d {
-                    SessionDistance::Dense(d) => bgmh(d, seed),
-                    SessionDistance::Implicit(o) => bgmh_bucketed(o, seed),
-                },
-                PatternKind::Hier(inter, intra) => {
-                    let groups = groups_by_node(comm, cluster)?;
-                    hier_dispatch(d, &groups, inter, intra, HierMapper::Heuristic, seed)?
-                }
-            };
+            let (mapping, compute) = timed_compute(mapper, p, || {
+                Some(match pattern {
+                    // The fine-tuned heuristics dispatch per backend: the
+                    // linear-scan generic implementations over the dense
+                    // matrix (reference), the bucketed O(P·L) variants over
+                    // the implicit oracle — proven bit-identical by the
+                    // equivalence suites in tarr-mapping.
+                    PatternKind::Rd => match d {
+                        SessionDistance::Dense(d) => rdmh(d, seed),
+                        SessionDistance::Implicit(o) => rdmh_bucketed(o, seed),
+                    },
+                    // On torus fabrics the ring embeds exactly along the
+                    // snake (Hamiltonian) order; the greedy RMH chain can
+                    // strand itself on flat mesh geometry, so the
+                    // fabric-specialized mapping is preferred when available.
+                    PatternKind::Ring => {
+                        torus_snake_mapping(cluster, comm).unwrap_or_else(|| match d {
+                            SessionDistance::Dense(d) => rmh(d, seed),
+                            SessionDistance::Implicit(o) => rmh_bucketed(o, seed),
+                        })
+                    }
+                    PatternKind::Bruck => match d {
+                        SessionDistance::Dense(d) => bkmh(d, seed),
+                        SessionDistance::Implicit(o) => bkmh_bucketed(o, seed),
+                    },
+                    PatternKind::BinomialBcast => match d {
+                        SessionDistance::Dense(d) => bbmh(d, seed),
+                        SessionDistance::Implicit(o) => bbmh_bucketed(o, seed),
+                    },
+                    PatternKind::BinomialGather => match d {
+                        SessionDistance::Dense(d) => bgmh(d, seed),
+                        SessionDistance::Implicit(o) => bgmh_bucketed(o, seed),
+                    },
+                    PatternKind::Hier(inter, intra) => {
+                        let groups = groups_by_node(comm, cluster)?;
+                        hier_dispatch(d, &groups, inter, intra, HierMapper::Heuristic, seed)?
+                    }
+                })
+            })?;
             Some(MappingInfo {
                 mapping,
-                compute: t0.elapsed(),
+                compute,
                 graph_build: Duration::ZERO,
             })
         }
         Mapper::ScotchLike | Mapper::ScotchTuned => match pattern {
             PatternKind::Hier(inter, intra) => {
                 let groups = groups_by_node(comm, cluster)?;
-                let t0 = Instant::now();
-                let mapping =
-                    hier_dispatch(d, &groups, inter, intra, HierMapper::ScotchLike, seed)?;
+                let (mapping, compute) = timed_compute(mapper, p, || {
+                    hier_dispatch(d, &groups, inter, intra, HierMapper::ScotchLike, seed)
+                })?;
                 Some(MappingInfo {
                     mapping,
-                    compute: t0.elapsed(),
+                    compute,
                     graph_build: Duration::ZERO,
                 })
             }
             _ => {
                 let sched = flat_schedule(pattern, p);
-                let tg = Instant::now();
+                let tg = tarr_trace::timed_span("session.mapping.graph_build").arg("p", p);
                 let (graph, variant) = if mapper == Mapper::ScotchLike {
                     (
                         pattern_graph_unweighted(&sched),
@@ -909,45 +1005,68 @@ fn compute_mapping(
                 } else {
                     (pattern_graph(&sched, 1), ScotchVariant::Tuned)
                 };
-                let graph_build = tg.elapsed();
-                let t0 = Instant::now();
-                let mapping = match d {
-                    SessionDistance::Dense(d) => scotch_like_map_with(&graph, d, seed, variant),
-                    SessionDistance::Implicit(o) => scotch_like_map_with(&graph, o, seed, variant),
-                };
+                let graph_build = tg.finish();
+                let (mapping, compute) = timed_compute(mapper, p, || {
+                    Some(match d {
+                        SessionDistance::Dense(d) => scotch_like_map_with(&graph, d, seed, variant),
+                        SessionDistance::Implicit(o) => {
+                            scotch_like_map_with(&graph, o, seed, variant)
+                        }
+                    })
+                })?;
                 Some(MappingInfo {
                     mapping,
-                    compute: t0.elapsed(),
+                    compute,
                     graph_build,
                 })
             }
         },
         Mapper::Greedy => {
             let sched = flat_schedule(pattern, p);
-            let tg = Instant::now();
+            let tg = tarr_trace::timed_span("session.mapping.graph_build").arg("p", p);
             let graph = pattern_graph(&sched, 1);
-            let graph_build = tg.elapsed();
-            let t0 = Instant::now();
-            let mapping = match d {
-                SessionDistance::Dense(d) => greedy_map(&graph, d),
-                SessionDistance::Implicit(o) => greedy_map(&graph, o),
-            };
+            let graph_build = tg.finish();
+            let (mapping, compute) = timed_compute(mapper, p, || {
+                Some(match d {
+                    SessionDistance::Dense(d) => greedy_map(&graph, d),
+                    SessionDistance::Implicit(o) => greedy_map(&graph, o),
+                })
+            })?;
             Some(MappingInfo {
                 mapping,
-                compute: t0.elapsed(),
+                compute,
                 graph_build,
             })
         }
         Mapper::MvapichCyclic => {
-            let t0 = Instant::now();
-            let mapping = mvapich_cyclic_reorder(p as usize, cluster.cores_per_node());
+            let (mapping, compute) = timed_compute(mapper, p, || {
+                Some(mvapich_cyclic_reorder(p as usize, cluster.cores_per_node()))
+            })?;
             Some(MappingInfo {
                 mapping,
-                compute: t0.elapsed(),
+                compute,
                 graph_build: Duration::ZERO,
             })
         }
     }
+}
+
+/// Run one mapping computation under a `session.mapping.compute` span,
+/// returning the mapping and its measured wall-clock cost — the single
+/// timing site that [`compute_mapping`]'s arms all share (each used to carry
+/// its own `Instant` pair). The duration is measured whether or not tracing
+/// is enabled, since [`MappingInfo`] reports it unconditionally.
+fn timed_compute(
+    mapper: Mapper,
+    p: u32,
+    f: impl FnOnce() -> Option<Vec<u32>>,
+) -> Option<(Vec<u32>, Duration)> {
+    let sp = tarr_trace::timed_span("session.mapping.compute")
+        .arg("mapper", mapper.name())
+        .arg("p", p);
+    let mapping = f();
+    let compute = sp.finish();
+    mapping.map(|m| (m, compute))
 }
 
 /// Run [`hierarchical_mapping`] over whichever backend the session holds.
@@ -1056,6 +1175,47 @@ mod tests {
         assert_eq!(s.comm_cache.len(), 1);
         assert_eq!(s.sched_cache.len(), n_scheds);
         assert!(a > 0.0 && b > a, "monotone in size: {a} vs {b}");
+    }
+
+    #[test]
+    fn cache_stats_track_figure_sweep() {
+        let mut s = session(InitialMapping::CYCLIC_BUNCH, 4);
+        assert_eq!(s.cache_stats(), CacheStats::default());
+        let scheme = Scheme::hrstc(OrderFix::InitComm);
+        // A figure-sweep shape: three sizes in the RD region, both schemes.
+        for msg in [512u64, 640, 768] {
+            s.allgather_time(msg, Scheme::Default);
+            s.allgather_time(msg, scheme);
+        }
+        let st = s.cache_stats();
+        // One RD mapping computed (first reordered call), then re-read when
+        // the initComm-prefixed schedule is compiled.
+        assert_eq!(st.mapping_misses, 1);
+        assert_eq!(st.mapping_hits, 1);
+        // One reordered communicator built, reused for the other two sizes.
+        assert_eq!(st.comm_misses, 1);
+        assert_eq!(st.comm_hits, 2);
+        // Two schedules compiled (plain RD, initComm+RD); the remaining four
+        // lookups hit — a 2/3 hit ratio across the sweep.
+        assert_eq!(st.sched_misses, 2);
+        assert_eq!(st.sched_hits, 4);
+    }
+
+    #[test]
+    fn traffic_stages_sum_to_whole() {
+        let mut s = session(InitialMapping::CYCLIC_BUNCH, 4);
+        for scheme in [Scheme::Default, Scheme::hrstc(OrderFix::InitComm)] {
+            for msg in [512u64, 65536] {
+                let whole = s.allgather_traffic(msg, scheme);
+                let stages = s.allgather_traffic_stages(msg, scheme);
+                assert!(!stages.is_empty());
+                let mut sum = tarr_mpi::TrafficBreakdown::default();
+                for tb in &stages {
+                    sum.accumulate(tb);
+                }
+                assert_eq!(sum, whole, "{msg} {scheme:?}");
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub fn bbmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
 /// Algorithm 4 against any placement context.
 pub fn bbmh_in<C: PlacementContext>(ctx: &mut C, order: TraversalOrder) -> Vec<u32> {
     let p = ctx.len() as u32;
+    let _span = tarr_trace::span("mapping.bbmh").arg("p", p);
     let mut m = vec![u32::MAX; p as usize];
     m[0] = 0;
     ctx.take(0);

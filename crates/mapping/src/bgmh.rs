@@ -29,6 +29,7 @@ pub fn bgmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
 /// Algorithm 5 against any placement context.
 pub fn bgmh_in<C: PlacementContext>(ctx: &mut C) -> Vec<u32> {
     let p = ctx.len() as u32;
+    let _span = tarr_trace::span("mapping.bgmh").arg("p", p);
     let mut m = vec![u32::MAX; p as usize];
     m[0] = 0;
     ctx.take(0);

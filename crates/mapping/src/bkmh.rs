@@ -28,6 +28,7 @@ pub fn bkmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
 /// The BKMH procedure against any placement context.
 pub fn bkmh_in<C: PlacementContext>(ctx: &mut C) -> Vec<u32> {
     let p = ctx.len() as u32;
+    let _span = tarr_trace::span("mapping.bkmh").arg("p", p);
     let mut m = vec![u32::MAX; p as usize];
     let mut mapped = vec![false; p as usize];
 

@@ -101,6 +101,13 @@ pub struct BucketContext<'a> {
     nodes_per_leaf: usize,
     rings: Option<RingTable>,
     rng: StdRng,
+    /// Instrumentation: closest-free-slot queries answered.
+    queries: u64,
+    /// Instrumentation: empty classes walked past before the answer class.
+    class_fallthroughs: u64,
+    /// Instrumentation: whole nodes skipped by counter instead of scanned
+    /// (`Cell` because the pick helpers take `&self`).
+    nodes_skipped: std::cell::Cell<u64>,
 }
 
 impl<'a> BucketContext<'a> {
@@ -130,6 +137,9 @@ impl<'a> BucketContext<'a> {
             nodes_per_leaf,
             rings,
             rng: StdRng::seed_from_u64(seed),
+            queries: 0,
+            class_fallthroughs: 0,
+            nodes_skipped: std::cell::Cell::new(0),
         };
         for (slot, p) in o.paths().iter().enumerate() {
             ctx.free_core[p.core as usize] += 1;
@@ -181,6 +191,7 @@ impl<'a> BucketContext<'a> {
             let here = self.free_node[node] as usize;
             if *j >= here {
                 *j -= here;
+                self.nodes_skipped.set(self.nodes_skipped.get() + 1);
                 continue;
             }
             return self.pick_on_node(node as u32, |_| true, j);
@@ -194,6 +205,7 @@ impl<'a> BucketContext<'a> {
             let here = self.free_node[node as usize] as usize;
             if *j >= here {
                 *j -= here;
+                self.nodes_skipped.set(self.nodes_skipped.get() + 1);
                 continue;
             }
             return self.pick_on_node(node, |_| true, j);
@@ -227,6 +239,7 @@ impl PlacementContext for BucketContext<'_> {
 
     fn find_closest_to(&mut self, reference: usize) -> usize {
         assert!(self.total_free > 0, "no free slots left");
+        self.queries += 1;
         let r = self.o.paths()[reference];
 
         // Intra-node class ladder. Each class count is the difference of two
@@ -241,6 +254,7 @@ impl PlacementContext for BucketContext<'_> {
                 .pick_on_node(r.node, |p| p.core == r.core, &mut j)
                 .expect("counter says same-core slot exists");
         }
+        self.class_fallthroughs += 1;
         let k_l2 = (self.free_l2[r.l2 as usize] - self.free_core[r.core as usize]) as usize;
         if k_l2 > 0 {
             let mut j = tie_break(&mut self.rng, k_l2);
@@ -248,6 +262,7 @@ impl PlacementContext for BucketContext<'_> {
                 .pick_on_node(r.node, |p| p.l2 == r.l2 && p.core != r.core, &mut j)
                 .expect("counter says same-L2 slot exists");
         }
+        self.class_fallthroughs += 1;
         let k_socket = (self.free_socket[r.socket as usize] - self.free_l2[r.l2 as usize]) as usize;
         if k_socket > 0 {
             let mut j = tie_break(&mut self.rng, k_socket);
@@ -255,6 +270,7 @@ impl PlacementContext for BucketContext<'_> {
                 .pick_on_node(r.node, |p| p.socket == r.socket && p.l2 != r.l2, &mut j)
                 .expect("counter says same-socket slot exists");
         }
+        self.class_fallthroughs += 1;
         let k_node =
             (self.free_node[r.node as usize] - self.free_socket[r.socket as usize]) as usize;
         if k_node > 0 {
@@ -281,6 +297,7 @@ impl PlacementContext for BucketContext<'_> {
                     .map(|&n| self.free_node[n as usize] as usize)
                     .sum();
                 if k == 0 {
+                    self.class_fallthroughs += 1;
                     continue;
                 }
                 let mut j = tie_break(&mut self.rng, k);
@@ -292,6 +309,7 @@ impl PlacementContext for BucketContext<'_> {
         }
 
         // Fat-tree: same leaf, then line-connected leaves, then the rest.
+        self.class_fallthroughs += 1;
         let k_leaf = (self.free_leaf[r.leaf as usize] - self.free_node[r.node as usize]) as usize;
         if k_leaf > 0 {
             let mut j = tie_break(&mut self.rng, k_leaf);
@@ -299,6 +317,7 @@ impl PlacementContext for BucketContext<'_> {
                 .pick_under_leaf(r.leaf, Some(r.node), &mut j)
                 .expect("counter says same-leaf slot exists");
         }
+        self.class_fallthroughs += 1;
         let peers = self.o.line_peers(r.leaf);
         let k_line: usize = peers
             .iter()
@@ -318,6 +337,7 @@ impl PlacementContext for BucketContext<'_> {
             }
             unreachable!("tie-break index beyond line-class count")
         }
+        self.class_fallthroughs += 1;
         let k_spine = self.total_free - self.free_leaf[r.leaf as usize] as usize - k_line;
         debug_assert!(k_spine > 0, "free slots exist but no class contains one");
         let mut j = tie_break(&mut self.rng, k_spine);
@@ -339,6 +359,17 @@ impl PlacementContext for BucketContext<'_> {
                 .expect("counter says cross-spine slot exists");
         }
         unreachable!("tie-break index beyond spine-class count")
+    }
+}
+
+impl Drop for BucketContext<'_> {
+    fn drop(&mut self) {
+        if !tarr_trace::enabled() {
+            return;
+        }
+        tarr_trace::counter_add!("mapping.bucket.queries", self.queries);
+        tarr_trace::counter_add!("mapping.bucket.class_fallthroughs", self.class_fallthroughs);
+        tarr_trace::counter_add!("mapping.bucket.nodes_skipped", self.nodes_skipped.get());
     }
 }
 

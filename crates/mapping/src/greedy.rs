@@ -14,6 +14,7 @@ use tarr_topo::DistanceOracle;
 pub fn greedy_map<O: DistanceOracle>(graph: &PatternGraph, d: &O) -> Vec<u32> {
     assert_eq!(graph.p as usize, d.len(), "graph/matrix size mismatch");
     let p = d.len();
+    let _span = tarr_trace::span("mapping.greedy").arg("p", p);
     let mut m = vec![u32::MAX; p];
     let mut mapped = vec![false; p];
     let mut free = vec![true; p];

@@ -44,6 +44,7 @@ pub fn rdmh_in<C: PlacementContext>(ctx: &mut C, update_after: u32) -> Vec<u32> 
         "RDMH needs a power-of-two process count"
     );
     assert!(update_after >= 1, "reference update cadence must be ≥ 1");
+    let _span = tarr_trace::span("mapping.rdmh").arg("p", p);
     let p32 = p as u32;
 
     let mut m = vec![u32::MAX; p];

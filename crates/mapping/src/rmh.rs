@@ -24,6 +24,7 @@ pub fn rmh_bucketed(o: &ImplicitDistance, seed: u64) -> Vec<u32> {
 /// Algorithm 3 against any placement context.
 pub fn rmh_in<C: PlacementContext>(ctx: &mut C) -> Vec<u32> {
     let p = ctx.len();
+    let _span = tarr_trace::span("mapping.rmh").arg("p", p);
     let mut m = vec![u32::MAX; p];
 
     m[0] = 0;

@@ -86,6 +86,9 @@ pub struct MappingContext<'a, O: DistanceOracle = tarr_topo::DistanceMatrix> {
     /// under cyclic layouts).
     order: Vec<u32>,
     rng: StdRng,
+    /// Instrumentation: closest-free-slot queries answered (each is an O(P)
+    /// scan here — compare against `mapping.bucket.queries`).
+    queries: u64,
 }
 
 impl<'a, O: DistanceOracle> MappingContext<'a, O> {
@@ -100,7 +103,17 @@ impl<'a, O: DistanceOracle> MappingContext<'a, O> {
             free_count: p,
             order,
             rng: StdRng::seed_from_u64(seed),
+            queries: 0,
         }
+    }
+}
+
+impl<O: DistanceOracle> Drop for MappingContext<'_, O> {
+    fn drop(&mut self) {
+        if !tarr_trace::enabled() {
+            return;
+        }
+        tarr_trace::counter_add!("mapping.linear.queries", self.queries);
     }
 }
 
@@ -121,6 +134,7 @@ impl<O: DistanceOracle> PlacementContext for MappingContext<'_, O> {
 
     fn find_closest_to(&mut self, reference: usize) -> usize {
         assert!(self.free_count > 0, "no free slots left");
+        self.queries += 1;
         let mut best = u16::MAX;
         let mut k = 0usize;
         for &slot in &self.order {

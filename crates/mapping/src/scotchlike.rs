@@ -55,6 +55,7 @@ pub fn scotch_like_map_with<O: DistanceOracle>(
 ) -> Vec<u32> {
     assert_eq!(graph.p as usize, d.len(), "graph/matrix size mismatch");
     let p = d.len();
+    let _span = tarr_trace::span("mapping.scotchlike").arg("p", p);
     let mut m = vec![u32::MAX; p];
     let ranks: Vec<u32> = (0..p as u32).collect();
     let slots: Vec<usize> = (0..p).collect();

@@ -40,7 +40,7 @@ pub mod timing;
 pub use comm::Communicator;
 pub use exec::{ExecError, FunctionalState};
 pub use schedule::{Payload, Schedule, SendOp, Stage};
-pub use stats::{traffic_breakdown, TrafficBreakdown};
+pub use stats::{traffic_breakdown, traffic_breakdown_stages, TrafficBreakdown};
 pub use timing::{
     time_schedule, time_schedule_async, time_schedule_profile, time_schedule_sized, MergedOp,
     TimedSchedule,

@@ -37,6 +37,45 @@ impl TrafficBreakdown {
     pub fn network(&self) -> u64 {
         self.same_leaf + self.cross_leaf
     }
+
+    /// Add `other` into `self`, field by field.
+    pub fn accumulate(&mut self, other: &TrafficBreakdown) {
+        self.intra_socket += other.intra_socket;
+        self.qpi += other.qpi;
+        self.same_leaf += other.same_leaf;
+        self.cross_leaf += other.cross_leaf;
+    }
+
+    /// Credit `bytes` to the channel class numbered by [`hop_class`].
+    pub(crate) fn add_class(&mut self, class: u8, bytes: u64) {
+        match class {
+            0 => self.intra_socket += bytes,
+            1 => self.qpi += bytes,
+            2 => self.same_leaf += bytes,
+            _ => self.cross_leaf += bytes,
+        }
+    }
+}
+
+/// Channel class of the `src`→`dst` path: 0 intra-socket, 1 QPI,
+/// 2 same-leaf network, 3 cross-leaf network — the *slowest* class the
+/// message touches.
+pub(crate) fn hop_class(cluster: &Cluster, src: tarr_topo::CoreId, dst: tarr_topo::CoreId) -> u8 {
+    let mut class = 0u8;
+    for h in &cluster.path(src, dst) {
+        let c = match h.kind() {
+            HopKind::Shm => 0,
+            HopKind::Qpi => 1,
+            HopKind::HcaUp | HopKind::HcaDown => 2,
+            HopKind::LeafUp
+            | HopKind::LeafDown
+            | HopKind::LineUp
+            | HopKind::LineDown
+            | HopKind::TorusLink => 3,
+        };
+        class = class.max(c);
+    }
+    class
 }
 
 /// Classify every payload byte of `schedule` under the rank→core binding of
@@ -53,30 +92,35 @@ pub fn traffic_breakdown(
             let bytes = op.payload.bytes(block_bytes);
             let src = comm.core_of(op.from);
             let dst = comm.core_of(op.to);
-            let path = cluster.path(src, dst);
-            let mut class = 0u8; // 0 intra-socket, 1 qpi, 2 same-leaf, 3 cross-leaf
-            for h in &path {
-                let c = match h.kind() {
-                    HopKind::Shm => 0,
-                    HopKind::Qpi => 1,
-                    HopKind::HcaUp | HopKind::HcaDown => 2,
-                    HopKind::LeafUp
-                    | HopKind::LeafDown
-                    | HopKind::LineUp
-                    | HopKind::LineDown
-                    | HopKind::TorusLink => 3,
-                };
-                class = class.max(c);
-            }
-            match class {
-                0 => out.intra_socket += bytes,
-                1 => out.qpi += bytes,
-                2 => out.same_leaf += bytes,
-                _ => out.cross_leaf += bytes,
-            }
+            out.add_class(hop_class(cluster, src, dst), bytes);
         }
     }
     out
+}
+
+/// Per-stage [`TrafficBreakdown`]s of `schedule` (one entry per stage, empty
+/// stages all-zero). The entries sum exactly — field by field — to
+/// [`traffic_breakdown`] of the whole schedule.
+pub fn traffic_breakdown_stages(
+    schedule: &Schedule,
+    comm: &Communicator,
+    cluster: &Cluster,
+    block_bytes: u64,
+) -> Vec<TrafficBreakdown> {
+    schedule
+        .stages
+        .iter()
+        .map(|stage| {
+            let mut out = TrafficBreakdown::default();
+            for op in &stage.ops {
+                let bytes = op.payload.bytes(block_bytes);
+                let src = comm.core_of(op.from);
+                let dst = comm.core_of(op.to);
+                out.add_class(hop_class(cluster, src, dst), bytes);
+            }
+            out
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -170,6 +214,121 @@ mod tests {
             sched.push(Stage::new(ops));
         }
         sched
+    }
+
+    // Binomial-broadcast shim: at stage s every informed rank i < 2^s
+    // forwards a constant raw payload to i + 2^s (clipped at p).
+    fn tarr_collectives_binomial(p: u32) -> Schedule {
+        let mut sched = Schedule::new(p);
+        let mut step = 1u32;
+        while step < p {
+            let mut ops = Vec::new();
+            for i in 0..step.min(p) {
+                if i + step < p {
+                    ops.push(SendOp::raw(i, i + step, 4096));
+                }
+            }
+            sched.push(Stage::new(ops));
+            step <<= 1;
+        }
+        sched
+    }
+
+    // Recursive-doubling shim (power-of-two p only), as in timing's tests.
+    fn tarr_collectives_rd(p: u32) -> Schedule {
+        assert!(p.is_power_of_two());
+        let mut sched = Schedule::new(p);
+        let mut s = 0u32;
+        while (1u32 << s) < p {
+            let step = 1u32 << s;
+            let mut ops = Vec::new();
+            for i in 0..p {
+                ops.push(SendOp::blocks(i, i ^ step, (i >> s) << s, step));
+            }
+            sched.push(Stage::new(ops));
+            s += 1;
+        }
+        sched
+    }
+
+    /// Per-stage breakdowns must sum exactly — field by field — to the
+    /// whole-schedule breakdown, and the compiled (merged + deduplicated)
+    /// per-stage path must reproduce the raw per-stage path bit-for-bit,
+    /// under a random rank→core permutation and block size.
+    fn check_per_stage_sums(
+        p: u32,
+        nodes: usize,
+        seed: u64,
+        block_bytes: u64,
+    ) -> Result<(), proptest::TestCaseError> {
+        use crate::timing::TimedSchedule;
+        use proptest::prop_assert_eq;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let cluster = Cluster::gpc(nodes);
+        assert!(cluster.total_cores() >= p as usize);
+        // Random permutation of the first p cores (Fisher–Yates).
+        let mut cores: Vec<CoreId> = (0..p as usize).map(CoreId::from_idx).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..cores.len()).rev() {
+            cores.swap(i, rng.gen_range(0..=i));
+        }
+        let comm = Communicator::new(cores);
+
+        let mut schedules = vec![
+            ("ring", tarr_collectives_ring(p)),
+            ("binomial", tarr_collectives_binomial(p)),
+        ];
+        if p.is_power_of_two() {
+            schedules.push(("rd", tarr_collectives_rd(p)));
+        }
+        for (name, sched) in &schedules {
+            let whole = traffic_breakdown(sched, &comm, &cluster, block_bytes);
+            let stages = traffic_breakdown_stages(sched, &comm, &cluster, block_bytes);
+            prop_assert_eq!(stages.len(), sched.stages.len(), "{}", name);
+            let mut sum = TrafficBreakdown::default();
+            for s in &stages {
+                sum.accumulate(s);
+            }
+            prop_assert_eq!(sum, whole, "{}: per-stage sums != whole", name);
+
+            let compiled = TimedSchedule::compile(sched).traffic_breakdown_stages(
+                &comm,
+                &cluster,
+                block_bytes,
+            );
+            prop_assert_eq!(&compiled, &stages, "{}: compiled != raw per-stage", name);
+        }
+        Ok(())
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// P = 24: ring + binomial (RD needs a power of two).
+        #[test]
+        fn per_stage_sums_to_whole_p24(seed in any::<u64>(), block in 0u64..65536) {
+            check_per_stage_sums(24, 3, seed, block)?;
+        }
+
+        /// P = 32: adds recursive doubling at the small scale.
+        #[test]
+        fn per_stage_sums_to_whole_p32(seed in any::<u64>(), block in 0u64..65536) {
+            check_per_stage_sums(32, 4, seed, block)?;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// P = 512: all three schedules at the larger scale.
+        #[test]
+        fn per_stage_sums_to_whole_p512(seed in any::<u64>(), block in 0u64..65536) {
+            check_per_stage_sums(512, 64, seed, block)?;
+        }
     }
 
     fn tarr_mapping_rmh(d: &tarr_topo::DistanceMatrix) -> Vec<u32> {

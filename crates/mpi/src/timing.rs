@@ -23,10 +23,12 @@
 
 use crate::comm::Communicator;
 use crate::schedule::{Payload, Schedule};
+use crate::stats::{hop_class, TrafficBreakdown};
 use tarr_netsim::{
     fx_hash_one, FlowEngine, FxHashMap, FxHasher, LinkIdx, Message, NetParams, StageModel,
 };
 use tarr_topo::{Hop, Rank};
+use tarr_trace::counter_add;
 
 /// One merged per-stage transfer: everything rank `from` sends to rank `to`
 /// within the stage, expressed size-independently (`blocks` allgather blocks
@@ -78,6 +80,9 @@ impl TimedSchedule {
     pub fn compile(schedule: &Schedule) -> Self {
         /// Ops hashed into the candidate-selection fingerprint.
         const PREFIX: usize = 8;
+        let mut span = tarr_trace::span("mpi.compile").arg("p", schedule.p);
+        let mut ops_total = 0u64;
+        let mut l1_hits = 0u64;
         let p = schedule.p as usize;
         let mut uniq: Vec<Vec<MergedOp>> = Vec::new();
         let mut order: Vec<u32> = Vec::with_capacity(schedule.stages.len());
@@ -98,6 +103,7 @@ impl TimedSchedule {
         let mut merged: Vec<MergedOp> = Vec::new();
 
         for (si, stage) in schedule.stages.iter().enumerate() {
+            ops_total += stage.ops.len() as u64;
             if stage.ops.is_empty() {
                 order.push(EMPTY_STAGE);
                 continue;
@@ -125,6 +131,7 @@ impl TimedSchedule {
                 })
             });
             if let Some(val) = hit {
+                l1_hits += 1;
                 order.push(val);
                 continue;
             }
@@ -178,6 +185,17 @@ impl TimedSchedule {
             by_prefix.entry(pfp).or_default().push(reps.len() as u32);
             reps.push((keys, k));
         }
+        if tarr_trace::enabled() {
+            span.record("stages", order.len());
+            span.record("ops", ops_total);
+            span.record("unique_stages", uniq.len());
+            span.record("dedup_l1_hits", l1_hits);
+            counter_add!("mpi.compile.calls", 1);
+            counter_add!("mpi.compile.stages", order.len() as u64);
+            counter_add!("mpi.compile.ops", ops_total);
+            counter_add!("mpi.compile.unique_stages", uniq.len() as u64);
+            counter_add!("mpi.compile.dedup_l1_hits", l1_hits);
+        }
         TimedSchedule {
             p: schedule.p,
             uniq,
@@ -191,6 +209,7 @@ impl TimedSchedule {
     /// `compile(&ring(p))` — which would cost O(P²) ops to even
     /// materialize — because merging discards the per-stage slot rotation.
     pub fn ring_allgather(p: u32) -> Self {
+        counter_add!("mpi.compile.analytic_ring", 1);
         if p <= 1 {
             return TimedSchedule {
                 p,
@@ -246,6 +265,11 @@ impl TimedSchedule {
     /// bit-identical to the reference executor's memoized sum.
     pub fn time(&self, comm: &Communicator, model: &StageModel<'_>, block_bytes: u64) -> f64 {
         assert_eq!(self.p as usize, comm.size(), "schedule/comm size mismatch");
+        let span = tarr_trace::span("mpi.price")
+            .arg("p", self.p)
+            .arg("block_bytes", block_bytes)
+            .arg("stages", self.order.len())
+            .arg("unique_stages", self.uniq.len());
         let mut cache: Vec<f64> = vec![f64::NAN; self.uniq.len()];
         let mut msgs: Vec<Message> = Vec::new();
         let mut total = 0.0;
@@ -258,9 +282,15 @@ impl TimedSchedule {
                 self.resolve(k, comm, block_bytes, &mut msgs);
                 t = model.stage_time(&msgs);
                 cache[k as usize] = t;
+                if tarr_trace::enabled() {
+                    counter_add!("mpi.price.stages_priced", 1);
+                    tarr_trace::histogram("mpi.price.stage_sim_ns").record_f64(t * 1e9);
+                }
             }
             total += t;
         }
+        counter_add!("mpi.price.calls", 1);
+        drop(span);
         total
     }
 
@@ -288,6 +318,47 @@ impl TimedSchedule {
                     cache[k as usize] = t;
                 }
                 t
+            })
+            .collect()
+    }
+
+    /// Per-original-stage [`TrafficBreakdown`]s under `comm` on `cluster`
+    /// (one entry per stage, empty stages all-zero). Each *unique* merged
+    /// stage is classified once and the result replayed along the stage
+    /// order, so this stays cheap on dedup-friendly schedules (the analytic
+    /// ring classifies P pairs, not P² ops). Merging preserves per-`(from,
+    /// to)` byte totals and classification depends only on the endpoint
+    /// pair, so the entries match
+    /// [`traffic_breakdown_stages`](crate::stats::traffic_breakdown_stages)
+    /// of the source schedule exactly.
+    pub fn traffic_breakdown_stages(
+        &self,
+        comm: &Communicator,
+        cluster: &tarr_topo::Cluster,
+        block_bytes: u64,
+    ) -> Vec<TrafficBreakdown> {
+        assert_eq!(self.p as usize, comm.size(), "schedule/comm size mismatch");
+        let per_uniq: Vec<TrafficBreakdown> = self
+            .uniq
+            .iter()
+            .map(|stage| {
+                let mut out = TrafficBreakdown::default();
+                for m in stage {
+                    let src = comm.core_of(Rank(m.from));
+                    let dst = comm.core_of(Rank(m.to));
+                    out.add_class(hop_class(cluster, src, dst), m.blocks * block_bytes + m.raw);
+                }
+                out
+            })
+            .collect();
+        self.order
+            .iter()
+            .map(|&k| {
+                if k == EMPTY_STAGE {
+                    TrafficBreakdown::default()
+                } else {
+                    per_uniq[k as usize]
+                }
             })
             .collect()
     }
@@ -549,6 +620,7 @@ pub fn time_schedule_async(
         comm.size(),
         "schedule/comm size mismatch"
     );
+    let _span = tarr_trace::span("mpi.price.async").arg("p", schedule.p);
     let p = comm.size();
     let n_stages = schedule.stages.len();
     if n_stages == 0 {
@@ -750,6 +822,7 @@ pub fn time_schedule_async(
             }
         }
     }
+    engine.trace_flush();
     finish_time
 }
 

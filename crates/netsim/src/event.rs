@@ -50,6 +50,11 @@ pub struct FlowEngine {
     capacity: Vec<f64>,
     flows: Vec<Flow>,
     now: f64,
+    /// Cumulative bytes injected per link (every flow charges its full byte
+    /// count to every link on its path) — the congestion signal consumers
+    /// like a contention-aware mapper read back via [`FlowEngine::top_links`].
+    link_bytes: Vec<f64>,
+    events: u64,
 }
 
 impl FlowEngine {
@@ -70,6 +75,7 @@ impl FlowEngine {
     pub fn add_link(&mut self, bandwidth_bps: f64) -> LinkIdx {
         assert!(bandwidth_bps > 0.0, "link capacity must be positive");
         self.capacity.push(bandwidth_bps);
+        self.link_bytes.push(0.0);
         LinkIdx(self.capacity.len() - 1)
     }
 
@@ -90,6 +96,9 @@ impl FlowEngine {
             assert!(l.0 < self.capacity.len(), "unknown link {l:?}");
         }
         let id = FlowId(self.flows.len());
+        for l in &path {
+            self.link_bytes[l.0] += bytes as f64;
+        }
         self.flows.push(Flow {
             path,
             bytes: bytes as f64,
@@ -100,10 +109,50 @@ impl FlowEngine {
         id
     }
 
+    /// Cumulative bytes injected per link, indexed by [`LinkIdx`].
+    pub fn link_loads(&self) -> &[f64] {
+        &self.link_bytes
+    }
+
+    /// The `k` most heavily loaded links, by cumulative injected bytes,
+    /// heaviest first.
+    pub fn top_links(&self, k: usize) -> Vec<(LinkIdx, f64)> {
+        let mut loads: Vec<(LinkIdx, f64)> = self
+            .link_bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0.0)
+            .map(|(i, &b)| (LinkIdx(i), b))
+            .collect();
+        loads.sort_by(|a, b| b.1.total_cmp(&a.1));
+        loads.truncate(k);
+        loads
+    }
+
+    /// Flush engine statistics to the trace recorder: flow/event/link
+    /// counters plus one `netsim.link_load` instant per top-4 congested
+    /// link. No-op while tracing is disabled.
+    pub fn trace_flush(&self) {
+        if !tarr_trace::enabled() {
+            return;
+        }
+        tarr_trace::counter_add!("netsim.flows", self.flows.len() as u64);
+        tarr_trace::counter_add!("netsim.events", self.events);
+        tarr_trace::counter_add!("netsim.links", self.capacity.len() as u64);
+        for (rank, (l, bytes)) in self.top_links(4).into_iter().enumerate() {
+            tarr_trace::instant("netsim.link_load")
+                .arg("rank", rank)
+                .arg("link", l.0)
+                .arg("bytes", bytes)
+                .emit();
+        }
+    }
+
     /// Advance to the next flow completion(s); returns the completion time
     /// and the completed flow ids (several if they tie). Returns `None` when
     /// no flows remain.
     pub fn next_completions(&mut self) -> Option<(f64, Vec<FlowId>)> {
+        self.events += 1;
         // Rates may be stale if flows were started since the last event.
         self.recompute_rates();
         loop {
@@ -245,6 +294,7 @@ pub fn fluid_stage_time(cluster: &Cluster, params: &NetParams, msgs: &[Message])
     while let Some((t, _)) = sim.next_completions() {
         end = t;
     }
+    sim.trace_flush();
     end.max(worst_local)
 }
 

@@ -49,6 +49,8 @@ impl<'a> StageModel<'a> {
     /// Messages with `src == dst` are priced as local copies. An empty stage
     /// costs nothing.
     pub fn stage_time(&self, msgs: &[Message]) -> f64 {
+        tarr_trace::counter_add!("netsim.stage.calls", 1);
+        tarr_trace::counter_add!("netsim.stage.msgs", msgs.len() as u64);
         if msgs.is_empty() {
             return 0.0;
         }

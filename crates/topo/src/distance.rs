@@ -143,6 +143,9 @@ impl DistanceMatrix {
             assert_eq!(sorted.len(), cores.len(), "duplicate cores in allocation");
         }
         let p = cores.len();
+        let _span = tarr_trace::span("topo.distance.build")
+            .arg("p", p)
+            .arg("kind", "matrix");
         let mut d = vec![0u16; p * p];
 
         const PAR_THRESHOLD: usize = 256;

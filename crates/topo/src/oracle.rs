@@ -112,6 +112,9 @@ impl ImplicitDistance {
             assert_eq!(sorted.len(), cores.len(), "duplicate cores in allocation");
         }
 
+        let _span = tarr_trace::span("topo.distance.build")
+            .arg("p", cores.len())
+            .arg("kind", "implicit");
         let nt = cluster.node_topology();
         let phys_per_node = (nt.sockets * nt.cores_per_socket) as u32;
         let l2_per_node = phys_per_node / nt.cores_per_l2 as u32;

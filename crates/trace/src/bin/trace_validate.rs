@@ -1,0 +1,69 @@
+//! CI smoke validator for tarr-trace JSONL exports.
+//!
+//! ```text
+//! trace-validate FILE [--expect-span NAME]... [--expect-counter NAME]...
+//!                     [--expect-instant NAME]...
+//! ```
+//!
+//! Exits nonzero (with a message naming the first violated rule) unless
+//! every line parses, spans nest per thread, counters are monotone, and
+//! every expectation is met.
+
+use tarr_trace::{validate_jsonl, Expectations};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut exp = Expectations::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--expect-span" => exp.spans.push(take(&mut i)),
+            "--expect-counter" => exp.counters.push(take(&mut i)),
+            "--expect-instant" => exp.instants.push(take(&mut i)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: trace-validate FILE [--expect-span N]... \
+                     [--expect-counter N]... [--expect-instant N]..."
+                );
+                std::process::exit(0);
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("error: no trace file given");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_jsonl(&text, &exp) {
+        Ok(r) => {
+            println!(
+                "{file}: OK — {} lines, {} spans on {} thread(s), {} instants, {} counter samples",
+                r.lines, r.spans, r.threads, r.instants, r.counter_samples
+            );
+        }
+        Err(e) => {
+            eprintln!("{file}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Exporters: newline-delimited JSON (the machine-checked format), Chrome
+//! trace-event JSON (Perfetto / `chrome://tracing`), and a human-readable
+//! end-of-run summary table.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::{write_escaped, write_f64};
+use crate::{snapshot, Sample, Value};
+
+fn write_args(out: &mut String, args: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, k);
+        out.push(':');
+        match v {
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(n) => write_f64(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+}
+
+/// Export the recording as newline-delimited JSON. One object per line:
+/// a `meta` header, then `span` / `instant` / `counter` / `gauge` lines in
+/// timestamp order within their kind, `hist` digests, and a final
+/// `dropped` line if the event cap was hit. A last metrics sample is taken
+/// automatically so counters always carry their end-of-run values.
+pub fn export_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    let snap = snapshot();
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        w,
+        r#"{{"type":"meta","format":"tarr-trace","version":1,"clock":"ns-since-enable"}}"#
+    )?;
+    for s in &snap.spans {
+        let mut line = String::with_capacity(128);
+        line.push_str(r#"{"type":"span","name":"#);
+        write_escaped(&mut line, s.name);
+        line.push_str(&format!(
+            r#","tid":{},"depth":{},"ts":{},"dur":{},"args":"#,
+            s.tid, s.depth, s.ts_ns, s.dur_ns
+        ));
+        write_args(&mut line, &s.args);
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for e in &snap.instants {
+        let mut line = String::with_capacity(128);
+        line.push_str(r#"{"type":"instant","name":"#);
+        write_escaped(&mut line, e.name);
+        line.push_str(&format!(r#","tid":{},"ts":{},"args":"#, e.tid, e.ts_ns));
+        write_args(&mut line, &e.args);
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for s in &snap.samples {
+        let mut line = String::with_capacity(96);
+        match s {
+            Sample::Counter { name, ts_ns, value } => {
+                line.push_str(r#"{"type":"counter","name":"#);
+                write_escaped(&mut line, name);
+                line.push_str(&format!(r#","ts":{ts_ns},"value":{value}}}"#));
+            }
+            Sample::Gauge { name, ts_ns, value } => {
+                line.push_str(r#"{"type":"gauge","name":"#);
+                write_escaped(&mut line, name);
+                line.push_str(&format!(r#","ts":{ts_ns},"value":"#));
+                write_f64(&mut line, *value);
+                line.push('}');
+            }
+        }
+        writeln!(w, "{line}")?;
+    }
+    for (name, h) in &snap.hists {
+        let mut line = String::with_capacity(128);
+        line.push_str(r#"{"type":"hist","name":"#);
+        write_escaped(&mut line, name);
+        line.push_str(&format!(
+            r#","count":{},"sum":{},"min":{},"max":{},"buckets":["#,
+            h.count, h.sum, h.min, h.max
+        ));
+        for (i, (k, c)) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("[{k},{c}]"));
+        }
+        line.push_str("]}");
+        writeln!(w, "{line}")?;
+    }
+    if snap.dropped > 0 {
+        writeln!(w, r#"{{"type":"dropped","count":{}}}"#, snap.dropped)?;
+    }
+    w.flush()
+}
+
+/// Export the recording in the Chrome trace-event format: complete (`X`)
+/// events for spans, instant (`i`) events, and counter (`C`) series, all
+/// with microsecond timestamps. Load the file in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing` for a flamegraph view.
+pub fn export_chrome(path: impl AsRef<Path>) -> io::Result<()> {
+    let snap = snapshot();
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "{{\"traceEvents\":[")?;
+    let mut first = true;
+    let emit = |w: &mut dyn Write, line: &str, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+        } else {
+            writeln!(w, ",")?;
+        }
+        write!(w, "{line}")
+    };
+    for s in &snap.spans {
+        let mut line = String::with_capacity(160);
+        line.push_str(r#"{"ph":"X","pid":1,"tid":"#);
+        line.push_str(&s.tid.to_string());
+        line.push_str(r#","name":"#);
+        write_escaped(&mut line, s.name);
+        line.push_str(&format!(
+            r#","ts":{:.3},"dur":{:.3},"args":"#,
+            s.ts_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3
+        ));
+        write_args(&mut line, &s.args);
+        line.push('}');
+        emit(&mut w, &line, &mut first)?;
+    }
+    for e in &snap.instants {
+        let mut line = String::with_capacity(160);
+        line.push_str(r#"{"ph":"i","s":"t","pid":1,"tid":"#);
+        line.push_str(&e.tid.to_string());
+        line.push_str(r#","name":"#);
+        write_escaped(&mut line, e.name);
+        line.push_str(&format!(r#","ts":{:.3},"args":"#, e.ts_ns as f64 / 1e3));
+        write_args(&mut line, &e.args);
+        line.push('}');
+        emit(&mut w, &line, &mut first)?;
+    }
+    for s in &snap.samples {
+        let (name, ts_ns, value) = match s {
+            Sample::Counter { name, ts_ns, value } => (*name, *ts_ns, *value as f64),
+            Sample::Gauge { name, ts_ns, value } => (*name, *ts_ns, *value),
+        };
+        let mut line = String::with_capacity(128);
+        line.push_str(r#"{"ph":"C","pid":1,"tid":0,"name":"#);
+        write_escaped(&mut line, name);
+        line.push_str(&format!(
+            r#","ts":{:.3},"args":{{"value":"#,
+            ts_ns as f64 / 1e3
+        ));
+        write_f64(&mut line, value);
+        line.push_str("}}");
+        emit(&mut w, &line, &mut first)?;
+    }
+    writeln!(w, "\n]}}")?;
+    w.flush()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Render a human-readable digest of the recording: per-span-name
+/// count/total/max, final counter values, gauges, and histogram summaries.
+pub fn summary_table() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    out.push_str("== trace summary ==\n");
+
+    // Spans, aggregated by name.
+    let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for s in &snap.spans {
+        let e = by_name.entry(s.name).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += s.dur_ns;
+        e.2 = e.2.max(s.dur_ns);
+    }
+    if !by_name.is_empty() {
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>12} {:>12}\n",
+            "span", "count", "total", "max"
+        ));
+        for (name, (count, total, max)) in &by_name {
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>12} {:>12}\n",
+                name,
+                count,
+                fmt_ns(*total),
+                fmt_ns(*max)
+            ));
+        }
+    }
+
+    // Final counter/gauge readings (snapshot() appended them last).
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
+    for s in &snap.samples {
+        match s {
+            Sample::Counter { name, value, .. } => {
+                counters.insert(name, *value);
+            }
+            Sample::Gauge { name, value, .. } => {
+                gauges.insert(name, *value);
+            }
+        }
+    }
+    counters.retain(|_, v| *v > 0);
+    if !counters.is_empty() {
+        out.push_str(&format!("{:<40} {:>8}\n", "counter", "value"));
+        for (name, value) in &counters {
+            out.push_str(&format!("{name:<40} {value:>8}\n"));
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str(&format!("{:<40} {:>8}\n", "gauge", "value"));
+        for (name, value) in &gauges {
+            out.push_str(&format!("{name:<40} {value:>8.3}\n"));
+        }
+    }
+
+    if !snap.hists.is_empty() {
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "mean", "min", "max"
+        ));
+        for (name, h) in &snap.hists {
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>12} {:>12} {:>12}\n",
+                name,
+                h.count,
+                fmt_ns(h.sum / h.count.max(1)),
+                fmt_ns(h.min),
+                fmt_ns(h.max)
+            ));
+        }
+    }
+    if snap.dropped > 0 {
+        out.push_str(&format!("dropped events: {}\n", snap.dropped));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, histogram, instant, json, sample_metrics, set_enabled, span, test_guard};
+
+    fn populate() {
+        set_enabled(true);
+        {
+            let _outer = span("export.outer").arg("p", 4u64).arg("kind", "ring");
+            let _inner = span("export.inner");
+        }
+        counter("export.ops").add(7);
+        sample_metrics();
+        counter("export.ops").add(1);
+        histogram("export.h").record(100);
+        instant("export.evt").arg("bytes", 12u64).emit();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_and_cover_kinds() {
+        let _g = test_guard();
+        populate();
+        let dir = std::env::temp_dir();
+        let path = dir.join("tarr_trace_test_export.jsonl");
+        export_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let v = json::parse(line).expect(line);
+            kinds.insert(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        for k in ["meta", "span", "instant", "counter", "hist"] {
+            assert!(kinds.contains(k), "missing {k} in {kinds:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let _g = test_guard();
+        populate();
+        let path = std::env::temp_dir().join("tarr_trace_test_export.chrome.json");
+        export_chrome(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = json::parse(&text).expect("chrome export parses");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("X")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("i")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_counters() {
+        let _g = test_guard();
+        populate();
+        let table = summary_table();
+        assert!(table.contains("export.outer"));
+        assert!(table.contains("export.ops"));
+        assert!(table.contains("export.h"));
+    }
+}

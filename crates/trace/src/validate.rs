@@ -1,0 +1,315 @@
+//! Schema validation for the JSONL export, used by the `trace-validate`
+//! binary (CI's trace-smoke step) and by tests.
+//!
+//! Checks, in order:
+//! 1. every line parses as a JSON object of a known `type` with the
+//!    required fields of the right shapes;
+//! 2. spans nest per thread — sorted by start time, the intervals form a
+//!    laminar family (each pair nested or disjoint, never overlapping);
+//! 3. counter samples are monotone non-decreasing per counter name;
+//! 4. caller-supplied expectations hold (named spans/instants present,
+//!    named counters present with a nonzero final value).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::{parse, Json};
+
+/// Names the caller requires to be present in the trace.
+#[derive(Debug, Clone, Default)]
+pub struct Expectations {
+    /// Span names that must appear at least once.
+    pub spans: Vec<String>,
+    /// Counter names that must appear with a nonzero final value.
+    pub counters: Vec<String>,
+    /// Instant-event names that must appear at least once.
+    pub instants: Vec<String>,
+}
+
+/// What a successful validation saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Total lines checked.
+    pub lines: usize,
+    /// Span lines.
+    pub spans: usize,
+    /// Instant-event lines.
+    pub instants: usize,
+    /// Counter-sample lines.
+    pub counter_samples: usize,
+    /// Distinct thread ids seen on spans.
+    pub threads: usize,
+}
+
+fn need_u64(v: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer \"{key}\""))
+}
+
+fn need_str<'a>(v: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing or non-string \"{key}\""))
+}
+
+fn need_args(v: &Json, line_no: usize) -> Result<(), String> {
+    match v.get("args") {
+        Some(Json::Obj(_)) | None => Ok(()),
+        Some(_) => Err(format!("line {line_no}: \"args\" is not an object")),
+    }
+}
+
+/// Validate a JSONL export against the schema and `exp`. Returns a report
+/// on success, or a message naming the first violated rule.
+pub fn validate_jsonl(text: &str, exp: &Expectations) -> Result<ValidationReport, String> {
+    // (tid, ts, dur, name) per span, for the nesting check.
+    let mut spans: Vec<(u64, u64, u64, String)> = Vec::new();
+    let mut counter_series: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut span_names: BTreeSet<String> = BTreeSet::new();
+    let mut instant_names: BTreeSet<String> = BTreeSet::new();
+    let mut lines = 0usize;
+    let mut instants = 0usize;
+    let mut saw_meta = false;
+
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: empty line"));
+        }
+        let v = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        lines += 1;
+        let kind = need_str(&v, "type", line_no)?.to_string();
+        match kind.as_str() {
+            "meta" => {
+                need_str(&v, "format", line_no)?;
+                saw_meta = true;
+            }
+            "span" => {
+                let name = need_str(&v, "name", line_no)?.to_string();
+                let tid = need_u64(&v, "tid", line_no)?;
+                need_u64(&v, "depth", line_no)?;
+                let ts = need_u64(&v, "ts", line_no)?;
+                let dur = need_u64(&v, "dur", line_no)?;
+                need_args(&v, line_no)?;
+                span_names.insert(name.clone());
+                spans.push((tid, ts, dur, name));
+            }
+            "instant" => {
+                let name = need_str(&v, "name", line_no)?.to_string();
+                need_u64(&v, "tid", line_no)?;
+                need_u64(&v, "ts", line_no)?;
+                need_args(&v, line_no)?;
+                instant_names.insert(name);
+                instants += 1;
+            }
+            "counter" => {
+                let name = need_str(&v, "name", line_no)?.to_string();
+                need_u64(&v, "ts", line_no)?;
+                let value = need_u64(&v, "value", line_no)?;
+                counter_series.entry(name).or_default().push(value);
+            }
+            "gauge" => {
+                need_str(&v, "name", line_no)?;
+                need_u64(&v, "ts", line_no)?;
+                v.get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {line_no}: gauge without numeric value"))?;
+            }
+            "hist" => {
+                need_str(&v, "name", line_no)?;
+                let count = need_u64(&v, "count", line_no)?;
+                need_u64(&v, "sum", line_no)?;
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("line {line_no}: hist without buckets array"))?;
+                let total: u64 = buckets
+                    .iter()
+                    .map(|b| {
+                        b.as_arr()
+                            .filter(|p| p.len() == 2)
+                            .and_then(|p| p[1].as_u64())
+                            .ok_or_else(|| format!("line {line_no}: malformed bucket"))
+                    })
+                    .sum::<Result<u64, String>>()?;
+                if total != count {
+                    return Err(format!(
+                        "line {line_no}: hist bucket counts sum to {total}, count says {count}"
+                    ));
+                }
+            }
+            "dropped" => {
+                need_u64(&v, "count", line_no)?;
+            }
+            other => return Err(format!("line {line_no}: unknown type \"{other}\"")),
+        }
+    }
+    if !saw_meta {
+        return Err("no meta line".into());
+    }
+
+    // Nesting: per tid, sweep spans sorted by (start asc, dur desc) with a
+    // stack of open intervals; a span starting inside one must end inside.
+    let threads: BTreeSet<u64> = spans.iter().map(|s| s.0).collect();
+    let mut sorted = spans.clone();
+    sorted.sort_by_key(|s| (s.0, s.1, std::cmp::Reverse(s.2)));
+    let mut stack: Vec<(u64, u64, u64, &str)> = Vec::new(); // (tid, ts, end, name)
+    for (tid, ts, dur, name) in &sorted {
+        let end = ts + dur;
+        while let Some(top) = stack.last() {
+            if top.0 != *tid || top.2 <= *ts {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(top) = stack.last() {
+            if end > top.2 {
+                return Err(format!(
+                    "span \"{name}\" [{ts}, {end}) overlaps \"{}\" [{}, {}) on tid {tid}",
+                    top.3, top.1, top.2
+                ));
+            }
+        }
+        stack.push((*tid, *ts, end, name));
+    }
+
+    // Counter monotonicity, in file order per name.
+    for (name, series) in &counter_series {
+        for w in series.windows(2) {
+            if w[1] < w[0] {
+                return Err(format!(
+                    "counter \"{name}\" not monotone: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+    }
+
+    // Expectations.
+    for want in &exp.spans {
+        if !span_names.contains(want) {
+            return Err(format!("expected span \"{want}\" not found"));
+        }
+    }
+    for want in &exp.instants {
+        if !instant_names.contains(want) {
+            return Err(format!("expected instant event \"{want}\" not found"));
+        }
+    }
+    for want in &exp.counters {
+        let ok = counter_series
+            .get(want)
+            .and_then(|s| s.last())
+            .is_some_and(|&v| v > 0);
+        if !ok {
+            return Err(format!(
+                "expected counter \"{want}\" missing or zero at end of run"
+            ));
+        }
+    }
+
+    Ok(ValidationReport {
+        lines,
+        spans: spans.len(),
+        instants,
+        counter_samples: counter_series.values().map(Vec::len).sum(),
+        threads: threads.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str =
+        r#"{"type":"meta","format":"tarr-trace","version":1,"clock":"ns-since-enable"}"#;
+
+    fn doc(lines: &[&str]) -> String {
+        let mut s = String::from(META);
+        for l in lines {
+            s.push('\n');
+            s.push_str(l);
+        }
+        s
+    }
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let text = doc(&[
+            r#"{"type":"span","name":"inner","tid":0,"depth":1,"ts":10,"dur":5,"args":{}}"#,
+            r#"{"type":"span","name":"outer","tid":0,"depth":0,"ts":0,"dur":100,"args":{"p":4}}"#,
+            r#"{"type":"instant","name":"evt","tid":0,"ts":12,"args":{"bytes":7}}"#,
+            r#"{"type":"counter","name":"c","ts":50,"value":3}"#,
+            r#"{"type":"counter","name":"c","ts":90,"value":8}"#,
+            r#"{"type":"gauge","name":"g","ts":90,"value":1.5}"#,
+            r#"{"type":"hist","name":"h","count":2,"sum":3,"min":1,"max":2,"buckets":[[1,1],[2,1]]}"#,
+        ]);
+        let exp = Expectations {
+            spans: vec!["outer".into()],
+            counters: vec!["c".into()],
+            instants: vec!["evt".into()],
+        };
+        let r = validate_jsonl(&text, &exp).unwrap();
+        assert_eq!(r.spans, 2);
+        assert_eq!(r.instants, 1);
+        assert_eq!(r.threads, 1);
+    }
+
+    #[test]
+    fn rejects_overlapping_spans() {
+        let text = doc(&[
+            r#"{"type":"span","name":"a","tid":0,"depth":0,"ts":0,"dur":10}"#,
+            r#"{"type":"span","name":"b","tid":0,"depth":0,"ts":5,"dur":10}"#,
+        ]);
+        let err = validate_jsonl(&text, &Expectations::default()).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+    }
+
+    #[test]
+    fn overlap_on_other_thread_is_fine() {
+        let text = doc(&[
+            r#"{"type":"span","name":"a","tid":0,"depth":0,"ts":0,"dur":10}"#,
+            r#"{"type":"span","name":"b","tid":1,"depth":0,"ts":5,"dur":10}"#,
+        ]);
+        let r = validate_jsonl(&text, &Expectations::default()).unwrap();
+        assert_eq!(r.threads, 2);
+    }
+
+    #[test]
+    fn rejects_non_monotone_counter() {
+        let text = doc(&[
+            r#"{"type":"counter","name":"c","ts":1,"value":5}"#,
+            r#"{"type":"counter","name":"c","ts":2,"value":4}"#,
+        ]);
+        let err = validate_jsonl(&text, &Expectations::default()).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_json_and_unknown_types() {
+        let err = validate_jsonl(&doc(&["{oops"]), &Expectations::default()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err =
+            validate_jsonl(&doc(&[r#"{"type":"mystery"}"#]), &Expectations::default()).unwrap_err();
+        assert!(err.contains("unknown type"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_expected_counter() {
+        let text = doc(&[r#"{"type":"counter","name":"c","ts":1,"value":0}"#]);
+        let exp = Expectations {
+            counters: vec!["c".into()],
+            ..Default::default()
+        };
+        assert!(validate_jsonl(&text, &exp).is_err());
+    }
+
+    #[test]
+    fn rejects_hist_count_mismatch() {
+        let text = doc(&[
+            r#"{"type":"hist","name":"h","count":3,"sum":3,"min":1,"max":2,"buckets":[[1,1]]}"#,
+        ]);
+        assert!(validate_jsonl(&text, &Expectations::default()).is_err());
+    }
+}

@@ -31,6 +31,7 @@ impl OsuSweep {
 
     /// Latency (seconds) of the non-hierarchical allgather at every size.
     pub fn run(&self, session: &mut Session, scheme: Scheme) -> Vec<(u64, f64)> {
+        let _span = tarr_trace::span("workload.osu_sweep").arg("sizes", self.sizes.len());
         self.sizes
             .iter()
             .map(|&m| (m, session.allgather_time(m, scheme)))
@@ -45,6 +46,9 @@ impl OsuSweep {
         hcfg: HierarchicalConfig,
         scheme: Scheme,
     ) -> Vec<(u64, Option<f64>)> {
+        let _span = tarr_trace::span("workload.osu_sweep")
+            .arg("sizes", self.sizes.len())
+            .arg("hierarchical", true);
         self.sizes
             .iter()
             .map(|&m| (m, session.hierarchical_allgather_time(m, hcfg, scheme)))
