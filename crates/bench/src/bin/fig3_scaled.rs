@@ -12,12 +12,17 @@
 //! re-price) and the process peak RSS, and **fails** if a full-scale run
 //! exceeded 1 GiB.
 //!
+//! With `--cluster SNAPSHOT` (a `topo-ingest snapshot` file) the session is
+//! built on the ingested cluster — fat-tree or irregular — instead of the
+//! synthetic GPC model; `--procs` then defaults to the largest power of two
+//! that fits the ingested core count.
+//!
 //! Run: `cargo run -p tarr-bench --release --bin fig3_scaled [--procs N | --quick]`
 
 use std::time::Instant;
 
 use tarr_bench::scaled::{bytes_label, peak_rss_bytes};
-use tarr_bench::{print_table_header, size_label, TraceOpts};
+use tarr_bench::{load_cluster_snapshot, print_table_header, size_label, TraceOpts};
 use tarr_core::{Scheme, Session, SessionConfig};
 use tarr_mapping::{InitialMapping, OrderFix};
 use tarr_topo::Cluster;
@@ -26,7 +31,8 @@ use tarr_workloads::percent_improvement;
 const RSS_LIMIT: u64 = 1 << 30;
 
 fn main() {
-    let mut procs = 65536usize;
+    let mut procs: Option<usize> = None;
+    let mut cluster_path: Option<String> = None;
     let mut trace = TraceOpts::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -37,10 +43,18 @@ fn main() {
                     eprintln!("error: --procs needs a number");
                     std::process::exit(2);
                 };
-                procs = n;
+                procs = Some(n);
                 i += 1;
             }
-            "--quick" => procs = 4096,
+            "--quick" => procs = Some(4096),
+            "--cluster" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --cluster needs a snapshot path");
+                    std::process::exit(2);
+                };
+                cluster_path = Some(p.clone());
+                i += 1;
+            }
             "--trace-out" => {
                 let Some(p) = args.get(i + 1) else {
                     eprintln!("error: --trace-out needs a path");
@@ -60,29 +74,63 @@ fn main() {
             other => {
                 eprintln!("error: unknown argument {other}");
                 eprintln!(
-                    "usage: fig3_scaled [--procs N | --quick] [--trace-out PATH] \
-                     [--trace-chrome PATH]   (N: power-of-two multiple of 8)"
+                    "usage: fig3_scaled [--procs N | --quick] [--cluster SNAPSHOT] \
+                     [--trace-out PATH] [--trace-chrome PATH]   \
+                     (N: power of two; multiple of 8 on the default GPC model)"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if !procs.is_multiple_of(8) || !procs.is_power_of_two() {
-        eprintln!(
-            "error: --procs {procs} must be a power-of-two multiple of 8 \
-             (whole GPC nodes; the RD region needs a power of two)"
-        );
+
+    let cluster = cluster_path.as_deref().map(load_cluster_snapshot);
+    let procs = match (procs, &cluster) {
+        (Some(p), _) => p,
+        (None, None) => 65536,
+        // Largest power of two that fits the ingested cluster.
+        (None, Some(c)) => {
+            let mut p = 1usize;
+            while p * 2 <= c.total_cores() {
+                p *= 2;
+            }
+            p
+        }
+    };
+    if !procs.is_power_of_two() {
+        eprintln!("error: --procs {procs} must be a power of two (the RD region needs one)");
         std::process::exit(2);
+    }
+    match &cluster {
+        None if !procs.is_multiple_of(8) => {
+            eprintln!("error: --procs {procs} must be a multiple of 8 (whole GPC nodes)");
+            std::process::exit(2);
+        }
+        Some(c) if procs > c.total_cores() => {
+            eprintln!(
+                "error: --procs {procs} exceeds the ingested cluster's {} cores",
+                c.total_cores()
+            );
+            std::process::exit(2);
+        }
+        _ => {}
     }
 
     trace.init();
     println!("== Fig. 3 (scaled): end-to-end session allgather at {procs} processes ==");
-    println!("   implicit oracle backend, cyclic-bunch layout, O(P) memory\n");
+    match (&cluster_path, &cluster) {
+        (Some(path), Some(c)) => println!(
+            "   ingested cluster {path} ({} nodes x {} cores), implicit oracle backend\n",
+            c.num_nodes(),
+            c.cores_per_node()
+        ),
+        _ => println!("   implicit oracle backend, cyclic-bunch layout, O(P) memory\n"),
+    }
 
+    let cluster = cluster.unwrap_or_else(|| Cluster::gpc(procs / 8));
     let t = Instant::now();
     let mut session = Session::from_layout(
-        Cluster::gpc(procs / 8),
+        cluster,
         InitialMapping::CYCLIC_BUNCH,
         procs,
         SessionConfig::implicit(),

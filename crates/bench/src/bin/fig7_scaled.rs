@@ -8,14 +8,21 @@
 //! comes from a pipeline whose outputs were just verified bit-identical to
 //! the reference at dense-feasible scale.
 //!
-//! usage: fig7_scaled [--large] [--seed N] [--trace-out PATH] [--trace-chrome PATH]
+//! With `--cluster SNAPSHOT` (a `topo-ingest snapshot` file) every row runs
+//! on the ingested cluster — fat-tree or irregular — instead of the
+//! synthetic GPC model; sizes that exceed the ingested core count are
+//! skipped.
+//!
+//! usage: fig7_scaled [--large] [--seed N] [--cluster SNAPSHOT]
+//!                    [--trace-out PATH] [--trace-chrome PATH]
 
-use tarr_bench::scaled::run_report;
-use tarr_bench::TraceOpts;
+use tarr_bench::scaled::{run_report, run_report_on};
+use tarr_bench::{load_cluster_snapshot, TraceOpts};
 
 fn main() {
     let mut sizes = vec![4096usize, 16384];
     let mut seed = 42u64;
+    let mut cluster_path: Option<String> = None;
     let mut trace = TraceOpts::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -28,6 +35,14 @@ fn main() {
                     std::process::exit(2);
                 };
                 seed = n;
+                i += 1;
+            }
+            "--cluster" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --cluster needs a snapshot path");
+                    std::process::exit(2);
+                };
+                cluster_path = Some(p.clone());
                 i += 1;
             }
             "--trace-out" => {
@@ -49,8 +64,8 @@ fn main() {
             other => {
                 eprintln!("error: unknown argument {other}");
                 eprintln!(
-                    "usage: fig7_scaled [--large] [--seed N] [--trace-out PATH] \
-                     [--trace-chrome PATH]"
+                    "usage: fig7_scaled [--large] [--seed N] [--cluster SNAPSHOT] \
+                     [--trace-out PATH] [--trace-chrome PATH]"
                 );
                 std::process::exit(2);
             }
@@ -60,6 +75,18 @@ fn main() {
 
     trace.init();
     println!("== Fig. 7 (scaled): mapping overhead via implicit oracle + bucketed index ==\n");
-    run_report(&sizes, seed);
+    match cluster_path {
+        Some(path) => {
+            let cluster = load_cluster_snapshot(&path);
+            println!(
+                "cluster: {} ({} nodes x {} cores)\n",
+                path,
+                cluster.num_nodes(),
+                cluster.cores_per_node()
+            );
+            run_report_on(&cluster, &sizes, seed);
+        }
+        None => run_report(&sizes, seed),
+    }
     trace.finish();
 }

@@ -161,6 +161,26 @@ impl HarnessOpts {
     }
 }
 
+/// Load a `topo-ingest` cluster snapshot for a `--cluster PATH` harness
+/// flag; prints the typed error and exits with status 2 on any failure.
+pub fn load_cluster_snapshot(path: &str) -> Cluster {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: --cluster {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cluster = tarr_ingest::ClusterSnapshot::parse(&text).and_then(|snap| snap.to_cluster());
+    match cluster {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: --cluster {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The four reordered schemes of the paper's non-hierarchical figures, with
 /// their legend labels.
 pub fn fig3_schemes() -> Vec<(&'static str, Scheme)> {

@@ -55,11 +55,26 @@ pub fn measure_scaled(procs: usize, seed: u64) -> ScaledRow {
         "scaled harness sizes must be power-of-two multiples of 8 (whole GPC \
          nodes, RDMH needs a power of two)"
     );
-    let cluster = Cluster::gpc(procs / 8);
-    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, procs);
+    measure_scaled_on(&Cluster::gpc(procs / 8), procs, seed)
+}
+
+/// [`measure_scaled`] on an explicit cluster — the `--cluster <snapshot>`
+/// path, where the fabric may be ingested (fat-tree or irregular) rather
+/// than the synthetic GPC model.
+pub fn measure_scaled_on(cluster: &Cluster, procs: usize, seed: u64) -> ScaledRow {
+    assert!(
+        procs.is_power_of_two(),
+        "scaled harness sizes must be powers of two (RDMH needs one)"
+    );
+    assert!(
+        procs <= cluster.total_cores(),
+        "{procs} processes exceed the cluster's {} cores",
+        cluster.total_cores()
+    );
+    let cores = InitialMapping::BLOCK_BUNCH.layout(cluster, procs);
 
     let t = Instant::now();
-    let oracle = ImplicitDistance::build(&cluster, &cores, &DistanceConfig::default());
+    let oracle = ImplicitDistance::build(cluster, &cores, &DistanceConfig::default());
     let build_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
@@ -85,11 +100,15 @@ pub fn measure_scaled(procs: usize, seed: u64) -> ScaledRow {
 /// Cross-check at a dense-feasible size: the bucketed pipeline must produce
 /// exactly the dense reference mapping. Panics on divergence.
 pub fn cross_check(procs: usize, seed: u64) {
-    let cluster = Cluster::gpc(procs / 8);
-    let cores = InitialMapping::BLOCK_BUNCH.layout(&cluster, procs);
+    cross_check_on(&Cluster::gpc(procs / 8), procs, seed)
+}
+
+/// [`cross_check`] on an explicit (possibly ingested) cluster.
+pub fn cross_check_on(cluster: &Cluster, procs: usize, seed: u64) {
+    let cores = InitialMapping::BLOCK_BUNCH.layout(cluster, procs);
     let cfg = DistanceConfig::default();
-    let dense = DistanceMatrix::build(&cluster, &cores, &cfg);
-    let implicit = ImplicitDistance::build(&cluster, &cores, &cfg);
+    let dense = DistanceMatrix::build(cluster, &cores, &cfg);
+    let implicit = ImplicitDistance::build(cluster, &cores, &cfg);
     assert_eq!(
         tarr_mapping::rmh(&dense, seed),
         rmh_bucketed(&implicit, seed),
@@ -127,18 +146,12 @@ pub fn bytes_label(b: u64) -> String {
     }
 }
 
-/// Run the full report: cross-check, then one measured row per size.
-pub fn run_report(sizes: &[usize], seed: u64) {
-    println!("cross-check: dense == bucketed at P = 512 (seed {seed}) ...");
-    cross_check(512, seed);
-    println!("cross-check: OK\n");
-
+fn print_rows(rows: impl Iterator<Item = ScaledRow>) {
     println!(
         "{:>8} {:>11} {:>11} {:>11} {:>14} {:>14}",
         "procs", "build(ms)", "rmh(ms)", "rdmh(ms)", "oracle mem", "dense would be"
     );
-    for &p in sizes {
-        let row = measure_scaled(p, seed);
+    for row in rows {
         println!(
             "{:>8} {:>11.3} {:>11.3} {:>11.3} {:>14} {:>14}",
             row.procs,
@@ -149,6 +162,40 @@ pub fn run_report(sizes: &[usize], seed: u64) {
             bytes_label(row.dense_bytes),
         );
     }
+}
+
+/// Run the full report: cross-check, then one measured row per size, each
+/// on a GPC cluster just large enough for that row.
+pub fn run_report(sizes: &[usize], seed: u64) {
+    println!("cross-check: dense == bucketed at P = 512 (seed {seed}) ...");
+    cross_check(512, seed);
+    println!("cross-check: OK\n");
+    print_rows(sizes.iter().map(|&p| measure_scaled(p, seed)));
+}
+
+/// [`run_report`] against one fixed (ingested) cluster: sizes that don't
+/// fit are skipped with a note, and the dense cross-check runs at the
+/// largest power of two ≤ min(512, total cores).
+pub fn run_report_on(cluster: &Cluster, sizes: &[usize], seed: u64) {
+    let total = cluster.total_cores();
+    let mut cc = 1usize;
+    while cc * 2 <= total.min(512) {
+        cc *= 2;
+    }
+    println!("cross-check: dense == bucketed at P = {cc} (seed {seed}) ...");
+    cross_check_on(cluster, cc, seed);
+    println!("cross-check: OK\n");
+    for &p in sizes {
+        if p > total {
+            println!("(skipping {p} processes: cluster has only {total} cores)");
+        }
+    }
+    print_rows(
+        sizes
+            .iter()
+            .filter(|&&p| p <= total)
+            .map(|&p| measure_scaled_on(cluster, p, seed)),
+    );
 }
 
 #[cfg(test)]

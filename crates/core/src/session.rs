@@ -295,6 +295,23 @@ impl Session {
         Session::new(cluster, cores, cfg)
     }
 
+    /// Create a session from a `topo-ingest` cluster snapshot (the text
+    /// format `topo-ingest snapshot` writes and the scaled bench binaries
+    /// load with `--cluster`).
+    ///
+    /// `p` defaults to every core of the snapshotted cluster when `None`.
+    pub fn from_snapshot_text(
+        text: &str,
+        layout: InitialMapping,
+        p: Option<usize>,
+        cfg: SessionConfig,
+    ) -> Result<Self, tarr_ingest::IngestError> {
+        let snap = tarr_ingest::ClusterSnapshot::parse(text)?;
+        let cluster = snap.to_cluster()?;
+        let p = p.unwrap_or_else(|| cluster.total_cores());
+        Ok(Session::from_layout(cluster, layout, p, cfg))
+    }
+
     /// Number of processes.
     pub fn size(&self) -> usize {
         self.comm.size()

@@ -1,0 +1,226 @@
+//! `topo-ingest` — ingest real topology descriptions into cluster snapshots.
+//!
+//! ```text
+//! topo-ingest parse    --xml FILE | --ibnet FILE
+//! topo-ingest check    --xml FILE --ibnet FILE [--trace-out FILE]
+//! topo-ingest snapshot --xml FILE --ibnet FILE --out FILE
+//! topo-ingest summary  SNAPSHOT
+//! ```
+//!
+//! * `parse` syntax-checks a single input and reports what it describes;
+//! * `check` runs the full pipeline (parse → classify → build) and prints
+//!   the resulting cluster plus every degradation warning;
+//! * `snapshot` writes the versioned snapshot the bench binaries load with
+//!   `--cluster`;
+//! * `summary` describes an existing snapshot without rebuilding anything.
+//!
+//! Every failure is a typed `IngestError` printed on stderr with a nonzero
+//! exit — malformed input never panics.
+
+use std::process::ExitCode;
+use tarr_ingest::{
+    classify, ingest_cluster, parse_hwloc, parse_ibnet, ClassifiedFabric, ClusterSnapshot,
+    FabricSpec,
+};
+
+struct Args {
+    xml: Option<String>,
+    ibnet: Option<String>,
+    out: Option<String>,
+    trace_out: Option<String>,
+    positional: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: topo-ingest <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 parse    --xml FILE | --ibnet FILE     syntax-check one input\n\
+         \x20 check    --xml FILE --ibnet FILE       full ingest, report cluster + warnings\n\
+         \x20          [--trace-out FILE]            export a tarr-trace JSONL of the run\n\
+         \x20 snapshot --xml FILE --ibnet FILE --out FILE   write a cluster snapshot\n\
+         \x20 summary  SNAPSHOT                      describe an existing snapshot"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(mut argv: std::env::Args) -> (String, Args) {
+    argv.next(); // program name
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        xml: None,
+        ibnet: None,
+        out: None,
+        trace_out: None,
+        positional: Vec::new(),
+    };
+    let mut it = argv;
+    while let Some(a) = it.next() {
+        let mut grab = |slot: &mut Option<String>, flag: &str| match it.next() {
+            Some(v) => *slot = Some(v),
+            None => {
+                eprintln!("topo-ingest: {flag} needs a value");
+                std::process::exit(2);
+            }
+        };
+        match a.as_str() {
+            "--xml" => grab(&mut args.xml, "--xml"),
+            "--ibnet" => grab(&mut args.ibnet, "--ibnet"),
+            "--out" => grab(&mut args.out, "--out"),
+            "--trace-out" => grab(&mut args.trace_out, "--trace-out"),
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("topo-ingest: unknown option {other}");
+                std::process::exit(2);
+            }
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    (cmd, args)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn describe_fabric(spec: &FabricSpec) -> String {
+    match spec {
+        FabricSpec::FatTree(c) => format!(
+            "fat-tree: {} nodes/leaf, {} cores x ({} lines + {} spines), {} uplinks/core, {} line-spine links",
+            c.nodes_per_leaf,
+            c.core_switches,
+            c.lines_per_core,
+            c.spines_per_core,
+            c.uplinks_per_core,
+            c.line_spine_links
+        ),
+        FabricSpec::Torus(d) => format!("torus: {}x{}x{}", d[0], d[1], d[2]),
+        FabricSpec::Irregular(c) => format!(
+            "irregular: {} switches, {} links",
+            c.switches,
+            c.links.len()
+        ),
+    }
+}
+
+fn run(cmd: &str, args: &Args) -> Result<(), String> {
+    match cmd {
+        "parse" => {
+            match (&args.xml, &args.ibnet) {
+                (Some(xml), None) => {
+                    let (node, warnings) = parse_hwloc(&read(xml)?).map_err(|e| e.to_string())?;
+                    println!(
+                        "node: {} sockets x {} cores (l2 groups of {}, smt {}) = {} PUs",
+                        node.sockets,
+                        node.cores_per_socket,
+                        node.cores_per_l2,
+                        node.smt,
+                        node.cores_per_node()
+                    );
+                    for w in warnings {
+                        println!("warning: {w}");
+                    }
+                }
+                (None, Some(ibnet)) => {
+                    let graph = parse_ibnet(&read(ibnet)?).map_err(|e| e.to_string())?;
+                    let ports: usize = graph.switches.iter().map(|s| s.ports.len()).sum::<usize>()
+                        + graph.hosts.iter().map(|h| h.ports.len()).sum::<usize>();
+                    println!(
+                        "subnet: {} switches, {} hosts, {} port entries",
+                        graph.switches.len(),
+                        graph.hosts.len(),
+                        ports
+                    );
+                    let cls = classify(&graph).map_err(|e| e.to_string())?;
+                    match cls.fabric {
+                        ClassifiedFabric::FatTree(_) => println!("classified: ideal fat-tree"),
+                        ClassifiedFabric::Irregular(_) => println!("classified: irregular"),
+                    }
+                    for w in cls.warnings {
+                        println!("warning: {w}");
+                    }
+                }
+                _ => return Err("parse needs exactly one of --xml or --ibnet".into()),
+            }
+            Ok(())
+        }
+        "check" | "snapshot" => {
+            let xml = args.xml.as_deref().ok_or("missing --xml FILE")?;
+            let ibnet = args.ibnet.as_deref().ok_or("missing --ibnet FILE")?;
+            let tracing = args.trace_out.is_some();
+            if tracing {
+                tarr_trace::reset();
+                tarr_trace::set_enabled(true);
+            }
+            let result = (|| {
+                let ingested =
+                    ingest_cluster(&read(xml)?, &read(ibnet)?).map_err(|e| e.to_string())?;
+                let snap = ClusterSnapshot::from_cluster(&ingested.cluster);
+                println!(
+                    "cluster: {} nodes x {} cores = {} PUs",
+                    ingested.cluster.num_nodes(),
+                    ingested.cluster.cores_per_node(),
+                    ingested.cluster.total_cores()
+                );
+                println!("fabric: {}", describe_fabric(&snap.fabric));
+                for w in &ingested.warnings {
+                    println!("warning: {w}");
+                }
+                if cmd == "snapshot" {
+                    let out = args.out.as_deref().ok_or("missing --out FILE")?;
+                    let text = snap.to_text();
+                    if out == "-" {
+                        print!("{text}");
+                    } else {
+                        std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+                        println!("wrote {out}");
+                    }
+                }
+                Ok(())
+            })();
+            if tracing {
+                tarr_trace::set_enabled(false);
+                let path = args.trace_out.as_deref().unwrap();
+                tarr_trace::export_jsonl(path).map_err(|e| format!("{path}: {e}"))?;
+            }
+            result
+        }
+        "summary" => {
+            let path = args
+                .positional
+                .first()
+                .ok_or("summary needs a SNAPSHOT file")?;
+            let snap = ClusterSnapshot::parse(&read(path)?).map_err(|e| e.to_string())?;
+            let cluster = snap.to_cluster().map_err(|e| e.to_string())?;
+            println!("snapshot: version {}", snap.version);
+            println!(
+                "node: {} sockets x {} cores (l2 groups of {}, smt {})",
+                snap.node.sockets,
+                snap.node.cores_per_socket,
+                snap.node.cores_per_l2,
+                snap.node.smt
+            );
+            println!("fabric: {}", describe_fabric(&snap.fabric));
+            println!(
+                "cluster: {} nodes x {} cores = {} PUs",
+                cluster.num_nodes(),
+                cluster.cores_per_node(),
+                cluster.total_cores()
+            );
+            Ok(())
+        }
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let (cmd, args) = parse_args(std::env::args());
+    match run(&cmd, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("topo-ingest: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

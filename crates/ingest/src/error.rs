@@ -1,0 +1,99 @@
+//! Typed ingestion errors.
+//!
+//! Malformed input must surface as a value, never a panic: the `topo-ingest`
+//! CLI turns these into nonzero exits with a one-line diagnosis, and CI runs
+//! the malformed fixtures through `check` to hold that contract. Structural
+//! topology violations discovered after parsing are the shared
+//! [`TopoError`] type, so a distance-config error reads the same whether it
+//! came from an ingested snapshot or hand-written Rust.
+
+use std::fmt;
+use tarr_topo::TopoError;
+
+/// Any failure while ingesting a topology description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// XML syntax error at `line`.
+    Xml {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// hwloc document parses as XML but is not a usable topology.
+    Hwloc(String),
+    /// `ibnetdiscover` syntax error at `line`.
+    Ibnet {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The switch-port graph is structurally unusable (asymmetric wiring,
+    /// multi-homed or unattached hosts, no hosts at all).
+    Graph(String),
+    /// Snapshot syntax error at `line`.
+    Snapshot {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A structural topology invariant failed (shared with `tarr-topo`).
+    Topo(TopoError),
+    /// The requested operation does not apply to this fabric kind.
+    Unsupported(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Xml { line, msg } => write!(f, "xml: line {line}: {msg}"),
+            IngestError::Hwloc(msg) => write!(f, "hwloc: {msg}"),
+            IngestError::Ibnet { line, msg } => write!(f, "ibnetdiscover: line {line}: {msg}"),
+            IngestError::Graph(msg) => write!(f, "fabric graph: {msg}"),
+            IngestError::Snapshot { line, msg } => write!(f, "snapshot: line {line}: {msg}"),
+            IngestError::Topo(e) => write!(f, "topology: {e}"),
+            IngestError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Topo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopoError> for IngestError {
+    fn from(e: TopoError) -> Self {
+        IngestError::Topo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_errors_convert_and_chain() {
+        let e: IngestError = TopoError::NoNodes.into();
+        assert_eq!(
+            e.to_string(),
+            "topology: cluster must have at least one node"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn line_numbers_render() {
+        let e = IngestError::Ibnet {
+            line: 7,
+            msg: "bad port".into(),
+        };
+        assert_eq!(e.to_string(), "ibnetdiscover: line 7: bad port");
+    }
+}

@@ -1,0 +1,271 @@
+//! hwloc-XML reader: `lstopo --of xml` output → [`NodeTopology`].
+//!
+//! The reader walks the `object` tree (Machine → Package → NUMANode/L3 →
+//! L2 → Core → PU) and counts the levels the model needs. Missing levels
+//! degrade gracefully instead of failing, matching how the paper's pipeline
+//! must cope with machines that simply do not report them:
+//!
+//! * no `Package` objects → one flat socket holding every core (warned);
+//! * no `NUMANode` objects → each package is its own memory domain (warned);
+//! * no (or inconsistent) `L2Cache` grouping → the L2 level is disabled
+//!   (`cores_per_l2 = 1`, warned when an inconsistent grouping is dropped);
+//! * cores without `PU` children → one hardware thread per core (warned).
+//!
+//! Structural nonsense — no machine, no cores, packages of different sizes —
+//! is a typed [`IngestError`], never a panic.
+
+use crate::error::IngestError;
+use crate::xml::{parse_tree, XmlNode};
+use tarr_topo::NodeTopology;
+
+fn obj_type(n: &XmlNode) -> Option<&str> {
+    if n.name == "object" {
+        n.attr("type")
+    } else {
+        None
+    }
+}
+
+/// Depth-first collect of descendant objects of type `ty`, not descending
+/// *into* matches (so nested same-type groups count once).
+fn collect<'a>(n: &'a XmlNode, ty: &str, out: &mut Vec<&'a XmlNode>) {
+    for c in &n.children {
+        if obj_type(c) == Some(ty) {
+            out.push(c);
+        } else {
+            collect(c, ty, out);
+        }
+    }
+}
+
+fn descendants<'a>(n: &'a XmlNode, ty: &str) -> Vec<&'a XmlNode> {
+    let mut v = Vec::new();
+    collect(n, ty, &mut v);
+    v
+}
+
+fn contains_type(n: &XmlNode, ty: &str) -> bool {
+    n.children
+        .iter()
+        .any(|c| obj_type(c) == Some(ty) || contains_type(c, ty))
+}
+
+/// Parse an hwloc XML document into a [`NodeTopology`], returning the
+/// degradation warnings alongside.
+pub fn parse_hwloc(xml: &str) -> Result<(NodeTopology, Vec<String>), IngestError> {
+    let mut span = tarr_trace::span("ingest.parse.xml");
+    let root = parse_tree(xml)?;
+    let mut warnings = Vec::new();
+
+    // The root element is <topology> in real dumps; accept a bare Machine
+    // object as the root too.
+    let machine = if obj_type(&root) == Some("Machine") {
+        &root
+    } else {
+        *descendants(&root, "Machine")
+            .first()
+            .ok_or_else(|| IngestError::Hwloc("no Machine object".into()))?
+    };
+
+    let mut packages = descendants(machine, "Package");
+    if packages.is_empty() {
+        warnings.push("no Package objects: assuming one flat socket".to_string());
+        packages.push(machine);
+    }
+    if !contains_type(machine, "NUMANode") {
+        warnings.push("no NUMANode objects: treating each package as one NUMA domain".to_string());
+    }
+
+    let mut cores_per_socket = 0usize;
+    let mut smt = 0usize;
+    let mut cores_per_l2 = 0usize;
+    let mut l2_degraded = false;
+    let mut puless_cores = false;
+    let mut elements = 0u64;
+
+    for (pi, pkg) in packages.iter().enumerate() {
+        let cores = descendants(pkg, "Core");
+        if cores.is_empty() {
+            return Err(IngestError::Hwloc(format!(
+                "package {pi} has no Core objects"
+            )));
+        }
+        if pi == 0 {
+            cores_per_socket = cores.len();
+        } else if cores.len() != cores_per_socket {
+            return Err(IngestError::Hwloc(format!(
+                "package {pi} has {} cores, package 0 has {cores_per_socket}",
+                cores.len()
+            )));
+        }
+        for core in &cores {
+            let pus = descendants(core, "PU").len().max(1);
+            if descendants(core, "PU").is_empty() {
+                puless_cores = true;
+            }
+            if smt == 0 {
+                smt = pus;
+            } else if pus != smt {
+                return Err(IngestError::Hwloc(format!(
+                    "cores report different PU counts ({smt} vs {pus})"
+                )));
+            }
+        }
+        elements += cores.len() as u64;
+
+        // L2 grouping: every L2Cache that actually groups cores. Uniform,
+        // core-covering groupings enable the level; anything else disables
+        // it with a warning.
+        let l2s: Vec<&XmlNode> = descendants(pkg, "L2Cache")
+            .into_iter()
+            .filter(|l2| !descendants(l2, "Core").is_empty())
+            .collect();
+        let this_l2 = if l2s.is_empty() {
+            1
+        } else {
+            let sizes: Vec<usize> = l2s.iter().map(|l2| descendants(l2, "Core").len()).collect();
+            let covered: usize = sizes.iter().sum();
+            if sizes.windows(2).all(|w| w[0] == w[1])
+                && covered == cores.len()
+                && cores.len().is_multiple_of(sizes[0])
+            {
+                sizes[0]
+            } else {
+                l2_degraded = true;
+                1
+            }
+        };
+        if pi == 0 {
+            cores_per_l2 = this_l2;
+        } else if this_l2 != cores_per_l2 {
+            l2_degraded = true;
+            cores_per_l2 = 1;
+        }
+    }
+    if l2_degraded {
+        warnings.push("inconsistent L2 grouping: disabling the L2 level".to_string());
+        cores_per_l2 = 1;
+    }
+    if puless_cores {
+        warnings.push("cores without PU children: assuming one hardware thread".to_string());
+    }
+
+    let topo = NodeTopology {
+        sockets: packages.len(),
+        cores_per_socket,
+        cores_per_l2,
+        smt,
+    };
+    topo.validate()?;
+
+    span.record("sockets", topo.sockets as u64);
+    span.record("cores", topo.cores_per_node() as u64);
+    tarr_trace::counter_add!("ingest.xml.elements", elements.max(1));
+    tarr_trace::counter_add!("ingest.warnings", warnings.len() as u64);
+    for w in &warnings {
+        tarr_trace::instant("ingest.warning")
+            .arg("msg", w.clone())
+            .emit();
+    }
+    Ok((topo, warnings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render_hwloc_xml;
+
+    #[test]
+    fn roundtrips_gpc_node() {
+        let gpc = NodeTopology::gpc();
+        let (parsed, warnings) = parse_hwloc(&render_hwloc_xml(&gpc)).unwrap();
+        assert_eq!(parsed, gpc);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn roundtrips_manycore_with_l2_groups() {
+        let mc = NodeTopology::manycore();
+        let (parsed, warnings) = parse_hwloc(&render_hwloc_xml(&mc)).unwrap();
+        assert_eq!(parsed, mc);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn roundtrips_smt_node() {
+        let smt = NodeTopology {
+            sockets: 2,
+            cores_per_socket: 2,
+            cores_per_l2: 2,
+            smt: 2,
+        };
+        let (parsed, _) = parse_hwloc(&render_hwloc_xml(&smt)).unwrap();
+        assert_eq!(parsed, smt);
+    }
+
+    #[test]
+    fn degrades_missing_packages_to_flat_socket() {
+        let xml = r#"<topology>
+  <object type="Machine">
+    <object type="Core" os_index="0"><object type="PU" os_index="0"/></object>
+    <object type="Core" os_index="1"><object type="PU" os_index="1"/></object>
+  </object>
+</topology>"#;
+        let (t, warnings) = parse_hwloc(xml).unwrap();
+        assert_eq!(t.sockets, 1);
+        assert_eq!(t.cores_per_socket, 2);
+        assert!(warnings.iter().any(|w| w.contains("flat")), "{warnings:?}");
+    }
+
+    #[test]
+    fn degrades_puless_cores_to_one_thread() {
+        let xml = r#"<topology><object type="Machine"><object type="Package">
+            <object type="Core" os_index="0"/>
+            <object type="Core" os_index="1"/>
+        </object></object></topology>"#;
+        let (t, warnings) = parse_hwloc(xml).unwrap();
+        assert_eq!(t.smt, 1);
+        assert!(warnings.iter().any(|w| w.contains("hardware thread")));
+    }
+
+    #[test]
+    fn degrades_partial_l2_grouping() {
+        // One L2 groups two cores, the third core is bare → grouping dropped.
+        let xml = r#"<topology><object type="Machine"><object type="Package">
+            <object type="L2Cache">
+              <object type="Core" os_index="0"><object type="PU" os_index="0"/></object>
+              <object type="Core" os_index="1"><object type="PU" os_index="1"/></object>
+            </object>
+            <object type="Core" os_index="2"><object type="PU" os_index="2"/></object>
+        </object></object></topology>"#;
+        let (t, warnings) = parse_hwloc(xml).unwrap();
+        assert_eq!(t.cores_per_l2, 1);
+        assert_eq!(t.cores_per_socket, 3);
+        assert!(warnings.iter().any(|w| w.contains("L2")), "{warnings:?}");
+    }
+
+    #[test]
+    fn rejects_coreless_machine() {
+        let err = parse_hwloc("<topology><object type=\"Machine\"/></topology>").unwrap_err();
+        assert!(matches!(err, IngestError::Hwloc(_)), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_uneven_packages() {
+        let xml = r#"<topology><object type="Machine">
+          <object type="Package"><object type="Core" os_index="0"/></object>
+          <object type="Package">
+            <object type="Core" os_index="1"/>
+            <object type="Core" os_index="2"/>
+          </object>
+        </object></topology>"#;
+        let err = parse_hwloc(xml).unwrap_err();
+        assert!(err.to_string().contains("cores"), "{err}");
+    }
+
+    #[test]
+    fn rejects_no_machine() {
+        let err = parse_hwloc("<topology><object type=\"Group\"/></topology>").unwrap_err();
+        assert!(err.to_string().contains("Machine"), "{err}");
+    }
+}

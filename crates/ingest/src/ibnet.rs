@@ -1,0 +1,296 @@
+//! `ibnetdiscover` output reader.
+//!
+//! The dump is line-oriented: `vendid=`/`switchguid=`-style metadata lines,
+//! then blocks opened by a `Switch` or `Ca` header and continued by port
+//! lines until the next blank line or header. Only the connectivity survives
+//! parsing:
+//!
+//! ```text
+//! Switch  36 "S-0000000000002000"   # "leaf-0000" enhanced port 0 lid 6
+//! [1]   "H-0000000000001000"[1]     # "node-0000"
+//! [31]  "S-0000000000002012"[3]     # "line-0-00" lid 9
+//!
+//! Ca  1 "H-0000000000001000"        # "node-0000"
+//! [1](1000)  "S-0000000000002000"[1]  # lid 2 "leaf-0000"
+//! ```
+//!
+//! Anything that is not a header or a port line (comments, `key=value`
+//! metadata, blank lines) is skipped; malformed headers and port lines are
+//! typed errors carrying the 1-based line number.
+
+use crate::error::IngestError;
+
+/// One side of a physical link as seen from a port line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IbPeer {
+    /// Peer GUID string including its `S-`/`H-` prefix.
+    pub guid: String,
+    /// Port number on the peer.
+    pub port: u32,
+}
+
+/// A switch block: GUID, display name and its connected ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IbSwitch {
+    /// GUID string including the `S-` prefix.
+    pub guid: String,
+    /// Display name (the first quoted string of the header comment), or the
+    /// GUID when the dump carries no name.
+    pub name: String,
+    /// `(local port, peer)` in dump order.
+    pub ports: Vec<(u32, IbPeer)>,
+}
+
+/// A host (channel adapter) block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IbHost {
+    /// GUID string including the `H-` prefix.
+    pub guid: String,
+    /// Display name, or the GUID when the dump carries no name.
+    pub name: String,
+    /// `(local port, peer)` in dump order.
+    pub ports: Vec<(u32, IbPeer)>,
+}
+
+/// The parsed dump: every switch and host block, connectivity only.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IbGraph {
+    /// Switch blocks in dump order.
+    pub switches: Vec<IbSwitch>,
+    /// Host blocks in dump order.
+    pub hosts: Vec<IbHost>,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> IngestError {
+    IngestError::Ibnet {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// First `"…"`-quoted string in `s`, with the remainder after the closing
+/// quote.
+fn quoted(s: &str) -> Option<(&str, &str)> {
+    let start = s.find('"')? + 1;
+    let len = s[start..].find('"')?;
+    Some((&s[start..start + len], &s[start + len + 1..]))
+}
+
+/// Parse a `[N]` bracketed number at the start of `s` (after optional
+/// whitespace), returning the number and the remainder.
+fn bracketed(s: &str) -> Option<(u32, &str)> {
+    let s = s.trim_start();
+    let rest = s.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let n = rest[..end].trim().parse().ok()?;
+    Some((n, &rest[end + 1..]))
+}
+
+enum Block {
+    Switch,
+    Host,
+}
+
+/// Parse a full `ibnetdiscover` dump.
+pub fn parse_ibnet(text: &str) -> Result<IbGraph, IngestError> {
+    let mut span = tarr_trace::span("ingest.parse.ibnet");
+    let mut graph = IbGraph::default();
+    let mut current: Option<Block> = None;
+    let mut port_count = 0u64;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+
+        if trimmed.starts_with("Switch") || trimmed.starts_with("Ca") {
+            let is_switch = trimmed.starts_with("Switch");
+            let (guid, rest) =
+                quoted(trimmed).ok_or_else(|| err(lineno, "block header without quoted GUID"))?;
+            let expect = if is_switch { "S-" } else { "H-" };
+            if !guid.starts_with(expect) {
+                return Err(err(
+                    lineno,
+                    format!("block GUID {guid:?} does not start with {expect:?}"),
+                ));
+            }
+            // The display name is the first quoted string of the trailing
+            // comment, when present.
+            let name = rest
+                .split_once('#')
+                .and_then(|(_, comment)| quoted(comment))
+                .map(|(n, _)| n.to_string())
+                .unwrap_or_else(|| guid.to_string());
+            if is_switch {
+                graph.switches.push(IbSwitch {
+                    guid: guid.to_string(),
+                    name,
+                    ports: Vec::new(),
+                });
+                current = Some(Block::Switch);
+            } else {
+                graph.hosts.push(IbHost {
+                    guid: guid.to_string(),
+                    name,
+                    ports: Vec::new(),
+                });
+                current = Some(Block::Host);
+            }
+            continue;
+        }
+
+        if trimmed.starts_with('[') {
+            // Port line: `[p](optional guid) "PEER"[pp] …`.
+            let body = line.split('#').next().unwrap_or(line);
+            let (port, rest) =
+                bracketed(body).ok_or_else(|| err(lineno, "malformed port number"))?;
+            // Ca port lines carry a `(portguid)` after the bracket.
+            let rest = rest.trim_start();
+            let rest = match rest.strip_prefix('(') {
+                Some(r) => match r.find(')') {
+                    Some(close) => &r[close + 1..],
+                    None => return Err(err(lineno, "unterminated port GUID")),
+                },
+                None => rest,
+            };
+            let (peer_guid, after) =
+                quoted(rest).ok_or_else(|| err(lineno, "port line without quoted peer GUID"))?;
+            if !peer_guid.starts_with("S-") && !peer_guid.starts_with("H-") {
+                return Err(err(
+                    lineno,
+                    format!("peer GUID {peer_guid:?} is neither S- nor H-"),
+                ));
+            }
+            let (peer_port, _) =
+                bracketed(after).ok_or_else(|| err(lineno, "port line without peer port"))?;
+            let peer = IbPeer {
+                guid: peer_guid.to_string(),
+                port: peer_port,
+            };
+            match current {
+                Some(Block::Switch) => graph.switches.last_mut().unwrap().ports.push((port, peer)),
+                Some(Block::Host) => graph.hosts.last_mut().unwrap().ports.push((port, peer)),
+                None => return Err(err(lineno, "port line outside any Switch/Ca block")),
+            }
+            port_count += 1;
+            continue;
+        }
+
+        // `key=value` metadata between blocks; anything else is noise we
+        // deliberately skip (DR path lines, timestamps) — but only outside a
+        // context where it could silently hide wiring.
+        if trimmed.contains('=') {
+            continue;
+        }
+        return Err(err(lineno, format!("unrecognised line {trimmed:?}")));
+    }
+
+    if graph.hosts.is_empty() {
+        return Err(IngestError::Graph(
+            "dump contains no Ca (host) blocks".into(),
+        ));
+    }
+    if graph.switches.is_empty() {
+        return Err(IngestError::Graph("dump contains no Switch blocks".into()));
+    }
+
+    span.record("switches", graph.switches.len());
+    span.record("hosts", graph.hosts.len());
+    tarr_trace::counter_add!("ingest.ibnet.ports", port_count.max(1));
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"#
+# Topology file: generated on Thu Aug  7 2026
+#
+vendid=0x2c9
+devid=0xb924
+switchguid=0x2000(2000)
+Switch  4 "S-0000000000002000"   # "leaf-0" enhanced port 0 lid 6 lmc 0
+[1]   "H-0000000000001000"[1]    # "node-0" lid 2
+[2]   "H-0000000000001001"[1]    # "node-1" lid 3
+[3]   "S-0000000000002001"[2]    # "leaf-1" lid 7
+
+switchguid=0x2001(2001)
+Switch  4 "S-0000000000002001"   # "leaf-1" enhanced port 0 lid 7 lmc 0
+[1]   "H-0000000000001002"[1]    # "node-2" lid 4
+[2]   "S-0000000000002000"[3]    # "leaf-0" lid 6
+
+vendid=0x2c9
+Ca  1 "H-0000000000001000"       # "node-0"
+[1](1000)  "S-0000000000002000"[1]  # lid 2 lmc 0 "leaf-0" lid 6
+
+Ca  1 "H-0000000000001001"       # "node-1"
+[1](1001)  "S-0000000000002000"[2]  # lid 3 lmc 0 "leaf-0" lid 6
+
+Ca  1 "H-0000000000001002"       # "node-2"
+[1](1002)  "S-0000000000002001"[1]  # lid 4 lmc 0 "leaf-1" lid 7
+"#;
+
+    #[test]
+    fn parses_blocks_ports_and_names() {
+        let g = parse_ibnet(SMALL).unwrap();
+        assert_eq!(g.switches.len(), 2);
+        assert_eq!(g.hosts.len(), 3);
+        assert_eq!(g.switches[0].name, "leaf-0");
+        assert_eq!(g.switches[0].ports.len(), 3);
+        assert_eq!(
+            g.switches[0].ports[2],
+            (
+                3,
+                IbPeer {
+                    guid: "S-0000000000002001".into(),
+                    port: 2
+                }
+            )
+        );
+        assert_eq!(g.hosts[1].name, "node-1");
+        assert_eq!(g.hosts[1].ports[0].1.guid, "S-0000000000002000");
+    }
+
+    #[test]
+    fn name_falls_back_to_guid() {
+        let g =
+            parse_ibnet("Switch 1 \"S-01\"\n[1] \"H-02\"[1]\n\nCa 1 \"H-02\"\n[1] \"S-01\"[1]\n")
+                .unwrap();
+        assert_eq!(g.switches[0].name, "S-01");
+        assert_eq!(g.hosts[0].name, "H-02");
+    }
+
+    #[test]
+    fn rejects_port_line_outside_block() {
+        let e = parse_ibnet("[1] \"S-01\"[2]\n").unwrap_err();
+        assert!(matches!(e, IngestError::Ibnet { line: 1, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_header_without_guid() {
+        let e = parse_ibnet("Switch 12 no quotes here\n").unwrap_err();
+        assert!(e.to_string().contains("quoted GUID"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_peer_prefix() {
+        let e = parse_ibnet("Switch 1 \"S-01\"\n[1] \"X-02\"[1]\n").unwrap_err();
+        assert!(e.to_string().contains("neither"), "{e}");
+    }
+
+    #[test]
+    fn rejects_hostless_dump() {
+        let e = parse_ibnet("Switch 1 \"S-01\"\n").unwrap_err();
+        assert!(matches!(e, IngestError::Graph(_)), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_gibberish_with_line_number() {
+        let e = parse_ibnet("Switch 1 \"S-01\"\n[1] \"H-02\"[1]\nwhat is this\n").unwrap_err();
+        assert!(matches!(e, IngestError::Ibnet { line: 3, .. }), "{e:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Synthetic renderers: turn model topologies back into the tool formats the
+//! readers consume.
+//!
+//! These close the differential-testing loop: `Cluster::gpc` → rendered
+//! hwloc-XML + `ibnetdiscover` dump → re-ingested cluster must be *identical*
+//! to the original. They are also how the golden fixtures under
+//! `tests/fixtures/` were generated, so fixture and renderer can never drift
+//! apart.
+
+use crate::error::IngestError;
+use std::fmt::Write as _;
+use tarr_topo::{Cluster, Fabric, LeafId, NodeTopology};
+
+/// Render a node hierarchy as hwloc v2 XML (`lstopo --of xml` shape).
+pub fn render_hwloc_xml(node: &NodeTopology) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<!DOCTYPE topology SYSTEM \"hwloc2.dtd\">\n");
+    out.push_str("<topology version=\"2.0\">\n");
+    out.push_str("  <object type=\"Machine\" os_index=\"0\">\n");
+    let mut pu = 0usize;
+    let mut core = 0usize;
+    for s in 0..node.sockets {
+        let _ = writeln!(out, "    <object type=\"Package\" os_index=\"{s}\">");
+        let _ = writeln!(
+            out,
+            "      <object type=\"NUMANode\" os_index=\"{s}\" local_memory=\"34359738368\"/>"
+        );
+        for l2 in 0..node.cores_per_socket / node.cores_per_l2 {
+            let _ = writeln!(
+                out,
+                "      <object type=\"L2Cache\" cache_size=\"2097152\" depth=\"2\" os_index=\"{}\">",
+                s * (node.cores_per_socket / node.cores_per_l2) + l2
+            );
+            for _ in 0..node.cores_per_l2 {
+                let _ = writeln!(out, "        <object type=\"Core\" os_index=\"{core}\">");
+                for _ in 0..node.smt {
+                    let _ = writeln!(out, "          <object type=\"PU\" os_index=\"{pu}\"/>");
+                    pu += 1;
+                }
+                out.push_str("        </object>\n");
+                core += 1;
+            }
+            out.push_str("      </object>\n");
+        }
+        out.push_str("    </object>\n");
+    }
+    out.push_str("  </object>\n");
+    out.push_str("</topology>\n");
+    out
+}
+
+/// One endpoint of the synthetic subnet while wiring it up.
+struct Endpoint {
+    guid: String,
+    name: String,
+    is_switch: bool,
+    /// `(local port, peer endpoint, peer port)`, in port order.
+    ports: Vec<(u32, usize, u32)>,
+}
+
+impl Endpoint {
+    fn next_port(&self) -> u32 {
+        self.ports.len() as u32 + 1
+    }
+}
+
+fn link(eps: &mut [Endpoint], a: usize, b: usize) {
+    let pa = eps[a].next_port();
+    let pb = eps[b].next_port();
+    eps[a].ports.push((pa, b, pb));
+    eps[b].ports.push((pb, a, pa));
+}
+
+/// Render a fat-tree cluster as an `ibnetdiscover` dump.
+///
+/// Hosts are named `node-%04d` in node order so the classifier's
+/// sort-by-name recovers the original node numbering; port numbers are
+/// consistent between the two sides of every link.
+pub fn render_ibnetdiscover(cluster: &Cluster) -> Result<String, IngestError> {
+    let tree = match cluster.fabric() {
+        Fabric::FatTree(f) => f,
+        _ => {
+            return Err(IngestError::Unsupported(
+                "only fat-tree fabrics can be rendered as ibnetdiscover dumps".into(),
+            ))
+        }
+    };
+    let cfg = tree.config();
+    let n = cluster.num_nodes();
+    let leaves = tree.num_leaves();
+
+    let mut eps: Vec<Endpoint> = Vec::new();
+    let host_base = 0usize;
+    for h in 0..n {
+        eps.push(Endpoint {
+            guid: format!("H-{:016x}", 0x1_0000 + h),
+            name: format!("node-{h:04}"),
+            is_switch: false,
+            ports: Vec::new(),
+        });
+    }
+    let leaf_base = eps.len();
+    for l in 0..leaves {
+        eps.push(Endpoint {
+            guid: format!("S-{:016x}", 0x2_0000 + l),
+            name: format!("leaf-{l:04}"),
+            is_switch: true,
+            ports: Vec::new(),
+        });
+    }
+    let line_base = eps.len();
+    for c in 0..cfg.core_switches {
+        for i in 0..cfg.lines_per_core {
+            eps.push(Endpoint {
+                guid: format!("S-{:016x}", 0x3_0000 + c * cfg.lines_per_core + i),
+                name: format!("line-{c}-{i:02}"),
+                is_switch: true,
+                ports: Vec::new(),
+            });
+        }
+    }
+    let spine_base = eps.len();
+    for c in 0..cfg.core_switches {
+        for j in 0..cfg.spines_per_core {
+            eps.push(Endpoint {
+                guid: format!("S-{:016x}", 0x4_0000 + c * cfg.spines_per_core + j),
+                name: format!("spine-{c}-{j:02}"),
+                is_switch: true,
+                ports: Vec::new(),
+            });
+        }
+    }
+
+    // Host → leaf attachments, then leaf uplinks, then line-spine meshes —
+    // the same canonical order on every render.
+    for h in 0..n {
+        link(&mut eps, host_base + h, leaf_base + h / cfg.nodes_per_leaf);
+    }
+    for l in 0..leaves {
+        for c in 0..cfg.core_switches {
+            for u in 0..cfg.uplinks_per_core {
+                let line = tree.line_of(LeafId::from_idx(l), c, u);
+                link(
+                    &mut eps,
+                    leaf_base + l,
+                    line_base + c * cfg.lines_per_core + line,
+                );
+            }
+        }
+    }
+    for c in 0..cfg.core_switches {
+        for i in 0..cfg.lines_per_core {
+            for j in 0..cfg.spines_per_core {
+                for _ in 0..cfg.line_spine_links {
+                    link(
+                        &mut eps,
+                        line_base + c * cfg.lines_per_core + i,
+                        spine_base + c * cfg.spines_per_core + j,
+                    );
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("#\n# Topology file: rendered from a tarr cluster model\n#\n");
+    for (idx, ep) in eps.iter().enumerate() {
+        if !ep.is_switch {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "switchguid=0x{:x}({:x})",
+            0x2_0000 + idx,
+            0x2_0000 + idx
+        );
+        let _ = writeln!(
+            out,
+            "Switch  {} \"{}\"\t\t# \"{}\" enhanced port 0 lid {} lmc 0",
+            ep.ports.len(),
+            ep.guid,
+            ep.name,
+            idx + 1
+        );
+        for &(p, peer, pp) in &ep.ports {
+            let _ = writeln!(
+                out,
+                "[{p}]\t\"{}\"[{pp}]\t\t# \"{}\" lid {}",
+                eps[peer].guid,
+                eps[peer].name,
+                peer + 1
+            );
+        }
+        out.push('\n');
+    }
+    for ep in eps.iter().filter(|e| !e.is_switch) {
+        let _ = writeln!(out, "vendid=0x2c9\ndevid=0x673c");
+        let _ = writeln!(
+            out,
+            "Ca\t{} \"{}\"\t\t# \"{}\"",
+            ep.ports.len(),
+            ep.guid,
+            ep.name
+        );
+        for &(p, peer, pp) in &ep.ports {
+            let _ = writeln!(
+                out,
+                "[{p}]({:x}) \t\"{}\"[{pp}]\t\t# lid {} lmc 0 \"{}\"",
+                p,
+                eps[peer].guid,
+                eps[peer].name,
+                peer + 1
+            );
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibnet::parse_ibnet;
+
+    #[test]
+    fn rendered_xml_is_well_formed() {
+        let xml = render_hwloc_xml(&NodeTopology::gpc());
+        let root = crate::xml::parse_tree(&xml).unwrap();
+        assert_eq!(root.name, "topology");
+    }
+
+    #[test]
+    fn rendered_dump_parses_with_consistent_ports() {
+        let dump = render_ibnetdiscover(&Cluster::tiny(8)).unwrap();
+        let g = parse_ibnet(&dump).unwrap();
+        assert_eq!(g.hosts.len(), 8);
+        // tiny: 2 leaves + 1 core × (2 lines + 2 spines).
+        assert_eq!(g.switches.len(), 6);
+        // Every directed entry must have its mirror.
+        let mut entries = std::collections::HashSet::new();
+        for s in &g.switches {
+            for (p, peer) in &s.ports {
+                entries.insert((s.guid.clone(), *p, peer.guid.clone(), peer.port));
+            }
+        }
+        for h in &g.hosts {
+            for (p, peer) in &h.ports {
+                entries.insert((h.guid.clone(), *p, peer.guid.clone(), peer.port));
+            }
+        }
+        for (a, pa, b, pb) in &entries {
+            assert!(
+                entries.contains(&(b.clone(), *pb, a.clone(), *pa)),
+                "missing mirror of {a}[{pa}]"
+            );
+        }
+    }
+
+    #[test]
+    fn torus_cluster_is_unsupported() {
+        let c = Cluster::with_torus(NodeTopology::gpc(), [2, 2, 2]);
+        assert!(matches!(
+            render_ibnetdiscover(&c),
+            Err(IngestError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,393 @@
+//! Versioned cluster snapshots.
+//!
+//! A snapshot captures everything needed to rebuild a [`Cluster`] — node
+//! hierarchy, fabric description, node count — in a line-oriented text
+//! format that is diff-friendly and byte-stable: serializing a parsed
+//! snapshot reproduces the exact bytes (fields are emitted in a canonical
+//! order, irregular links sorted and merged). The version header lets the
+//! format grow without breaking old files.
+//!
+//! ```text
+//! tarr-cluster-snapshot v1
+//! [node] sockets=2 cores_per_socket=4 cores_per_l2=1 smt=1
+//! [fabric.fattree] nodes_per_leaf=30 core_switches=2 uplinks_per_core=3 lines_per_core=18 spines_per_core=9 line_spine_links=2
+//! [nodes] 512
+//! ```
+
+use crate::error::IngestError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tarr_topo::{
+    Cluster, Fabric, FatTree, FatTreeConfig, IrregularConfig, IrregularFabric, NodeTopology,
+    Torus3D,
+};
+
+/// Fabric description inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricSpec {
+    /// Ideal leaf/line/spine fat-tree.
+    FatTree(FatTreeConfig),
+    /// Wrapping 3D torus.
+    Torus([usize; 3]),
+    /// General switch graph.
+    Irregular(IrregularConfig),
+}
+
+/// A versioned, serializable cluster description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Format version (currently always 1).
+    pub version: u32,
+    /// Per-node hierarchy.
+    pub node: NodeTopology,
+    /// Fabric wiring.
+    pub fabric: FabricSpec,
+    /// Number of compute nodes.
+    pub num_nodes: usize,
+}
+
+/// Merge duplicate links, order endpoints `a < b` and sort — the canonical
+/// form both [`IrregularFabric`] and the text format use.
+fn canonical_links(links: &[(u32, u32, u32)]) -> Vec<(u32, u32, u32)> {
+    let mut merged: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+    for &(a, b, t) in links {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        *merged.entry(key).or_insert(0) += t;
+    }
+    merged.into_iter().map(|((a, b), t)| (a, b, t)).collect()
+}
+
+impl ClusterSnapshot {
+    /// Snapshot an existing cluster.
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        let fabric = match cluster.fabric() {
+            Fabric::FatTree(f) => FabricSpec::FatTree(f.config().clone()),
+            Fabric::Torus(t) => FabricSpec::Torus(t.dims()),
+            Fabric::Irregular(g) => FabricSpec::Irregular(IrregularConfig {
+                switches: g.num_switches(),
+                node_switch: (0..g.num_nodes())
+                    .map(|n| g.switch_of(tarr_topo::NodeId::from_idx(n)))
+                    .collect(),
+                links: g.links().to_vec(),
+            }),
+        };
+        ClusterSnapshot {
+            version: 1,
+            node: cluster.node_topology().clone(),
+            fabric,
+            num_nodes: cluster.num_nodes(),
+        }
+    }
+
+    /// Rebuild the cluster this snapshot describes.
+    pub fn to_cluster(&self) -> Result<Cluster, IngestError> {
+        self.node.validate()?;
+        let fabric = match &self.fabric {
+            FabricSpec::FatTree(cfg) => {
+                cfg.validate()?;
+                if self.num_nodes == 0 {
+                    return Err(tarr_topo::TopoError::NoNodes.into());
+                }
+                Fabric::FatTree(FatTree::new(cfg.clone(), self.num_nodes))
+            }
+            FabricSpec::Torus(dims) => {
+                if dims.contains(&0) {
+                    return Err(tarr_topo::TopoError::ZeroFabricExtent.into());
+                }
+                Fabric::Torus(Torus3D::new(*dims))
+            }
+            FabricSpec::Irregular(cfg) => Fabric::Irregular(IrregularFabric::new(cfg.clone())?),
+        };
+        Ok(Cluster::from_parts(
+            self.node.clone(),
+            fabric,
+            self.num_nodes,
+        )?)
+    }
+
+    /// Serialize to the canonical text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "tarr-cluster-snapshot v{}", self.version);
+        let n = &self.node;
+        let _ = writeln!(
+            out,
+            "[node] sockets={} cores_per_socket={} cores_per_l2={} smt={}",
+            n.sockets, n.cores_per_socket, n.cores_per_l2, n.smt
+        );
+        match &self.fabric {
+            FabricSpec::FatTree(c) => {
+                let _ = writeln!(
+                    out,
+                    "[fabric.fattree] nodes_per_leaf={} core_switches={} uplinks_per_core={} lines_per_core={} spines_per_core={} line_spine_links={}",
+                    c.nodes_per_leaf,
+                    c.core_switches,
+                    c.uplinks_per_core,
+                    c.lines_per_core,
+                    c.spines_per_core,
+                    c.line_spine_links
+                );
+            }
+            FabricSpec::Torus(d) => {
+                let _ = writeln!(out, "[fabric.torus] dims={}x{}x{}", d[0], d[1], d[2]);
+            }
+            FabricSpec::Irregular(c) => {
+                let _ = writeln!(out, "[fabric.irregular] switches={}", c.switches);
+                out.push_str("[node-switch]");
+                for &s in &c.node_switch {
+                    let _ = write!(out, " {s}");
+                }
+                out.push('\n');
+                out.push_str("[links]");
+                for (a, b, t) in canonical_links(&c.links) {
+                    let _ = write!(out, " {a}:{b}:{t}");
+                }
+                out.push('\n');
+            }
+        }
+        let _ = writeln!(out, "[nodes] {}", self.num_nodes);
+        out
+    }
+
+    /// Parse the text format.
+    pub fn parse(text: &str) -> Result<Self, IngestError> {
+        /// Partially-parsed `[fabric.irregular]` state: switch count plus the
+        /// `[node-switch]` and `[links]` sections seen so far.
+        type IrregularParts = (usize, Option<Vec<u32>>, Option<Vec<(u32, u32, u32)>>);
+        fn err(line: usize, msg: impl Into<String>) -> IngestError {
+            IngestError::Snapshot {
+                line,
+                msg: msg.into(),
+            }
+        }
+        fn fields(line: usize, rest: &str, keys: &[&str]) -> Result<Vec<usize>, IngestError> {
+            let mut map = BTreeMap::new();
+            for tok in rest.split_whitespace() {
+                let (k, v) = tok
+                    .split_once('=')
+                    .ok_or_else(|| err(line, format!("expected key=value, got {tok:?}")))?;
+                let v: usize = v
+                    .parse()
+                    .map_err(|_| err(line, format!("bad number in {tok:?}")))?;
+                map.insert(k.to_string(), v);
+            }
+            keys.iter()
+                .map(|k| {
+                    map.get(*k)
+                        .copied()
+                        .ok_or_else(|| err(line, format!("missing field {k}")))
+                })
+                .collect()
+        }
+
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| err(1, "empty snapshot"))?;
+        let version = header
+            .trim()
+            .strip_prefix("tarr-cluster-snapshot v")
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| err(1, "missing tarr-cluster-snapshot header"))?;
+        if version != 1 {
+            return Err(err(1, format!("unsupported snapshot version {version}")));
+        }
+
+        let mut node = None;
+        let mut fabric = None;
+        let mut num_nodes = None;
+        let mut irregular: Option<IrregularParts> = None;
+        for (i, raw) in lines {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (tag, rest) = match line.split_once(' ') {
+                Some((t, r)) => (t, r.trim()),
+                None => (line, ""),
+            };
+            match tag {
+                "[node]" => {
+                    let f = fields(
+                        lineno,
+                        rest,
+                        &["sockets", "cores_per_socket", "cores_per_l2", "smt"],
+                    )?;
+                    node = Some(NodeTopology {
+                        sockets: f[0],
+                        cores_per_socket: f[1],
+                        cores_per_l2: f[2],
+                        smt: f[3],
+                    });
+                }
+                "[fabric.fattree]" => {
+                    let f = fields(
+                        lineno,
+                        rest,
+                        &[
+                            "nodes_per_leaf",
+                            "core_switches",
+                            "uplinks_per_core",
+                            "lines_per_core",
+                            "spines_per_core",
+                            "line_spine_links",
+                        ],
+                    )?;
+                    fabric = Some(FabricSpec::FatTree(FatTreeConfig {
+                        nodes_per_leaf: f[0],
+                        core_switches: f[1],
+                        uplinks_per_core: f[2],
+                        lines_per_core: f[3],
+                        spines_per_core: f[4],
+                        line_spine_links: f[5],
+                    }));
+                }
+                "[fabric.torus]" => {
+                    let dims_str = rest
+                        .strip_prefix("dims=")
+                        .ok_or_else(|| err(lineno, "expected dims=AxBxC"))?;
+                    let parts: Vec<usize> = dims_str
+                        .split('x')
+                        .map(|p| p.parse().map_err(|_| err(lineno, "bad torus dims")))
+                        .collect::<Result<_, _>>()?;
+                    if parts.len() != 3 {
+                        return Err(err(lineno, "torus needs exactly three dims"));
+                    }
+                    fabric = Some(FabricSpec::Torus([parts[0], parts[1], parts[2]]));
+                }
+                "[fabric.irregular]" => {
+                    let f = fields(lineno, rest, &["switches"])?;
+                    irregular = Some((f[0], None, None));
+                }
+                "[node-switch]" => {
+                    let ns: Vec<u32> = rest
+                        .split_whitespace()
+                        .map(|t| t.parse().map_err(|_| err(lineno, "bad switch index")))
+                        .collect::<Result<_, _>>()?;
+                    match &mut irregular {
+                        Some((_, slot @ None, _)) => *slot = Some(ns),
+                        _ => return Err(err(lineno, "[node-switch] without [fabric.irregular]")),
+                    }
+                }
+                "[links]" => {
+                    let ls: Vec<(u32, u32, u32)> = rest
+                        .split_whitespace()
+                        .map(|t| {
+                            let mut it = t.split(':');
+                            let a = it.next().and_then(|x| x.parse().ok());
+                            let b = it.next().and_then(|x| x.parse().ok());
+                            let c = it.next().and_then(|x| x.parse().ok());
+                            match (a, b, c, it.next()) {
+                                (Some(a), Some(b), Some(c), None) => Ok((a, b, c)),
+                                _ => Err(err(lineno, format!("bad link {t:?} (want a:b:trunk)"))),
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                    match &mut irregular {
+                        Some((_, _, slot @ None)) => *slot = Some(ls),
+                        _ => return Err(err(lineno, "[links] without [fabric.irregular]")),
+                    }
+                }
+                "[nodes]" => {
+                    num_nodes = Some(
+                        rest.parse::<usize>()
+                            .map_err(|_| err(lineno, "bad node count"))?,
+                    );
+                }
+                other => return Err(err(lineno, format!("unknown section {other:?}"))),
+            }
+        }
+        if let Some((switches, ns, ls)) = irregular {
+            let node_switch =
+                ns.ok_or_else(|| err(0, "[fabric.irregular] without [node-switch]"))?;
+            let links = ls.ok_or_else(|| err(0, "[fabric.irregular] without [links]"))?;
+            fabric = Some(FabricSpec::Irregular(IrregularConfig {
+                switches,
+                node_switch,
+                links,
+            }));
+        }
+        Ok(ClusterSnapshot {
+            version,
+            node: node.ok_or_else(|| err(0, "missing [node] section"))?,
+            fabric: fabric.ok_or_else(|| err(0, "missing [fabric.*] section"))?,
+            num_nodes: num_nodes.ok_or_else(|| err(0, "missing [nodes] section"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fattree_roundtrip_is_byte_stable() {
+        let snap = ClusterSnapshot::from_cluster(&Cluster::gpc(512));
+        let text = snap.to_text();
+        let re = ClusterSnapshot::parse(&text).unwrap();
+        assert_eq!(re, snap);
+        assert_eq!(re.to_text(), text);
+        assert_eq!(re.to_cluster().unwrap(), Cluster::gpc(512));
+    }
+
+    #[test]
+    fn torus_roundtrip() {
+        let c = Cluster::with_torus(NodeTopology::gpc(), [4, 3, 2]);
+        let snap = ClusterSnapshot::from_cluster(&c);
+        let re = ClusterSnapshot::parse(&snap.to_text()).unwrap();
+        assert_eq!(re.to_cluster().unwrap(), c);
+    }
+
+    #[test]
+    fn irregular_roundtrip_canonicalises_links() {
+        let cfg = IrregularConfig {
+            switches: 3,
+            node_switch: vec![0, 1, 2, 0],
+            links: vec![(2, 1, 1), (0, 1, 1), (1, 2, 1)],
+        };
+        let snap = ClusterSnapshot {
+            version: 1,
+            node: NodeTopology::gpc(),
+            fabric: FabricSpec::Irregular(cfg),
+            num_nodes: 4,
+        };
+        let text = snap.to_text();
+        assert!(text.contains("[links] 0:1:1 1:2:2"), "{text}");
+        let re = ClusterSnapshot::parse(&text).unwrap();
+        assert_eq!(re.to_text(), text);
+        let c = re.to_cluster().unwrap();
+        assert_eq!(c.fabric().as_irregular().unwrap().num_switches(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_sections() {
+        assert!(ClusterSnapshot::parse("").is_err());
+        assert!(ClusterSnapshot::parse("tarr-cluster-snapshot v9\n").is_err());
+        let e = ClusterSnapshot::parse("tarr-cluster-snapshot v1\n[what] 3\n").unwrap_err();
+        assert!(e.to_string().contains("unknown section"), "{e}");
+        let e = ClusterSnapshot::parse("tarr-cluster-snapshot v1\n[node] sockets=2\n").unwrap_err();
+        assert!(e.to_string().contains("missing field"), "{e}");
+    }
+
+    #[test]
+    fn invalid_topology_is_a_typed_error() {
+        let snap = ClusterSnapshot {
+            version: 1,
+            node: NodeTopology {
+                sockets: 0,
+                cores_per_socket: 4,
+                cores_per_l2: 1,
+                smt: 1,
+            },
+            fabric: FabricSpec::FatTree(FatTreeConfig::tiny()),
+            num_nodes: 4,
+        };
+        assert!(matches!(snap.to_cluster(), Err(IngestError::Topo(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "tarr-cluster-snapshot v1\n# a comment\n\n[node] sockets=2 cores_per_socket=4 cores_per_l2=1 smt=1\n[fabric.torus] dims=2x2x2\n[nodes] 8\n";
+        let snap = ClusterSnapshot::parse(text).unwrap();
+        assert_eq!(snap.num_nodes, 8);
+    }
+}

@@ -1,0 +1,383 @@
+//! Minimal XML pull parser — just enough of the grammar for `lstopo --of
+//! xml` output, with no external dependencies.
+//!
+//! Supported: the XML declaration, `<!DOCTYPE …>`, comments, elements with
+//! single- or double-quoted attributes, self-closing tags, character data
+//! (skipped — hwloc stores everything in attributes) and the five predefined
+//! entities inside attribute values. Unsupported constructs (CDATA,
+//! processing instructions beyond the declaration, internal DTD subsets)
+//! produce a typed error with a line number rather than a panic.
+
+use crate::error::IngestError;
+
+/// One parse event. Text content is skipped, so only element boundaries
+/// surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name a="v" …>` or `<name … />` (then `self_closing` is set; no
+    /// matching [`XmlEvent::End`] follows).
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order, entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the element closed itself (`…/>`).
+        self_closing: bool,
+    },
+    /// `</name>`.
+    End {
+        /// Element name.
+        name: String,
+    },
+}
+
+/// Streaming parser over an XML document.
+pub struct XmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    /// Parser over `src`, positioned at the start.
+    pub fn new(src: &'a str) -> Self {
+        XmlParser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IngestError {
+        IngestError::Xml {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_until(&mut self, pat: &[u8]) -> bool {
+        while self.pos < self.src.len() {
+            if self.src[self.pos..].starts_with(pat) {
+                for _ in 0..pat.len() {
+                    self.bump();
+                }
+                return true;
+            }
+            self.bump();
+        }
+        false
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, IngestError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' | b'.' | b':')
+        ) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, IngestError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("attribute value must be quoted")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => break,
+                Some(b'&') => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b';') {
+                        self.bump();
+                    }
+                    let entity = &self.src[start..self.pos];
+                    if self.bump() != Some(b';') {
+                        return Err(self.err("unterminated entity reference"));
+                    }
+                    match entity {
+                        b"lt" => out.push('<'),
+                        b"gt" => out.push('>'),
+                        b"amp" => out.push('&'),
+                        b"quot" => out.push('"'),
+                        b"apos" => out.push('\''),
+                        other => {
+                            return Err(self.err(format!(
+                                "unknown entity &{};",
+                                String::from_utf8_lossy(other)
+                            )))
+                        }
+                    }
+                }
+                Some(b) => out.push(b as char),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Next element boundary, or `None` at end of document.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XmlEvent>, IngestError> {
+        loop {
+            // Skip character data up to the next markup.
+            while self.peek().is_some_and(|b| b != b'<') {
+                self.bump();
+            }
+            if self.peek().is_none() {
+                return Ok(None);
+            }
+            self.bump(); // consume '<'
+            match self.peek() {
+                Some(b'?') => {
+                    if !self.skip_until(b"?>") {
+                        return Err(self.err("unterminated processing instruction"));
+                    }
+                }
+                Some(b'!') => {
+                    self.bump();
+                    if self.src[self.pos..].starts_with(b"--") {
+                        if !self.skip_until(b"-->") {
+                            return Err(self.err("unterminated comment"));
+                        }
+                    } else if !self.skip_until(b">") {
+                        return Err(self.err("unterminated <! declaration"));
+                    }
+                }
+                Some(b'/') => {
+                    self.bump();
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'>') {
+                        return Err(self.err(format!("malformed end tag </{name}")));
+                    }
+                    return Ok(Some(XmlEvent::End { name }));
+                }
+                _ => {
+                    let name = self.read_name()?;
+                    let mut attrs = Vec::new();
+                    loop {
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b'>') => {
+                                self.bump();
+                                return Ok(Some(XmlEvent::Start {
+                                    name,
+                                    attrs,
+                                    self_closing: false,
+                                }));
+                            }
+                            Some(b'/') => {
+                                self.bump();
+                                if self.bump() != Some(b'>') {
+                                    return Err(self.err("expected '>' after '/'"));
+                                }
+                                return Ok(Some(XmlEvent::Start {
+                                    name,
+                                    attrs,
+                                    self_closing: true,
+                                }));
+                            }
+                            Some(_) => {
+                                let key = self.read_name()?;
+                                self.skip_ws();
+                                if self.bump() != Some(b'=') {
+                                    return Err(
+                                        self.err(format!("attribute {key} without '=' value"))
+                                    );
+                                }
+                                self.skip_ws();
+                                attrs.push((key, self.read_attr_value()?));
+                            }
+                            None => return Err(self.err(format!("unterminated <{name}> tag"))),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A parsed element tree: name, `type` attribute (hwloc's discriminator) and
+/// children. Built by [`parse_tree`].
+#[derive(Debug, Clone)]
+pub struct XmlNode {
+    /// Element name (`object`, `info`, `topology`, …).
+    pub name: String,
+    /// All attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlNode {
+    /// Value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a whole document into its root element.
+pub fn parse_tree(src: &str) -> Result<XmlNode, IngestError> {
+    let mut p = XmlParser::new(src);
+    let mut stack: Vec<XmlNode> = Vec::new();
+    let mut root: Option<XmlNode> = None;
+    while let Some(ev) = p.next()? {
+        match ev {
+            XmlEvent::Start {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let node = XmlNode {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                };
+                if self_closing {
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None if root.is_none() => root = Some(node),
+                        None => {
+                            return Err(IngestError::Xml {
+                                line: p.line,
+                                msg: "multiple root elements".into(),
+                            })
+                        }
+                    }
+                } else {
+                    stack.push(node);
+                }
+            }
+            XmlEvent::End { name } => {
+                let node = stack.pop().ok_or_else(|| IngestError::Xml {
+                    line: p.line,
+                    msg: format!("closing tag </{name}> without opening tag"),
+                })?;
+                if node.name != name {
+                    return Err(IngestError::Xml {
+                        line: p.line,
+                        msg: format!("mismatched tags: <{}> closed by </{name}>", node.name),
+                    });
+                }
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None if root.is_none() => root = Some(node),
+                    None => {
+                        return Err(IngestError::Xml {
+                            line: p.line,
+                            msg: "multiple root elements".into(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(IngestError::Xml {
+            line: p.line,
+            msg: format!("unclosed element <{}>", stack.last().unwrap().name),
+        });
+    }
+    root.ok_or(IngestError::Xml {
+        line: p.line,
+        msg: "empty document".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declaration_doctype_and_nesting() {
+        let doc = r#"<?xml version="1.0"?>
+<!DOCTYPE topology SYSTEM "hwloc2.dtd">
+<topology version="2.0">
+  <!-- a comment -->
+  <object type="Machine" os_index="0">
+    <object type="PU" os_index="1"/>
+  </object>
+</topology>"#;
+        let root = parse_tree(doc).unwrap();
+        assert_eq!(root.name, "topology");
+        assert_eq!(root.attr("version"), Some("2.0"));
+        assert_eq!(root.children.len(), 1);
+        let machine = &root.children[0];
+        assert_eq!(machine.attr("type"), Some("Machine"));
+        assert_eq!(machine.children[0].attr("type"), Some("PU"));
+    }
+
+    #[test]
+    fn decodes_entities_in_attributes() {
+        let root = parse_tree(r#"<a name="x &lt;&amp;&gt; &quot;y&quot;"/>"#).unwrap();
+        assert_eq!(root.attr("name"), Some(r#"x <&> "y""#));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let root = parse_tree("<a k='v'/>").unwrap();
+        assert_eq!(root.attr("k"), Some("v"));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse_tree("<a><b></a></b>").unwrap_err();
+        assert!(err.to_string().contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unclosed_elements() {
+        let err = parse_tree("<a><b/>").unwrap_err();
+        assert!(err.to_string().contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_tag_with_line_number() {
+        let err = parse_tree("<a>\n<b attr=\"oops").unwrap_err();
+        match err {
+            IngestError::Xml { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(parse_tree(r#"<a k="&nope;"/>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_document() {
+        assert!(parse_tree("  \n ").is_err());
+        assert!(parse_tree("<!-- only a comment -->").is_err());
+    }
+}

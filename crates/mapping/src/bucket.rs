@@ -100,6 +100,12 @@ pub struct BucketContext<'a> {
     node_slots: Vec<Vec<u32>>,
     nodes_per_leaf: usize,
     rings: Option<RingTable>,
+    /// Irregular only: nodes hosted by each switch (ascending node id) and,
+    /// per reference switch, the nodes at each BFS switch distance ≥ 1
+    /// (ascending node id — the canonical candidate order, since global core
+    /// ids ascend with node ids).
+    switch_nodes: Option<Vec<Vec<u32>>>,
+    switch_rings: Option<Vec<Vec<Vec<u32>>>>,
     rng: StdRng,
     /// Instrumentation: closest-free-slot queries answered.
     queries: u64,
@@ -119,9 +125,35 @@ impl<'a> BucketContext<'a> {
         let phys_per_node = nt.sockets * nt.cores_per_socket;
         let l2_per_node = phys_per_node / nt.cores_per_l2;
 
-        let (num_leaves, nodes_per_leaf, rings) = match cluster.fabric() {
-            Fabric::FatTree(f) => (f.num_leaves(), f.config().nodes_per_leaf, None),
-            Fabric::Torus(t) => (0, 0, Some(RingTable::new(t.dims()))),
+        let (num_leaves, nodes_per_leaf, rings, switch_nodes, switch_rings) = match cluster.fabric()
+        {
+            Fabric::FatTree(f) => (f.num_leaves(), f.config().nodes_per_leaf, None, None, None),
+            Fabric::Torus(t) => (0, 0, Some(RingTable::new(t.dims())), None, None),
+            Fabric::Irregular(g) => {
+                let s_count = g.num_switches();
+                let mut nodes: Vec<Vec<u32>> = vec![Vec::new(); s_count];
+                for node in 0..num_nodes {
+                    nodes[g.switch_of(NodeId(node as u32)) as usize].push(node as u32);
+                }
+                // Node rings around each switch: bucket every node by its
+                // hosting switch's BFS level; level vectors fill in
+                // ascending node order, so each ring is already sorted.
+                let rings: Vec<Vec<Vec<u32>>> = (0..s_count as u32)
+                    .map(|s| {
+                        let levels = g.level_row(s);
+                        let max = levels.iter().copied().max().unwrap_or(0) as usize;
+                        let mut by_dist: Vec<Vec<u32>> = vec![Vec::new(); max];
+                        for node in 0..num_nodes {
+                            let h = levels[g.switch_of(NodeId(node as u32)) as usize] as usize;
+                            if h > 0 {
+                                by_dist[h - 1].push(node as u32);
+                            }
+                        }
+                        by_dist
+                    })
+                    .collect();
+                (s_count, 0, None, Some(nodes), Some(rings))
+            }
         };
 
         let mut ctx = BucketContext {
@@ -136,6 +168,8 @@ impl<'a> BucketContext<'a> {
             node_slots: vec![Vec::new(); num_nodes],
             nodes_per_leaf,
             rings,
+            switch_nodes,
+            switch_rings,
             rng: StdRng::seed_from_u64(seed),
             queries: 0,
             class_fallthroughs: 0,
@@ -180,8 +214,25 @@ impl<'a> BucketContext<'a> {
     }
 
     /// The `j`-th free slot under `leaf` (all its nodes except `skip_node`),
-    /// skipping whole nodes by their free counters.
+    /// skipping whole nodes by their free counters. On fat-trees a leaf's
+    /// nodes are the contiguous range the wiring assigns; on irregular
+    /// fabrics they come from the per-switch node lists.
     fn pick_under_leaf(&self, leaf: u32, skip_node: Option<u32>, j: &mut usize) -> Option<usize> {
+        if let Some(switch_nodes) = &self.switch_nodes {
+            for &node in &switch_nodes[leaf as usize] {
+                if skip_node == Some(node) {
+                    continue;
+                }
+                let here = self.free_node[node as usize] as usize;
+                if *j >= here {
+                    *j -= here;
+                    self.nodes_skipped.set(self.nodes_skipped.get() + 1);
+                    continue;
+                }
+                return self.pick_on_node(node, |_| true, j);
+            }
+            return None;
+        }
         let lo = leaf as usize * self.nodes_per_leaf;
         let hi = (lo + self.nodes_per_leaf).min(self.free_node.len());
         for node in lo..hi {
@@ -306,6 +357,36 @@ impl PlacementContext for BucketContext<'_> {
                     .expect("counter says ring slot exists");
             }
             unreachable!("free slots exist but no ring contains one")
+        }
+
+        if let Some(switch_rings) = &self.switch_rings {
+            // Irregular: same hosting switch first, then node rings by BFS
+            // switch distance (strictly increasing:
+            // `same_leaf + h · torus_hop`, torus_hop > 0).
+            self.class_fallthroughs += 1;
+            let k_switch =
+                (self.free_leaf[r.leaf as usize] - self.free_node[r.node as usize]) as usize;
+            if k_switch > 0 {
+                let mut j = tie_break(&mut self.rng, k_switch);
+                return self
+                    .pick_under_leaf(r.leaf, Some(r.node), &mut j)
+                    .expect("counter says same-switch slot exists");
+            }
+            for ring in &switch_rings[r.leaf as usize] {
+                let k: usize = ring
+                    .iter()
+                    .map(|&n| self.free_node[n as usize] as usize)
+                    .sum();
+                if k == 0 {
+                    self.class_fallthroughs += 1;
+                    continue;
+                }
+                let mut j = tie_break(&mut self.rng, k);
+                return self
+                    .pick_on_nodes(ring, &mut j)
+                    .expect("counter says switch-ring slot exists");
+            }
+            unreachable!("free slots exist but no switch ring contains one")
         }
 
         // Fat-tree: same leaf, then line-connected leaves, then the rest.
@@ -469,6 +550,27 @@ mod tests {
         for seed in [0u64, 9] {
             assert_drains_identically(&c, &cores, seed);
         }
+    }
+
+    #[test]
+    fn matches_linear_scan_on_irregular() {
+        use tarr_topo::{Fabric, IrregularConfig, IrregularFabric};
+        // 5 switches in a partial mesh, nodes spread unevenly (and not in
+        // switch order), exercising the per-switch node lists.
+        let g = IrregularFabric::new(IrregularConfig {
+            switches: 5,
+            node_switch: vec![0, 2, 4, 1, 3, 0, 2, 1, 4, 3, 0, 2],
+            links: vec![(0, 1, 2), (1, 2, 1), (2, 3, 2), (3, 4, 1), (0, 4, 1)],
+        })
+        .unwrap();
+        let c = Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(g), 12).unwrap();
+        let cores: Vec<CoreId> = c.cores().collect();
+        for seed in [0u64, 4, 23] {
+            assert_drains_identically(&c, &cores, seed);
+        }
+        // Fragmented allocation over the same fabric.
+        let sparse: Vec<CoreId> = c.cores().step_by(3).collect();
+        assert_drains_identically(&c, &sparse, 7);
     }
 
     #[test]

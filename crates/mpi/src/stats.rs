@@ -71,7 +71,8 @@ pub(crate) fn hop_class(cluster: &Cluster, src: tarr_topo::CoreId, dst: tarr_top
             | HopKind::LeafDown
             | HopKind::LineUp
             | HopKind::LineDown
-            | HopKind::TorusLink => 3,
+            | HopKind::TorusLink
+            | HopKind::SwitchLink => 3,
         };
         class = class.max(c);
     }

@@ -48,6 +48,8 @@ pub struct NetParams {
     pub spine_link: ChannelParams,
     /// One directed torus link (BlueGene-class fabrics).
     pub torus_link: ChannelParams,
+    /// One directed switch-to-switch link of an ingested irregular fabric.
+    pub switch_link: ChannelParams,
     /// Local memory copies (buffer shuffles, self-sends).
     pub memcpy: MemcpyModel,
     /// Per-link overrides for what-if studies and failure injection: a
@@ -75,6 +77,9 @@ impl Default for NetParams {
             // BG/P-class torus links: ~0.1 us per hop, ~1.7 GB/s per
             // direction (narrower than IB, but six of them per node).
             torus_link: ChannelParams::us_gbs(0.1, 1.7),
+            // Irregular fabrics are ingested IB subnets, so a switch hop
+            // costs the same as the ideal fat-tree's switch links.
+            switch_link: ChannelParams::us_gbs(0.1, 3.2),
             memcpy: MemcpyModel::default(),
             link_overrides: Vec::new(),
         }
@@ -109,6 +114,7 @@ impl NetParams {
             HopKind::LeafUp | HopKind::LeafDown => self.leaf_link,
             HopKind::LineUp | HopKind::LineDown => self.spine_link,
             HopKind::TorusLink => self.torus_link,
+            HopKind::SwitchLink => self.switch_link,
         }
     }
 
@@ -121,6 +127,7 @@ impl NetParams {
             self.leaf_link,
             self.spine_link,
             self.torus_link,
+            self.switch_link,
         ];
         for c in chans {
             let bw_ok = c.bandwidth_bps.is_finite() && c.bandwidth_bps > 0.0;

@@ -1,20 +1,26 @@
 //! A cluster: a fat-tree fabric of identical multi-socket nodes.
 
+use crate::error::TopoError;
 use crate::fattree::{FatTree, FatTreeConfig};
 use crate::ids::{CoreId, LeafId, NodeId};
+use crate::irregular::IrregularFabric;
 use crate::node::{IntraLevel, NodeTopology};
 use crate::path::Hop;
 use crate::torus::Torus3D;
 use serde::{Deserialize, Serialize};
 
-/// The inter-node network: a fat-tree (the paper's platform) or a 3D torus
-/// (the BlueGene-class platform of its related work).
+/// The inter-node network: a fat-tree (the paper's platform), a 3D torus
+/// (the BlueGene-class platform of its related work), or an ingested
+/// switch graph that does not match the ideal fat-tree wiring.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fabric {
     /// Leaf/line/spine fat-tree with deterministic up/down routing.
     FatTree(FatTree),
     /// Wrapping 3D torus with dimension-ordered routing.
     Torus(Torus3D),
+    /// General switch graph with deterministic BFS routing (real-world
+    /// wiring ingested from `ibnetdiscover` that is not an ideal fat-tree).
+    Irregular(IrregularFabric),
 }
 
 impl Fabric {
@@ -23,6 +29,7 @@ impl Fabric {
         match self {
             Fabric::FatTree(f) => f.route(src, dst),
             Fabric::Torus(t) => t.route(src, dst),
+            Fabric::Irregular(g) => g.route(src, dst),
         }
     }
 
@@ -30,15 +37,32 @@ impl Fabric {
     pub fn as_fattree(&self) -> Option<&FatTree> {
         match self {
             Fabric::FatTree(f) => Some(f),
-            Fabric::Torus(_) => None,
+            _ => None,
         }
     }
 
     /// The torus, when that is the fabric kind.
     pub fn as_torus(&self) -> Option<&Torus3D> {
         match self {
-            Fabric::FatTree(_) => None,
             Fabric::Torus(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The irregular switch graph, when that is the fabric kind.
+    pub fn as_irregular(&self) -> Option<&IrregularFabric> {
+        match self {
+            Fabric::Irregular(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Nodes the fabric can host (`usize::MAX` when unbounded).
+    fn capacity(&self) -> usize {
+        match self {
+            Fabric::FatTree(f) => f.num_nodes(),
+            Fabric::Torus(t) => t.num_nodes(),
+            Fabric::Irregular(g) => g.num_nodes(),
         }
     }
 }
@@ -56,11 +80,11 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     /// Validate all components.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TopoError> {
         self.node.validate()?;
         self.fabric.validate()?;
         if self.num_nodes == 0 {
-            return Err("cluster must have at least one node".into());
+            return Err(TopoError::NoNodes);
         }
         Ok(())
     }
@@ -91,6 +115,32 @@ impl Cluster {
             fabric,
             num_nodes: cfg.num_nodes,
         }
+    }
+
+    /// Build a cluster from an already-constructed fabric of any kind —
+    /// the entry point used by snapshot/ingest loading, where the fabric may
+    /// be an [`IrregularFabric`] no `ClusterConfig` can describe.
+    pub fn from_parts(
+        node: NodeTopology,
+        fabric: Fabric,
+        num_nodes: usize,
+    ) -> Result<Self, TopoError> {
+        node.validate()?;
+        if num_nodes == 0 {
+            return Err(TopoError::NoNodes);
+        }
+        let capacity = fabric.capacity();
+        if capacity < num_nodes {
+            return Err(TopoError::FabricTooSmall {
+                fabric_nodes: capacity,
+                cluster_nodes: num_nodes,
+            });
+        }
+        Ok(Cluster {
+            node_topo: node,
+            fabric,
+            num_nodes,
+        })
     }
 
     /// Build a cluster on a 3D torus fabric (the related-work platform).
@@ -331,6 +381,39 @@ mod tests {
         assert_eq!(c.socket_of(CoreId(3)), 0);
         assert_eq!(c.socket_of(CoreId(4)), 1);
         assert_eq!(c.socket_of(CoreId(7)), 1);
+    }
+
+    #[test]
+    fn from_parts_accepts_irregular_and_checks_capacity() {
+        use crate::error::TopoError;
+        use crate::irregular::{IrregularConfig, IrregularFabric};
+        let g = IrregularFabric::new(IrregularConfig {
+            switches: 2,
+            node_switch: vec![0, 0, 1, 1],
+            links: vec![(0, 1, 2)],
+        })
+        .unwrap();
+        let c = Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(g.clone()), 4).unwrap();
+        assert_eq!(c.total_cores(), 32);
+        let p = c.path(CoreId(0), CoreId(31));
+        assert_eq!(p[0].kind(), HopKind::HcaUp);
+        assert!(p.iter().any(|h| h.kind() == HopKind::SwitchLink));
+
+        let err = Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(g), 5).unwrap_err();
+        assert_eq!(
+            err,
+            TopoError::FabricTooSmall {
+                fabric_nodes: 4,
+                cluster_nodes: 5
+            }
+        );
+        let err = Cluster::from_parts(
+            NodeTopology::gpc(),
+            Fabric::FatTree(FatTree::new(FatTreeConfig::tiny(), 4)),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, TopoError::NoNodes);
     }
 
     #[test]

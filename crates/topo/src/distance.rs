@@ -57,7 +57,7 @@ impl Default for DistanceConfig {
 
 impl DistanceConfig {
     /// Check the strict closest-first ordering of levels.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::error::TopoError> {
         let seq = [
             self.same_core,
             self.l2,
@@ -68,10 +68,10 @@ impl DistanceConfig {
             self.cross_spine,
         ];
         if !seq.windows(2).all(|w| w[0] < w[1]) {
-            return Err("distance levels must be strictly increasing".into());
+            return Err(crate::error::TopoError::DistanceNotIncreasing);
         }
         if self.torus_hop == 0 {
-            return Err("torus_hop must be positive".into());
+            return Err(crate::error::TopoError::ZeroTorusHop);
         }
         Ok(())
     }
@@ -107,6 +107,14 @@ pub fn core_distance(cluster: &Cluster, cfg: &DistanceConfig, a: CoreId, b: Core
             crate::cluster::Fabric::Torus(t) => {
                 let hops = t.hops(na, nb) as u16;
                 cfg.same_leaf + (hops - 1) * cfg.torus_hop
+            }
+            // Irregular fabrics grade distance by routed switch-hop count:
+            // same hosting switch plays the "same leaf" role, and every
+            // additional switch hop adds the torus per-hop increment, keeping
+            // the ordinal strictly monotone in hops.
+            crate::cluster::Fabric::Irregular(g) => {
+                let hops = g.hops(na, nb) as u16;
+                cfg.same_leaf + hops * cfg.torus_hop
             }
         }
     }

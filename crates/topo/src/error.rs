@@ -1,0 +1,134 @@
+//! Typed validation errors for topology construction.
+//!
+//! Every `validate()` in this crate returns [`TopoError`] so callers — in
+//! particular the `tarr-ingest` parsers, which surface these to CLI users —
+//! can match on the failure instead of string-scraping. The `Display`
+//! rendering keeps the exact human-readable messages the old
+//! `Result<(), String>` API produced.
+
+use std::fmt;
+
+/// A structural invariant violated by a topology description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoError {
+    /// A node-topology extent (sockets, cores per socket, SMT width) is zero.
+    ZeroNodeExtent,
+    /// `cores_per_l2` is zero.
+    ZeroL2Group,
+    /// `cores_per_l2` does not divide `cores_per_socket`.
+    L2NotDividingSocket {
+        /// Configured cores per L2 group.
+        cores_per_l2: usize,
+        /// Configured cores per socket.
+        cores_per_socket: usize,
+    },
+    /// A fat-tree extent (nodes per leaf, switch counts, link counts) is zero.
+    ZeroFabricExtent,
+    /// The cluster has no compute nodes.
+    NoNodes,
+    /// Distance levels are not strictly increasing closest-first.
+    DistanceNotIncreasing,
+    /// The per-hop torus distance increment is zero.
+    ZeroTorusHop,
+    /// An irregular fabric references a switch index past the switch count.
+    SwitchOutOfRange {
+        /// The offending switch index.
+        switch: usize,
+        /// Number of switches in the fabric.
+        switches: usize,
+    },
+    /// An irregular fabric has a switch linked to itself.
+    SelfLink {
+        /// The switch with a self-link.
+        switch: usize,
+    },
+    /// An irregular fabric has no switches.
+    NoSwitches,
+    /// The irregular switch graph is disconnected, so some node pairs have
+    /// no route.
+    DisconnectedFabric {
+        /// A switch unreachable from switch 0.
+        unreachable: usize,
+    },
+    /// A fabric serves fewer nodes than the cluster has.
+    FabricTooSmall {
+        /// Nodes the fabric can host.
+        fabric_nodes: usize,
+        /// Nodes the cluster needs.
+        cluster_nodes: usize,
+    },
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::ZeroNodeExtent => write!(f, "node topology extents must be non-zero"),
+            TopoError::ZeroL2Group => write!(f, "cores_per_l2 must be at least 1"),
+            TopoError::L2NotDividingSocket {
+                cores_per_l2,
+                cores_per_socket,
+            } => write!(
+                f,
+                "cores_per_l2 ({cores_per_l2}) must divide cores_per_socket ({cores_per_socket})"
+            ),
+            TopoError::ZeroFabricExtent => write!(f, "fat-tree extents must be non-zero"),
+            TopoError::NoNodes => write!(f, "cluster must have at least one node"),
+            TopoError::DistanceNotIncreasing => {
+                write!(f, "distance levels must be strictly increasing")
+            }
+            TopoError::ZeroTorusHop => write!(f, "torus_hop must be positive"),
+            TopoError::SwitchOutOfRange { switch, switches } => write!(
+                f,
+                "switch index {switch} out of range (fabric has {switches} switches)"
+            ),
+            TopoError::SelfLink { switch } => {
+                write!(f, "switch {switch} is linked to itself")
+            }
+            TopoError::NoSwitches => write!(f, "irregular fabric must have at least one switch"),
+            TopoError::DisconnectedFabric { unreachable } => write!(
+                f,
+                "switch graph is disconnected: switch {unreachable} unreachable from switch 0"
+            ),
+            TopoError::FabricTooSmall {
+                fabric_nodes,
+                cluster_nodes,
+            } => write!(
+                f,
+                "fabric hosts {fabric_nodes} nodes but the cluster has {cluster_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_messages() {
+        assert_eq!(
+            TopoError::ZeroNodeExtent.to_string(),
+            "node topology extents must be non-zero"
+        );
+        assert_eq!(
+            TopoError::L2NotDividingSocket {
+                cores_per_l2: 3,
+                cores_per_socket: 4
+            }
+            .to_string(),
+            "cores_per_l2 (3) must divide cores_per_socket (4)"
+        );
+        assert_eq!(
+            TopoError::DistanceNotIncreasing.to_string(),
+            "distance levels must be strictly increasing"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TopoError::NoNodes);
+    }
+}

@@ -64,7 +64,7 @@ impl FatTreeConfig {
     }
 
     /// Validate structural invariants.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::error::TopoError> {
         if self.nodes_per_leaf == 0
             || self.core_switches == 0
             || self.uplinks_per_core == 0
@@ -72,7 +72,7 @@ impl FatTreeConfig {
             || self.spines_per_core == 0
             || self.line_spine_links == 0
         {
-            return Err("fat-tree extents must be non-zero".into());
+            return Err(crate::error::TopoError::ZeroFabricExtent);
         }
         Ok(())
     }

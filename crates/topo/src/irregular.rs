@@ -1,0 +1,371 @@
+//! General switch-graph fabric for ingested topologies that are not a clean
+//! leaf/line/spine fat-tree.
+//!
+//! Real InfiniBand subnets drift from the ideal wiring — ports die, links are
+//! re-cabled, half-populated core switches ship. `ibnetdiscover` output that
+//! the classifier cannot match against [`crate::FatTree`] lands here: an
+//! undirected multigraph of switches (parallel cables between the same switch
+//! pair collapse into one link with a trunk count), with every compute node
+//! attached to exactly one switch.
+//!
+//! Routing is destination-based deterministic, like the fat-tree's D-mod-k
+//! rule and InfiniBand's forwarding tables: per destination switch a BFS
+//! (lowest-switch-index tie-break) fixes the next hop from every switch, and
+//! the destination node index selects the trunk on each traversed link. Two
+//! messages to the same destination therefore share their converging path
+//! deterministically — the congestion behaviour the mapping heuristics exist
+//! to avoid — and every directed `(from, to, trunk)` triple is its own
+//! [`Hop`] for netsim's contention accounting.
+
+use crate::error::TopoError;
+use crate::ids::NodeId;
+use crate::path::Hop;
+use serde::{Deserialize, Serialize};
+
+/// Static description of an irregular switch fabric.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrregularConfig {
+    /// Number of switches.
+    pub switches: usize,
+    /// Hosting switch of each compute node (`node_switch[n]` < `switches`).
+    pub node_switch: Vec<u32>,
+    /// Undirected switch-switch links `(a, b, trunks)`; parallel entries for
+    /// the same pair are merged by summing trunk counts.
+    pub links: Vec<(u32, u32, u32)>,
+}
+
+/// An irregular switch fabric with precomputed deterministic routes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrregularFabric {
+    switches: usize,
+    node_switch: Vec<u32>,
+    /// Canonical link list: `a < b`, sorted, trunks merged.
+    links: Vec<(u32, u32, u32)>,
+    /// Sorted adjacency: `adj[s]` = `(peer, trunks)` ascending by peer.
+    adj: Vec<Vec<(u32, u32)>>,
+    /// `dist[d][s]` = switch hops from `s` to `d`.
+    dist: Vec<Vec<u16>>,
+    /// `next[d][s]` = next switch from `s` towards `d` (unused when `s == d`).
+    next: Vec<Vec<u32>>,
+}
+
+impl IrregularFabric {
+    /// Build the fabric, canonicalising links and precomputing per-destination
+    /// BFS next-hop tables.
+    pub fn new(cfg: IrregularConfig) -> Result<Self, TopoError> {
+        let s_count = cfg.switches;
+        if s_count == 0 {
+            return Err(TopoError::NoSwitches);
+        }
+        if cfg.node_switch.is_empty() {
+            return Err(TopoError::NoNodes);
+        }
+        for &s in &cfg.node_switch {
+            if s as usize >= s_count {
+                return Err(TopoError::SwitchOutOfRange {
+                    switch: s as usize,
+                    switches: s_count,
+                });
+            }
+        }
+
+        // Canonicalise: a < b, merge parallel cables into trunk counts.
+        let mut merged: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.links.len());
+        let mut canon: Vec<(u32, u32, u32)> = cfg
+            .links
+            .iter()
+            .map(|&(a, b, t)| if a <= b { (a, b, t) } else { (b, a, t) })
+            .collect();
+        canon.sort_unstable();
+        for (a, b, t) in canon {
+            if a == b {
+                return Err(TopoError::SelfLink { switch: a as usize });
+            }
+            if b as usize >= s_count {
+                return Err(TopoError::SwitchOutOfRange {
+                    switch: b as usize,
+                    switches: s_count,
+                });
+            }
+            if t == 0 {
+                return Err(TopoError::ZeroFabricExtent);
+            }
+            match merged.last_mut() {
+                Some(last) if last.0 == a && last.1 == b => last.2 += t,
+                _ => merged.push((a, b, t)),
+            }
+        }
+
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); s_count];
+        for &(a, b, t) in &merged {
+            adj[a as usize].push((b, t));
+            adj[b as usize].push((a, t));
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+        }
+
+        // Per-destination BFS over the undirected graph; neighbours are
+        // visited in ascending index order so the next-hop choice (the
+        // neighbour one level closer with the lowest index) is deterministic.
+        let mut dist = vec![vec![u16::MAX; s_count]; s_count];
+        let mut next = vec![vec![0u32; s_count]; s_count];
+        let mut queue = Vec::with_capacity(s_count);
+        for d in 0..s_count {
+            let dist_d = &mut dist[d];
+            dist_d[d] = 0;
+            queue.clear();
+            queue.push(d as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &(v, _) in &adj[u] {
+                    if dist_d[v as usize] == u16::MAX {
+                        dist_d[v as usize] = dist_d[u] + 1;
+                        queue.push(v);
+                    }
+                }
+            }
+            if let Some(unreachable) = dist_d.iter().position(|&x| x == u16::MAX) {
+                return Err(TopoError::DisconnectedFabric { unreachable });
+            }
+            let next_d = &mut next[d];
+            for s in 0..s_count {
+                if s == d {
+                    continue;
+                }
+                // adj rows are sorted, so the first qualifying neighbour is
+                // the lowest-index one.
+                next_d[s] = adj[s]
+                    .iter()
+                    .map(|&(v, _)| v)
+                    .find(|&v| dist_d[v as usize] + 1 == dist_d[s])
+                    .expect("connected graph has a descending neighbour");
+            }
+        }
+
+        Ok(IrregularFabric {
+            switches: s_count,
+            node_switch: cfg.node_switch,
+            links: merged,
+            adj,
+            dist,
+            next,
+        })
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Number of compute nodes attached.
+    pub fn num_nodes(&self) -> usize {
+        self.node_switch.len()
+    }
+
+    /// Hosting switch of `node`.
+    #[inline]
+    pub fn switch_of(&self, node: NodeId) -> u32 {
+        self.node_switch[node.idx()]
+    }
+
+    /// Canonical link list (`a < b`, sorted, trunks merged).
+    pub fn links(&self) -> &[(u32, u32, u32)] {
+        &self.links
+    }
+
+    /// Per-node hosting switches, in node order.
+    pub fn node_switches(&self) -> &[u32] {
+        &self.node_switch
+    }
+
+    /// Switch hops between two switches on the routed (BFS shortest) path.
+    #[inline]
+    pub fn switch_hops(&self, a: u32, b: u32) -> u16 {
+        self.dist[b as usize][a as usize]
+    }
+
+    /// Switch hops on the routed path between two nodes (0 = same switch).
+    #[inline]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        self.switch_hops(self.switch_of(a), self.switch_of(b)) as usize
+    }
+
+    /// BFS hop-count row from every switch to `dst` (`row[s]` = hops s→dst).
+    pub fn level_row(&self, dst: u32) -> &[u16] {
+        &self.dist[dst as usize]
+    }
+
+    /// Trunk count of the canonical link between `a` and `b` (0 if absent).
+    fn trunks_between(&self, a: u32, b: u32) -> u32 {
+        self.adj[a as usize]
+            .iter()
+            .find(|&&(v, _)| v == b)
+            .map_or(0, |&(_, t)| t)
+    }
+
+    /// Deterministic route from `src` to `dst` as a sequence of [`Hop`]s
+    /// including the HCA injection/delivery links. The switch path follows
+    /// the per-destination BFS next-hop table; the destination node index
+    /// selects the trunk on every traversed link (D-mod-k style).
+    ///
+    /// # Panics
+    /// Panics if `src == dst` (a node does not route to itself).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<Hop> {
+        assert_ne!(src, dst, "no route from a node to itself");
+        let d = self.switch_of(dst);
+        let mut s = self.switch_of(src);
+        let mut hops = Vec::with_capacity(2 + self.dist[d as usize][s as usize] as usize);
+        hops.push(Hop::HcaUp { node: src });
+        while s != d {
+            let n = self.next[d as usize][s as usize];
+            let trunks = self.trunks_between(s, n);
+            debug_assert!(trunks > 0);
+            hops.push(Hop::SwitchLink {
+                from: s,
+                to: n,
+                trunk: dst.idx() as u32 % trunks,
+            });
+            s = n;
+        }
+        hops.push(Hop::HcaDown { node: dst });
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::HopKind;
+
+    /// A 5-switch line: 0 — 1 — 2 — 3 — 4, two nodes per switch.
+    fn line5() -> IrregularFabric {
+        IrregularFabric::new(IrregularConfig {
+            switches: 5,
+            node_switch: (0..10).map(|n| n / 2).collect(),
+            links: (0..4).map(|i| (i, i + 1, 2)).collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn same_switch_route_is_hca_only() {
+        let f = line5();
+        let hops = f.route(NodeId(0), NodeId(1));
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].kind(), HopKind::HcaUp);
+        assert_eq!(hops[1].kind(), HopKind::HcaDown);
+    }
+
+    #[test]
+    fn route_length_matches_bfs_distance() {
+        let f = line5();
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                if a == b {
+                    continue;
+                }
+                let hops = f.route(NodeId(a), NodeId(b));
+                let fabric_links = hops.iter().filter(|h| h.is_fabric()).count();
+                assert_eq!(fabric_links, f.hops(NodeId(a), NodeId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_destination_deterministic() {
+        let f = line5();
+        assert_eq!(f.route(NodeId(0), NodeId(9)), f.route(NodeId(0), NodeId(9)));
+        // Converging traffic shares the final link.
+        let r1 = f.route(NodeId(0), NodeId(9));
+        let r2 = f.route(NodeId(4), NodeId(9));
+        assert_eq!(r1[r1.len() - 2], r2[r2.len() - 2]);
+    }
+
+    #[test]
+    fn trunk_selection_spreads_by_destination() {
+        let f = line5();
+        // Nodes 8 and 9 both live on switch 4; their inbound link 3→4 has
+        // 2 trunks, so the two destinations use different trunks.
+        let t8 = f.route(NodeId(0), NodeId(8));
+        let t9 = f.route(NodeId(0), NodeId(9));
+        let last = |r: &[Hop]| r[r.len() - 2];
+        assert_ne!(last(&t8), last(&t9));
+    }
+
+    #[test]
+    fn parallel_cables_merge_into_trunks() {
+        let f = IrregularFabric::new(IrregularConfig {
+            switches: 2,
+            node_switch: vec![0, 1],
+            links: vec![(0, 1, 1), (1, 0, 1), (0, 1, 1)],
+        })
+        .unwrap();
+        assert_eq!(f.links(), &[(0, 1, 3)]);
+    }
+
+    #[test]
+    fn tie_break_picks_lowest_switch_index() {
+        // Diamond: 0—1—3 and 0—2—3; route 0→3 must go via switch 1.
+        let f = IrregularFabric::new(IrregularConfig {
+            switches: 4,
+            node_switch: vec![0, 3],
+            links: vec![(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)],
+        })
+        .unwrap();
+        let hops = f.route(NodeId(0), NodeId(1));
+        assert_eq!(
+            hops[1],
+            Hop::SwitchLink {
+                from: 0,
+                to: 1,
+                trunk: 0
+            }
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let err = IrregularFabric::new(IrregularConfig {
+            switches: 3,
+            node_switch: vec![0, 2],
+            links: vec![(0, 1, 1)],
+        })
+        .unwrap_err();
+        assert_eq!(err, TopoError::DisconnectedFabric { unreachable: 2 });
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        assert_eq!(
+            IrregularFabric::new(IrregularConfig {
+                switches: 2,
+                node_switch: vec![5],
+                links: vec![(0, 1, 1)],
+            })
+            .unwrap_err(),
+            TopoError::SwitchOutOfRange {
+                switch: 5,
+                switches: 2
+            }
+        );
+        assert_eq!(
+            IrregularFabric::new(IrregularConfig {
+                switches: 2,
+                node_switch: vec![0],
+                links: vec![(1, 1, 1)],
+            })
+            .unwrap_err(),
+            TopoError::SelfLink { switch: 1 }
+        );
+    }
+
+    #[test]
+    fn level_rows_are_bfs_distances() {
+        let f = line5();
+        assert_eq!(f.level_row(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(f.level_row(2), &[2, 1, 0, 1, 2]);
+    }
+}

@@ -34,8 +34,10 @@
 
 pub mod cluster;
 pub mod distance;
+pub mod error;
 pub mod fattree;
 pub mod ids;
+pub mod irregular;
 pub mod node;
 pub mod oracle;
 pub mod path;
@@ -43,8 +45,10 @@ pub mod torus;
 
 pub use cluster::{Cluster, ClusterConfig, Fabric};
 pub use distance::{DistanceConfig, DistanceMatrix, ExtractionCostModel};
+pub use error::TopoError;
 pub use fattree::{FatTree, FatTreeConfig};
 pub use ids::{CoreId, LeafId, NodeId, Rank};
+pub use irregular::{IrregularConfig, IrregularFabric};
 pub use node::NodeTopology;
 pub use oracle::{DistanceOracle, ImplicitDistance, SlotPath, SubsetOracle};
 pub use path::{Hop, HopKind};

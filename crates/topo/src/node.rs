@@ -107,18 +107,19 @@ impl NodeTopology {
 
     /// Validate structural invariants (non-zero extents, divisibility of the
     /// L2 grouping).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::error::TopoError> {
+        use crate::error::TopoError;
         if self.sockets == 0 || self.cores_per_socket == 0 || self.smt == 0 {
-            return Err("node topology extents must be non-zero".into());
+            return Err(TopoError::ZeroNodeExtent);
         }
         if self.cores_per_l2 == 0 {
-            return Err("cores_per_l2 must be at least 1".into());
+            return Err(TopoError::ZeroL2Group);
         }
         if !self.cores_per_socket.is_multiple_of(self.cores_per_l2) {
-            return Err(format!(
-                "cores_per_l2 ({}) must divide cores_per_socket ({})",
-                self.cores_per_l2, self.cores_per_socket
-            ));
+            return Err(TopoError::L2NotDividingSocket {
+                cores_per_l2: self.cores_per_l2,
+                cores_per_socket: self.cores_per_socket,
+            });
         }
         Ok(())
     }

@@ -128,6 +128,7 @@ impl ImplicitDistance {
                 let leaf = match cluster.fabric() {
                     Fabric::FatTree(f) => f.leaf_of(cluster.node_of(c)).idx() as u32,
                     Fabric::Torus(_) => node,
+                    Fabric::Irregular(g) => g.switch_of(cluster.node_of(c)),
                 };
                 SlotPath {
                     core: node * phys_per_node + nt.core_of_local(local) as u32,
@@ -157,7 +158,7 @@ impl ImplicitDistance {
                     })
                     .collect()
             }
-            Fabric::Torus(_) => Vec::new(),
+            Fabric::Torus(_) | Fabric::Irregular(_) => Vec::new(),
         };
 
         ImplicitDistance {
@@ -296,6 +297,12 @@ impl DistanceOracle for ImplicitDistance {
                 let hops = t.hops(crate::ids::NodeId(a.node), crate::ids::NodeId(b.node)) as u16;
                 self.cfg.same_leaf + (hops - 1) * self.cfg.torus_hop
             }
+            // The slot's `leaf` key is its hosting switch; the fabric's
+            // precomputed BFS levels answer the hop count in O(1).
+            Fabric::Irregular(g) => {
+                let hops = g.switch_hops(a.leaf, b.leaf);
+                self.cfg.same_leaf + hops * self.cfg.torus_hop
+            }
         }
     }
 
@@ -353,6 +360,21 @@ mod tests {
             fabric: crate::fattree::FatTreeConfig::tiny(),
             num_nodes: 4,
         });
+        let cores: Vec<CoreId> = c.cores().collect();
+        check_equivalence(&c, &cores);
+    }
+
+    #[test]
+    fn matches_dense_on_irregular() {
+        use crate::irregular::{IrregularConfig, IrregularFabric};
+        // A 4-switch ring with three nodes per switch.
+        let g = IrregularFabric::new(IrregularConfig {
+            switches: 4,
+            node_switch: (0..12).map(|n| n / 3).collect(),
+            links: vec![(0, 1, 2), (1, 2, 1), (2, 3, 2), (0, 3, 1)],
+        })
+        .unwrap();
+        let c = Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(g), 12).unwrap();
         let cores: Vec<CoreId> = c.cores().collect();
         check_equivalence(&c, &cores);
     }

@@ -29,6 +29,8 @@ pub enum HopKind {
     LineDown,
     /// One directed link of a torus fabric.
     TorusLink,
+    /// One directed switch-to-switch link of an irregular fabric.
+    SwitchLink,
 }
 
 /// One directed physical channel.
@@ -77,6 +79,16 @@ pub enum Hop {
         /// Direction along the dimension.
         plus: bool,
     },
+    /// Trunk `trunk` of the directed link `from → to` between two switches of
+    /// an irregular fabric.
+    SwitchLink {
+        /// Switch the link leaves.
+        from: u32,
+        /// Switch the link enters.
+        to: u32,
+        /// Trunk index within the (possibly multi-cable) link.
+        trunk: u32,
+    },
 }
 
 impl Hop {
@@ -92,6 +104,7 @@ impl Hop {
             Hop::LineUp { .. } => HopKind::LineUp,
             Hop::LineDown { .. } => HopKind::LineDown,
             Hop::TorusLink { .. } => HopKind::TorusLink,
+            Hop::SwitchLink { .. } => HopKind::SwitchLink,
         }
     }
 
@@ -109,6 +122,7 @@ impl Hop {
                 | Hop::LineUp { .. }
                 | Hop::LineDown { .. }
                 | Hop::TorusLink { .. }
+                | Hop::SwitchLink { .. }
         )
     }
 }

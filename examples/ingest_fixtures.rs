@@ -1,0 +1,33 @@
+//! Regenerate the rendered golden fixtures under `tests/fixtures/`.
+//!
+//! ```text
+//! cargo run --example ingest_fixtures
+//! ```
+//!
+//! `gpc_node.xml` and `gpc_ib.txt` are what `lstopo --of xml` and
+//! `ibnetdiscover` would report on a GPC-like cluster of 64 nodes; they are
+//! produced by the tarr-ingest renderers so fixture and renderer can never
+//! drift apart — `tests/ingest_roundtrip.rs` asserts byte equality against
+//! a fresh render and fails if either side changes unilaterally.
+//!
+//! The hand-written fixtures (`degraded_node.xml`, `twolevel_ib.txt`,
+//! `miswired_ib.txt`, `malformed.xml`, `malformed_ib.txt`) are *not*
+//! regenerated here: they exist precisely because no renderer emits them.
+
+use tarr_ingest::{render_hwloc_xml, render_ibnetdiscover};
+use tarr_topo::Cluster;
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(&dir).expect("create tests/fixtures");
+
+    let gpc = Cluster::gpc(64);
+    let xml = render_hwloc_xml(gpc.node_topology());
+    let ibnet = render_ibnetdiscover(&gpc).expect("gpc is a fat-tree");
+
+    for (name, text) in [("gpc_node.xml", &xml), ("gpc_ib.txt", &ibnet)] {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+}

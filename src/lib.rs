@@ -4,6 +4,8 @@
 //! for details:
 //!
 //! * [`topo`] — hardware topology model (nodes, fat-tree fabric, distances);
+//! * [`ingest`] — real-topology ingestion (hwloc XML, `ibnetdiscover`,
+//!   cluster snapshots);
 //! * [`netsim`] — network performance models (analytic + discrete-event);
 //! * [`mpi`] — simulated MPI layer (communicators, schedules, executors);
 //! * [`collectives`] — allgather/bcast/gather/allreduce algorithms;
@@ -13,6 +15,7 @@
 
 pub use tarr_collectives as collectives;
 pub use tarr_core as core;
+pub use tarr_ingest as ingest;
 pub use tarr_mapping as mapping;
 pub use tarr_mpi as mpi;
 pub use tarr_netsim as netsim;

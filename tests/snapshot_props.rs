@@ -1,0 +1,162 @@
+//! Property tests for the `ClusterSnapshot` text format: serialization is
+//! stable under a parse roundtrip (serialize → deserialize → serialize is
+//! byte-identical) for every fabric kind, and a cluster rebuilt from a
+//! roundtripped snapshot produces exactly the same distance-oracle outputs
+//! as the original on sampled core pairs.
+
+use proptest::prelude::*;
+use tarr::ingest::{ClusterSnapshot, FabricSpec};
+use tarr::mapping::InitialMapping;
+use tarr::topo::{
+    Cluster, DistanceConfig, DistanceOracle, Fabric, FatTree, FatTreeConfig, ImplicitDistance,
+    IrregularConfig, IrregularFabric, NodeTopology,
+};
+
+/// Small deterministic generator for derived choices inside a case.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+fn arb_node(sockets: usize, cps: usize, smt: usize, pick: &mut Lcg) -> NodeTopology {
+    let divisors: Vec<usize> = (1..=cps).filter(|d| cps.is_multiple_of(*d)).collect();
+    NodeTopology {
+        sockets,
+        cores_per_socket: cps,
+        cores_per_l2: divisors[pick.next(divisors.len())],
+        smt,
+    }
+}
+
+/// A connected random switch graph: a spanning path plus a few extra links,
+/// with nodes spread over the switches.
+fn arb_irregular(nodes: usize, pick: &mut Lcg) -> IrregularConfig {
+    let switches = 2 + pick.next(6);
+    let mut links: Vec<(u32, u32, u32)> = (1..switches)
+        .map(|s| ((s - 1) as u32, s as u32, 1 + pick.next(3) as u32))
+        .collect();
+    for _ in 0..pick.next(4) {
+        let a = pick.next(switches) as u32;
+        let b = pick.next(switches) as u32;
+        if a != b {
+            links.push((a, b, 1 + pick.next(2) as u32));
+        }
+    }
+    IrregularConfig {
+        switches,
+        node_switch: (0..nodes).map(|_| pick.next(switches) as u32).collect(),
+        links,
+    }
+}
+
+fn roundtrip_and_compare(snap: &ClusterSnapshot, seed: u64) -> Result<(), TestCaseError> {
+    let text = snap.to_text();
+    let re = ClusterSnapshot::parse(&text).expect("canonical text must reparse");
+    // Stability: serialize → deserialize → serialize is byte-identical.
+    prop_assert_eq!(re.to_text(), text);
+
+    let original = snap.to_cluster().expect("generated snapshot is valid");
+    let rebuilt = re.to_cluster().expect("roundtripped snapshot is valid");
+    prop_assert_eq!(&rebuilt, &original);
+
+    // Equal oracle outputs on sampled pairs of an identical layout (whole
+    // nodes, capped around 64 processes to keep cases cheap).
+    let cpn = original.cores_per_node();
+    let p = cpn * original.num_nodes().min((64 / cpn).max(1));
+    let cfg = DistanceConfig::default();
+    let cores_a = InitialMapping::CYCLIC_BUNCH.layout(&original, p);
+    let cores_b = InitialMapping::CYCLIC_BUNCH.layout(&rebuilt, p);
+    let oa = ImplicitDistance::build(&original, &cores_a, &cfg);
+    let ob = ImplicitDistance::build(&rebuilt, &cores_b, &cfg);
+    let mut pick = Lcg(seed | 1);
+    for _ in 0..64 {
+        let (i, j) = (pick.next(p), pick.next(p));
+        prop_assert_eq!(oa.distance(i, j), ob.distance(i, j), "pair ({}, {})", i, j);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fattree_snapshots_roundtrip(
+        sockets in 1usize..4,
+        cps in 1usize..9,
+        smt in 1usize..3,
+        leaves in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut pick = Lcg(seed);
+        let cfg = FatTreeConfig {
+            nodes_per_leaf: 1 + pick.next(6),
+            core_switches: 1 + pick.next(2),
+            uplinks_per_core: 1 + pick.next(3),
+            lines_per_core: 3 + pick.next(4),
+            spines_per_core: 1 + pick.next(3),
+            line_spine_links: 1 + pick.next(2),
+        };
+        prop_assume!(cfg.validate().is_ok());
+        let node = arb_node(sockets, cps, smt, &mut pick);
+        let num_nodes = leaves * cfg.nodes_per_leaf;
+        // The generated parts must agree with direct construction.
+        let direct = Cluster::from_parts(
+            node.clone(),
+            Fabric::FatTree(FatTree::new(cfg.clone(), num_nodes)),
+            num_nodes,
+        ).expect("valid parts");
+        let snap = ClusterSnapshot {
+            version: 1,
+            node,
+            fabric: FabricSpec::FatTree(cfg),
+            num_nodes,
+        };
+        prop_assert_eq!(&snap.to_cluster().expect("valid snapshot"), &direct);
+        roundtrip_and_compare(&snap, seed)?;
+    }
+
+    #[test]
+    fn torus_snapshots_roundtrip(
+        a in 1usize..4,
+        b in 1usize..4,
+        c in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut pick = Lcg(seed);
+        let node = arb_node(1 + pick.next(3), 1 + pick.next(8), 1 + pick.next(2), &mut pick);
+        let snap = ClusterSnapshot {
+            version: 1,
+            node,
+            fabric: FabricSpec::Torus([a, b, c]),
+            num_nodes: a * b * c,
+        };
+        roundtrip_and_compare(&snap, seed)?;
+    }
+
+    #[test]
+    fn irregular_snapshots_roundtrip(
+        nodes in 1usize..24,
+        sockets in 1usize..3,
+        cps in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut pick = Lcg(seed);
+        let cfg = arb_irregular(nodes, &mut pick);
+        prop_assume!(IrregularFabric::new(cfg.clone()).is_ok());
+        let node = arb_node(sockets, cps, 1, &mut pick);
+        let snap = ClusterSnapshot {
+            version: 1,
+            node,
+            fabric: FabricSpec::Irregular(cfg),
+            num_nodes: nodes,
+        };
+        roundtrip_and_compare(&snap, seed)?;
+    }
+}
