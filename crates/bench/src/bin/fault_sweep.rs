@@ -1,0 +1,346 @@
+//! Seeded fault sweeps: how much latency a degraded fabric costs, and
+//! whether topology-aware reordering still pays on it.
+//!
+//! For each process count and link-failure rate the harness draws seeded
+//! random [`FaultSet`]s, applies them to a live [`Session`] with
+//! [`Session::apply_faults`] (keyed cache invalidation + remap on the
+//! degraded oracle), and prices every heuristic's use case before and after:
+//!
+//! * RDMH — recursive-doubling allgather, 512 B;
+//! * RMH — ring allgather, 64 KiB (in-place fix);
+//! * BBMH — binomial broadcast, 4 KiB;
+//! * BGMH — binomial gather, 4 KiB;
+//! * BKMH — Bruck allgather, 256 B, priced on a second session at P − 8
+//!   ranks (Bruck is the non-power-of-two algorithm).
+//!
+//! Fault sets that partition the fabric are counted and skipped — the typed
+//! [`FaultError::PartitionedFabric`] rejection *is* the correct behaviour.
+//! After every surviving application the harness re-derives each heuristic's
+//! mapping on the degraded fabric and asserts it is still a bijection.
+//!
+//! Run: `cargo run -p tarr-bench --release --bin fault_sweep
+//!       [--quick] [--procs N] [--link-fail R] [--seed S]
+//!       [--cluster PATH|-] [--trace-out PATH] [--trace-chrome PATH]`
+
+use tarr_bench::{load_cluster_snapshot, size_label, TraceOpts};
+use tarr_core::{Mapper, PatternKind, ProbePoint, Scheme, Session, SessionConfig};
+use tarr_faults::{FaultError, FaultRates, FaultSet};
+use tarr_mapping::{is_permutation, InitialMapping, OrderFix};
+use tarr_topo::Cluster;
+
+/// One heuristic's use case: label, probe size, reordered scheme, and the
+/// (mapper, pattern) whose mapping must stay bijective on the degraded
+/// fabric. `bruck` marks the P − 8 companion session.
+struct UseCase {
+    label: &'static str,
+    msg_bytes: u64,
+    probe: fn(u64, Scheme) -> ProbePoint,
+    scheme: Scheme,
+    pattern: PatternKind,
+    bruck: bool,
+}
+
+fn use_cases() -> Vec<UseCase> {
+    vec![
+        UseCase {
+            label: "RDMH",
+            msg_bytes: 512,
+            probe: ProbePoint::allgather,
+            scheme: Scheme::hrstc(OrderFix::InitComm),
+            pattern: PatternKind::Rd,
+            bruck: false,
+        },
+        UseCase {
+            label: "RMH",
+            msg_bytes: 64 * 1024,
+            probe: ProbePoint::allgather,
+            scheme: Scheme::hrstc(OrderFix::InPlace),
+            pattern: PatternKind::Ring,
+            bruck: false,
+        },
+        UseCase {
+            label: "BBMH",
+            msg_bytes: 4096,
+            probe: ProbePoint::bcast,
+            scheme: Scheme::hrstc(OrderFix::InPlace),
+            pattern: PatternKind::BinomialBcast,
+            bruck: false,
+        },
+        UseCase {
+            label: "BGMH",
+            msg_bytes: 4096,
+            probe: ProbePoint::gather,
+            scheme: Scheme::hrstc(OrderFix::InitComm),
+            pattern: PatternKind::BinomialGather,
+            bruck: false,
+        },
+        UseCase {
+            label: "BKMH",
+            msg_bytes: 256,
+            probe: ProbePoint::allgather,
+            scheme: Scheme::hrstc(OrderFix::InitComm),
+            pattern: PatternKind::Bruck,
+            bruck: true,
+        },
+    ]
+}
+
+/// Accumulated sweep results for one (P, rate) cell.
+#[derive(Default)]
+struct Cell {
+    applied: usize,
+    partitioned: usize,
+    cables_removed: usize,
+    /// Per use case: Σ default slowdown, Σ reordered improvement over the
+    /// degraded Default (%), both over applied seeds.
+    default_slowdown: Vec<f64>,
+    reorder_improvement: Vec<f64>,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut procs_override: Option<usize> = None;
+    let mut rate_override: Option<f64> = None;
+    let mut base_seed: u64 = 0x5eed;
+    let mut cluster_path: Option<String> = None;
+    let mut trace = TraceOpts::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--procs" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("error: --procs needs a number");
+                    std::process::exit(2);
+                };
+                procs_override = Some(n);
+                i += 1;
+            }
+            "--link-fail" => {
+                let Some(r) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("error: --link-fail needs a rate in (0, 1)");
+                    std::process::exit(2);
+                };
+                if !(r > 0.0 && r < 1.0) {
+                    eprintln!("error: --link-fail {r} must be in (0, 1)");
+                    std::process::exit(2);
+                }
+                rate_override = Some(r);
+                i += 1;
+            }
+            "--seed" => {
+                let Some(s) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("error: --seed needs a number");
+                    std::process::exit(2);
+                };
+                base_seed = s;
+                i += 1;
+            }
+            "--cluster" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --cluster needs a snapshot path (or - for stdin)");
+                    std::process::exit(2);
+                };
+                cluster_path = Some(p.clone());
+                i += 1;
+            }
+            "--trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                };
+                trace.jsonl = Some(p.into());
+                i += 1;
+            }
+            "--trace-chrome" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("error: --trace-chrome needs a path");
+                    std::process::exit(2);
+                };
+                trace.chrome = Some(p.into());
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                eprintln!(
+                    "usage: fault_sweep [--quick] [--procs N] [--link-fail R] [--seed S] \
+                     [--cluster PATH|-] [--trace-out PATH] [--trace-chrome PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ingested = cluster_path.as_deref().map(load_cluster_snapshot);
+
+    let proc_counts: Vec<usize> = match (procs_override, &ingested) {
+        (Some(n), _) => vec![n],
+        (None, Some(c)) => {
+            // Largest power of two the ingested cluster hosts.
+            let mut p = 1usize;
+            while p * 2 <= c.total_cores() {
+                p *= 2;
+            }
+            vec![p]
+        }
+        (None, None) if quick => vec![512],
+        (None, None) => vec![512, 4096],
+    };
+    let rates: Vec<f64> = match rate_override {
+        Some(r) => vec![r],
+        None => vec![0.001, 0.005, 0.01, 0.02, 0.05],
+    };
+    let seeds_per_cell: u64 = if quick { 1 } else { 3 };
+    let cases = use_cases();
+
+    trace.init();
+    println!("== fault sweep: seeded link failures, remap-on-degradation sessions ==");
+    println!(
+        "   rates {rates:?}, {} seed(s) per cell, base seed {base_seed:#x}\n",
+        seeds_per_cell
+    );
+
+    for &p in &proc_counts {
+        if p < 16 || !p.is_power_of_two() {
+            eprintln!("error: process count {p} must be a power of two >= 16");
+            std::process::exit(2);
+        }
+        let make_cluster = || match &ingested {
+            Some(c) => c.clone(),
+            None => Cluster::gpc(p / 8),
+        };
+        let base = make_cluster();
+        if p > base.total_cores() {
+            eprintln!(
+                "error: {p} processes exceed the cluster's {} cores",
+                base.total_cores()
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "-- P = {p} on {} nodes x {} cores --",
+            base.num_nodes(),
+            base.cores_per_node()
+        );
+
+        let mut cells: Vec<Cell> = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut cell = Cell {
+                default_slowdown: vec![0.0; cases.len()],
+                reorder_improvement: vec![0.0; cases.len()],
+                ..Cell::default()
+            };
+            for s in 0..seeds_per_cell {
+                let seed = base_seed
+                    .wrapping_add((p as u64) << 32)
+                    .wrapping_add((ri as u64) << 16)
+                    .wrapping_add(s);
+                let set = FaultSet::random(&base, &FaultRates::links(rate), seed);
+                let mut ok = true;
+                for (ci, case) in cases.iter().enumerate() {
+                    let ranks = if case.bruck { p - 8 } else { p };
+                    let mut session = Session::from_layout(
+                        make_cluster(),
+                        InitialMapping::CYCLIC_BUNCH,
+                        ranks,
+                        SessionConfig::implicit(),
+                    );
+                    let probes = [
+                        (case.probe)(case.msg_bytes, Scheme::Default),
+                        (case.probe)(case.msg_bytes, case.scheme),
+                    ];
+                    let report = match session.apply_faults(&set, &probes) {
+                        Ok(r) => r,
+                        Err(FaultError::PartitionedFabric { .. }) => {
+                            ok = false;
+                            break;
+                        }
+                        Err(e) => {
+                            eprintln!("error: seed {seed:#x} rate {rate}: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    // Link failures never kill cores: nobody migrates, and
+                    // the mapping recomputed on the degraded oracle must
+                    // still be a bijection of the surviving job.
+                    assert_eq!(report.ranks_migrated, 0, "link faults drained a core");
+                    let m = &session.mapping(Mapper::Hrstc, case.pattern).mapping;
+                    assert!(
+                        is_permutation(m),
+                        "{} mapping not bijective at rate {rate} seed {seed:#x}",
+                        case.label
+                    );
+                    let [default, reordered] = &report.probes[..] else {
+                        unreachable!("two probes per case");
+                    };
+                    cell.default_slowdown[ci] += default.slowdown();
+                    cell.reorder_improvement[ci] +=
+                        100.0 * (default.after - reordered.after) / default.after;
+                }
+                if ok {
+                    cell.applied += 1;
+                    cell.cables_removed += set
+                        .failed_cables
+                        .iter()
+                        .map(|&(_, _, n)| n as usize)
+                        .sum::<usize>();
+                } else {
+                    cell.partitioned += 1;
+                }
+            }
+            cells.push(cell);
+        }
+
+        // Default's post-fault slowdown (degraded / pristine), per use case.
+        print!("{:>8}{:>6}{:>8}", "rate", "part", "cables");
+        for c in &cases {
+            print!("{:>16}", format!("{}@{}", c.label, size_label(c.msg_bytes)));
+        }
+        println!("      (Default slowdown x)");
+        for (ri, cell) in cells.iter().enumerate() {
+            print!(
+                "{:>7.1}%{:>6}{:>8.1}",
+                rates[ri] * 100.0,
+                cell.partitioned,
+                cell.cables_removed as f64 / cell.applied.max(1) as f64
+            );
+            for ci in 0..cases.len() {
+                if cell.applied == 0 {
+                    print!("{:>16}", "n/a");
+                } else {
+                    print!("{:>16.4}", cell.default_slowdown[ci] / cell.applied as f64);
+                }
+            }
+            println!();
+        }
+        // Reordering's win over Default, both on the degraded fabric.
+        println!(
+            "\n{:>22}(heuristic improvement over Default on the degraded fabric, %)",
+            ""
+        );
+        for (ri, cell) in cells.iter().enumerate() {
+            print!(
+                "{:>7.1}%{:>6}{:>8.1}",
+                rates[ri] * 100.0,
+                cell.partitioned,
+                cell.cables_removed as f64 / cell.applied.max(1) as f64
+            );
+            for ci in 0..cases.len() {
+                if cell.applied == 0 {
+                    print!("{:>16}", "n/a");
+                } else {
+                    print!(
+                        "{:>15.1}%",
+                        cell.reorder_improvement[ci] / cell.applied as f64
+                    );
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("every surviving configuration produced a valid bijective mapping");
+    trace.finish();
+}

@@ -162,13 +162,27 @@ impl HarnessOpts {
 }
 
 /// Load a `topo-ingest` cluster snapshot for a `--cluster PATH` harness
-/// flag; prints the typed error and exits with status 2 on any failure.
+/// flag (`-` reads the snapshot from stdin, so `topo-ingest snapshot …`
+/// pipes straight in); prints the typed error and exits with status 2 on
+/// any failure.
 pub fn load_cluster_snapshot(path: &str) -> Cluster {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: --cluster {path}: {e}");
-            std::process::exit(2);
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("error: --cluster -: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: --cluster {path}: {e}");
+                std::process::exit(2);
+            }
         }
     };
     let cluster = tarr_ingest::ClusterSnapshot::parse(&text).and_then(|snap| snap.to_cluster());

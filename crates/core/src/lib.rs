@@ -34,5 +34,6 @@ pub mod session;
 pub use hier::hierarchical_mapping;
 pub use refine::congestion_refine;
 pub use session::{
-    DistanceBackend, Mapper, MappingInfo, PatternKind, Scheme, Session, SessionConfig,
+    CacheStats, DegradationReport, DistanceBackend, Mapper, MappingInfo, PatternKind,
+    ProbeCollective, ProbeOutcome, ProbePoint, Scheme, Session, SessionConfig,
 };

@@ -23,6 +23,10 @@
 //! an 8 GiB dense extraction to a few MiBs. The two backends produce
 //! bit-identical mappings and timings.
 
+mod degraded;
+
+pub use degraded::{DegradationReport, ProbeCollective, ProbeOutcome, ProbePoint};
+
 use crate::hier::{hierarchical_mapping, reordered_groups, HierMapper};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;

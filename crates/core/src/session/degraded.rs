@@ -1,0 +1,420 @@
+//! Session-level fault resilience: [`Session::apply_faults`] degrades the
+//! cluster in place, migrates displaced ranks, and invalidates **exactly**
+//! the cached state the faults touched.
+//!
+//! The invalidation is keyed, not a flush. What survives a fault:
+//!
+//! * compiled schedules whose structure depends only on the process count —
+//!   every [`SchedKey::Flat`] and the plain [`SchedKey::Gather`];
+//! * anything derived from the MVAPICH cyclic reorder, which reads only
+//!   `(p, cores_per_node)` — its mapping always, its initComm-prefixed
+//!   schedules always, its reordered communicator as long as no rank moved;
+//! * default-order hierarchical schedules ([`SchedKey::Hier`] with no
+//!   mapper), which read the node grouping of the initial communicator —
+//!   kept as long as no rank moved.
+//!
+//! Everything that reads the distance structure (every topology-aware
+//! mapping and whatever was compiled from it) is dropped, because the
+//! degraded fabric answers different distances. The result is guaranteed
+//! bit-identical to a cold session built directly on the degraded cluster:
+//! every kept entry is a deterministic function of inputs the fault did not
+//! change.
+
+use super::{CacheStats, DistanceBackend, Mapper, SchedKey, Scheme, Session, SessionDistance};
+use std::time::Duration;
+use tarr_faults::{DegradationSummary, FaultError, FaultSet};
+use tarr_mpi::Communicator;
+use tarr_topo::{CoreId, DistanceMatrix, ImplicitDistance};
+
+/// Which collective a [`ProbePoint`] prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeCollective {
+    /// Non-hierarchical `MPI_Allgather` (algorithm chosen by size).
+    Allgather,
+    /// Binomial `MPI_Bcast` from rank 0.
+    Bcast,
+    /// Binomial `MPI_Gather` to rank 0.
+    Gather,
+}
+
+impl ProbeCollective {
+    /// Display name for tables and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProbeCollective::Allgather => "allgather",
+            ProbeCollective::Bcast => "bcast",
+            ProbeCollective::Gather => "gather",
+        }
+    }
+}
+
+/// One collective configuration to price before and after a fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbePoint {
+    /// The collective.
+    pub collective: ProbeCollective,
+    /// Per-rank message size in bytes.
+    pub msg_bytes: u64,
+    /// Execution scheme.
+    pub scheme: Scheme,
+}
+
+impl ProbePoint {
+    /// An allgather probe.
+    pub fn allgather(msg_bytes: u64, scheme: Scheme) -> Self {
+        ProbePoint {
+            collective: ProbeCollective::Allgather,
+            msg_bytes,
+            scheme,
+        }
+    }
+
+    /// A broadcast probe.
+    pub fn bcast(msg_bytes: u64, scheme: Scheme) -> Self {
+        ProbePoint {
+            collective: ProbeCollective::Bcast,
+            msg_bytes,
+            scheme,
+        }
+    }
+
+    /// A gather probe.
+    pub fn gather(msg_bytes: u64, scheme: Scheme) -> Self {
+        ProbePoint {
+            collective: ProbeCollective::Gather,
+            msg_bytes,
+            scheme,
+        }
+    }
+
+    fn price(&self, s: &mut Session) -> f64 {
+        match self.collective {
+            ProbeCollective::Allgather => s.allgather_time(self.msg_bytes, self.scheme),
+            ProbeCollective::Bcast => s.bcast_time(self.msg_bytes, self.scheme),
+            ProbeCollective::Gather => s.gather_time(self.msg_bytes, self.scheme),
+        }
+    }
+}
+
+/// One probe's pre- and post-fault timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOutcome {
+    /// The probe configuration.
+    pub probe: ProbePoint,
+    /// Simulated latency before the fault (seconds).
+    pub before: f64,
+    /// Simulated latency on the degraded cluster (seconds).
+    pub after: f64,
+}
+
+impl ProbeOutcome {
+    /// Post-fault slowdown factor (`after / before`).
+    pub fn slowdown(&self) -> f64 {
+        self.after / self.before
+    }
+}
+
+/// What [`Session::apply_faults`] did: damage accounting, rank migration,
+/// exact cache invalidation, and the priced degradation per probe.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Hardware damage accounting from the fault application.
+    pub summary: DegradationSummary,
+    /// Ranks whose core died and that were migrated to spare live cores.
+    pub ranks_migrated: usize,
+    /// Mapping-cache entries invalidated (topology-aware mappings).
+    pub mappings_dropped: usize,
+    /// Reordered-communicator cache entries invalidated.
+    pub comms_dropped: usize,
+    /// Compiled-schedule cache entries invalidated.
+    pub scheds_dropped: usize,
+    /// Compiled-schedule cache entries that survived the fault.
+    pub scheds_kept: usize,
+    /// Wall-clock time of the distance-structure rebuild (zero when the
+    /// fault changed neither the fabric nor any rank's placement).
+    pub dist_rebuild: Duration,
+    /// Pre/post-fault timings, one per requested probe, in order.
+    pub probes: Vec<ProbeOutcome>,
+}
+
+impl Session {
+    /// Apply a [`FaultSet`] to the running session: degrade the cluster,
+    /// migrate ranks whose cores died onto the lowest-numbered spare live
+    /// cores, rebuild the distance structure, and invalidate exactly the
+    /// cached mappings, communicators and compiled schedules the fault
+    /// touched. Each `probe` is priced before and after so the report
+    /// quantifies the degradation per scheme.
+    ///
+    /// On error — a fault set that partitions the fabric, references unknown
+    /// hardware, or leaves fewer live cores than the session has ranks —
+    /// the session is left **unchanged** and fully usable.
+    pub fn apply_faults(
+        &mut self,
+        faults: &FaultSet,
+        probes: &[ProbePoint],
+    ) -> Result<DegradationReport, FaultError> {
+        let p = self.comm.size();
+        let _span = tarr_trace::span("fault.session_apply").arg("p", p);
+
+        let before: Vec<f64> = probes.iter().map(|pr| pr.price(self)).collect();
+
+        // Everything fallible happens before the first mutation.
+        let degraded = faults.apply(&self.cluster)?;
+        let live = degraded.live_cores();
+        if live.len() < p {
+            return Err(FaultError::InsufficientCores {
+                needed: p,
+                available: live.len(),
+            });
+        }
+
+        // Migrate each rank on a dead core to the lowest spare live core.
+        let mut used: Vec<CoreId> = self
+            .comm
+            .cores()
+            .iter()
+            .copied()
+            .filter(|&c| !degraded.is_dead(c))
+            .collect();
+        used.sort_unstable();
+        let mut spares = live
+            .iter()
+            .copied()
+            .filter(|c| used.binary_search(c).is_err());
+        let mut migrated = 0usize;
+        let new_cores: Vec<CoreId> = self
+            .comm
+            .cores()
+            .iter()
+            .map(|&c| {
+                if degraded.is_dead(c) {
+                    migrated += 1;
+                    spares
+                        .next()
+                        .expect("live >= p guarantees a spare per displaced rank")
+                } else {
+                    c
+                }
+            })
+            .collect();
+
+        let fabric_changed = degraded.summary.fabric_rebuilt;
+        let stale = fabric_changed || migrated > 0;
+
+        // Keyed invalidation. Every retained entry is a deterministic
+        // function of inputs the fault did not change (see module docs).
+        let inv = tarr_trace::span("fault.invalidate")
+            .arg("fabric_changed", fabric_changed)
+            .arg("migrated", migrated);
+        let (mut mappings_dropped, mut comms_dropped, mut scheds_dropped) = (0, 0, 0);
+        if stale {
+            let n = self.cache.len();
+            self.cache
+                .retain(|&(mapper, _), _| mapper == Mapper::MvapichCyclic);
+            mappings_dropped = n - self.cache.len();
+
+            let n = self.comm_cache.len();
+            self.comm_cache
+                .retain(|&(mapper, _), _| mapper == Mapper::MvapichCyclic && migrated == 0);
+            comms_dropped = n - self.comm_cache.len();
+
+            let n = self.sched_cache.len();
+            self.sched_cache.retain(|key, _| match key {
+                SchedKey::Flat(_) | SchedKey::Gather => true,
+                SchedKey::FlatInit(_, Mapper::MvapichCyclic)
+                | SchedKey::GatherInit(Mapper::MvapichCyclic) => true,
+                SchedKey::Hier(_, _, None) => migrated == 0,
+                _ => false,
+            });
+            scheds_dropped = n - self.sched_cache.len();
+        }
+        let scheds_kept = self.sched_cache.len();
+        drop(inv);
+
+        self.cluster = degraded.cluster;
+        if migrated > 0 {
+            self.comm = Communicator::new(new_cores);
+        }
+        let mut dist_rebuild = Duration::ZERO;
+        if stale {
+            let sp = tarr_trace::timed_span("fault.distance_rebuild").arg("p", p);
+            self.d =
+                match self.cfg.backend {
+                    DistanceBackend::Dense => SessionDistance::Dense(DistanceMatrix::build(
+                        &self.cluster,
+                        self.comm.cores(),
+                        &self.cfg.dist,
+                    )),
+                    DistanceBackend::Implicit => SessionDistance::Implicit(
+                        ImplicitDistance::build(&self.cluster, self.comm.cores(), &self.cfg.dist),
+                    ),
+                };
+            dist_rebuild = sp.finish();
+            self.dist_build += dist_rebuild;
+        }
+
+        tarr_trace::counter_add!("fault.ranks_migrated", migrated as u64);
+        tarr_trace::counter_add!("fault.cache.mapping_dropped", mappings_dropped as u64);
+        tarr_trace::counter_add!("fault.cache.comm_dropped", comms_dropped as u64);
+        tarr_trace::counter_add!("fault.cache.sched_dropped", scheds_dropped as u64);
+        tarr_trace::counter_add!("fault.cache.sched_kept", scheds_kept as u64);
+
+        let outcomes = probes
+            .iter()
+            .zip(before)
+            .map(|(pr, b)| ProbeOutcome {
+                probe: *pr,
+                before: b,
+                after: pr.price(self),
+            })
+            .collect();
+
+        Ok(DegradationReport {
+            summary: degraded.summary,
+            ranks_migrated: migrated,
+            mappings_dropped,
+            comms_dropped,
+            scheds_dropped,
+            scheds_kept,
+            dist_rebuild,
+            probes: outcomes,
+        })
+    }
+
+    /// Cache hit/miss deltas between two [`CacheStats`] snapshots — sugar
+    /// for asserting reuse across a fault (see the degraded-session tests).
+    pub fn cache_stats_since(&self, baseline: CacheStats) -> CacheStats {
+        let s = self.stats;
+        CacheStats {
+            mapping_hits: s.mapping_hits - baseline.mapping_hits,
+            mapping_misses: s.mapping_misses - baseline.mapping_misses,
+            comm_hits: s.comm_hits - baseline.comm_hits,
+            comm_misses: s.comm_misses - baseline.comm_misses,
+            sched_hits: s.sched_hits - baseline.sched_hits,
+            sched_misses: s.sched_misses - baseline.sched_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use tarr_mapping::{InitialMapping, OrderFix};
+    use tarr_topo::Cluster;
+
+    fn probes() -> Vec<ProbePoint> {
+        vec![
+            ProbePoint::allgather(512, Scheme::Default),
+            ProbePoint::allgather(512, Scheme::hrstc(OrderFix::InitComm)),
+            ProbePoint::allgather(65536, Scheme::hrstc(OrderFix::InPlace)),
+            ProbePoint::bcast(4096, Scheme::hrstc(OrderFix::InPlace)),
+            ProbePoint::gather(4096, Scheme::Default),
+        ]
+    }
+
+    #[test]
+    fn empty_fault_set_changes_nothing() {
+        let cluster = Cluster::gpc(8);
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::CYCLIC_BUNCH,
+            64,
+            SessionConfig::default(),
+        );
+        let report = s.apply_faults(&FaultSet::default(), &probes()).unwrap();
+        assert_eq!(report.ranks_migrated, 0);
+        assert_eq!(report.mappings_dropped, 0);
+        assert_eq!(report.comms_dropped, 0);
+        assert_eq!(report.scheds_dropped, 0);
+        assert_eq!(report.dist_rebuild, Duration::ZERO);
+        for o in &report.probes {
+            assert_eq!(o.before, o.after, "{:?}", o.probe);
+        }
+    }
+
+    #[test]
+    fn partition_error_leaves_session_usable() {
+        let cluster = Cluster::gpc(64);
+        let g = cluster.fabric().to_switch_graph();
+        let leaf0: Vec<_> = g
+            .links
+            .iter()
+            .filter(|&&(a, b, _)| a == 0 || b == 0)
+            .copied()
+            .collect();
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::BLOCK_BUNCH,
+            512,
+            SessionConfig::default(),
+        );
+        let t0 = s.allgather_time(512, Scheme::hrstc(OrderFix::InitComm));
+        let set = FaultSet {
+            failed_cables: leaf0,
+            ..FaultSet::default()
+        };
+        let err = s.apply_faults(&set, &[]).unwrap_err();
+        assert!(matches!(err, FaultError::PartitionedFabric { .. }), "{err}");
+        // Unchanged session: same cached timing, nothing dropped.
+        let stats = s.cache_stats();
+        assert_eq!(s.allgather_time(512, Scheme::hrstc(OrderFix::InitComm)), t0);
+        let delta = s.cache_stats_since(stats);
+        assert_eq!(delta.sched_misses, 0);
+        assert_eq!(delta.comm_misses, 0);
+    }
+
+    #[test]
+    fn insufficient_cores_is_typed_and_non_destructive() {
+        let cluster = Cluster::gpc(4); // 32 cores, fully allocated
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::BLOCK_BUNCH,
+            32,
+            SessionConfig::default(),
+        );
+        let set = FaultSet {
+            drained_nodes: vec![0],
+            ..FaultSet::default()
+        };
+        let err = s.apply_faults(&set, &[]).unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::InsufficientCores {
+                needed: 32,
+                available: 24
+            }
+        );
+        assert!(s.allgather_time(512, Scheme::Default) > 0.0);
+    }
+
+    #[test]
+    fn drain_only_migration_drops_comms_but_keeps_flat_scheds() {
+        let cluster = Cluster::gpc(8); // 64 cores, 32 ranks: spares exist
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::BLOCK_BUNCH,
+            32,
+            SessionConfig::default(),
+        );
+        let pr = probes();
+        let report = s
+            .apply_faults(
+                &FaultSet {
+                    drained_nodes: vec![0],
+                    ..FaultSet::default()
+                },
+                &pr,
+            )
+            .unwrap();
+        assert!(!report.summary.fabric_rebuilt);
+        assert_eq!(report.ranks_migrated, 8, "node 0 hosted ranks 0..8");
+        assert!(report.comms_dropped > 0);
+        // Size-only schedules survive: Flat(RD), Flat(Ring), Gather at least.
+        assert!(report.scheds_kept >= 3, "kept {}", report.scheds_kept);
+        // Ranks moved: every probe must still price finitely.
+        for o in &report.probes {
+            assert!(o.after.is_finite() && o.after > 0.0, "{:?}", o.probe);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed errors for fault application.
+//!
+//! Fault sets arrive from CLI flags, sweep harnesses and seeded generators —
+//! all external input as far as the topology layer is concerned — so every
+//! structurally impossible request surfaces as a [`FaultError`] instead of a
+//! panic. The one semantic failure mode, a survivor graph that no longer
+//! connects the live nodes, is [`FaultError::PartitionedFabric`].
+
+use std::fmt;
+use tarr_topo::TopoError;
+
+/// Why a [`FaultSet`](crate::FaultSet) could not be applied to a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// The surviving switch graph splits the live nodes across multiple
+    /// connected components: no rerouted fabric exists.
+    PartitionedFabric {
+        /// Connected components of the survivor graph that host live nodes.
+        live_components: usize,
+        /// Live nodes in the largest such component.
+        largest_component_nodes: usize,
+        /// Total live nodes.
+        live_nodes: usize,
+    },
+    /// Every core in the cluster is dead after the faults.
+    NoLiveCores,
+    /// Fewer live cores remain than the session has ranks to host.
+    InsufficientCores {
+        /// Ranks that need a core.
+        needed: usize,
+        /// Live cores available.
+        available: usize,
+    },
+    /// A fault references a switch past the fabric's switch count.
+    UnknownSwitch {
+        /// The offending switch index.
+        switch: u32,
+        /// Switches in the fabric.
+        switches: usize,
+    },
+    /// A fault references a cable between switches that are not linked.
+    UnknownCable {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+    /// A fault references a node past the cluster's node count.
+    UnknownNode {
+        /// The offending node index.
+        node: u32,
+        /// Nodes in the cluster.
+        nodes: usize,
+    },
+    /// A fault references a core past the cluster's core count.
+    UnknownCore {
+        /// The offending core index.
+        core: usize,
+        /// Cores in the cluster.
+        total_cores: usize,
+    },
+    /// Rebuilding the degraded cluster failed structurally.
+    Topo(TopoError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::PartitionedFabric {
+                live_components,
+                largest_component_nodes,
+                live_nodes,
+            } => write!(
+                f,
+                "faults partition the fabric: {live_nodes} live nodes split across \
+                 {live_components} components (largest holds {largest_component_nodes})"
+            ),
+            FaultError::NoLiveCores => write!(f, "no live cores remain after faults"),
+            FaultError::InsufficientCores { needed, available } => write!(
+                f,
+                "{needed} ranks need cores but only {available} live cores remain"
+            ),
+            FaultError::UnknownSwitch { switch, switches } => write!(
+                f,
+                "fault references switch {switch} but the fabric has {switches} switches"
+            ),
+            FaultError::UnknownCable { a, b } => {
+                write!(f, "fault references cable {a}—{b} but no such link exists")
+            }
+            FaultError::UnknownNode { node, nodes } => write!(
+                f,
+                "fault references node {node} but the cluster has {nodes} nodes"
+            ),
+            FaultError::UnknownCore { core, total_cores } => write!(
+                f,
+                "fault references core {core} but the cluster has {total_cores} cores"
+            ),
+            FaultError::Topo(e) => write!(f, "degraded cluster rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::Topo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopoError> for FaultError {
+    fn from(e: TopoError) -> Self {
+        FaultError::Topo(e)
+    }
+}

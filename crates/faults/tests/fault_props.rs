@@ -1,0 +1,207 @@
+//! Property tests for fault application: seeded random fault sets on every
+//! fabric kind either produce a valid connected degraded cluster or a typed
+//! error — never a panic — and a fault set that disconnects the live nodes
+//! always surfaces as `PartitionedFabric`.
+
+use proptest::prelude::*;
+use tarr_faults::{FaultError, FaultRates, FaultSet};
+use tarr_topo::{
+    Cluster, DistanceConfig, DistanceOracle, Fabric, ImplicitDistance, IrregularConfig,
+    IrregularFabric, NodeTopology, TopoError,
+};
+
+/// Small deterministic generator for derived choices inside a case.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+/// A connected random switch graph (spanning path + extras), nodes spread
+/// over the switches.
+fn arb_irregular(nodes: usize, pick: &mut Lcg) -> IrregularConfig {
+    let switches = 2 + pick.next(6);
+    let mut links: Vec<(u32, u32, u32)> = (1..switches)
+        .map(|s| ((s - 1) as u32, s as u32, 1 + pick.next(3) as u32))
+        .collect();
+    for _ in 0..pick.next(4) {
+        let a = pick.next(switches) as u32;
+        let b = pick.next(switches) as u32;
+        if a != b {
+            links.push((a, b, 1 + pick.next(2) as u32));
+        }
+    }
+    IrregularConfig {
+        switches,
+        node_switch: (0..nodes).map(|_| pick.next(switches) as u32).collect(),
+        links,
+    }
+}
+
+/// Apply `set` to `cluster` and check every invariant the degraded result
+/// must satisfy; typed errors are acceptable outcomes.
+fn check_apply(cluster: &Cluster, set: &FaultSet) -> Result<(), TestCaseError> {
+    match set.apply(cluster) {
+        Ok(d) => {
+            prop_assert_eq!(d.cluster.num_nodes(), cluster.num_nodes());
+            prop_assert_eq!(d.cluster.total_cores(), cluster.total_cores());
+            let live = d.live_cores();
+            prop_assert!(!live.is_empty());
+            prop_assert_eq!(live.len() + d.dead_cores.len(), cluster.total_cores());
+            prop_assert!(d.dead_cores.windows(2).all(|w| w[0] < w[1]));
+
+            // The degraded fabric answers distances and routes for every
+            // live placement — the oracle build must succeed.
+            let oracle = ImplicitDistance::try_build(&d.cluster, &live, &DistanceConfig::default())
+                .expect("oracle build on a connected degraded cluster");
+            let mut pick = Lcg(live.len() as u64 | 1);
+            for _ in 0..32.min(live.len()) {
+                let i = pick.next(live.len());
+                let j = pick.next(live.len());
+                let dist = oracle.distance(i, j);
+                if i != j {
+                    prop_assert!(dist > 0);
+                    // Routing is total over live cores.
+                    if live[i] != live[j] {
+                        let path = d.cluster.path(live[i], live[j]);
+                        prop_assert!(!path.is_empty());
+                    }
+                } else {
+                    prop_assert_eq!(dist, 0);
+                }
+            }
+            if set.is_structural() {
+                prop_assert!(matches!(d.cluster.fabric(), Fabric::Irregular(_)));
+            } else {
+                prop_assert_eq!(d.cluster.fabric(), cluster.fabric());
+            }
+        }
+        Err(FaultError::PartitionedFabric {
+            live_components,
+            largest_component_nodes,
+            live_nodes,
+        }) => {
+            prop_assert!(live_components > 1);
+            prop_assert!(largest_component_nodes < live_nodes);
+        }
+        Err(FaultError::NoLiveCores) => {}
+        Err(e) => {
+            // Random generation only references existing hardware.
+            return Err(TestCaseError::Fail(format!("unexpected error: {e}")));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fat-tree at P = 4096 (512 GPC nodes): random fault mixes never panic.
+    #[test]
+    fn gpc_fault_mixes_never_panic(seed in any::<u64>(), rate_pick in 0usize..4) {
+        let cluster = Cluster::gpc(512);
+        let rate = [0.001, 0.01, 0.05, 0.25][rate_pick];
+        let set = FaultSet::random(&cluster, &FaultRates {
+            link_fail: rate,
+            switch_fail: rate / 4.0,
+            node_drain: rate / 4.0,
+            core_drain: rate / 4.0,
+        }, seed);
+        check_apply(&cluster, &set)?;
+    }
+
+    /// Torus at P = 4096 (8×8×8 nodes): random fault mixes never panic.
+    #[test]
+    fn torus_fault_mixes_never_panic(seed in any::<u64>(), rate_pick in 0usize..3) {
+        let cluster = Cluster::with_torus(NodeTopology::gpc(), [8, 8, 8]);
+        let rate = [0.002, 0.02, 0.1][rate_pick];
+        let set = FaultSet::random(&cluster, &FaultRates {
+            link_fail: rate,
+            switch_fail: rate / 8.0,
+            node_drain: rate / 4.0,
+            core_drain: rate / 4.0,
+        }, seed);
+        check_apply(&cluster, &set)?;
+    }
+
+    /// Random irregular fabrics: random fault mixes never panic.
+    #[test]
+    fn irregular_fault_mixes_never_panic(seed in any::<u64>()) {
+        let mut pick = Lcg(seed);
+        let nodes = 1 + pick.next(24);
+        let cfg = arb_irregular(nodes, &mut pick);
+        let Ok(fabric) = IrregularFabric::new(cfg) else {
+            // Node-less switches etc. are construction-time rejections,
+            // not fault-model territory.
+            return Ok(());
+        };
+        let cluster = Cluster::from_parts(
+            NodeTopology::gpc(), Fabric::Irregular(fabric), nodes,
+        ).expect("valid irregular cluster");
+        let set = FaultSet::random(&cluster, &FaultRates {
+            link_fail: 0.2,
+            switch_fail: 0.1,
+            node_drain: 0.1,
+            core_drain: 0.05,
+        }, seed);
+        check_apply(&cluster, &set)?;
+    }
+
+    /// Drain-only fault sets keep the fabric object bit-identical and always
+    /// succeed unless everything is drained.
+    #[test]
+    fn drain_only_preserves_fabric(seed in any::<u64>(), nodes in 2usize..64) {
+        let cluster = Cluster::gpc(nodes);
+        let set = FaultSet::random(&cluster, &FaultRates {
+            link_fail: 0.0,
+            switch_fail: 0.0,
+            node_drain: 0.3,
+            core_drain: 0.2,
+        }, seed);
+        match set.apply(&cluster) {
+            Ok(d) => {
+                prop_assert_eq!(d.cluster.fabric(), cluster.fabric());
+                prop_assert!(!d.summary.fabric_rebuilt);
+            }
+            Err(FaultError::NoLiveCores) => {
+                // Only legitimate when drains really cover every core.
+                let cpn = cluster.cores_per_node();
+                let all_dead = (0..cluster.total_cores()).all(|c| {
+                    set.drained_nodes.contains(&((c / cpn) as u32))
+                        || set.drained_cores.contains(&tarr_topo::CoreId::from_idx(c))
+                });
+                prop_assert!(all_dead, "NoLiveCores with live cores remaining");
+            }
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected: {e}"))),
+        }
+    }
+
+    /// Cutting every uplink of a populated leaf always partitions — and the
+    /// raw survivor graph, rebuilt directly, is rejected as disconnected by
+    /// the fabric constructor itself.
+    #[test]
+    fn leaf_isolation_is_typed_partition(nodes in 61usize..480) {
+        let cluster = Cluster::gpc(nodes); // ≥ 3 leaves
+        let g = cluster.fabric().to_switch_graph();
+        let leaf0_uplinks: Vec<(u32, u32, u32)> = g.links.iter()
+            .filter(|&&(a, b, _)| a == 0 || b == 0)
+            .copied()
+            .collect();
+        let set = FaultSet { failed_cables: leaf0_uplinks.clone(), ..FaultSet::default() };
+        let err = set.apply(&cluster).unwrap_err();
+        prop_assert!(matches!(err, FaultError::PartitionedFabric { .. }), "{}", err);
+
+        // Same survivor graph handed straight to the constructor: typed
+        // DisconnectedFabric, never a panic.
+        let mut pruned = g.clone();
+        pruned.links.retain(|&(a, b, _)| a != 0 && b != 0);
+        let raw = IrregularFabric::new(pruned).unwrap_err();
+        prop_assert!(matches!(raw, TopoError::DisconnectedFabric { .. }), "{:?}", raw);
+    }
+}

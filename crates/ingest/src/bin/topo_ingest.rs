@@ -157,15 +157,26 @@ fn run(cmd: &str, args: &Args) -> Result<(), String> {
                 let ingested =
                     ingest_cluster(&read(xml)?, &read(ibnet)?).map_err(|e| e.to_string())?;
                 let snap = ClusterSnapshot::from_cluster(&ingested.cluster);
-                println!(
+                // With `--out -` the snapshot itself owns stdout (so it can
+                // pipe into `fault_sweep --cluster -` etc.); the commentary
+                // moves to stderr.
+                let to_stdout = cmd == "snapshot" && args.out.as_deref() == Some("-");
+                let info = |line: String| {
+                    if to_stdout {
+                        eprintln!("{line}");
+                    } else {
+                        println!("{line}");
+                    }
+                };
+                info(format!(
                     "cluster: {} nodes x {} cores = {} PUs",
                     ingested.cluster.num_nodes(),
                     ingested.cluster.cores_per_node(),
                     ingested.cluster.total_cores()
-                );
-                println!("fabric: {}", describe_fabric(&snap.fabric));
+                ));
+                info(format!("fabric: {}", describe_fabric(&snap.fabric)));
                 for w in &ingested.warnings {
-                    println!("warning: {w}");
+                    info(format!("warning: {w}"));
                 }
                 if cmd == "snapshot" {
                     let out = args.out.as_deref().ok_or("missing --out FILE")?;

@@ -80,7 +80,14 @@ impl ClusterSnapshot {
     }
 
     /// Rebuild the cluster this snapshot describes.
+    ///
+    /// Snapshots are external input, so beyond syntax the rebuild enforces
+    /// allocation caps: every structure built here must be proportional to
+    /// the snapshot's own size, never to an unchecked scalar inside it.
     pub fn to_cluster(&self) -> Result<Cluster, IngestError> {
+        fn cap(msg: String) -> IngestError {
+            IngestError::Snapshot { line: 0, msg }
+        }
         self.node.validate()?;
         let fabric = match &self.fabric {
             FabricSpec::FatTree(cfg) => {
@@ -94,9 +101,29 @@ impl ClusterSnapshot {
                 if dims.contains(&0) {
                     return Err(tarr_topo::TopoError::ZeroFabricExtent.into());
                 }
+                // The node count is recomputed as a product downstream;
+                // extents whose product overflows must not get that far.
+                dims.iter()
+                    .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                    .ok_or_else(|| cap(format!("torus dims {dims:?} overflow the node count")))?;
                 Fabric::Torus(Torus3D::new(*dims))
             }
-            FabricSpec::Irregular(cfg) => Fabric::Irregular(IrregularFabric::new(cfg.clone())?),
+            FabricSpec::Irregular(cfg) => {
+                // `IrregularFabric::new` allocates O(switches²) for the BFS
+                // levels. A switch count larger than the snapshot's own
+                // node-switch and link-endpoint lists leaves some switch
+                // unreferenced — necessarily disconnected — so reject it
+                // *before* the allocation, not after.
+                let referenced = cfg.node_switch.len() + 2 * cfg.links.len();
+                if cfg.switches > referenced {
+                    return Err(cap(format!(
+                        "switch count {} exceeds the {} switch references in the \
+                         snapshot (isolated switches would disconnect the fabric)",
+                        cfg.switches, referenced
+                    )));
+                }
+                Fabric::Irregular(IrregularFabric::new(cfg.clone())?)
+            }
         };
         Ok(Cluster::from_parts(
             self.node.clone(),

@@ -54,10 +54,40 @@ pub use bucket::BucketContext;
 pub use greedy::greedy_map;
 pub use initial::{InitialMapping, IntraOrder, NodeOrder};
 pub use rdmh::{rdmh, rdmh_bucketed, rdmh_with_cadence};
-pub use reorder::{end_shuffle_perm, init_comm_schedule, ring_placement, OrderFix};
+pub use reorder::{
+    end_shuffle_perm, init_comm_schedule, ring_placement, try_end_shuffle_perm,
+    try_init_comm_schedule, try_reordered_init_state, try_ring_placement, OrderFix,
+};
 pub use rmh::{rmh, rmh_bucketed};
 pub use scheme::{MappingContext, PlacementContext};
 pub use scotchlike::{scotch_like_map, scotch_like_map_with, ScotchVariant};
+
+/// A structurally invalid mapping handed to the reorder machinery.
+///
+/// Mappings produced by the heuristics in this crate are permutations by
+/// construction; this error surfaces when a mapping arrives from outside —
+/// a file, a test harness, or a degraded-session remap — and fails the
+/// contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The mapping is not a permutation of `0..len`.
+    NotAPermutation {
+        /// Length of the offending mapping.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::NotAPermutation { len } => {
+                write!(f, "mapping is not a permutation of 0..{len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
 
 /// Check that `m` is a permutation of `0..m.len()` (every mapping must be).
 pub fn is_permutation(m: &[u32]) -> bool {
@@ -91,6 +121,14 @@ pub fn invert(m: &[u32]) -> Vec<u32> {
         inv[old as usize] = new as u32;
     }
     inv
+}
+
+/// Fallible [`invert`] for externally-sourced mappings.
+pub fn try_invert(m: &[u32]) -> Result<Vec<u32>, MapError> {
+    if !is_permutation(m) {
+        return Err(MapError::NotAPermutation { len: m.len() });
+    }
+    Ok(invert(m))
 }
 
 /// Total weighted communication cost of a mapping: `Σ w(a,b) · D(M[a], M[b])`

@@ -16,7 +16,7 @@
 //!   blocks are stored directly at their correct final offset, no extra
 //!   communication or shuffle needed.
 
-use crate::{invert, is_permutation};
+use crate::{invert, is_permutation, MapError};
 use serde::{Deserialize, Serialize};
 use tarr_mpi::{Payload, Schedule, SendOp, Stage};
 use tarr_topo::Rank;
@@ -50,7 +50,12 @@ impl OrderFix {
 /// # Panics
 /// Panics if `m` is not a permutation.
 pub fn init_comm_schedule(m: &[u32]) -> Schedule {
-    assert!(is_permutation(m), "mapping must be a permutation");
+    try_init_comm_schedule(m).expect("mapping must be a permutation")
+}
+
+/// Fallible [`init_comm_schedule`] for externally-sourced mappings.
+pub fn try_init_comm_schedule(m: &[u32]) -> Result<Schedule, MapError> {
+    check_permutation(m)?;
     let p = m.len() as u32;
     let inv = invert(m);
     let mut ops = Vec::new();
@@ -72,7 +77,14 @@ pub fn init_comm_schedule(m: &[u32]) -> Schedule {
     if !ops.is_empty() {
         sched.push(Stage::new(ops));
     }
-    sched
+    Ok(sched)
+}
+
+fn check_permutation(m: &[u32]) -> Result<(), MapError> {
+    if !is_permutation(m) {
+        return Err(MapError::NotAPermutation { len: m.len() });
+    }
+    Ok(())
 }
 
 /// The endShfl permutation: content observed at output slot `j` moves to
@@ -81,8 +93,13 @@ pub fn init_comm_schedule(m: &[u32]) -> Schedule {
 /// # Panics
 /// Panics if `m` is not a permutation.
 pub fn end_shuffle_perm(m: &[u32]) -> Vec<u32> {
-    assert!(is_permutation(m), "mapping must be a permutation");
-    m.to_vec()
+    try_end_shuffle_perm(m).expect("mapping must be a permutation")
+}
+
+/// Fallible [`end_shuffle_perm`] for externally-sourced mappings.
+pub fn try_end_shuffle_perm(m: &[u32]) -> Result<Vec<u32>, MapError> {
+    check_permutation(m)?;
+    Ok(m.to_vec())
 }
 
 /// The in-place ring placement: block `b` (the contribution of new rank `b`)
@@ -91,8 +108,13 @@ pub fn end_shuffle_perm(m: &[u32]) -> Vec<u32> {
 /// # Panics
 /// Panics if `m` is not a permutation.
 pub fn ring_placement(m: &[u32]) -> Vec<u32> {
-    assert!(is_permutation(m), "mapping must be a permutation");
-    m.to_vec()
+    try_ring_placement(m).expect("mapping must be a permutation")
+}
+
+/// Fallible [`ring_placement`] for externally-sourced mappings.
+pub fn try_ring_placement(m: &[u32]) -> Result<Vec<u32>, MapError> {
+    check_permutation(m)?;
+    Ok(m.to_vec())
 }
 
 /// Initial buffer state of a reordered communicator for the functional
@@ -103,14 +125,22 @@ pub fn ring_placement(m: &[u32]) -> Vec<u32> {
 /// standard algorithms read it from there); with `in_place = true` it sits
 /// directly at its final offset `m[r]` (the ring placement).
 pub fn reordered_init_state(m: &[u32], in_place: bool) -> tarr_mpi::FunctionalState {
-    assert!(is_permutation(m), "mapping must be a permutation");
+    try_reordered_init_state(m, in_place).expect("mapping must be a permutation")
+}
+
+/// Fallible [`reordered_init_state`] for externally-sourced mappings.
+pub fn try_reordered_init_state(
+    m: &[u32],
+    in_place: bool,
+) -> Result<tarr_mpi::FunctionalState, MapError> {
+    check_permutation(m)?;
     let p = m.len();
     let slots: Vec<u32> = if in_place {
         m.to_vec()
     } else {
         (0..p as u32).collect()
     };
-    tarr_mpi::FunctionalState::init_allgather_with(p, m, &slots)
+    Ok(tarr_mpi::FunctionalState::init_allgather_with(p, m, &slots))
 }
 
 #[cfg(test)]
@@ -206,6 +236,25 @@ mod tests {
                 .unwrap();
             c.verify_allgather_identity().unwrap();
         }
+    }
+
+    #[test]
+    fn non_permutations_yield_typed_errors() {
+        for bad in [&[0u32, 0, 1][..], &[0, 1, 3], &[1, 2, 3]] {
+            let err = MapError::NotAPermutation { len: bad.len() };
+            assert_eq!(try_init_comm_schedule(bad).unwrap_err(), err);
+            assert_eq!(try_end_shuffle_perm(bad).unwrap_err(), err);
+            assert_eq!(try_ring_placement(bad).unwrap_err(), err);
+            assert!(try_reordered_init_state(bad, false).is_err());
+            assert_eq!(crate::try_invert(bad).unwrap_err(), err);
+        }
+        // Valid mappings round-trip through the fallible API identically.
+        let m = m8();
+        assert_eq!(try_end_shuffle_perm(&m).unwrap(), end_shuffle_perm(&m));
+        assert_eq!(
+            try_init_comm_schedule(&m).unwrap().num_ops(),
+            init_comm_schedule(&m).num_ops()
+        );
     }
 
     #[test]

@@ -65,6 +65,17 @@ impl Fabric {
             Fabric::Irregular(g) => g.num_nodes(),
         }
     }
+
+    /// Export the fabric as a generic switch graph (see the per-kind
+    /// `to_switch_graph`/`to_config` methods for the switch numbering) —
+    /// the structural form fault injection edits.
+    pub fn to_switch_graph(&self) -> crate::irregular::IrregularConfig {
+        match self {
+            Fabric::FatTree(f) => f.to_switch_graph(),
+            Fabric::Torus(t) => t.to_switch_graph(),
+            Fabric::Irregular(g) => g.to_config(),
+        }
+    }
 }
 
 /// Everything needed to instantiate a [`Cluster`].
@@ -108,13 +119,18 @@ impl Cluster {
     /// # Panics
     /// Panics if the configuration is invalid.
     pub fn new(cfg: ClusterConfig) -> Self {
-        cfg.validate().expect("invalid cluster configuration");
+        Cluster::try_new(cfg).expect("invalid cluster configuration")
+    }
+
+    /// Fallible constructor for externally-sourced configurations.
+    pub fn try_new(cfg: ClusterConfig) -> Result<Self, TopoError> {
+        cfg.validate()?;
         let fabric = Fabric::FatTree(FatTree::new(cfg.fabric, cfg.num_nodes));
-        Cluster {
+        Ok(Cluster {
             node_topo: cfg.node,
             fabric,
             num_nodes: cfg.num_nodes,
-        }
+        })
     }
 
     /// Build a cluster from an already-constructed fabric of any kind —

@@ -57,6 +57,20 @@ pub enum TopoError {
         /// Nodes the cluster needs.
         cluster_nodes: usize,
     },
+    /// A distance oracle was requested over an empty core allocation.
+    EmptyAllocation,
+    /// A core appears more than once in an allocation.
+    DuplicateCore {
+        /// The duplicated core index.
+        core: usize,
+    },
+    /// An allocation references a core past the cluster's core count.
+    CoreOutOfRange {
+        /// The offending core index.
+        core: usize,
+        /// Total cores in the cluster.
+        total_cores: usize,
+    },
 }
 
 impl fmt::Display for TopoError {
@@ -95,6 +109,14 @@ impl fmt::Display for TopoError {
             } => write!(
                 f,
                 "fabric hosts {fabric_nodes} nodes but the cluster has {cluster_nodes}"
+            ),
+            TopoError::EmptyAllocation => write!(f, "no cores allocated"),
+            TopoError::DuplicateCore { core } => {
+                write!(f, "core {core} appears more than once in the allocation")
+            }
+            TopoError::CoreOutOfRange { core, total_cores } => write!(
+                f,
+                "core {core} out of range (cluster has {total_cores} cores)"
             ),
         }
     }

@@ -164,6 +164,54 @@ impl FatTree {
             .count()
     }
 
+    /// Export the wiring as a generic switch graph, for fault injection and
+    /// other consumers that edit the fabric structurally.
+    ///
+    /// Switch numbering: leaves `0..num_leaves()`, then per core switch `c`
+    /// its line switches followed by its spine switches
+    /// (`num_leaves() + c·(lines+spines) + …`). Each physical cable is one
+    /// link entry of trunk 1 (leaf uplinks landing on the same line switch
+    /// merge into trunks downstream), except line–spine bundles which carry
+    /// their `line_spine_links` trunk count directly.
+    pub fn to_switch_graph(&self) -> crate::irregular::IrregularConfig {
+        let c = &self.cfg;
+        let leaves = self.num_leaves();
+        let per_core = c.lines_per_core + c.spines_per_core;
+        let line_id = |core: usize, line: usize| (leaves + core * per_core + line) as u32;
+        let spine_id = |core: usize, spine: usize| {
+            (leaves + core * per_core + c.lines_per_core + spine) as u32
+        };
+
+        let mut links = Vec::new();
+        for leaf in 0..leaves {
+            for core in 0..c.core_switches {
+                for up in 0..c.uplinks_per_core {
+                    let line = self.line_of(LeafId::from_idx(leaf), core, up);
+                    links.push((leaf as u32, line_id(core, line), 1));
+                }
+            }
+        }
+        for core in 0..c.core_switches {
+            for line in 0..c.lines_per_core {
+                for spine in 0..c.spines_per_core {
+                    links.push((
+                        line_id(core, line),
+                        spine_id(core, spine),
+                        c.line_spine_links as u32,
+                    ));
+                }
+            }
+        }
+
+        crate::irregular::IrregularConfig {
+            switches: leaves + c.core_switches * per_core,
+            node_switch: (0..self.num_nodes)
+                .map(|n| (n / c.nodes_per_leaf) as u32)
+                .collect(),
+            links,
+        }
+    }
+
     /// Deterministic up/down route from `src` to `dst`, as a sequence of
     /// [`Hop`]s including the HCA injection/delivery links.
     ///
@@ -344,6 +392,47 @@ mod tests {
     #[should_panic(expected = "no route")]
     fn self_route_panics() {
         gpc512().route(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn switch_graph_reflects_leaf_line_spine_structure() {
+        use crate::irregular::IrregularFabric;
+        let t = gpc512();
+        let g = t.to_switch_graph();
+        // 18 leaves + 2 core switches × (18 lines + 9 spines).
+        assert_eq!(g.switches, 18 + 2 * 27);
+        assert_eq!(g.node_switch.len(), 512);
+        assert_eq!(g.node_switch[0], 0);
+        assert_eq!(g.node_switch[30], 1);
+        let f = IrregularFabric::new(g).unwrap();
+        // Same leaf: 0 switch hops. Shared line: 2. Otherwise: 4 via a spine.
+        assert_eq!(f.hops(NodeId(0), NodeId(1)), 0);
+        for a in 0..t.num_leaves() {
+            for b in 0..t.num_leaves() {
+                if a == b {
+                    continue;
+                }
+                let expect = if t.leaves_share_line(LeafId::from_idx(a), LeafId::from_idx(b)) {
+                    2
+                } else {
+                    4
+                };
+                assert_eq!(f.switch_hops(a as u32, b as u32), expect, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn switch_graph_uplinks_merge_into_trunks() {
+        use crate::irregular::IrregularFabric;
+        // Tiny fabric: 2 uplinks from each leaf onto 2 lines — line_of spreads
+        // them, so each (leaf, line) pair carries exactly one cable.
+        let t = FatTree::new(FatTreeConfig::tiny(), 16);
+        let f = IrregularFabric::new(t.to_switch_graph()).unwrap();
+        let leaf_line: Vec<_> = f.links().iter().filter(|&&(a, _, _)| a < 4).collect();
+        assert!(leaf_line.iter().all(|&&(_, _, trunks)| trunks == 1));
+        // 4 leaves × 2 uplinks.
+        assert_eq!(leaf_line.len(), 8);
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //!
 //! Routing is destination-based deterministic, like the fat-tree's D-mod-k
 //! rule and InfiniBand's forwarding tables: per destination switch a BFS
-//! (lowest-switch-index tie-break) fixes the next hop from every switch, and
-//! the destination node index selects the trunk on each traversed link. Two
-//! messages to the same destination therefore share their converging path
-//! deterministically — the congestion behaviour the mapping heuristics exist
-//! to avoid — and every directed `(from, to, trunk)` triple is its own
-//! [`Hop`] for netsim's contention accounting.
+//! fixes the shortest-path levels, and the destination **node** index both
+//! rotates among the equal-cost next hops and selects the trunk on each
+//! traversed link (min-hop port balancing). Two messages to the same
+//! destination therefore share their converging path deterministically —
+//! the congestion behaviour the mapping heuristics exist to avoid — and
+//! every directed `(from, to, trunk)` triple is its own [`Hop`] for
+//! netsim's contention accounting.
 
 use crate::error::TopoError;
 use crate::ids::NodeId;
@@ -45,8 +46,6 @@ pub struct IrregularFabric {
     adj: Vec<Vec<(u32, u32)>>,
     /// `dist[d][s]` = switch hops from `s` to `d`.
     dist: Vec<Vec<u16>>,
-    /// `next[d][s]` = next switch from `s` towards `d` (unused when `s == d`).
-    next: Vec<Vec<u32>>,
 }
 
 impl IrregularFabric {
@@ -106,10 +105,9 @@ impl IrregularFabric {
         }
 
         // Per-destination BFS over the undirected graph; neighbours are
-        // visited in ascending index order so the next-hop choice (the
-        // neighbour one level closer with the lowest index) is deterministic.
+        // visited in ascending index order so levels (and hence the
+        // next-hop candidate sets [`route`] draws from) are deterministic.
         let mut dist = vec![vec![u16::MAX; s_count]; s_count];
-        let mut next = vec![vec![0u32; s_count]; s_count];
         let mut queue = Vec::with_capacity(s_count);
         for d in 0..s_count {
             let dist_d = &mut dist[d];
@@ -130,19 +128,6 @@ impl IrregularFabric {
             if let Some(unreachable) = dist_d.iter().position(|&x| x == u16::MAX) {
                 return Err(TopoError::DisconnectedFabric { unreachable });
             }
-            let next_d = &mut next[d];
-            for s in 0..s_count {
-                if s == d {
-                    continue;
-                }
-                // adj rows are sorted, so the first qualifying neighbour is
-                // the lowest-index one.
-                next_d[s] = adj[s]
-                    .iter()
-                    .map(|&(v, _)| v)
-                    .find(|&v| dist_d[v as usize] + 1 == dist_d[s])
-                    .expect("connected graph has a descending neighbour");
-            }
         }
 
         Ok(IrregularFabric {
@@ -151,13 +136,23 @@ impl IrregularFabric {
             links: merged,
             adj,
             dist,
-            next,
         })
     }
 
     /// Number of switches.
     pub fn num_switches(&self) -> usize {
         self.switches
+    }
+
+    /// Export the fabric back into its canonical configuration (links with
+    /// `a < b`, sorted, trunks merged) — the editable form fault injection
+    /// consumes.
+    pub fn to_config(&self) -> IrregularConfig {
+        IrregularConfig {
+            switches: self.switches,
+            node_switch: self.node_switch.clone(),
+            links: self.links.clone(),
+        }
     }
 
     /// Number of compute nodes attached.
@@ -198,18 +193,16 @@ impl IrregularFabric {
         &self.dist[dst as usize]
     }
 
-    /// Trunk count of the canonical link between `a` and `b` (0 if absent).
-    fn trunks_between(&self, a: u32, b: u32) -> u32 {
-        self.adj[a as usize]
-            .iter()
-            .find(|&&(v, _)| v == b)
-            .map_or(0, |&(_, t)| t)
-    }
-
     /// Deterministic route from `src` to `dst` as a sequence of [`Hop`]s
-    /// including the HCA injection/delivery links. The switch path follows
-    /// the per-destination BFS next-hop table; the destination node index
-    /// selects the trunk on every traversed link (D-mod-k style).
+    /// including the HCA injection/delivery links. The switch path descends
+    /// the per-destination BFS levels; at each step the destination **node**
+    /// index rotates among the equal-cost next hops and selects the trunk on
+    /// the traversed link — the D-mod-k port balancing real min-hop
+    /// forwarding tables do. Routing everything through one fixed candidate
+    /// (say the lowest index) would funnel the traffic of every destination
+    /// behind a switch over a single intermediate, which no deployed fabric
+    /// does. All messages to the same destination still share their
+    /// converging path deterministically.
     ///
     /// # Panics
     /// Panics if `src == dst` (a node does not route to itself).
@@ -217,12 +210,19 @@ impl IrregularFabric {
         assert_ne!(src, dst, "no route from a node to itself");
         let d = self.switch_of(dst);
         let mut s = self.switch_of(src);
-        let mut hops = Vec::with_capacity(2 + self.dist[d as usize][s as usize] as usize);
+        let dist_d = &self.dist[d as usize];
+        let mut hops = Vec::with_capacity(2 + dist_d[s as usize] as usize);
         hops.push(Hop::HcaUp { node: src });
         while s != d {
-            let n = self.next[d as usize][s as usize];
-            let trunks = self.trunks_between(s, n);
-            debug_assert!(trunks > 0);
+            let descending = |&&(v, _): &&(u32, u32)| dist_d[v as usize] + 1 == dist_d[s as usize];
+            let row = &self.adj[s as usize];
+            let candidates = row.iter().filter(descending).count();
+            debug_assert!(candidates > 0, "connected graph has a descending neighbour");
+            let (n, trunks) = *row
+                .iter()
+                .filter(descending)
+                .nth(dst.idx() % candidates)
+                .expect("candidate index is in range by construction");
             hops.push(Hop::SwitchLink {
                 from: s,
                 to: n,
@@ -307,8 +307,10 @@ mod tests {
     }
 
     #[test]
-    fn tie_break_picks_lowest_switch_index() {
-        // Diamond: 0—1—3 and 0—2—3; route 0→3 must go via switch 1.
+    fn tie_break_rotates_by_destination() {
+        // Diamond: 0—1—3 and 0—2—3. Both middle switches are equal-cost;
+        // the choice is deterministic in the destination node (node 1 picks
+        // candidate 1 % 2 = 1, i.e. switch 2), not always the lowest index.
         let f = IrregularFabric::new(IrregularConfig {
             switches: 4,
             node_switch: vec![0, 3],
@@ -320,6 +322,19 @@ mod tests {
             hops[1],
             Hop::SwitchLink {
                 from: 0,
+                to: 2,
+                trunk: 0
+            }
+        );
+        assert_eq!(hops.len(), 4, "tie-break never lengthens the path");
+
+        // Reverse direction: destination node 0 picks candidate 0 % 2 = 0 —
+        // switch 1.
+        let back = f.route(NodeId(1), NodeId(0));
+        assert_eq!(
+            back[1],
+            Hop::SwitchLink {
+                from: 3,
                 to: 1,
                 trunk: 0
             }

@@ -103,13 +103,35 @@ impl ImplicitDistance {
     /// Panics if `cores` is empty or contains duplicates, or if `cfg` is
     /// invalid — the same contract as [`DistanceMatrix::build`].
     pub fn build(cluster: &Cluster, cores: &[CoreId], cfg: &DistanceConfig) -> Self {
-        cfg.validate().expect("invalid distance configuration");
-        assert!(!cores.is_empty(), "no cores allocated");
+        Self::try_build(cluster, cores, cfg).expect("invalid distance-oracle inputs")
+    }
+
+    /// Fallible [`build`](Self::build) for externally-sourced allocations:
+    /// rejects empty/duplicated/out-of-range core lists and invalid distance
+    /// configurations with a typed error instead of panicking.
+    pub fn try_build(
+        cluster: &Cluster,
+        cores: &[CoreId],
+        cfg: &DistanceConfig,
+    ) -> Result<Self, crate::error::TopoError> {
+        cfg.validate()?;
+        if cores.is_empty() {
+            return Err(crate::error::TopoError::EmptyAllocation);
+        }
         {
             let mut sorted = cores.to_vec();
             sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(sorted.len(), cores.len(), "duplicate cores in allocation");
+            if let Some(&last) = sorted.last() {
+                if last.idx() >= cluster.total_cores() {
+                    return Err(crate::error::TopoError::CoreOutOfRange {
+                        core: last.idx(),
+                        total_cores: cluster.total_cores(),
+                    });
+                }
+            }
+            if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                return Err(crate::error::TopoError::DuplicateCore { core: dup[0].idx() });
+            }
         }
 
         let _span = tarr_trace::span("topo.distance.build")
@@ -161,13 +183,13 @@ impl ImplicitDistance {
             Fabric::Torus(_) | Fabric::Irregular(_) => Vec::new(),
         };
 
-        ImplicitDistance {
+        Ok(ImplicitDistance {
             cluster: cluster.clone(),
             cfg: cfg.clone(),
             cores: cores.to_vec(),
             paths,
             line_peers,
-        }
+        })
     }
 
     /// The cluster the oracle was built over.
@@ -458,8 +480,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate cores")]
-    fn duplicate_cores_rejected() {
+    fn bad_allocations_rejected_with_typed_errors() {
+        use crate::error::TopoError;
+        let c = Cluster::gpc(2);
+        let cfg = DistanceConfig::default();
+        assert_eq!(
+            ImplicitDistance::try_build(&c, &[CoreId(0), CoreId(1), CoreId(0)], &cfg).unwrap_err(),
+            TopoError::DuplicateCore { core: 0 }
+        );
+        assert_eq!(
+            ImplicitDistance::try_build(&c, &[], &cfg).unwrap_err(),
+            TopoError::EmptyAllocation
+        );
+        assert_eq!(
+            ImplicitDistance::try_build(&c, &[CoreId(99)], &cfg).unwrap_err(),
+            TopoError::CoreOutOfRange {
+                core: 99,
+                total_cores: 16
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "DuplicateCore")]
+    fn duplicate_cores_panic_via_infallible_build() {
         let c = Cluster::gpc(2);
         ImplicitDistance::build(
             &c,

@@ -30,6 +30,14 @@ impl Torus3D {
         Torus3D { dims }
     }
 
+    /// Fallible constructor for externally-sourced extents.
+    pub fn try_new(dims: [usize; 3]) -> Result<Self, crate::error::TopoError> {
+        if dims.contains(&0) {
+            return Err(crate::error::TopoError::ZeroFabricExtent);
+        }
+        Ok(Torus3D { dims })
+    }
+
     /// Grid extents.
     pub fn dims(&self) -> [usize; 3] {
         self.dims
@@ -108,6 +116,35 @@ impl Torus3D {
             }
         }
         order
+    }
+
+    /// Export the torus as a generic switch graph: one switch per node,
+    /// node `n` on switch `n`, one link per physical cable (each node's
+    /// `+dim` neighbour per dimension with extent > 1; in an extent-2
+    /// dimension both endpoints emit the pair, which merges into a trunk-2
+    /// link — the torus's double cable between wrap neighbours).
+    pub fn to_switch_graph(&self) -> crate::irregular::IrregularConfig {
+        let n = self.num_nodes();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let c = self.coords(NodeId::from_idx(i));
+            for dim in 0..3 {
+                if self.dims[dim] < 2 {
+                    continue;
+                }
+                let mut plus = c;
+                plus[dim] = (c[dim] + 1) % self.dims[dim];
+                let j = self.node_at(plus).idx();
+                if i != j {
+                    links.push((i as u32, j as u32, 1));
+                }
+            }
+        }
+        crate::irregular::IrregularConfig {
+            switches: n,
+            node_switch: (0..n as u32).collect(),
+            links,
+        }
     }
 
     /// Dimension-ordered route from `src` to `dst`, as HCA injection, the
@@ -270,5 +307,42 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_extent_rejected() {
         Torus3D::new([4, 0, 4]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        assert_eq!(
+            Torus3D::try_new([4, 0, 4]).unwrap_err(),
+            crate::error::TopoError::ZeroFabricExtent
+        );
+        assert!(Torus3D::try_new([4, 4, 4]).is_ok());
+    }
+
+    #[test]
+    fn switch_graph_hops_match_torus_hops() {
+        use crate::irregular::IrregularFabric;
+        for dims in [[3usize, 4, 2], [2, 2, 2], [8, 1, 1], [4, 4, 4]] {
+            let t = Torus3D::new(dims);
+            let f = IrregularFabric::new(t.to_switch_graph()).unwrap();
+            let n = t.num_nodes() as u32;
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        f.hops(NodeId(a), NodeId(b)),
+                        t.hops(NodeId(a), NodeId(b)),
+                        "{dims:?}: {a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn switch_graph_wrap_pair_is_double_cable() {
+        // Extent-2 dimension: both nodes emit the same pair, merging into a
+        // trunk-2 link — the torus's two physical cables between them.
+        let t = Torus3D::new([2, 1, 1]);
+        let f = crate::irregular::IrregularFabric::new(t.to_switch_graph()).unwrap();
+        assert_eq!(f.links(), &[(0, 1, 2)]);
     }
 }

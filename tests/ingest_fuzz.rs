@@ -1,0 +1,190 @@
+//! Corpus-driven robustness tests for the ingest parsers.
+//!
+//! Every checked-in fixture is mutated two ways — truncation at evenly
+//! spaced byte offsets, and seeded random byte flips — and fed back through
+//! the parser that owns its format. The contract under test is the one
+//! `tarr-ingest` documents: malformed input surfaces as a typed
+//! [`IngestError`], **never** a panic, and nothing downstream of a
+//! successful parse (classification, fabric construction, cluster
+//! rebuild) may panic either, since a mutation can produce a document
+//! that is syntactically fine but structurally hostile.
+//!
+//! The adversarial-scalar tests pin the allocation caps: a snapshot is a
+//! few hundred bytes, so nothing it describes may allocate more than a
+//! small multiple of that before validation rejects it (e.g. a claimed
+//! switch count of 4 × 10⁹ must fail *before* the O(switches²) BFS table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tarr::ingest::{classify, ingest_cluster, parse_hwloc, parse_ibnet, ClusterSnapshot};
+use tarr::topo::{Cluster, IrregularFabric, NodeTopology};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Truncations at `n` evenly spaced offsets, always including 0 and len−1.
+fn truncations(text: &str, n: usize) -> Vec<String> {
+    let len = text.len();
+    let mut cuts: Vec<usize> = (0..n).map(|i| i * len / n).collect();
+    cuts.push(len.saturating_sub(1));
+    cuts.into_iter()
+        .map(|c| {
+            // Byte offsets may split a UTF-8 sequence; the fixtures are
+            // ASCII today, but don't let the corpus rot if one stops being.
+            let mut bytes = text.as_bytes()[..c].to_vec();
+            while !bytes.is_empty() && String::from_utf8(bytes.clone()).is_err() {
+                bytes.pop();
+            }
+            String::from_utf8(bytes).unwrap()
+        })
+        .collect()
+}
+
+/// `n` seeded single-byte corruptions (flip to an arbitrary byte), each
+/// applied to a fresh copy; invalid UTF-8 is repaired lossily.
+fn byte_flips(text: &str, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut bytes = text.as_bytes().to_vec();
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen_range(0..=255u8);
+            String::from_utf8_lossy(&bytes).into_owned()
+        })
+        .collect()
+}
+
+fn mutations(text: &str, seed: u64) -> Vec<String> {
+    let mut v = truncations(text, 48);
+    v.extend(byte_flips(text, 192, seed));
+    v
+}
+
+/// The full ibnet pipeline on one input: parse, classify, build the fabric.
+/// Any stage may reject with a typed error; none may panic.
+fn drive_ibnet(text: &str) {
+    let Ok(graph) = parse_ibnet(text) else { return };
+    let Ok(cls) = classify(&graph) else { return };
+    if let tarr::ingest::ClassifiedFabric::Irregular(cfg) = cls.fabric {
+        let _ = IrregularFabric::new(cfg);
+    }
+}
+
+fn drive_snapshot(text: &str) {
+    let Ok(snap) = ClusterSnapshot::parse(text) else {
+        return;
+    };
+    let _ = snap.to_cluster();
+}
+
+#[test]
+fn mutated_hwloc_corpus_never_panics() {
+    for (i, name) in ["gpc_node.xml", "degraded_node.xml", "malformed.xml"]
+        .iter()
+        .enumerate()
+    {
+        let text = fixture(name);
+        for m in mutations(&text, 0xf1a6 + i as u64) {
+            let _ = parse_hwloc(&m);
+        }
+    }
+}
+
+#[test]
+fn mutated_ibnet_corpus_never_panics() {
+    for (i, name) in [
+        "gpc_ib.txt",
+        "twolevel_ib.txt",
+        "miswired_ib.txt",
+        "malformed_ib.txt",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let text = fixture(name);
+        for m in mutations(&text, 0x1b1e + i as u64) {
+            drive_ibnet(&m);
+        }
+    }
+}
+
+#[test]
+fn mutated_snapshot_corpus_never_panics() {
+    // The snapshot corpus is generated, not checked in: one per fabric kind.
+    let corpus = [
+        ClusterSnapshot::from_cluster(&Cluster::gpc(64)).to_text(),
+        ClusterSnapshot::from_cluster(&Cluster::with_torus(NodeTopology::gpc(), [4, 3, 2]))
+            .to_text(),
+        ClusterSnapshot::from_cluster(
+            &Cluster::from_parts(
+                NodeTopology::gpc(),
+                tarr::topo::Fabric::Irregular(
+                    IrregularFabric::new(Cluster::gpc(16).fabric().to_switch_graph()).unwrap(),
+                ),
+                16,
+            )
+            .unwrap(),
+        )
+        .to_text(),
+    ];
+    for (i, text) in corpus.iter().enumerate() {
+        for m in mutations(text, 0x5a9 + i as u64) {
+            drive_snapshot(&m);
+        }
+    }
+}
+
+#[test]
+fn mutated_pair_ingest_never_panics() {
+    // Cross-wire the full two-input entry point with mutated halves.
+    let xml = fixture("gpc_node.xml");
+    let ib = fixture("twolevel_ib.txt");
+    for m in mutations(&xml, 0xab) {
+        let _ = ingest_cluster(&m, &ib);
+    }
+    for m in mutations(&ib, 0xcd) {
+        let _ = ingest_cluster(&xml, &m);
+    }
+}
+
+/// A snapshot claiming four billion switches is ~60 bytes of text; the
+/// rebuild must reject it as a typed error *before* sizing any per-switch
+/// table (the BFS levels alone would be S² entries).
+#[test]
+fn snapshot_switch_count_is_capped_by_references() {
+    let text = "tarr-cluster-snapshot v1\n\
+                [node] sockets=2 cores_per_socket=4 cores_per_l2=1 smt=1\n\
+                [fabric.irregular] switches=4000000000\n\
+                [node-switch] 0 0 1 1\n\
+                [links] 0:1:2\n\
+                [nodes] 4\n";
+    let snap = ClusterSnapshot::parse(text).unwrap();
+    let err = snap.to_cluster().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("switch count"), "{msg}");
+
+    // At exactly the reference bound the same shape still needs every
+    // switch wired, so it fails connectivity — but only after being *let
+    // through* the cap (a DisconnectedFabric error, not the cap's).
+    let text = text.replace("switches=4000000000", "switches=6");
+    let err = ClusterSnapshot::parse(&text)
+        .unwrap()
+        .to_cluster()
+        .unwrap_err();
+    assert!(err.to_string().contains("unreachable"), "{err}");
+}
+
+#[test]
+fn snapshot_torus_overflow_is_a_typed_error() {
+    let text = "tarr-cluster-snapshot v1\n\
+                [node] sockets=2 cores_per_socket=4 cores_per_l2=1 smt=1\n\
+                [fabric.torus] dims=4294967296x4294967296x4294967296\n\
+                [nodes] 8\n";
+    let snap = ClusterSnapshot::parse(text).unwrap();
+    let err = snap.to_cluster().unwrap_err();
+    assert!(err.to_string().contains("overflow"), "{err}");
+}
