@@ -26,9 +26,13 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use tarr_collectives::allgather::ring;
-use tarr_mpi::{time_schedule, timing, Communicator, Schedule, TimedSchedule};
+use tarr_collectives::gather::{binomial_gather, chain_gather};
+use tarr_core::{refine, ProbePoint, Scheme, Session, SessionConfig};
+use tarr_faults::FaultSet;
+use tarr_mapping::InitialMapping;
+use tarr_mpi::{time_schedule, timing, Communicator, DeltaPricer, Schedule, TimedSchedule};
 use tarr_netsim::{NetParams, StageModel};
-use tarr_topo::{Cluster, CoreId};
+use tarr_topo::{Cluster, CoreId, Rank};
 
 const P: u32 = 4096;
 const MSG: u64 = 65536;
@@ -87,6 +91,42 @@ fn bench_ring4096(c: &mut Criterion) {
     group.finish();
 }
 
+/// A deliberately scattered cyclic layout, so refinement proposals have
+/// distance and contention left to trade.
+fn cyclic_comm(cluster: &Cluster, p: usize) -> Communicator {
+    let cpn = cluster.cores_per_node();
+    let nodes = cluster.total_cores() / cpn;
+    let cores: Vec<CoreId> = (0..p)
+        .map(|r| CoreId::from_idx((r % nodes) * cpn + (r / nodes) % cpn))
+        .collect();
+    Communicator::new(cores)
+}
+
+fn bench_refine4096(c: &mut Criterion) {
+    let f = Fixture::new();
+    let model = f.model();
+    let comm = cyclic_comm(&f.cluster, P as usize);
+    let sched = chain_gather(P, Rank(0));
+    let ts = TimedSchedule::compile(&sched);
+    let mut pricer = DeltaPricer::new(&ts, &comm, &model, 4096);
+
+    let mut group = c.benchmark_group("timing/refine4096");
+    group.sample_size(10);
+    // What the pre-delta refinement loop paid per proposal: a full re-price
+    // of every unique stage.
+    group.bench_function("full_reprice", |b| b.iter(|| ts.time(&comm, &model, 4096)));
+    // What the delta pricer pays: re-simulate the stages the swapped ranks
+    // touch (at most four on the chain), restore on revert.
+    group.bench_function("delta_propose_revert", |b| {
+        b.iter(|| {
+            let t = pricer.propose_swap(1003, 2957, &model, 4096);
+            pricer.revert();
+            t
+        })
+    });
+    group.finish();
+}
+
 /// Median wall-clock seconds of `reps` runs of `work`.
 fn median_secs(reps: usize, mut work: impl FnMut() -> f64) -> f64 {
     let mut times: Vec<f64> = (0..reps)
@@ -100,6 +140,187 @@ fn median_secs(reps: usize, mut work: impl FnMut() -> f64) -> f64 {
         .collect();
     times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
+}
+
+/// Refinement throughput: reference (full re-price per proposal) vs the
+/// delta pricer, on the two gather shapes that bracket the stage-sparsity
+/// spectrum. Returns the `"refine"` JSON object.
+fn refine_summary() -> String {
+    let cluster = Cluster::gpc((P / 8) as usize);
+    let comm = cyclic_comm(&cluster, P as usize);
+    let params = NetParams::default();
+    let mut entries = Vec::new();
+    // (schedule, reference proposals, delta proposals): counts sized so each
+    // measured call runs tens of milliseconds or more.
+    for (name, sched, props_ref, props_delta) in [
+        ("chain", chain_gather(P, Rank(0)), 200usize, 5000usize),
+        ("binomial", binomial_gather(P, Rank(0)), 200, 1000),
+    ] {
+        // Bit-identical climbs at an equal proposal budget before timing.
+        let ident: Vec<u32> = (0..P).collect();
+        let (m_delta, t_delta) = refine::congestion_refine(
+            &cluster,
+            &comm,
+            &sched,
+            4096,
+            &params,
+            ident.clone(),
+            60,
+            11,
+        );
+        let (m_ref, t_ref) = refine::reference::congestion_refine(
+            &cluster,
+            &comm,
+            &sched,
+            4096,
+            &params,
+            ident.clone(),
+            60,
+            11,
+        );
+        assert_eq!(m_delta, m_ref, "{name}: refined mapping diverged");
+        assert_eq!(t_delta.to_bits(), t_ref.to_bits(), "{name}: time diverged");
+
+        let ref_s = median_secs(3, || {
+            refine::reference::congestion_refine(
+                &cluster,
+                &comm,
+                &sched,
+                4096,
+                &params,
+                ident.clone(),
+                props_ref,
+                1,
+            )
+            .1
+        });
+        let delta_s = median_secs(3, || {
+            refine::congestion_refine(
+                &cluster,
+                &comm,
+                &sched,
+                4096,
+                &params,
+                ident.clone(),
+                props_delta,
+                1,
+            )
+            .1
+        });
+        let ref_us = ref_s / props_ref as f64 * 1e6;
+        let delta_us = delta_s / props_delta as f64 * 1e6;
+        let speedup = ref_us / delta_us;
+        if name == "chain" {
+            assert!(
+                speedup >= 10.0,
+                "delta refinement speedup {speedup:.1}x on the chain gather \
+                 is below the 10x acceptance bound \
+                 (reference {ref_us:.1} us/proposal, delta {delta_us:.2})",
+            );
+        }
+        entries.push(format!(
+            r#"    "{name}": {{
+      "stages": {stages},
+      "reference_us_per_proposal": {ref_us:.2},
+      "delta_us_per_proposal": {delta_us:.3},
+      "speedup": {speedup:.1}
+    }}"#,
+            stages = sched.stages.len(),
+        ));
+    }
+    format!(
+        "{{\n    \"p\": {P},\n    \"equal_output\": true,\n{}\n  }}",
+        entries.join(",\n")
+    )
+}
+
+/// One-cable re-convergence on a 65,536-rank session over the GPC fabric
+/// exported as an irregular switch graph (so the fault-local BFS repair
+/// path engages). Returns the `"fault_repair"` JSON object.
+fn fault_summary() -> String {
+    let ranks = 65_536usize;
+    // 256 switches x 32 nodes x 8 cores = 65,536 ranks; the central
+    // diagonal is a trunk-1 cable, so one failed cable removes a whole edge
+    // and the fault-local BFS repair must rebuild the trees that crossed it.
+    let (cluster, (sw_a, sw_b)) = tarr_bench::chorded_mesh_cluster(32);
+    let switches = cluster.fabric().to_switch_graph().switches;
+    let mut session = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_BUNCH,
+        ranks,
+        SessionConfig::implicit(),
+    );
+    // Warm the compiled-schedule and stage-price caches: the timed region
+    // below is pure re-convergence, not first-touch compilation. The 512 B
+    // probe compiles to recursive doubling, whose 17 unique stages give the
+    // stage-selective re-pricer survivors to keep.
+    session.allgather_time(MSG, Scheme::Default);
+    session.allgather_time(512, Scheme::Default);
+    let probes = [
+        ProbePoint::allgather(MSG, Scheme::Default),
+        ProbePoint::allgather(512, Scheme::Default),
+    ];
+    let set = FaultSet {
+        failed_cables: vec![(sw_a, sw_b, 1)],
+        ..FaultSet::default()
+    };
+    let t = Instant::now();
+    let report = session
+        .apply_faults(&set, &probes)
+        .expect("one leaf uplink cannot partition the GPC fabric");
+    let apply_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.summary.cables_removed, 1);
+    assert!(
+        report.summary.dist_rows_rebuilt > 0,
+        "edge removal must dirty rows"
+    );
+    assert!(
+        report.summary.dist_rows_reused > 0,
+        "a single cable must not dirty every BFS row"
+    );
+    assert!(
+        apply_ms < 1000.0,
+        "one-cable re-convergence took {apply_ms:.1} ms at {ranks} ranks"
+    );
+
+    // Contrast: tear the session down and rebuild it cold on the degraded
+    // cluster, re-pricing the same probes from nothing.
+    let degraded = session.cluster().clone();
+    let cores = session.comm().cores().to_vec();
+    let t = Instant::now();
+    let mut cold = Session::new(degraded, cores, SessionConfig::implicit());
+    let cold_big = cold.allgather_time(MSG, Scheme::Default);
+    let cold_small = cold.allgather_time(512, Scheme::Default);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    for (cold_t, warm_t) in [
+        (cold_big, session.allgather_time(MSG, Scheme::Default)),
+        (cold_small, session.allgather_time(512, Scheme::Default)),
+    ] {
+        assert_eq!(
+            cold_t.to_bits(),
+            warm_t.to_bits(),
+            "incremental re-convergence diverged from the cold rebuild"
+        );
+    }
+
+    format!(
+        r#"{{
+    "p": {ranks},
+    "switches": {switches},
+    "cables_removed": 1,
+    "apply_ms": {apply_ms:.2},
+    "cold_rebuild_ms": {cold_ms:.2},
+    "dist_rows_rebuilt": {rows_rebuilt},
+    "dist_rows_reused": {rows_reused},
+    "price_stages_repriced": {repriced},
+    "price_stages_reused": {reused},
+    "equal_output": true
+  }}"#,
+        rows_rebuilt = report.summary.dist_rows_rebuilt,
+        rows_reused = report.summary.dist_rows_reused,
+        repriced = report.price_stages_repriced,
+        reused = report.price_stages_reused,
+    )
 }
 
 /// Direct before/after measurement, written as `BENCH_timing.json`.
@@ -169,6 +390,9 @@ fn write_summary() {
         trace_on_s * 1e3,
     );
 
+    let refine_json = refine_summary();
+    let fault_json = fault_summary();
+
     let json = format!(
         r#"{{
   "benchmark": "time_schedule on the {p}-rank ring allgather ({stages} stages, {ops} ops), GPC cluster, 64 KiB blocks",
@@ -190,7 +414,9 @@ fn write_summary() {
     "disabled_ms": {tr_off:.4},
     "enabled_ms": {tr_on:.4},
     "overhead_pct": {tr_pct:.2}
-  }}
+  }},
+  "refine": {refine_json},
+  "fault_repair": {fault_json}
 }}
 "#,
         p = P,
@@ -217,19 +443,27 @@ fn write_summary() {
     print!("{json}");
 }
 
-criterion_group!(benches, bench_ring4096);
+criterion_group!(benches, bench_ring4096, bench_refine4096);
 
 fn main() {
     // A benchmark-name filter (`cargo bench -- reference`) or test mode
     // (`cargo test --benches`) skips the summary: a partial or smoke run
     // should not overwrite the committed numbers.
     let mut full_run = true;
+    let mut summary_only = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--test" => full_run = false,
+            "--summary-only" => summary_only = true,
             s if s.starts_with('-') => {}
             _ => full_run = false,
         }
+    }
+    if summary_only {
+        // Developer shortcut: regenerate BENCH_timing.json without the
+        // criterion passes.
+        write_summary();
+        return;
     }
     benches();
     if full_run {

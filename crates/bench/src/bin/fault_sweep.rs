@@ -18,15 +18,27 @@
 //! After every surviving application the harness re-derives each heuristic's
 //! mapping on the degraded fabric and asserts it is still a bijection.
 //!
+//! `--incremental` switches to the re-convergence benchmark instead: a
+//! single-cable fault on a chorded-mesh session (65,536 ranks by default,
+//! 4,096 under `--quick`) is applied to warm caches and timed end to end,
+//! reporting how much of the distance and pricing state the fault-local
+//! repair reused; a delta-priced `congestion_refine` climb is then pinned
+//! against the full-reprice reference in the same (traced) process, so
+//! `--trace-out` captures both `fault.repair.*` and
+//! `refine.delta.stages_repriced`.
+//!
 //! Run: `cargo run -p tarr-bench --release --bin fault_sweep
-//!       [--quick] [--procs N] [--link-fail R] [--seed S]
+//!       [--quick] [--incremental] [--procs N] [--link-fail R] [--seed S]
 //!       [--cluster PATH|-] [--trace-out PATH] [--trace-chrome PATH]`
 
-use tarr_bench::{load_cluster_snapshot, size_label, TraceOpts};
-use tarr_core::{Mapper, PatternKind, ProbePoint, Scheme, Session, SessionConfig};
+use tarr_bench::{chorded_mesh_cluster, load_cluster_snapshot, size_label, TraceOpts};
+use tarr_collectives::gather::chain_gather;
+use tarr_core::{refine, Mapper, PatternKind, ProbePoint, Scheme, Session, SessionConfig};
 use tarr_faults::{FaultError, FaultRates, FaultSet};
 use tarr_mapping::{is_permutation, InitialMapping, OrderFix};
-use tarr_topo::Cluster;
+use tarr_mpi::Communicator;
+use tarr_netsim::NetParams;
+use tarr_topo::{Cluster, CoreId, Rank};
 
 /// One heuristic's use case: label, probe size, reordered scheme, and the
 /// (mapper, pattern) whose mapping must stay bijective on the degraded
@@ -97,8 +109,123 @@ struct Cell {
     reorder_improvement: Vec<f64>,
 }
 
+/// `--incremental`: one-cable re-convergence on a warm chorded-mesh
+/// session, plus a delta-vs-reference refinement pin, in one traced run.
+fn run_incremental(ranks: usize, trace: &TraceOpts) {
+    // 256 mesh switches x 8 cores per node: ranks come in whole switches.
+    if ranks == 0 || !ranks.is_multiple_of(2048) {
+        eprintln!("error: --incremental needs --procs as a multiple of 2048");
+        std::process::exit(2);
+    }
+    trace.init();
+    println!("== incremental re-convergence: 1 cable on a {ranks}-rank chorded-mesh session ==");
+    let (cluster, (sw_a, sw_b)) = chorded_mesh_cluster(ranks / 2048);
+    let mut session = Session::from_layout(
+        cluster,
+        InitialMapping::CYCLIC_BUNCH,
+        ranks,
+        SessionConfig::implicit(),
+    );
+    // Warm the schedule and price caches: the timed region is pure
+    // re-convergence, not first-touch compilation.
+    session.allgather_time(64 * 1024, Scheme::Default);
+    session.allgather_time(512, Scheme::Default);
+    let probes = [
+        ProbePoint::allgather(64 * 1024, Scheme::Default),
+        ProbePoint::allgather(512, Scheme::Default),
+    ];
+    let set = FaultSet {
+        failed_cables: vec![(sw_a, sw_b, 1)],
+        ..FaultSet::default()
+    };
+    let t = std::time::Instant::now();
+    let report = match session.apply_faults(&set, &probes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: incremental fault failed to apply: {e}");
+            std::process::exit(1);
+        }
+    };
+    let apply_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.summary.cables_removed, 1, "one cable requested");
+    assert_eq!(report.ranks_migrated, 0, "a cable fault drains no cores");
+    assert!(
+        report.summary.dist_rows_rebuilt > 0,
+        "edge removal must rebuild the BFS trees that crossed it"
+    );
+    assert!(
+        report.summary.dist_rows_reused > 0,
+        "a single mesh cable must not dirty every BFS row"
+    );
+    println!(
+        "   re-converged in {apply_ms:.2} ms: BFS rows {} rebuilt / {} reused, \
+         price stages {} repriced / {} reused, {} price entries dropped",
+        report.summary.dist_rows_rebuilt,
+        report.summary.dist_rows_reused,
+        report.price_stages_repriced,
+        report.price_stages_reused,
+        report.price_entries_dropped,
+    );
+    for p in &report.probes {
+        println!(
+            "   probe {}: {:.6e} -> {:.6e} ({:.4}x)",
+            size_label(p.probe.msg_bytes),
+            p.before,
+            p.after,
+            p.slowdown()
+        );
+    }
+
+    // Delta-priced refinement pinned against the full-reprice reference in
+    // the same process, so one traced run captures the refine counters next
+    // to the repair counters.
+    let rp = 512usize;
+    let rcluster = Cluster::gpc(rp / 8);
+    let cpn = rcluster.cores_per_node();
+    let nodes = rcluster.total_cores() / cpn;
+    let comm = Communicator::new(
+        (0..rp)
+            .map(|r| CoreId::from_idx((r % nodes) * cpn + (r / nodes) % cpn))
+            .collect(),
+    );
+    let sched = chain_gather(rp as u32, Rank(0));
+    let params = NetParams::default();
+    let ident: Vec<u32> = (0..rp as u32).collect();
+    let t = std::time::Instant::now();
+    let (m_delta, t_delta) = refine::congestion_refine(
+        &rcluster,
+        &comm,
+        &sched,
+        4096,
+        &params,
+        ident.clone(),
+        300,
+        7,
+    );
+    let delta_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let (m_ref, t_ref) = refine::reference::congestion_refine(
+        &rcluster, &comm, &sched, 4096, &params, ident, 300, 7,
+    );
+    let ref_s = t.elapsed().as_secs_f64();
+    assert_eq!(m_delta, m_ref, "delta refinement diverged from reference");
+    assert_eq!(
+        t_delta.to_bits(),
+        t_ref.to_bits(),
+        "delta refinement time diverged from reference"
+    );
+    println!(
+        "   refine pin (P={rp}, chain gather, 300 proposals): delta {:.2} ms vs \
+         reference {:.2} ms, bit-identical result",
+        delta_s * 1e3,
+        ref_s * 1e3
+    );
+    trace.finish();
+}
+
 fn main() {
     let mut quick = false;
+    let mut incremental = false;
     let mut procs_override: Option<usize> = None;
     let mut rate_override: Option<f64> = None;
     let mut base_seed: u64 = 0x5eed;
@@ -109,6 +236,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--incremental" => incremental = true,
             "--procs" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
                     eprintln!("error: --procs needs a number");
@@ -164,13 +292,19 @@ fn main() {
             other => {
                 eprintln!("error: unknown argument {other}");
                 eprintln!(
-                    "usage: fault_sweep [--quick] [--procs N] [--link-fail R] [--seed S] \
+                    "usage: fault_sweep [--quick] [--incremental] [--procs N] [--link-fail R] [--seed S] \
                      [--cluster PATH|-] [--trace-out PATH] [--trace-chrome PATH]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if incremental {
+        let ranks = procs_override.unwrap_or(if quick { 4096 } else { 65_536 });
+        run_incremental(ranks, &trace);
+        return;
     }
 
     let ingested = cluster_path.as_deref().map(load_cluster_snapshot);

@@ -161,6 +161,49 @@ impl HarnessOpts {
     }
 }
 
+/// A 16×16 switch mesh with diagonal chords, `nodes_per_switch` nodes per
+/// switch and 8 cores per node — the irregular-fabric shape `tarr-ingest`
+/// exists for, used by the incremental-repair benchmarks. Grid links carry
+/// trunk 2; the diagonals carry trunk 1, so losing one diagonal cable
+/// removes a whole edge and exercises the fault-local BFS repair. The
+/// diagonals also give the graph odd cycles: rows equidistant from a failed
+/// edge's endpoints provably keep their distances, so repair stays local
+/// (on a bipartite fabric such as an exported fat tree, every edge loss
+/// dirties every row).
+///
+/// Returns the cluster and the central diagonal's endpoints, the canonical
+/// single-cable fault.
+pub fn chorded_mesh_cluster(nodes_per_switch: usize) -> (Cluster, (u32, u32)) {
+    use tarr_topo::{Fabric, IrregularConfig, IrregularFabric, NodeTopology};
+    let side = 16u32;
+    let mut links = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            let s = r * side + c;
+            if c + 1 < side {
+                links.push((s, s + 1, 2));
+            }
+            if r + 1 < side {
+                links.push((s, s + side, 2));
+            }
+            if r + 1 < side && c + 1 < side {
+                links.push((s, s + side + 1, 1));
+            }
+        }
+    }
+    let switches = (side * side) as usize;
+    let nodes = switches * nodes_per_switch;
+    let graph = IrregularConfig {
+        switches,
+        node_switch: (0..nodes).map(|n| (n / nodes_per_switch) as u32).collect(),
+        links,
+    };
+    let fabric = IrregularFabric::new(graph).expect("mesh graph is valid");
+    let cluster = Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(fabric), nodes)
+        .expect("mesh hosts every node");
+    (cluster, (7 * side + 7, 8 * side + 8))
+}
+
 /// Load a `topo-ingest` cluster snapshot for a `--cluster PATH` harness
 /// flag (`-` reads the snapshot from stdin, so `topo-ingest snapshot …`
 /// pipes straight in); prints the typed error and exits with status 2 on

@@ -1,0 +1,105 @@
+//! Chain (store-and-forward ring) gather: blocks flow hop by hop towards
+//! the root, each rank forwarding everything it has accumulated.
+//!
+//! The schedule is *deep and sparse* — `p − 1` single-message stages in
+//! which every non-terminal rank appears exactly twice (once as receiver,
+//! once as forwarder). That shape is the worst case for the full-reprice
+//! refinement path (every proposal re-simulates all `p − 1` stages) and the
+//! best case for the delta pricer (a swap touches at most four stages), so
+//! it doubles as the refinement-throughput benchmark workload. It is also a
+//! real algorithm: the chain is MPICH's long-message broadcast pipeline run
+//! in reverse, without segmentation.
+
+use tarr_mpi::{Payload, Schedule, SendOp, Stage};
+use tarr_topo::Rank;
+
+/// Build the chain gather schedule: relative rank `p − 1 − s` forwards its
+/// accumulated suffix to relative rank `p − 2 − s` in stage `s`, so after
+/// `p − 1` stages `root` holds every block in rank order.
+///
+/// # Panics
+/// Panics if `root ≥ p`.
+pub fn chain_gather(p: u32, root: Rank) -> Schedule {
+    assert!(root.0 < p, "root out of range");
+    let mut sched = Schedule::new(p);
+    for s in 0..p.saturating_sub(1) {
+        // Relative rank r holds the accumulated range [r, p) when it sends.
+        let r = p - 1 - s;
+        let from = (root.0 + r) % p;
+        let to = (root.0 + r - 1) % p;
+        sched.push(Stage::new(vec![SendOp {
+            from: Rank(from),
+            to: Rank(to),
+            payload: Payload::blocks(from, p - r),
+        }]));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mpi::FunctionalState;
+
+    #[test]
+    fn gathers_to_root_zero() {
+        for p in 1u32..=16 {
+            let sched = chain_gather(p, Rank(0));
+            sched.validate().unwrap();
+            assert_eq!(sched.stages.len(), p.saturating_sub(1) as usize);
+            let mut st = FunctionalState::init_allgather(p as usize);
+            st.run(&sched).unwrap();
+            let expected: Vec<u32> = (0..p).collect();
+            st.verify_gather_at(Rank(0), &expected)
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gathers_to_nonzero_root() {
+        for p in [5u32, 8, 12] {
+            for root in 0..p {
+                let sched = chain_gather(p, Rank(root));
+                sched.validate().unwrap();
+                let mut st = FunctionalState::init_allgather(p as usize);
+                st.run(&sched).unwrap();
+                let expected: Vec<u32> = (0..p).collect();
+                st.verify_gather_at(Rank(root), &expected)
+                    .unwrap_or_else(|e| panic!("p={p} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_stage_is_one_growing_message() {
+        let sched = chain_gather(8, Rank(0));
+        for (s, stage) in sched.stages.iter().enumerate() {
+            assert_eq!(stage.ops.len(), 1);
+            assert_eq!(stage.ops[0].payload.bytes(1), s as u64 + 1);
+        }
+        let last = sched.stages.last().unwrap();
+        assert_eq!(last.ops[0].from, Rank(1));
+        assert_eq!(last.ops[0].to, Rank(0));
+    }
+
+    #[test]
+    fn interior_ranks_touch_exactly_two_stages() {
+        let sched = chain_gather(16, Rank(0));
+        let mut appearances = [0u32; 16];
+        for stage in &sched.stages {
+            for op in &stage.ops {
+                appearances[op.from.0 as usize] += 1;
+                appearances[op.to.0 as usize] += 1;
+            }
+        }
+        assert_eq!(appearances[0], 1);
+        assert_eq!(appearances[15], 1);
+        assert!(appearances[1..15].iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn bad_root_rejected() {
+        chain_gather(4, Rank(4));
+    }
+}

@@ -2,7 +2,9 @@
 //! `MPI_Gather`, which the paper's BGMH heuristic covers).
 
 mod binomial_impl;
+mod chain_impl;
 mod linear_impl;
 
 pub use binomial_impl::binomial_gather;
+pub use chain_impl::chain_gather;
 pub use linear_impl::linear_gather;

@@ -218,6 +218,11 @@ pub struct CacheStats {
     pub sched_hits: u64,
     /// Compiled-schedule cache misses (schedule compiled).
     pub sched_misses: u64,
+    /// Unique-stage prices reused from the stage-price cache across `*_time`
+    /// calls (each would have been a full stage re-simulation without it).
+    pub price_reused: u64,
+    /// Unique-stage prices simulated and inserted into the stage-price cache.
+    pub price_computed: u64,
 }
 
 /// The extracted distance structure (dense table or O(P) oracle).
@@ -246,6 +251,15 @@ enum SchedKey {
     HierInit(InterAlg, IntraPattern, Mapper),
 }
 
+/// Which communicator a cached stage-price vector was computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CommKey {
+    /// The session's initial communicator.
+    Default,
+    /// The reordered communicator cached under `(mapper, pattern)`.
+    Reordered(Mapper, PatternKind),
+}
+
 /// The rank-reordering framework bound to one job.
 pub struct Session {
     cluster: Cluster,
@@ -256,6 +270,12 @@ pub struct Session {
     cache: HashMap<(Mapper, PatternKind), MappingInfo>,
     comm_cache: HashMap<(Mapper, PatternKind), Communicator>,
     sched_cache: HashMap<SchedKey, TimedSchedule>,
+    /// Per-unique-stage prices of a compiled schedule over one communicator
+    /// at one block size, aligned with `unique_stages()`; `NaN` = unpriced.
+    /// Repeated `*_time` calls sum cached entries instead of re-simulating,
+    /// and [`Session::apply_faults`] re-prices **selectively**: only stages
+    /// whose operand ranks moved or whose routes crossed repaired fabric.
+    price_cache: HashMap<(SchedKey, CommKey, u64), Vec<f64>>,
     stats: CacheStats,
 }
 
@@ -284,6 +304,7 @@ impl Session {
             cache: HashMap::new(),
             comm_cache: HashMap::new(),
             sched_cache: HashMap::new(),
+            price_cache: HashMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -497,6 +518,44 @@ impl Session {
         groups_by_node(&self.comm, &self.cluster)
     }
 
+    /// Price the compiled schedule `key` over the communicator `ck` names,
+    /// through the stage-price cache: stages already priced (same schedule,
+    /// communicator and block size) are summed as-is, `NaN` entries are
+    /// simulated and filled in. Summation follows `stage_order()`, so the
+    /// result is bit-identical to an uncached [`TimedSchedule::time`] call.
+    ///
+    /// The schedule (and, for [`CommKey::Reordered`], the communicator) must
+    /// already be cached.
+    fn priced_time(&mut self, key: SchedKey, ck: CommKey, block_bytes: u64) -> f64 {
+        let Session {
+            sched_cache,
+            comm_cache,
+            comm,
+            cluster,
+            cfg,
+            price_cache,
+            stats,
+            ..
+        } = self;
+        let ts = &sched_cache[&key];
+        let c = match ck {
+            CommKey::Default => &*comm,
+            CommKey::Reordered(mapper, pattern) => &comm_cache[&(mapper, pattern)],
+        };
+        let model = StageModel::new(cluster, cfg.net.clone());
+        let cache = price_cache
+            .entry((key, ck, block_bytes))
+            .or_insert_with(|| vec![f64::NAN; ts.unique_stages().len()]);
+        let missing = cache.iter().filter(|v| v.is_nan()).count() as u64;
+        stats.price_computed += missing;
+        stats.price_reused += cache.len() as u64 - missing;
+        if tarr_trace::enabled() {
+            tarr_trace::counter_add!("session.price.stages_computed", missing);
+            tarr_trace::counter_add!("session.price.stages_reused", cache.len() as u64 - missing);
+        }
+        ts.time_with_cache(c, &model, block_bytes, cache)
+    }
+
     /// Simulated latency of one non-hierarchical `MPI_Allgather` with
     /// per-rank message size `msg_bytes`, under `scheme`. Algorithm selection
     /// follows MVAPICH (recursive doubling below 1 KiB, ring above).
@@ -506,8 +565,7 @@ impl Session {
         match scheme {
             Scheme::Default => {
                 self.ensure_sched(SchedKey::Flat(alg)).unwrap();
-                let ts = &self.sched_cache[&SchedKey::Flat(alg)];
-                ts.time(&self.comm, &self.model(), msg_bytes)
+                self.priced_time(SchedKey::Flat(alg), CommKey::Default, msg_bytes)
             }
             Scheme::Reordered { mapper, fix } => {
                 let pattern = PatternKind::of_alg(alg);
@@ -520,9 +578,7 @@ impl Session {
                     (_, OrderFix::EndShuffle | OrderFix::InPlace) => SchedKey::Flat(alg),
                 };
                 self.ensure_sched(key).unwrap();
-                let ts = &self.sched_cache[&key];
-                let comm2 = &self.comm_cache[&(mapper, pattern)];
-                let t = ts.time(comm2, &self.model(), msg_bytes);
+                let t = self.priced_time(key, CommKey::Reordered(mapper, pattern), msg_bytes);
                 if alg != AllgatherAlg::Ring && fix == OrderFix::EndShuffle {
                     t + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
                 } else {
@@ -550,8 +606,7 @@ impl Session {
             Scheme::Default => {
                 let key = SchedKey::Hier(hcfg.inter, hcfg.intra, None);
                 self.ensure_sched(key)?;
-                let ts = &self.sched_cache[&key];
-                Some(ts.time(&self.comm, &self.model(), msg_bytes))
+                Some(self.priced_time(key, CommKey::Default, msg_bytes))
             }
             Scheme::Reordered { mapper, fix } => {
                 if !matches!(mapper, Mapper::Hrstc | Mapper::ScotchLike) {
@@ -566,9 +621,7 @@ impl Session {
                     }
                 };
                 self.ensure_sched(key)?;
-                let ts = &self.sched_cache[&key];
-                let comm2 = &self.comm_cache[&(mapper, pattern)];
-                let t = ts.time(comm2, &self.model(), msg_bytes);
+                let t = self.priced_time(key, CommKey::Reordered(mapper, pattern), msg_bytes);
                 Some(if fix == OrderFix::EndShuffle {
                     t + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)
                 } else {
@@ -756,8 +809,7 @@ impl Session {
         match scheme {
             Scheme::Default => {
                 self.ensure_sched(SchedKey::Gather).unwrap();
-                let ts = &self.sched_cache[&SchedKey::Gather];
-                ts.time(&self.comm, &self.model(), msg_bytes)
+                self.priced_time(SchedKey::Gather, CommKey::Default, msg_bytes)
             }
             Scheme::Reordered { mapper, fix } => {
                 self.ensure_reordered(mapper, PatternKind::BinomialGather)
@@ -767,9 +819,11 @@ impl Session {
                     OrderFix::EndShuffle | OrderFix::InPlace => SchedKey::Gather,
                 };
                 self.ensure_sched(key).unwrap();
-                let ts = &self.sched_cache[&key];
-                let comm2 = &self.comm_cache[&(mapper, PatternKind::BinomialGather)];
-                let t = ts.time(comm2, &self.model(), msg_bytes);
+                let t = self.priced_time(
+                    key,
+                    CommKey::Reordered(mapper, PatternKind::BinomialGather),
+                    msg_bytes,
+                );
                 if fix == OrderFix::EndShuffle {
                     // Only the root shuffles its gathered buffer.
                     t + self.cfg.net.memcpy.shuffle_time(p as usize, msg_bytes)

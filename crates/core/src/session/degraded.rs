@@ -20,11 +20,14 @@
 //! every kept entry is a deterministic function of inputs the fault did not
 //! change.
 
-use super::{CacheStats, DistanceBackend, Mapper, SchedKey, Scheme, Session, SessionDistance};
+use super::{
+    CacheStats, CommKey, DistanceBackend, Mapper, SchedKey, Scheme, Session, SessionDistance,
+};
+use std::collections::HashMap;
 use std::time::Duration;
-use tarr_faults::{DegradationSummary, FaultError, FaultSet};
+use tarr_faults::{DegradationSummary, FabricDelta, FaultError, FaultSet};
 use tarr_mpi::Communicator;
-use tarr_topo::{CoreId, DistanceMatrix, ImplicitDistance};
+use tarr_topo::{CoreId, DistanceMatrix, Hop, ImplicitDistance, IrregularFabric, Rank};
 
 /// Which collective a [`ProbePoint`] prices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,8 +133,19 @@ pub struct DegradationReport {
     pub scheds_dropped: usize,
     /// Compiled-schedule cache entries that survived the fault.
     pub scheds_kept: usize,
-    /// Wall-clock time of the distance-structure rebuild (zero when the
-    /// fault changed neither the fabric nor any rank's placement).
+    /// Stage-price cache entries dropped whole (their schedule or
+    /// communicator was invalidated, or the rebuild was not fault-local).
+    pub price_entries_dropped: usize,
+    /// Cached unique-stage prices invalidated selectively — stages whose
+    /// operand ranks migrated or whose routes crossed repaired fabric.
+    pub price_stages_repriced: usize,
+    /// Cached unique-stage prices that survived the fault untouched.
+    pub price_stages_reused: usize,
+    /// Distance-structure slots patched in place instead of a full rebuild
+    /// (drain-only migration; zero when the fabric changed).
+    pub dist_slots_patched: usize,
+    /// Wall-clock time of the distance-structure rebuild or repair (zero
+    /// when the fault changed neither the fabric nor any rank's placement).
     pub dist_rebuild: Duration,
     /// Pre/post-fault timings, one per requested probe, in order.
     pub probes: Vec<ProbeOutcome>,
@@ -200,6 +214,14 @@ impl Session {
 
         let fabric_changed = degraded.summary.fabric_rebuilt;
         let stale = fabric_changed || migrated > 0;
+        // Which ranks the migration moved (by communicator rank index).
+        let moved: Vec<bool> = self
+            .comm
+            .cores()
+            .iter()
+            .zip(&new_cores)
+            .map(|(a, b)| a != b)
+            .collect();
 
         // Keyed invalidation. Every retained entry is a deterministic
         // function of inputs the fault did not change (see module docs).
@@ -231,15 +253,45 @@ impl Session {
         let scheds_kept = self.sched_cache.len();
         drop(inv);
 
+        let fabric_delta = degraded.fabric_delta;
         self.cluster = degraded.cluster;
         if migrated > 0 {
             self.comm = Communicator::new(new_cores);
         }
+
+        // Stage-selective price-cache repair: an entry survived schedule and
+        // communicator invalidation, so each of its cached stage prices is
+        // kept unless the fault provably reaches it — an operand rank moved,
+        // or a route of one of its messages crossed repaired fabric.
+        let (price_entries_dropped, price_stages_repriced, price_stages_reused) = if stale {
+            repair_price_cache(self, &moved, fabric_changed, fabric_delta.as_ref())
+        } else {
+            (0, 0, 0)
+        };
+
         let mut dist_rebuild = Duration::ZERO;
+        let mut dist_slots_patched = 0usize;
         if stale {
             let sp = tarr_trace::timed_span("fault.distance_rebuild").arg("p", p);
-            self.d =
-                match self.cfg.backend {
+            if !fabric_changed {
+                // Drain-only migration: the cluster is untouched, so only
+                // the migrated slots' distances change — patch them in place
+                // (O(k·P) dense, O(k) implicit) instead of rebuilding.
+                let changed: Vec<(usize, CoreId)> = moved
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| m)
+                    .map(|(i, _)| (i, self.comm.cores()[i]))
+                    .collect();
+                dist_slots_patched = changed.len();
+                match &mut self.d {
+                    SessionDistance::Dense(m) => {
+                        m.repair_slots(&self.cluster, &self.cfg.dist, &changed)
+                    }
+                    SessionDistance::Implicit(o) => o.repair_slots(&changed),
+                }
+            } else {
+                self.d = match self.cfg.backend {
                     DistanceBackend::Dense => SessionDistance::Dense(DistanceMatrix::build(
                         &self.cluster,
                         self.comm.cores(),
@@ -249,6 +301,7 @@ impl Session {
                         ImplicitDistance::build(&self.cluster, self.comm.cores(), &self.cfg.dist),
                     ),
                 };
+            }
             dist_rebuild = sp.finish();
             self.dist_build += dist_rebuild;
         }
@@ -258,6 +311,9 @@ impl Session {
         tarr_trace::counter_add!("fault.cache.comm_dropped", comms_dropped as u64);
         tarr_trace::counter_add!("fault.cache.sched_dropped", scheds_dropped as u64);
         tarr_trace::counter_add!("fault.cache.sched_kept", scheds_kept as u64);
+        tarr_trace::counter_add!("fault.price.stages_repriced", price_stages_repriced as u64);
+        tarr_trace::counter_add!("fault.price.stages_reused", price_stages_reused as u64);
+        tarr_trace::counter_add!("fault.distance.slots_patched", dist_slots_patched as u64);
 
         let outcomes = probes
             .iter()
@@ -276,6 +332,10 @@ impl Session {
             comms_dropped,
             scheds_dropped,
             scheds_kept,
+            price_entries_dropped,
+            price_stages_repriced,
+            price_stages_reused,
+            dist_slots_patched,
             dist_rebuild,
             probes: outcomes,
         })
@@ -292,8 +352,129 @@ impl Session {
             comm_misses: s.comm_misses - baseline.comm_misses,
             sched_hits: s.sched_hits - baseline.sched_hits,
             sched_misses: s.sched_misses - baseline.sched_misses,
+            price_reused: s.price_reused - baseline.price_reused,
+            price_computed: s.price_computed - baseline.price_computed,
         }
     }
+}
+
+/// Selectively invalidate the session's stage-price cache after a fault.
+/// Returns `(entries dropped, stage prices invalidated, stage prices kept)`.
+///
+/// Entries whose schedule or communicator was invalidated are dropped whole.
+/// For the survivors, each cached stage price is kept unless the fault
+/// provably reaches it: an operand rank migrated, or (fabric repaired under
+/// an identity renumbering) one of its messages routes through a switch
+/// whose BFS row or adjacency the repair touched. A fabric rebuild without
+/// an identity [`FabricDelta`] flushes everything — renumbered switches
+/// leave no per-row provenance to reason from.
+fn repair_price_cache(
+    s: &mut Session,
+    moved: &[bool],
+    fabric_changed: bool,
+    delta: Option<&FabricDelta>,
+) -> (usize, usize, usize) {
+    let _span = tarr_trace::span("fault.price_repair")
+        .arg("entries", s.price_cache.len())
+        .arg("identity_delta", delta.is_some());
+    let before = s.price_cache.len();
+    {
+        let sched_cache = &s.sched_cache;
+        let comm_cache = &s.comm_cache;
+        s.price_cache.retain(|&(key, ck, _), _| {
+            sched_cache.contains_key(&key)
+                && match ck {
+                    CommKey::Default => true,
+                    CommKey::Reordered(m, pat) => comm_cache.contains_key(&(m, pat)),
+                }
+        });
+    }
+    let mut dropped = before - s.price_cache.len();
+
+    if fabric_changed && delta.is_none() {
+        dropped += s.price_cache.len();
+        s.price_cache.clear();
+        return (dropped, 0, 0);
+    }
+
+    let Session {
+        price_cache,
+        sched_cache,
+        comm_cache,
+        comm,
+        cluster,
+        ..
+    } = s;
+    let fabric = cluster.fabric().as_irregular();
+    // Route-stability memo, keyed (source switch, destination node): a
+    // cached price survives only if re-simulating would walk identical hops,
+    // i.e. the destination's BFS row is clean and no switch the route
+    // traverses had its adjacency (links or trunk counts) repaired.
+    let mut route_ok: HashMap<(u32, u32), bool> = HashMap::new();
+    let (mut repriced, mut reused) = (0usize, 0usize);
+    for (&(key, ck, _), cache) in price_cache.iter_mut() {
+        let ts = &sched_cache[&key];
+        let c = match ck {
+            CommKey::Default => &*comm,
+            CommKey::Reordered(m, pat) => &comm_cache[&(m, pat)],
+        };
+        for (k, ops) in ts.unique_stages().iter().enumerate() {
+            if cache[k].is_nan() {
+                continue;
+            }
+            let stable = ops.iter().all(|op| {
+                if moved[op.from as usize] || moved[op.to as usize] {
+                    return false;
+                }
+                let Some(delta) = delta else { return true };
+                let (ca, cb) = (c.core_of(Rank(op.from)), c.core_of(Rank(op.to)));
+                if ca == cb {
+                    return true; // local copy: no fabric involved
+                }
+                let (na, nb) = (cluster.node_of(ca), cluster.node_of(cb));
+                if na == nb {
+                    return true; // intra-node path: no fabric involved
+                }
+                let g = fabric.expect("identity delta implies an irregular fabric");
+                let src_sw = g.switch_of(na);
+                *route_ok
+                    .entry((src_sw, nb.idx() as u32))
+                    .or_insert_with(|| route_is_stable(g, delta, src_sw, na, nb))
+            });
+            if stable {
+                reused += 1;
+            } else {
+                cache[k] = f64::NAN;
+                repriced += 1;
+            }
+        }
+    }
+    (dropped, repriced, reused)
+}
+
+/// Whether re-routing `na → nb` on the repaired fabric walks hops identical
+/// to the pre-fault fabric's: the destination's BFS row must be clean (the
+/// descent compares its levels at every candidate) and every traversed
+/// switch's adjacency unchanged (the candidate list and trunk modulus come
+/// from it). The destination switch's own adjacency is never consulted.
+fn route_is_stable(
+    g: &IrregularFabric,
+    delta: &FabricDelta,
+    src_sw: u32,
+    na: tarr_topo::NodeId,
+    nb: tarr_topo::NodeId,
+) -> bool {
+    let dst_sw = g.switch_of(nb);
+    if src_sw == dst_sw {
+        return true; // up/down through one surviving switch: no routing choice
+    }
+    if delta.row_dirty(dst_sw) {
+        return false;
+    }
+    g.route(na, nb).iter().all(|h| match h {
+        Hop::SwitchLink { from, .. } => !delta.adj_changed(*from),
+        _ => true,
+    })
 }
 
 #[cfg(test)]
@@ -386,6 +567,171 @@ mod tests {
             }
         );
         assert!(s.allgather_time(512, Scheme::Default) > 0.0);
+    }
+
+    fn irregular_cluster() -> Cluster {
+        use tarr_topo::{Fabric, IrregularConfig, IrregularFabric, NodeTopology};
+        // A 2×3 switch grid with a chord, two nodes per switch.
+        let f = IrregularFabric::new(IrregularConfig {
+            switches: 6,
+            node_switch: (0..12).map(|n| n / 2).collect(),
+            links: vec![
+                (0, 1, 2),
+                (1, 2, 2),
+                (3, 4, 2),
+                (4, 5, 2),
+                (0, 3, 2),
+                (1, 4, 2),
+                (2, 5, 2),
+                (0, 4, 1),
+            ],
+        })
+        .unwrap();
+        Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(f), 12).unwrap()
+    }
+
+    /// Warm a standard probe surface and return the (msg, scheme) grid so the
+    /// caller can re-compare after a fault.
+    fn warm(s: &mut Session) -> Vec<(u64, Scheme)> {
+        let grid: Vec<(u64, Scheme)> = [512u64, 65536]
+            .iter()
+            .flat_map(|&m| {
+                [Scheme::Default, Scheme::hrstc(OrderFix::InitComm)].map(move |sc| (m, sc))
+            })
+            .collect();
+        for &(m, sc) in &grid {
+            s.allgather_time(m, sc);
+        }
+        s.gather_time(4096, Scheme::Default);
+        grid
+    }
+
+    /// Every time the degraded session can produce must equal a session built
+    /// cold on the degraded cluster — the bit-identity pin for the
+    /// stage-selective re-pricing.
+    fn assert_matches_cold(s: &mut Session, grid: &[(u64, Scheme)]) {
+        let mut cold = Session::new(
+            s.cluster().clone(),
+            s.comm().cores().to_vec(),
+            SessionConfig::default(),
+        );
+        for &(m, sc) in grid {
+            assert_eq!(
+                s.allgather_time(m, sc),
+                cold.allgather_time(m, sc),
+                "allgather {m} {sc:?}"
+            );
+        }
+        assert_eq!(
+            s.gather_time(4096, Scheme::Default),
+            cold.gather_time(4096, Scheme::Default),
+            "gather"
+        );
+    }
+
+    #[test]
+    fn cable_fault_reprices_selectively_and_matches_cold() {
+        let mut s = Session::from_layout(
+            irregular_cluster(),
+            InitialMapping::CYCLIC_BUNCH,
+            96,
+            SessionConfig::default(),
+        );
+        let grid = warm(&mut s);
+        // Kill every trunk of the 2—5 link: the adjacency changes but no
+        // switch is pruned, so the identity fabric delta drives the repair.
+        let set = FaultSet {
+            failed_cables: vec![(2, 5, 2)],
+            ..FaultSet::default()
+        };
+        let report = s.apply_faults(&set, &[]).unwrap();
+        assert!(report.summary.fabric_rebuilt);
+        assert!(report.summary.dist_rows_rebuilt > 0);
+        assert!(report.summary.dist_rows_reused > 0);
+        assert_eq!(report.ranks_migrated, 0);
+        assert!(
+            report.price_stages_reused > 0,
+            "stages routing clear of the dead cable must keep their price: {report:?}"
+        );
+        assert!(
+            report.price_stages_repriced > 0,
+            "stages crossing the dead cable must be re-priced: {report:?}"
+        );
+        assert_eq!(report.dist_slots_patched, 0);
+        assert_matches_cold(&mut s, &grid);
+    }
+
+    #[test]
+    fn trunk_only_fault_keeps_every_distance_row_and_matches_cold() {
+        let mut s = Session::from_layout(
+            irregular_cluster(),
+            InitialMapping::CYCLIC_BUNCH,
+            96,
+            SessionConfig::default(),
+        );
+        let grid = warm(&mut s);
+        // One cable of the 2-trunk 0—3 link: adjacency (trunk counts) change
+        // but every BFS row survives; only routes through 0 or 3 re-price.
+        let set = FaultSet {
+            failed_cables: vec![(0, 3, 1)],
+            ..FaultSet::default()
+        };
+        let report = s.apply_faults(&set, &[]).unwrap();
+        assert!(report.summary.fabric_rebuilt);
+        assert_eq!(report.summary.dist_rows_rebuilt, 0);
+        assert_eq!(report.summary.dist_rows_reused, 6);
+        assert!(report.price_stages_reused > 0, "{report:?}");
+        assert_matches_cold(&mut s, &grid);
+    }
+
+    #[test]
+    fn switch_fault_renumbers_and_still_matches_cold() {
+        // Pruning a switch renumbers the survivors: no identity delta, the
+        // price cache flushes, and the rebuilt session must still equal cold.
+        let cluster = irregular_cluster();
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::CYCLIC_BUNCH,
+            80, // leave the two nodes of switch 5 as spares
+            SessionConfig::default(),
+        );
+        let grid = warm(&mut s);
+        let set = FaultSet {
+            failed_switches: vec![5],
+            ..FaultSet::default()
+        };
+        let report = s.apply_faults(&set, &[]).unwrap();
+        assert!(report.summary.fabric_rebuilt);
+        assert_eq!(report.price_stages_reused, 0, "{report:?}");
+        assert_matches_cold(&mut s, &grid);
+    }
+
+    #[test]
+    fn drain_only_migration_patches_distance_slots_and_matches_cold() {
+        let cluster = Cluster::gpc(8); // 64 cores, 32 ranks: spares exist
+        let mut s = Session::from_layout(
+            cluster,
+            InitialMapping::BLOCK_BUNCH,
+            32,
+            SessionConfig::default(),
+        );
+        let grid = warm(&mut s);
+        let report = s
+            .apply_faults(
+                &FaultSet {
+                    drained_nodes: vec![0],
+                    ..FaultSet::default()
+                },
+                &[],
+            )
+            .unwrap();
+        assert!(!report.summary.fabric_rebuilt);
+        assert_eq!(report.ranks_migrated, 8);
+        assert_eq!(
+            report.dist_slots_patched, 8,
+            "drain-only migration must patch, not rebuild: {report:?}"
+        );
+        assert_matches_cold(&mut s, &grid);
     }
 
     #[test]

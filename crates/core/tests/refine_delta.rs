@@ -1,0 +1,97 @@
+//! Large-scale differential suite for the delta swap pricer: at P = 512 and
+//! P = 4096, `congestion_refine` (delta pricing) and `refine::reference`
+//! (full re-price per proposal) must emit **bit-identical** mappings and
+//! times across schedules, block sizes and seeds. The two paths share one
+//! hill-climb loop (same RNG stream, same duplicate-skip logic), so any
+//! divergence is a pricing bug, not sampling noise.
+//!
+//! Proposal budgets are kept small: the reference path re-prices the whole
+//! schedule per proposal, which is exactly the cost the delta path exists to
+//! avoid — the P = 24 in-module suite covers the long-climb behaviour.
+
+use tarr_collectives::gather::binomial_gather;
+use tarr_collectives::AllgatherAlg;
+use tarr_core::refine;
+use tarr_mpi::{Communicator, Schedule};
+use tarr_netsim::NetParams;
+use tarr_topo::{Cluster, CoreId, Rank};
+
+/// A deliberately bad cyclic layout so the climb has accepts to make.
+fn cyclic_comm(cluster: &Cluster, p: usize) -> Communicator {
+    let cpn = cluster.cores_per_node();
+    let nodes = cluster.total_cores() / cpn;
+    let cores: Vec<CoreId> = (0..p)
+        .map(|r| CoreId::from_idx((r % nodes) * cpn + (r / nodes) % cpn))
+        .collect();
+    Communicator::new(cores)
+}
+
+fn check(p: usize, schedule: &Schedule, block_bytes: u64, proposals: usize, seed: u64) {
+    let cluster = Cluster::gpc(p / 8);
+    let comm = cyclic_comm(&cluster, p);
+    let params = NetParams::default();
+    let ident: Vec<u32> = (0..p as u32).collect();
+    let (m_delta, t_delta) = refine::congestion_refine(
+        &cluster,
+        &comm,
+        schedule,
+        block_bytes,
+        &params,
+        ident.clone(),
+        proposals,
+        seed,
+    );
+    let (m_ref, t_ref) = refine::reference::congestion_refine(
+        &cluster,
+        &comm,
+        schedule,
+        block_bytes,
+        &params,
+        ident,
+        proposals,
+        seed,
+    );
+    assert_eq!(m_delta, m_ref, "mapping diverged (P={p}, seed={seed})");
+    assert_eq!(
+        t_delta.to_bits(),
+        t_ref.to_bits(),
+        "time diverged (P={p}, seed={seed}): {t_delta} vs {t_ref}"
+    );
+}
+
+#[test]
+fn delta_matches_reference_p512_ring() {
+    let sched = AllgatherAlg::Ring.schedule(512);
+    for seed in [0u64, 7] {
+        check(512, &sched, 65536, 40, seed);
+    }
+}
+
+#[test]
+fn delta_matches_reference_p512_recursive_doubling() {
+    let sched = AllgatherAlg::RecursiveDoubling.schedule(512);
+    for seed in [1u64, 42] {
+        check(512, &sched, 512, 40, seed);
+    }
+}
+
+#[test]
+fn delta_matches_reference_p512_gather() {
+    let sched = binomial_gather(512, Rank(0));
+    check(512, &sched, 4096, 40, 3);
+}
+
+#[test]
+fn delta_matches_reference_p4096_gather() {
+    // The sparse-schedule case the delta index is built for: each rank
+    // appears in a handful of the 12 gather stages, so a swap re-prices a
+    // few stages where the reference re-simulates all of them.
+    let sched = binomial_gather(4096, Rank(0));
+    check(4096, &sched, 4096, 12, 0);
+}
+
+#[test]
+fn delta_matches_reference_p4096_ring() {
+    let sched = AllgatherAlg::Ring.schedule(4096);
+    check(4096, &sched, 65536, 6, 5);
+}

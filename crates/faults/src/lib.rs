@@ -99,6 +99,39 @@ pub struct DegradationSummary {
     /// set; the original fabric object, and hence its exact distance
     /// semantics, are preserved).
     pub fabric_rebuilt: bool,
+    /// Per-destination BFS distance rows recomputed while rebuilding
+    /// (0 for drain-only sets, which do no distance work at all).
+    pub dist_rows_rebuilt: usize,
+    /// BFS rows carried over from the pre-fault fabric by the fault-local
+    /// repair (only possible when the source fabric was already irregular).
+    pub dist_rows_reused: usize,
+}
+
+/// What a fault-local fabric repair changed, in pre-fault switch
+/// coordinates — only attached when the source fabric was irregular and the
+/// renumbering came out as the identity (no switches pruned), which is when
+/// downstream caches can check old routes against it.
+#[derive(Debug, Clone)]
+pub struct FabricDelta {
+    /// Switches whose per-destination BFS row was rebuilt: any cached
+    /// quantity derived from distances *to* these switches is stale.
+    pub dirty_rows: Vec<u32>,
+    /// Switches whose adjacency changed (an incident link was removed or
+    /// lost trunks): any cached route traversing them may pick different
+    /// hops now.
+    pub changed_adj: Vec<u32>,
+}
+
+impl FabricDelta {
+    /// Whether destination switch `d`'s distance row was rebuilt.
+    pub fn row_dirty(&self, d: u32) -> bool {
+        self.dirty_rows.binary_search(&d).is_ok()
+    }
+
+    /// Whether switch `s`'s adjacency (peers or trunk counts) changed.
+    pub fn adj_changed(&self, s: u32) -> bool {
+        self.changed_adj.binary_search(&s).is_ok()
+    }
 }
 
 /// A cluster with faults applied.
@@ -112,6 +145,10 @@ pub struct Degraded {
     pub dead_cores: Vec<CoreId>,
     /// Damage accounting.
     pub summary: DegradationSummary,
+    /// Exactly what the fault-local repair changed, when one ran with an
+    /// identity renumbering (irregular source fabric, no switches pruned).
+    /// `None` for drain-only sets and for full rebuilds.
+    pub fabric_delta: Option<FabricDelta>,
 }
 
 impl Degraded {
@@ -229,10 +266,10 @@ impl FaultSet {
             ..DegradationSummary::default()
         };
 
-        let fabric = if self.is_structural() {
+        let (fabric, fabric_delta) = if self.is_structural() {
             self.rebuild_fabric(cluster, &mut node_dead, &mut summary)?
         } else {
-            cluster.fabric().clone()
+            (cluster.fabric().clone(), None)
         };
 
         summary.nodes_lost = node_dead.iter().filter(|&&d| d).count();
@@ -257,22 +294,36 @@ impl FaultSet {
         tarr_trace::counter_add!("fault.switches_removed", summary.switches_removed as u64);
         tarr_trace::counter_add!("fault.nodes_lost", summary.nodes_lost as u64);
         tarr_trace::counter_add!("fault.cores_lost", summary.cores_lost as u64);
+        tarr_trace::counter_add!(
+            "fault.repair.trees_rebuilt",
+            summary.dist_rows_rebuilt as u64
+        );
+        tarr_trace::counter_add!("fault.repair.trees_reused", summary.dist_rows_reused as u64);
 
         Ok(Degraded {
             cluster,
             dead_cores,
             summary,
+            fabric_delta,
         })
     }
 
     /// Remove failed hardware from the switch graph and rebuild the survivor
     /// fabric. Marks nodes hosted by failed switches dead.
+    ///
+    /// When the source fabric is already irregular, the survivor's BFS
+    /// distance tables are **repaired** rather than rebuilt: only the rows
+    /// whose shortest paths crossed the dead hardware are recomputed
+    /// ([`IrregularFabric::repaired`]), the rest carried over — the result
+    /// is identical either way, the differential tests pin it, and the
+    /// second element reports exactly what changed when the renumbering is
+    /// the identity.
     fn rebuild_fabric(
         &self,
         cluster: &Cluster,
         node_dead: &mut [bool],
         summary: &mut DegradationSummary,
-    ) -> Result<Fabric, FaultError> {
+    ) -> Result<(Fabric, Option<FabricDelta>), FaultError> {
         let g = cluster.fabric().to_switch_graph();
         let s_count = g.switches;
 
@@ -295,6 +346,10 @@ impl FaultSet {
             *links.entry(key).or_insert(0) += t;
         }
 
+        // Links whose trunk count actually changed — their endpoints'
+        // adjacency (and hence route trunk selection) is different now.
+        let mut changed_links: std::collections::BTreeSet<(u32, u32)> =
+            std::collections::BTreeSet::new();
         for &(a, b, n) in &self.failed_cables {
             for s in [a, b] {
                 if s as usize >= s_count {
@@ -311,6 +366,9 @@ impl FaultSet {
             let removed = n.min(*t);
             summary.cables_removed += removed as usize;
             *t -= removed;
+            if removed > 0 {
+                changed_links.insert(key);
+            }
         }
 
         for (n, &s) in g.node_switch.iter().enumerate() {
@@ -413,13 +471,42 @@ impl FaultSet {
             })
             .collect();
 
-        let fabric = IrregularFabric::new(IrregularConfig {
+        let cfg = IrregularConfig {
             switches: kept as usize,
             node_switch,
             links: new_links,
-        })
-        .expect("kept component is connected by construction");
-        Ok(Fabric::Irregular(fabric))
+        };
+        match cluster.fabric() {
+            // Irregular source: fault-local repair of the BFS tables.
+            Fabric::Irregular(prev) => {
+                let (fabric, stats) = IrregularFabric::repaired(prev, &new_idx, cfg)
+                    .expect("kept component is connected by construction");
+                summary.dist_rows_rebuilt = stats.rows_rebuilt();
+                summary.dist_rows_reused = stats.rows_reused;
+                // The delta is only consumable downstream when the
+                // renumbering is the identity (nothing pruned): then new
+                // and old switch coordinates coincide.
+                let delta = (kept as usize == s_count).then(|| {
+                    let mut changed_adj: Vec<u32> =
+                        changed_links.iter().flat_map(|&(a, b)| [a, b]).collect();
+                    changed_adj.sort_unstable();
+                    changed_adj.dedup();
+                    FabricDelta {
+                        dirty_rows: stats.dirty_rows,
+                        changed_adj,
+                    }
+                });
+                Ok((Fabric::Irregular(fabric), delta))
+            }
+            // Fat-tree/torus source: the irregular form doesn't exist yet,
+            // so every BFS row is necessarily computed fresh.
+            _ => {
+                let fabric =
+                    IrregularFabric::new(cfg).expect("kept component is connected by construction");
+                summary.dist_rows_rebuilt = fabric.num_switches();
+                Ok((Fabric::Irregular(fabric), None))
+            }
+        }
     }
 }
 

@@ -1,0 +1,183 @@
+//! Differential suite for the fault-local distance repair: applying a
+//! structural fault set to an irregular-source cluster goes through
+//! `IrregularFabric::repaired`, and the result must be **identical** (full
+//! `PartialEq`, including every BFS distance row) to a cold
+//! `IrregularFabric::new` on the post-fault configuration. Seeded 1-, 2-
+//! and 5-cable sets cover the deterministic corners; a proptest sweeps
+//! random connected fabrics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tarr_faults::FaultSet;
+use tarr_topo::{Cluster, Fabric, IrregularConfig, IrregularFabric, NodeTopology};
+
+fn irregular_cluster(cfg: IrregularConfig) -> Cluster {
+    let nodes = cfg.node_switch.len();
+    let f = IrregularFabric::new(cfg).unwrap();
+    Cluster::from_parts(NodeTopology::gpc(), Fabric::Irregular(f), nodes).unwrap()
+}
+
+/// A 3×3 grid with chords — enough redundancy that most cable failures
+/// leave it connected.
+fn grid9() -> IrregularConfig {
+    IrregularConfig {
+        switches: 9,
+        node_switch: (0..18).map(|n| n / 2).collect(),
+        links: vec![
+            (0, 1, 2),
+            (1, 2, 2),
+            (3, 4, 2),
+            (4, 5, 2),
+            (6, 7, 2),
+            (7, 8, 2),
+            (0, 3, 2),
+            (3, 6, 2),
+            (1, 4, 2),
+            (4, 7, 2),
+            (2, 5, 2),
+            (5, 8, 2),
+            (0, 4, 1),
+            (4, 8, 1),
+        ],
+    }
+}
+
+/// Draw `k` cable failures from the fabric's canonical link list.
+fn k_cable_set(cluster: &Cluster, k: usize, seed: u64) -> FaultSet {
+    let g = cluster.fabric().to_switch_graph();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = FaultSet::default();
+    for _ in 0..k {
+        let (a, b, _) = g.links[rng.gen_range(0..g.links.len())];
+        set.failed_cables.push((a, b, 1));
+    }
+    set
+}
+
+/// Apply `set`; on success, pin the repaired fabric against a cold rebuild
+/// of the exact same post-fault configuration.
+fn assert_repair_matches_cold(cluster: &Cluster, set: &FaultSet) -> Result<(), TestCaseError> {
+    let Ok(d) = set.apply(cluster) else {
+        return Ok(()); // partition / no-live-cores: typed rejection, nothing to compare
+    };
+    let repaired = d
+        .cluster
+        .fabric()
+        .as_irregular()
+        .expect("structural rebuild");
+    let cold = IrregularFabric::new(repaired.to_config()).expect("survivor is connected");
+    prop_assert_eq!(repaired, &cold);
+    prop_assert_eq!(
+        d.summary.dist_rows_rebuilt + d.summary.dist_rows_reused,
+        cold.num_switches()
+    );
+    Ok(())
+}
+
+#[test]
+fn seeded_cable_sets_match_cold_rebuild() {
+    let cluster = irregular_cluster(grid9());
+    for k in [1usize, 2, 5] {
+        for seed in 0..20u64 {
+            let set = k_cable_set(&cluster, k, seed * 31 + k as u64);
+            assert_repair_matches_cold(&cluster, &set).unwrap();
+        }
+    }
+}
+
+#[test]
+fn switch_failures_match_cold_rebuild() {
+    let cluster = irregular_cluster(grid9());
+    for s in 0..9u32 {
+        let set = FaultSet {
+            failed_switches: vec![s],
+            ..FaultSet::default()
+        };
+        assert_repair_matches_cold(&cluster, &set).unwrap();
+    }
+}
+
+#[test]
+fn trunk_only_fault_reuses_every_row_and_changes_routes() {
+    // Dropping one cable of a 2-trunk link keeps the adjacency (and all
+    // distances) intact: zero rows rebuilt, but the delta still names the
+    // endpoints as adjacency-changed because trunk selection shifted.
+    let cluster = irregular_cluster(grid9());
+    let set = FaultSet {
+        failed_cables: vec![(0, 1, 1)],
+        ..FaultSet::default()
+    };
+    let d = set.apply(&cluster).unwrap();
+    assert_eq!(d.summary.dist_rows_rebuilt, 0);
+    assert_eq!(d.summary.dist_rows_reused, 9);
+    let delta = d
+        .fabric_delta
+        .expect("identity renumbering keeps the delta");
+    assert!(delta.dirty_rows.is_empty());
+    assert!(delta.adj_changed(0) && delta.adj_changed(1));
+    assert!(!delta.adj_changed(5));
+    assert_repair_matches_cold(&cluster, &set).unwrap();
+}
+
+#[test]
+fn drain_only_sets_do_no_distance_work() {
+    let cluster = irregular_cluster(grid9());
+    let set = FaultSet {
+        drained_nodes: vec![3, 7],
+        ..FaultSet::default()
+    };
+    let d = set.apply(&cluster).unwrap();
+    assert!(!d.summary.fabric_rebuilt);
+    assert_eq!(d.summary.dist_rows_rebuilt, 0);
+    assert_eq!(d.summary.dist_rows_reused, 0);
+    assert!(d.fabric_delta.is_none());
+    assert_eq!(d.cluster.fabric(), cluster.fabric());
+}
+
+#[test]
+fn pruned_rebuild_carries_no_delta() {
+    // Killing a switch renumbers the survivors: the repaired fabric is
+    // still pinned against cold, but no identity delta can be offered.
+    let cluster = irregular_cluster(grid9());
+    let set = FaultSet {
+        failed_switches: vec![8],
+        ..FaultSet::default()
+    };
+    let d = set.apply(&cluster).unwrap();
+    assert!(d.fabric_delta.is_none());
+    assert!(d.summary.dist_rows_rebuilt > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random connected fabrics × random 1–5-cable fault sets: repair must
+    /// always equal the cold rebuild.
+    #[test]
+    fn random_fabric_repair_matches_cold(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let switches = rng.gen_range(2usize..12);
+        // Spanning path keeps it connected; extra chords add redundancy.
+        let mut links: Vec<(u32, u32, u32)> = (1..switches)
+            .map(|s| ((s - 1) as u32, s as u32, rng.gen_range(1u32..4)))
+            .collect();
+        for _ in 0..rng.gen_range(0usize..6) {
+            let a = rng.gen_range(0..switches) as u32;
+            let b = rng.gen_range(0..switches) as u32;
+            if a != b {
+                links.push((a, b, rng.gen_range(1u32..3)));
+            }
+        }
+        let nodes = switches * 2;
+        let cfg = IrregularConfig {
+            switches,
+            node_switch: (0..nodes).map(|_| rng.gen_range(0..switches) as u32).collect(),
+            links,
+        };
+        let cluster = irregular_cluster(cfg);
+        let k = rng.gen_range(1usize..=5);
+        let set = k_cable_set(&cluster, k, rng.gen_range(0..u64::MAX));
+        assert_repair_matches_cold(&cluster, &set)?;
+    }
+}

@@ -75,6 +75,14 @@ pub enum MapError {
         /// Length of the offending mapping.
         len: usize,
     },
+    /// The mapping's length does not match the structure it applies to
+    /// (e.g. a communicator of `expected` ranks).
+    LengthMismatch {
+        /// Length of the offending mapping.
+        len: usize,
+        /// Length the consumer required.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for MapError {
@@ -82,6 +90,9 @@ impl std::fmt::Display for MapError {
         match self {
             MapError::NotAPermutation { len } => {
                 write!(f, "mapping is not a permutation of 0..{len}")
+            }
+            MapError::LengthMismatch { len, expected } => {
+                write!(f, "mapping has length {len}, expected {expected}")
             }
         }
     }

@@ -75,6 +75,18 @@ impl Communicator {
         Communicator { cores }
     }
 
+    /// Swap the cores bound to ranks `a` and `b` in place.
+    ///
+    /// Exchanging two entries preserves the communicator invariants (same
+    /// core set, still duplicate-free), so this is the allocation-free way
+    /// to apply or undo one pairwise-exchange proposal of the refinement
+    /// loop — equivalent to rebuilding with [`Communicator::reordered`] on a
+    /// mapping that differs only in entries `a` and `b`.
+    #[inline]
+    pub fn swap_ranks(&mut self, a: Rank, b: Rank) {
+        self.cores.swap(a.idx(), b.idx());
+    }
+
     /// The permutation relating this communicator to `other` over the same
     /// core set: `perm[rank_in_self] = rank_in_other` for the same process.
     ///

@@ -1,0 +1,372 @@
+//! Delta swap pricing: O(touched) re-pricing of pairwise rank exchanges.
+//!
+//! The refinement loop of the paper's congestion-aware search evaluates
+//! thousands of proposals of the form "swap ranks *a* and *b*". Pricing one
+//! proposal from scratch costs a full [`TimedSchedule::time`] pass — every
+//! unique stage re-simulated — even though a pairwise exchange can only
+//! change the stages whose `(from, to)` pairs involve *a* or *b*.
+//!
+//! This module makes a proposal cost proportional to what it touches:
+//!
+//! * [`RankStageIndex`] — a CSR index from rank to the unique stages it
+//!   participates in, built once per compiled schedule;
+//! * [`DeltaPricer`] — a scratch communicator (mutated in place with
+//!   [`Communicator::swap_ranks`], never reallocated) plus a per-unique-stage
+//!   price vector; a proposal re-simulates only the affected stages and the
+//!   total is re-summed along the original stage order.
+//!
+//! **Bit-identity.** A stage's price is a pure function of the communicator
+//! contents (the resolved message list feeds a deterministic simulator), so
+//! re-pricing only the stages whose message lists changed leaves every other
+//! cached entry equal to what a full re-price would compute. Summation runs
+//! over [`TimedSchedule::stage_order`] exactly as [`TimedSchedule::time`]
+//! does — same additions, same sequence — so the delta total is bit-identical
+//! to the full re-price, which the differential tests in
+//! `tarr-core::refine` pin across mappers, patterns and sizes.
+
+use crate::comm::Communicator;
+use crate::timing::{TimedSchedule, EMPTY_STAGE};
+use tarr_netsim::{Message, StageModel};
+use tarr_topo::Rank;
+use tarr_trace::counter_add;
+
+/// CSR index from rank to the unique stages whose merged ops name it as
+/// sender or receiver. Built once per compiled schedule in O(total ops).
+#[derive(Debug, Clone)]
+pub struct RankStageIndex {
+    /// `offsets[r]..offsets[r + 1]` bounds rank `r`'s slice of `stages`.
+    offsets: Vec<u32>,
+    /// Unique-stage ids, ascending within each rank's slice.
+    stages: Vec<u32>,
+}
+
+impl RankStageIndex {
+    /// Build the index for a compiled schedule.
+    pub fn build(ts: &TimedSchedule) -> Self {
+        let p = ts.p() as usize;
+        let uniq = ts.unique_stages();
+        // Dedup per (rank, stage) with a last-seen stamp: a rank usually
+        // appears several times inside one stage (as sender and receiver,
+        // or in several merged pairs) but must be indexed once.
+        let mut last = vec![u32::MAX; p];
+        let mut counts = vec![0u32; p];
+        for (k, stage) in uniq.iter().enumerate() {
+            for op in stage {
+                for r in [op.from as usize, op.to as usize] {
+                    if last[r] != k as u32 {
+                        last[r] = k as u32;
+                        counts[r] += 1;
+                    }
+                }
+            }
+        }
+        let mut offsets = vec![0u32; p + 1];
+        for r in 0..p {
+            offsets[r + 1] = offsets[r] + counts[r];
+        }
+        let mut cursor: Vec<u32> = offsets[..p].to_vec();
+        let mut stages = vec![0u32; offsets[p] as usize];
+        last.fill(u32::MAX);
+        for (k, stage) in uniq.iter().enumerate() {
+            for op in stage {
+                for r in [op.from as usize, op.to as usize] {
+                    if last[r] != k as u32 {
+                        last[r] = k as u32;
+                        stages[cursor[r] as usize] = k as u32;
+                        cursor[r] += 1;
+                    }
+                }
+            }
+        }
+        RankStageIndex { offsets, stages }
+    }
+
+    /// Unique-stage ids rank `r` participates in, ascending.
+    #[inline]
+    pub fn stages_of(&self, r: u32) -> &[u32] {
+        &self.stages[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
+    }
+}
+
+/// Incremental pricer for pairwise-exchange proposals on one compiled
+/// schedule, communicator and message size.
+///
+/// Protocol: [`propose_swap`](DeltaPricer::propose_swap) applies a swap to
+/// the scratch communicator and returns the new total; the caller then
+/// either [`accept`](DeltaPricer::accept)s (keeping the state) or
+/// [`revert`](DeltaPricer::revert)s (restoring communicator and prices
+/// exactly — the saved values are moved back, not recomputed).
+pub struct DeltaPricer<'a> {
+    ts: &'a TimedSchedule,
+    index: RankStageIndex,
+    /// Scratch communicator, mutated in place per proposal.
+    comm: Communicator,
+    /// Current price of every unique stage under `comm`.
+    stage_t: Vec<f64>,
+    /// Scratch message buffer for stage resolution.
+    msgs: Vec<Message>,
+    /// Rollback log of the outstanding proposal: `(stage, old_price)`.
+    saved: Vec<(u32, f64)>,
+    /// The outstanding proposal's swapped ranks, if any.
+    pending: Option<(u32, u32)>,
+    /// Total unique stages re-priced across all proposals (telemetry).
+    stages_repriced: u64,
+}
+
+impl<'a> DeltaPricer<'a> {
+    /// Build a pricer over `comm` (cloned into scratch space) and fully
+    /// price every unique stage once.
+    ///
+    /// # Panics
+    /// Panics if `comm.size()` differs from the schedule's `p`.
+    pub fn new(
+        ts: &'a TimedSchedule,
+        comm: &Communicator,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+    ) -> Self {
+        assert_eq!(ts.p() as usize, comm.size(), "schedule/comm size mismatch");
+        let comm = comm.clone();
+        let mut msgs = Vec::new();
+        let stage_t: Vec<f64> = (0..ts.num_unique_stages() as u32)
+            .map(|k| ts.price_unique_stage(k, &comm, model, block_bytes, &mut msgs))
+            .collect();
+        DeltaPricer {
+            index: RankStageIndex::build(ts),
+            ts,
+            comm,
+            stage_t,
+            msgs,
+            saved: Vec::new(),
+            pending: None,
+            stages_repriced: 0,
+        }
+    }
+
+    /// The scratch communicator in its current (post-accepts) state.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// Total unique stages re-priced by proposals so far.
+    pub fn stages_repriced(&self) -> u64 {
+        self.stages_repriced
+    }
+
+    /// Current total: cached per-stage prices summed along the original
+    /// stage order, exactly as [`TimedSchedule::time`] accumulates.
+    pub fn total(&self) -> f64 {
+        let mut total = 0.0;
+        for &k in self.ts.stage_order() {
+            if k != EMPTY_STAGE {
+                total += self.stage_t[k as usize];
+            }
+        }
+        total
+    }
+
+    /// Apply the swap of ranks `a` and `b` to the scratch communicator,
+    /// re-price only the stages either rank participates in, and return the
+    /// new total. Must be resolved with [`accept`](DeltaPricer::accept) or
+    /// [`revert`](DeltaPricer::revert) before the next proposal.
+    ///
+    /// # Panics
+    /// Panics if a proposal is already outstanding or `a == b`.
+    pub fn propose_swap(
+        &mut self,
+        a: u32,
+        b: u32,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+    ) -> f64 {
+        assert!(self.pending.is_none(), "unresolved proposal");
+        assert_ne!(a, b, "degenerate swap");
+        self.comm.swap_ranks(Rank(a), Rank(b));
+        self.pending = Some((a, b));
+        self.saved.clear();
+        // Merge the two ascending stage lists, visiting each affected stage
+        // once even when both ranks share it.
+        let (sa, sb) = (self.index.stages_of(a), self.index.stages_of(b));
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() || j < sb.len() {
+            let k = match (sa.get(i), sb.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            self.saved.push((k, self.stage_t[k as usize]));
+            self.stage_t[k as usize] =
+                self.ts
+                    .price_unique_stage(k, &self.comm, model, block_bytes, &mut self.msgs);
+        }
+        self.stages_repriced += self.saved.len() as u64;
+        counter_add!("refine.delta.stages_repriced", self.saved.len() as u64);
+        self.total()
+    }
+
+    /// Keep the outstanding proposal's swap and prices.
+    pub fn accept(&mut self) {
+        assert!(self.pending.take().is_some(), "no outstanding proposal");
+    }
+
+    /// Undo the outstanding proposal: un-swap the communicator and restore
+    /// the saved stage prices verbatim.
+    pub fn revert(&mut self) {
+        let (a, b) = self.pending.take().expect("no outstanding proposal");
+        self.comm.swap_ranks(Rank(a), Rank(b));
+        for &(k, t) in &self.saved {
+            self.stage_t[k as usize] = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Schedule, SendOp, Stage};
+    use tarr_netsim::NetParams;
+    use tarr_topo::{Cluster, CoreId};
+
+    fn line_comm(n: usize) -> Communicator {
+        Communicator::new((0..n).map(CoreId::from_idx).collect())
+    }
+
+    // Recursive-doubling allgather (every rank active every stage).
+    fn rd(p: u32) -> Schedule {
+        let mut sched = Schedule::new(p);
+        let mut s = 0u32;
+        while (1u32 << s) < p {
+            let step = 1u32 << s;
+            let mut ops = Vec::new();
+            for i in 0..p {
+                ops.push(SendOp::blocks(i, i ^ step, (i >> s) << s, step));
+            }
+            sched.push(Stage::new(ops));
+            s += 1;
+        }
+        sched
+    }
+
+    // Binomial gather to rank 0 (sparse: most ranks touch few stages).
+    fn binomial_gather(p: u32) -> Schedule {
+        let mut sched = Schedule::new(p);
+        let mut step = 1u32;
+        while step < p {
+            let mut ops = Vec::new();
+            for i in (0..p).step_by((step * 2) as usize) {
+                if i + step < p {
+                    ops.push(SendOp::blocks(
+                        i + step,
+                        i,
+                        i + step,
+                        step.min(p - i - step),
+                    ));
+                }
+            }
+            sched.push(Stage::new(ops));
+            step *= 2;
+        }
+        sched
+    }
+
+    #[test]
+    fn index_covers_every_op_endpoint() {
+        let ts = TimedSchedule::compile(&binomial_gather(32));
+        let idx = RankStageIndex::build(&ts);
+        for (k, stage) in ts.unique_stages().iter().enumerate() {
+            for op in stage {
+                assert!(idx.stages_of(op.from).contains(&(k as u32)));
+                assert!(idx.stages_of(op.to).contains(&(k as u32)));
+            }
+        }
+        // And nothing extra: every indexed stage names the rank.
+        for r in 0..32u32 {
+            for &k in idx.stages_of(r) {
+                assert!(ts.unique_stages()[k as usize]
+                    .iter()
+                    .any(|op| op.from == r || op.to == r));
+            }
+        }
+    }
+
+    #[test]
+    fn proposals_match_full_reprice_bit_for_bit() {
+        let cluster = Cluster::gpc(4);
+        let comm = line_comm(32);
+        let model = StageModel::new(&cluster, NetParams::default());
+        for sched in [rd(32), binomial_gather(32)] {
+            let ts = TimedSchedule::compile(&sched);
+            let mut pricer = DeltaPricer::new(&ts, &comm, &model, 4096);
+            assert_eq!(pricer.total(), ts.time(&comm, &model, 4096));
+            let mut reference = comm.clone();
+            // Mix of accepted and reverted swaps.
+            for (n, &(a, b)) in [(0u32, 31u32), (5, 9), (0, 1), (30, 2), (17, 18)]
+                .iter()
+                .enumerate()
+            {
+                let t = pricer.propose_swap(a, b, &model, 4096);
+                let mut swapped = reference.clone();
+                swapped.swap_ranks(Rank(a), Rank(b));
+                assert_eq!(t, ts.time(&swapped, &model, 4096), "swap ({a},{b})");
+                if n % 2 == 0 {
+                    pricer.accept();
+                    reference = swapped;
+                } else {
+                    pricer.revert();
+                }
+                assert_eq!(pricer.comm(), &reference);
+                assert_eq!(pricer.total(), ts.time(&reference, &model, 4096));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_schedules_reprice_few_stages() {
+        // In a binomial gather, late-joining ranks appear in one stage, so a
+        // swap of two such ranks must not touch the whole schedule.
+        let ts = TimedSchedule::compile(&binomial_gather(64));
+        let cluster = Cluster::gpc(8);
+        let comm = line_comm(64);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let mut pricer = DeltaPricer::new(&ts, &comm, &model, 1024);
+        pricer.propose_swap(33, 35, &model, 1024);
+        pricer.revert();
+        assert!(
+            pricer.stages_repriced() < ts.num_unique_stages() as u64,
+            "repriced {} of {} stages",
+            pricer.stages_repriced(),
+            ts.num_unique_stages()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved proposal")]
+    fn double_proposal_rejected() {
+        let cluster = Cluster::gpc(1);
+        let comm = line_comm(8);
+        let model = StageModel::new(&cluster, NetParams::default());
+        let ts = TimedSchedule::ring_allgather(8);
+        let mut pricer = DeltaPricer::new(&ts, &comm, &model, 64);
+        pricer.propose_swap(0, 1, &model, 64);
+        pricer.propose_swap(2, 3, &model, 64);
+    }
+}

@@ -32,12 +32,14 @@
 //! ```
 
 pub mod comm;
+pub mod delta;
 pub mod exec;
 pub mod schedule;
 pub mod stats;
 pub mod timing;
 
 pub use comm::Communicator;
+pub use delta::{DeltaPricer, RankStageIndex};
 pub use exec::{ExecError, FunctionalState};
 pub use schedule::{Payload, Schedule, SendOp, Stage};
 pub use stats::{traffic_breakdown, traffic_breakdown_stages, TrafficBreakdown};

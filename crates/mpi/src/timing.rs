@@ -45,8 +45,8 @@ pub struct MergedOp {
     pub raw: u64,
 }
 
-/// Sentinel in [`TimedSchedule::order`] for a stage with no operations.
-const EMPTY_STAGE: u32 = u32::MAX;
+/// Sentinel in [`TimedSchedule::stage_order`] for a stage with no operations.
+pub const EMPTY_STAGE: u32 = u32::MAX;
 
 /// A schedule compiled for repeated pricing: merged per-(sender, receiver)
 /// transfers, with structurally identical stages stored once.
@@ -247,6 +247,76 @@ impl TimedSchedule {
         self.uniq.len()
     }
 
+    /// The distinct merged stages, in first-appearance order. Index `k` of
+    /// this slice is the unique-stage id that [`TimedSchedule::stage_order`]
+    /// refers to.
+    pub fn unique_stages(&self) -> &[Vec<MergedOp>] {
+        &self.uniq
+    }
+
+    /// For every original stage, the unique-stage id it deduplicated to, or
+    /// [`EMPTY_STAGE`] for a stage with no operations. Summing per-unique
+    /// stage times along this order reproduces [`TimedSchedule::time`]'s
+    /// accumulation exactly (same float additions in the same sequence).
+    pub fn stage_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Price unique stage `k` under `comm` on `model`, reusing `msgs` as
+    /// scratch. This is exactly the per-stage computation inside
+    /// [`TimedSchedule::time`], exposed so incremental cache layers (delta
+    /// swap pricing, stage-selective re-pricing) can refresh single entries.
+    pub fn price_unique_stage(
+        &self,
+        k: u32,
+        comm: &Communicator,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+        msgs: &mut Vec<Message>,
+    ) -> f64 {
+        self.resolve(k, comm, block_bytes, msgs);
+        let t = model.stage_time(msgs);
+        if tarr_trace::enabled() {
+            counter_add!("mpi.price.stages_priced", 1);
+            tarr_trace::histogram("mpi.price.stage_sim_ns").record_f64(t * 1e9);
+        }
+        t
+    }
+
+    /// Total latency with a caller-owned per-unique-stage cache: entries
+    /// that are `NaN` are priced (and written back), everything else is
+    /// reused verbatim. Accumulation runs in original stage order, so with
+    /// correct cache contents the result is bit-identical to
+    /// [`TimedSchedule::time`] — stage times are pure functions of the
+    /// communicator contents, so a cached value equals a recomputed one.
+    ///
+    /// # Panics
+    /// Panics if `cache.len()` differs from the number of unique stages.
+    pub fn time_with_cache(
+        &self,
+        comm: &Communicator,
+        model: &StageModel<'_>,
+        block_bytes: u64,
+        cache: &mut [f64],
+    ) -> f64 {
+        assert_eq!(self.p as usize, comm.size(), "schedule/comm size mismatch");
+        assert_eq!(cache.len(), self.uniq.len(), "cache/schedule size mismatch");
+        let mut msgs: Vec<Message> = Vec::new();
+        let mut total = 0.0;
+        for &k in &self.order {
+            if k == EMPTY_STAGE {
+                continue;
+            }
+            let mut t = cache[k as usize];
+            if t.is_nan() {
+                t = self.price_unique_stage(k, comm, model, block_bytes, &mut msgs);
+                cache[k as usize] = t;
+            }
+            total += t;
+        }
+        total
+    }
+
     /// Resolve unique stage `k` to messages under `comm` and `block_bytes`.
     fn resolve(&self, k: u32, comm: &Communicator, block_bytes: u64, msgs: &mut Vec<Message>) {
         msgs.clear();
@@ -271,24 +341,7 @@ impl TimedSchedule {
             .arg("stages", self.order.len())
             .arg("unique_stages", self.uniq.len());
         let mut cache: Vec<f64> = vec![f64::NAN; self.uniq.len()];
-        let mut msgs: Vec<Message> = Vec::new();
-        let mut total = 0.0;
-        for &k in &self.order {
-            if k == EMPTY_STAGE {
-                continue;
-            }
-            let mut t = cache[k as usize];
-            if t.is_nan() {
-                self.resolve(k, comm, block_bytes, &mut msgs);
-                t = model.stage_time(&msgs);
-                cache[k as usize] = t;
-                if tarr_trace::enabled() {
-                    counter_add!("mpi.price.stages_priced", 1);
-                    tarr_trace::histogram("mpi.price.stage_sim_ns").record_f64(t * 1e9);
-                }
-            }
-            total += t;
-        }
+        let total = self.time_with_cache(comm, model, block_bytes, &mut cache);
         counter_add!("mpi.price.calls", 1);
         drop(span);
         total

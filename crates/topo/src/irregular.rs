@@ -48,95 +48,167 @@ pub struct IrregularFabric {
     dist: Vec<Vec<u16>>,
 }
 
+/// What a fault-local [`IrregularFabric::repaired`] rebuild recomputed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// New-coordinate destination switches whose BFS row was recomputed
+    /// (ascending). Distances *to* these switches may have changed; every
+    /// other row is bitwise identical to the pre-fault fabric's.
+    pub dirty_rows: Vec<u32>,
+    /// Rows carried over (renumbered) from the pre-fault fabric.
+    pub rows_reused: usize,
+}
+
+impl RepairStats {
+    /// Number of BFS rows recomputed from scratch.
+    pub fn rows_rebuilt(&self) -> usize {
+        self.dirty_rows.len()
+    }
+}
+
 impl IrregularFabric {
     /// Build the fabric, canonicalising links and precomputing per-destination
     /// BFS next-hop tables.
     pub fn new(cfg: IrregularConfig) -> Result<Self, TopoError> {
-        let s_count = cfg.switches;
-        if s_count == 0 {
-            return Err(TopoError::NoSwitches);
-        }
-        if cfg.node_switch.is_empty() {
-            return Err(TopoError::NoNodes);
-        }
-        for &s in &cfg.node_switch {
-            if s as usize >= s_count {
-                return Err(TopoError::SwitchOutOfRange {
-                    switch: s as usize,
-                    switches: s_count,
-                });
-            }
-        }
-
-        // Canonicalise: a < b, merge parallel cables into trunk counts.
-        let mut merged: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.links.len());
-        let mut canon: Vec<(u32, u32, u32)> = cfg
-            .links
-            .iter()
-            .map(|&(a, b, t)| if a <= b { (a, b, t) } else { (b, a, t) })
-            .collect();
-        canon.sort_unstable();
-        for (a, b, t) in canon {
-            if a == b {
-                return Err(TopoError::SelfLink { switch: a as usize });
-            }
-            if b as usize >= s_count {
-                return Err(TopoError::SwitchOutOfRange {
-                    switch: b as usize,
-                    switches: s_count,
-                });
-            }
-            if t == 0 {
-                return Err(TopoError::ZeroFabricExtent);
-            }
-            match merged.last_mut() {
-                Some(last) if last.0 == a && last.1 == b => last.2 += t,
-                _ => merged.push((a, b, t)),
-            }
-        }
-
-        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); s_count];
-        for &(a, b, t) in &merged {
-            adj[a as usize].push((b, t));
-            adj[b as usize].push((a, t));
-        }
-        for row in &mut adj {
-            row.sort_unstable();
-        }
+        let (s_count, node_switch, merged, adj) = canonicalise(cfg)?;
 
         // Per-destination BFS over the undirected graph; neighbours are
         // visited in ascending index order so levels (and hence the
         // next-hop candidate sets [`route`] draws from) are deterministic.
         let mut dist = vec![vec![u16::MAX; s_count]; s_count];
         let mut queue = Vec::with_capacity(s_count);
-        for d in 0..s_count {
-            let dist_d = &mut dist[d];
-            dist_d[d] = 0;
-            queue.clear();
-            queue.push(d as u32);
-            let mut head = 0;
-            while head < queue.len() {
-                let u = queue[head] as usize;
-                head += 1;
-                for &(v, _) in &adj[u] {
-                    if dist_d[v as usize] == u16::MAX {
-                        dist_d[v as usize] = dist_d[u] + 1;
-                        queue.push(v);
-                    }
-                }
-            }
-            if let Some(unreachable) = dist_d.iter().position(|&x| x == u16::MAX) {
-                return Err(TopoError::DisconnectedFabric { unreachable });
-            }
+        for (d, row) in dist.iter_mut().enumerate() {
+            bfs_row(&adj, d, row, &mut queue)?;
         }
 
         Ok(IrregularFabric {
             switches: s_count,
-            node_switch: cfg.node_switch,
+            node_switch,
             links: merged,
             adj,
             dist,
         })
+    }
+
+    /// Rebuild after a fault, reusing every per-destination BFS row the dead
+    /// hardware could not have touched.
+    ///
+    /// `prev` is the pre-fault fabric; `new_idx[old]` gives each old
+    /// switch's index in `cfg` (`u32::MAX` for switches absent from the new
+    /// fabric — failed or pruned); `cfg` is the post-fault configuration
+    /// exactly as [`IrregularFabric::new`] would consume it.
+    ///
+    /// A destination row `d` must be recomputed only when a removed element
+    /// sat on some shortest path towards `d`:
+    ///
+    /// * a removed undirected edge `(a, b)` (both endpoints surviving) lies
+    ///   on a shortest path to `d` iff `|dist[d][a] − dist[d][b]| == 1` —
+    ///   otherwise no shortest path uses it, and since removals never
+    ///   *shorten* paths the row's distances are unchanged;
+    /// * a removed switch `s` lies on another vertex's shortest path to `d`
+    ///   iff some old neighbour `v` has `dist[d][v] == dist[d][s] + 1`
+    ///   (a path descending into `s`); its incident edges only carry paths
+    ///   through `s`, so they need no separate check;
+    /// * trunk-count changes never dirty a row (adjacency membership is
+    ///   unchanged) — they alter routes, not distances.
+    ///
+    /// Clean rows are renumbered and carried over verbatim; BFS distances
+    /// are canonical values, so the result is **identical** (full
+    /// `PartialEq`) to `IrregularFabric::new(cfg)`, which the differential
+    /// tests in `tarr-faults` pin. If `cfg` contains an edge `prev` lacked
+    /// (never the case for pure fault sets), every row is recomputed.
+    ///
+    /// # Panics
+    /// Panics if `new_idx` does not map the surviving old switches
+    /// bijectively onto `cfg`'s switches.
+    pub fn repaired(
+        prev: &IrregularFabric,
+        new_idx: &[u32],
+        cfg: IrregularConfig,
+    ) -> Result<(Self, RepairStats), TopoError> {
+        assert_eq!(new_idx.len(), prev.switches, "new_idx/fabric mismatch");
+        let (s_count, node_switch, merged, adj) = canonicalise(cfg)?;
+
+        // Invert the renumbering; every new switch needs one old preimage.
+        let mut old_of = vec![u32::MAX; s_count];
+        for (old, &ni) in new_idx.iter().enumerate() {
+            if ni != u32::MAX {
+                assert!(
+                    (ni as usize) < s_count && old_of[ni as usize] == u32::MAX,
+                    "new_idx is not injective into the new fabric"
+                );
+                old_of[ni as usize] = old as u32;
+            }
+        }
+        assert!(
+            old_of.iter().all(|&o| o != u32::MAX),
+            "new fabric has a switch with no old preimage"
+        );
+
+        let has_new_edge = |na: u32, nb: u32| {
+            adj[na as usize]
+                .binary_search_by_key(&nb, |&(p, _)| p)
+                .is_ok()
+        };
+        // An edge present now but absent before can shorten any path:
+        // nothing is reusable. Pure fault sets never take this branch.
+        let edge_added = merged.iter().any(|&(na, nb, _)| {
+            let (oa, ob) = (old_of[na as usize], old_of[nb as usize]);
+            let (oa, ob) = if oa <= ob { (oa, ob) } else { (ob, oa) };
+            prev.links
+                .binary_search_by_key(&(oa, ob), |&(a, b, _)| (a, b))
+                .is_err()
+        });
+
+        let removed_switches: Vec<u32> = (0..prev.switches as u32)
+            .filter(|&s| new_idx[s as usize] == u32::MAX)
+            .collect();
+        // Old edges gone from the new adjacency, both endpoints surviving
+        // (edges at removed switches are covered by the switch criterion).
+        let removed_edges: Vec<(u32, u32)> = prev
+            .links
+            .iter()
+            .filter_map(|&(a, b, _)| {
+                let (na, nb) = (new_idx[a as usize], new_idx[b as usize]);
+                (na != u32::MAX && nb != u32::MAX && !has_new_edge(na, nb)).then_some((a, b))
+            })
+            .collect();
+
+        let mut dist = vec![Vec::new(); s_count];
+        let mut queue = Vec::with_capacity(s_count);
+        let mut stats = RepairStats::default();
+        for (nd, row) in dist.iter_mut().enumerate() {
+            let d = old_of[nd] as usize;
+            let old_row = &prev.dist[d];
+            let dirty = edge_added
+                || removed_edges
+                    .iter()
+                    .any(|&(a, b)| old_row[a as usize].abs_diff(old_row[b as usize]) == 1)
+                || removed_switches.iter().any(|&s| {
+                    prev.adj[s as usize]
+                        .iter()
+                        .any(|&(v, _)| old_row[v as usize] == old_row[s as usize] + 1)
+                });
+            if dirty {
+                *row = vec![u16::MAX; s_count];
+                bfs_row(&adj, nd, row, &mut queue)?;
+                stats.dirty_rows.push(nd as u32);
+            } else {
+                *row = old_of.iter().map(|&o| old_row[o as usize]).collect();
+                stats.rows_reused += 1;
+            }
+        }
+
+        Ok((
+            IrregularFabric {
+                switches: s_count,
+                node_switch,
+                links: merged,
+                adj,
+                dist,
+            },
+            stats,
+        ))
     }
 
     /// Number of switches.
@@ -232,6 +304,96 @@ impl IrregularFabric {
         }
         hops.push(Hop::HcaDown { node: dst });
         hops
+    }
+}
+
+/// Validate a configuration and produce the canonical link list (`a < b`,
+/// sorted, trunks merged) plus the sorted adjacency rows — everything of an
+/// [`IrregularFabric`] except the BFS tables.
+#[allow(clippy::type_complexity)]
+fn canonicalise(
+    cfg: IrregularConfig,
+) -> Result<(usize, Vec<u32>, Vec<(u32, u32, u32)>, Vec<Vec<(u32, u32)>>), TopoError> {
+    let s_count = cfg.switches;
+    if s_count == 0 {
+        return Err(TopoError::NoSwitches);
+    }
+    if cfg.node_switch.is_empty() {
+        return Err(TopoError::NoNodes);
+    }
+    for &s in &cfg.node_switch {
+        if s as usize >= s_count {
+            return Err(TopoError::SwitchOutOfRange {
+                switch: s as usize,
+                switches: s_count,
+            });
+        }
+    }
+
+    // Canonicalise: a < b, merge parallel cables into trunk counts.
+    let mut merged: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.links.len());
+    let mut canon: Vec<(u32, u32, u32)> = cfg
+        .links
+        .iter()
+        .map(|&(a, b, t)| if a <= b { (a, b, t) } else { (b, a, t) })
+        .collect();
+    canon.sort_unstable();
+    for (a, b, t) in canon {
+        if a == b {
+            return Err(TopoError::SelfLink { switch: a as usize });
+        }
+        if b as usize >= s_count {
+            return Err(TopoError::SwitchOutOfRange {
+                switch: b as usize,
+                switches: s_count,
+            });
+        }
+        if t == 0 {
+            return Err(TopoError::ZeroFabricExtent);
+        }
+        match merged.last_mut() {
+            Some(last) if last.0 == a && last.1 == b => last.2 += t,
+            _ => merged.push((a, b, t)),
+        }
+    }
+
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); s_count];
+    for &(a, b, t) in &merged {
+        adj[a as usize].push((b, t));
+        adj[b as usize].push((a, t));
+    }
+    for row in &mut adj {
+        row.sort_unstable();
+    }
+    Ok((s_count, cfg.node_switch, merged, adj))
+}
+
+/// Fill `dist_d` with BFS hop counts towards destination `d` (neighbours in
+/// ascending index order, so levels are deterministic). `dist_d` must come
+/// in as all-`u16::MAX`; `queue` is reusable scratch.
+fn bfs_row(
+    adj: &[Vec<(u32, u32)>],
+    d: usize,
+    dist_d: &mut [u16],
+    queue: &mut Vec<u32>,
+) -> Result<(), TopoError> {
+    dist_d[d] = 0;
+    queue.clear();
+    queue.push(d as u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        for &(v, _) in &adj[u] {
+            if dist_d[v as usize] == u16::MAX {
+                dist_d[v as usize] = dist_d[u] + 1;
+                queue.push(v);
+            }
+        }
+    }
+    match dist_d.iter().position(|&x| x == u16::MAX) {
+        Some(unreachable) => Err(TopoError::DisconnectedFabric { unreachable }),
+        None => Ok(()),
     }
 }
 
@@ -382,5 +544,103 @@ mod tests {
         let f = line5();
         assert_eq!(f.level_row(0), &[0, 1, 2, 3, 4]);
         assert_eq!(f.level_row(2), &[2, 1, 0, 1, 2]);
+    }
+
+    /// A 2×3 grid with a chord, two nodes per switch — enough redundancy
+    /// that single-edge removals keep it connected.
+    ///
+    /// ```text
+    /// 0 — 1 — 2
+    /// |   |   |
+    /// 3 — 4 — 5   plus chord 0 — 4
+    /// ```
+    fn grid6() -> IrregularFabric {
+        IrregularFabric::new(grid6_cfg()).unwrap()
+    }
+
+    fn grid6_cfg() -> IrregularConfig {
+        IrregularConfig {
+            switches: 6,
+            node_switch: (0..12).map(|n| n / 2).collect(),
+            links: vec![
+                (0, 1, 2),
+                (1, 2, 2),
+                (3, 4, 2),
+                (4, 5, 2),
+                (0, 3, 1),
+                (1, 4, 1),
+                (2, 5, 1),
+                (0, 4, 1),
+            ],
+        }
+    }
+
+    fn identity_idx(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn repaired_edge_removal_matches_fresh_build() {
+        let prev = grid6();
+        for drop in 0..grid6_cfg().links.len() {
+            let mut cfg = grid6_cfg();
+            cfg.links.remove(drop);
+            let fresh = IrregularFabric::new(cfg.clone()).unwrap();
+            let (rep, stats) = IrregularFabric::repaired(&prev, &identity_idx(6), cfg).unwrap();
+            assert_eq!(rep, fresh, "dropped link {drop}");
+            assert_eq!(stats.rows_rebuilt() + stats.rows_reused, 6);
+        }
+    }
+
+    #[test]
+    fn trunk_only_change_reuses_every_row() {
+        let prev = grid6();
+        let mut cfg = grid6_cfg();
+        cfg.links[0].2 = 1; // 0—1 loses a cable but survives
+        let fresh = IrregularFabric::new(cfg.clone()).unwrap();
+        let (rep, stats) = IrregularFabric::repaired(&prev, &identity_idx(6), cfg).unwrap();
+        assert_eq!(rep, fresh);
+        assert_eq!(stats.rows_rebuilt(), 0);
+        assert_eq!(stats.rows_reused, 6);
+    }
+
+    #[test]
+    fn off_shortest_path_edge_removal_is_free_for_far_rows() {
+        // Removing the chord 0—4 only dirties rows where it carried a
+        // shortest path; |dist[d][0] − dist[d][4]| == 1 fails for d ∈ {1, 3}
+        // (both neighbours of 0 and 4 at equal level).
+        let prev = grid6();
+        let mut cfg = grid6_cfg();
+        cfg.links.retain(|&l| l != (0, 4, 1));
+        let (rep, stats) = IrregularFabric::repaired(&prev, &identity_idx(6), cfg.clone()).unwrap();
+        assert_eq!(rep, IrregularFabric::new(cfg).unwrap());
+        assert!(stats.rows_reused >= 2, "{stats:?}");
+        assert!(stats.rows_rebuilt() >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn repaired_switch_removal_with_renumbering() {
+        // Kill switch 1: survivors renumber 0,2,3,4,5 → 0,1,2,3,4.
+        let prev = grid6();
+        let new_idx = vec![0, u32::MAX, 1, 2, 3, 4];
+        let cfg = IrregularConfig {
+            switches: 5,
+            // Nodes of switch 1 rehomed to switch 0 (old index 0).
+            node_switch: vec![0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4],
+            links: vec![(0, 2, 1), (1, 4, 1), (2, 3, 2), (3, 4, 2), (0, 3, 1)],
+        };
+        let fresh = IrregularFabric::new(cfg.clone()).unwrap();
+        let (rep, stats) = IrregularFabric::repaired(&prev, &new_idx, cfg).unwrap();
+        assert_eq!(rep, fresh);
+        assert_eq!(stats.rows_rebuilt() + stats.rows_reused, 5);
+    }
+
+    #[test]
+    fn repaired_disconnection_is_typed() {
+        let prev = line5();
+        let mut cfg = prev.to_config();
+        cfg.links.retain(|&l| l != (2, 3, 2));
+        let err = IrregularFabric::repaired(&prev, &identity_idx(5), cfg).unwrap_err();
+        assert!(matches!(err, TopoError::DisconnectedFabric { .. }));
     }
 }

@@ -48,7 +48,7 @@ pub use distance::{DistanceConfig, DistanceMatrix, ExtractionCostModel};
 pub use error::TopoError;
 pub use fattree::{FatTree, FatTreeConfig};
 pub use ids::{CoreId, LeafId, NodeId, Rank};
-pub use irregular::{IrregularConfig, IrregularFabric};
+pub use irregular::{IrregularConfig, IrregularFabric, RepairStats};
 pub use node::NodeTopology;
 pub use oracle::{DistanceOracle, ImplicitDistance, SlotPath, SubsetOracle};
 pub use path::{Hop, HopKind};

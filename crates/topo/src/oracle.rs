@@ -137,30 +137,7 @@ impl ImplicitDistance {
         let _span = tarr_trace::span("topo.distance.build")
             .arg("p", cores.len())
             .arg("kind", "implicit");
-        let nt = cluster.node_topology();
-        let phys_per_node = (nt.sockets * nt.cores_per_socket) as u32;
-        let l2_per_node = phys_per_node / nt.cores_per_l2 as u32;
-        let sockets = nt.sockets as u32;
-
-        let paths: Vec<SlotPath> = cores
-            .iter()
-            .map(|&c| {
-                let node = cluster.node_of(c).idx() as u32;
-                let local = cluster.local_of(c);
-                let leaf = match cluster.fabric() {
-                    Fabric::FatTree(f) => f.leaf_of(cluster.node_of(c)).idx() as u32,
-                    Fabric::Torus(_) => node,
-                    Fabric::Irregular(g) => g.switch_of(cluster.node_of(c)),
-                };
-                SlotPath {
-                    core: node * phys_per_node + nt.core_of_local(local) as u32,
-                    l2: node * l2_per_node + nt.l2_group_of_local(local) as u32,
-                    socket: node * sockets + nt.socket_of_local(local) as u32,
-                    node,
-                    leaf,
-                }
-            })
-            .collect();
+        let paths: Vec<SlotPath> = cores.iter().map(|&c| slot_path(cluster, c)).collect();
 
         let line_peers = match cluster.fabric() {
             Fabric::FatTree(f) => {
@@ -212,6 +189,45 @@ impl ImplicitDistance {
         &self.paths
     }
 
+    /// Re-bind the given slots to new cores and recompute exactly their
+    /// [`SlotPath`]s — the drain-only fault repair, O(k) instead of the O(P)
+    /// full rebuild. Each recomputed path goes through the same derivation
+    /// the full build uses, so the patched oracle answers bit-identically to
+    /// a rebuild over the updated core list.
+    ///
+    /// Only valid while the cluster itself is unchanged (migration without
+    /// fabric damage); a fabric rebuild invalidates the stored cluster and
+    /// line-sharing table too.
+    ///
+    /// # Panics
+    /// Panics if a slot is out of range, a core is out of range, or the
+    /// updated core list contains duplicates.
+    pub fn repair_slots(&mut self, changed: &[(usize, CoreId)]) {
+        let _span = tarr_trace::span("topo.distance.repair")
+            .arg("p", self.cores.len())
+            .arg("slots", changed.len());
+        for &(slot, core) in changed {
+            assert!(slot < self.cores.len(), "slot {slot} out of range");
+            assert!(
+                core.idx() < self.cluster.total_cores(),
+                "core {} out of range",
+                core.idx()
+            );
+            self.cores[slot] = core;
+            self.paths[slot] = slot_path(&self.cluster, core);
+        }
+        {
+            let mut sorted = self.cores.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                self.paths.len(),
+                "duplicate cores after repair"
+            );
+        }
+    }
+
     /// Sorted leaves sharing a line switch with `leaf` (fat-tree only;
     /// excludes `leaf` itself).
     ///
@@ -223,6 +239,29 @@ impl ImplicitDistance {
             "line switches exist only on fat-tree fabrics"
         );
         &self.line_peers[leaf as usize]
+    }
+}
+
+/// Position of `core` in the cluster hierarchy — the single derivation both
+/// the full oracle build and the slot repair share.
+fn slot_path(cluster: &Cluster, core: CoreId) -> SlotPath {
+    let nt = cluster.node_topology();
+    let phys_per_node = (nt.sockets * nt.cores_per_socket) as u32;
+    let l2_per_node = phys_per_node / nt.cores_per_l2 as u32;
+    let sockets = nt.sockets as u32;
+    let node = cluster.node_of(core).idx() as u32;
+    let local = cluster.local_of(core);
+    let leaf = match cluster.fabric() {
+        Fabric::FatTree(f) => f.leaf_of(cluster.node_of(core)).idx() as u32,
+        Fabric::Torus(_) => node,
+        Fabric::Irregular(g) => g.switch_of(cluster.node_of(core)),
+    };
+    SlotPath {
+        core: node * phys_per_node + nt.core_of_local(local) as u32,
+        l2: node * l2_per_node + nt.l2_group_of_local(local) as u32,
+        socket: node * sockets + nt.socket_of_local(local) as u32,
+        node,
+        leaf,
     }
 }
 
@@ -499,6 +538,37 @@ mod tests {
                 total_cores: 16
             }
         );
+    }
+
+    #[test]
+    fn repair_slots_matches_rebuild() {
+        let c = Cluster::gpc(8);
+        let mut cores: Vec<CoreId> = c.cores().take(32).collect();
+        let cfg = DistanceConfig::default();
+        let mut o = ImplicitDistance::build(&c, &cores, &cfg);
+        // Migrate three slots onto spare cores (nodes 4..8 are free).
+        let changed = [(0usize, CoreId(40)), (7, CoreId(41)), (31, CoreId(63))];
+        for &(slot, core) in &changed {
+            cores[slot] = core;
+        }
+        o.repair_slots(&changed);
+        let cold = ImplicitDistance::build(&c, &cores, &cfg);
+        assert_eq!(o.cores(), cold.cores());
+        assert_eq!(o.paths(), cold.paths());
+        for i in 0..cores.len() {
+            for j in 0..cores.len() {
+                assert_eq!(o.distance(i, j), cold.distance(i, j), "{i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cores after repair")]
+    fn repair_slots_rejects_collisions() {
+        let c = Cluster::gpc(2);
+        let cores: Vec<CoreId> = c.cores().take(4).collect();
+        let mut o = ImplicitDistance::build(&c, &cores, &DistanceConfig::default());
+        o.repair_slots(&[(0, CoreId(1))]); // core 1 already backs slot 1
     }
 
     #[test]
