@@ -1,0 +1,275 @@
+//! serve_bench — throughput of the serving stack versus worker count, and
+//! the cold-coalesce guarantee of the shared-core caches.
+//!
+//! Two measurements, recorded in `BENCH_serve.json`:
+//!
+//! 1. **Warm throughput.** One engine with a GPC cluster ingested and every
+//!    cache warmed, then the same mixed request script (map / reorder /
+//!    price across collectives, sizes and schemes) is replayed through
+//!    [`serve_lines`] at 1, 2, 4 and 8 workers. Requests/s per
+//!    configuration, best of `REPS` replays. The ≥4× scaling assertion
+//!    only fires when the host actually has ≥8 hardware threads — on a
+//!    smaller runner the honest numbers are still recorded, plus the
+//!    parallelism they were measured at.
+//!
+//! 2. **Cold coalesce.** A fresh engine, N threads released by a barrier
+//!    onto the *identical* expensive cold request. The core's sharded
+//!    once-cells guarantee the mapping is computed exactly once and the
+//!    other N−1 requests share it (as cache hits or in-flight coalesces)
+//!    — asserted unconditionally, on any host.
+//!
+//! `cargo bench --bench serve` regenerates the JSON; `--test` runs a smoke
+//! pass without overwriting the committed numbers.
+
+use std::io;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use tarr_serve::{serve_lines, Engine, ServeOpts};
+
+/// Worker counts swept by the throughput measurement.
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Threads hammering the identical cold request.
+const COLD_THREADS: usize = 8;
+
+/// The mixed request script replayed by every throughput configuration:
+/// mapping and reorder lookups plus prices across collectives, message
+/// sizes and schemes. All against one cluster, all deterministic.
+fn request_mix(cluster: &str) -> Vec<String> {
+    let mut v = Vec::new();
+    for (mapper, pattern) in [("hrstc", "ring"), ("scotch", "rd"), ("greedy", "ring")] {
+        v.push(format!(
+            r#"{{"op":"map","cluster":"{cluster}","mapper":"{mapper}","pattern":"{pattern}"}}"#
+        ));
+        v.push(format!(
+            r#"{{"op":"reorder","cluster":"{cluster}","mapper":"{mapper}","pattern":"{pattern}"}}"#
+        ));
+    }
+    for msg in [1024u64, 65536, 1048576] {
+        v.push(format!(
+            r#"{{"op":"price","cluster":"{cluster}","collective":"allgather","msg_bytes":{msg}}}"#
+        ));
+        for (mapper, fix) in [
+            ("hrstc", "in_place"),
+            ("scotch", "init_comm"),
+            ("greedy", "end_shuffle"),
+        ] {
+            v.push(format!(
+                r#"{{"op":"price","cluster":"{cluster}","collective":"allgather","msg_bytes":{msg},"mapper":"{mapper}","fix":"{fix}"}}"#
+            ));
+        }
+    }
+    v.push(format!(
+        r#"{{"op":"price","cluster":"{cluster}","collective":"gather","msg_bytes":4096,"mapper":"hrstc"}}"#
+    ));
+    v.push(format!(
+        r#"{{"op":"price","cluster":"{cluster}","collective":"bcast","msg_bytes":1024,"mapper":"scotch"}}"#
+    ));
+    v.push(format!(
+        r#"{{"op":"price","cluster":"{cluster}","collective":"allreduce","msg_bytes":65536,"mapper":"hrstc","fix":"in_place"}}"#
+    ));
+    v
+}
+
+struct ThroughputPoint {
+    workers: usize,
+    requests_per_s: f64,
+}
+
+/// Replay `script` through [`serve_lines`] and return requests/s, best of
+/// `reps` replays (minimum wall time — the replay least disturbed by
+/// scheduling noise).
+fn measure_rps(engine: &Engine, script: &str, workers: usize, reps: usize) -> f64 {
+    let requests = script.lines().count() as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let opts = ServeOpts {
+            workers,
+            queue_cap: 1024,
+        };
+        let t = Instant::now();
+        let served = serve_lines(engine, script.as_bytes(), io::sink(), &opts)
+            .expect("serve_lines on an in-memory stream cannot fail");
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(served, requests, "every scripted request must be served");
+        best = best.min(dt);
+    }
+    requests as f64 / best
+}
+
+/// Warm-throughput sweep: ingest, warm every cache with one serial replay,
+/// then measure each worker count against the identical warm engine.
+fn throughput_sweep(gpc_nodes: usize, passes: usize, reps: usize) -> Vec<ThroughputPoint> {
+    let engine = Engine::new();
+    let ingest = format!(r#"{{"op":"ingest","cluster":"w","gpc_nodes":{gpc_nodes}}}"#);
+    let reply = engine.handle_line(&ingest);
+    assert!(reply.contains("\"ok\":true"), "ingest failed: {reply}");
+    let mix = request_mix("w");
+    for line in &mix {
+        let reply = engine.handle_line(line);
+        assert!(reply.contains("\"ok\":true"), "warm-up failed: {reply}");
+    }
+    let one_pass = mix.join("\n");
+    let mut script = String::with_capacity((one_pass.len() + 1) * passes);
+    for _ in 0..passes {
+        script.push_str(&one_pass);
+        script.push('\n');
+    }
+    WORKER_SWEEP
+        .iter()
+        .map(|&workers| ThroughputPoint {
+            workers,
+            requests_per_s: measure_rps(&engine, &script, workers, reps),
+        })
+        .collect()
+}
+
+struct ColdOutcome {
+    threads: usize,
+    misses: u64,
+    hits: u64,
+    coalesced: u64,
+}
+
+/// N threads, one barrier, one identical expensive cold request each.
+/// Returns the core's mapping-cache accounting: exactly one compute, the
+/// rest shared.
+fn cold_coalesce(gpc_nodes: usize, threads: usize) -> ColdOutcome {
+    let engine = Engine::new();
+    let ingest = format!(r#"{{"op":"ingest","cluster":"cold","gpc_nodes":{gpc_nodes}}}"#);
+    assert!(engine.handle_line(&ingest).contains("\"ok\":true"));
+    let req = r#"{"op":"map","cluster":"cold","mapper":"hrstc","pattern":"ring"}"#;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                let reply = engine.handle_line(req);
+                assert!(reply.contains("\"ok\":true"), "cold map failed: {reply}");
+            });
+        }
+    });
+    let snap = engine
+        .core("cold")
+        .expect("cluster was ingested")
+        .cache_stats()
+        .mappings;
+    ColdOutcome {
+        threads,
+        misses: snap.misses,
+        hits: snap.hits,
+        coalesced: snap.coalesced,
+    }
+}
+
+fn run(gpc_nodes: usize, passes: usize, reps: usize, write_json: bool) {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep = throughput_sweep(gpc_nodes, passes, reps);
+    for pt in &sweep {
+        println!(
+            "workers {}: {:>10.0} requests/s",
+            pt.workers, pt.requests_per_s
+        );
+    }
+    let rps1 = sweep[0].requests_per_s;
+    let rps8 = sweep.last().expect("sweep is nonempty").requests_per_s;
+    let speedup = rps8 / rps1;
+    let speedup_asserted = parallelism >= 8;
+    if speedup_asserted {
+        assert!(
+            speedup >= 4.0,
+            "8-worker throughput must be ≥4× the 1-worker throughput on an \
+             8-way host, got {speedup:.2}× ({rps8:.0} vs {rps1:.0} req/s)"
+        );
+    } else {
+        println!(
+            "speedup 8v1 = {speedup:.2}× (assertion skipped: only \
+             {parallelism} hardware threads)"
+        );
+    }
+
+    let cold = cold_coalesce(gpc_nodes, COLD_THREADS);
+    let shared = cold.hits + cold.coalesced;
+    assert_eq!(
+        cold.misses, 1,
+        "the identical cold request must be computed exactly once"
+    );
+    assert!(
+        shared >= cold.threads as u64 - 1,
+        "{} cold requests must produce ≥{} shared lookups, got {shared} \
+         ({} hits + {} coalesced)",
+        cold.threads,
+        cold.threads - 1,
+        cold.hits,
+        cold.coalesced,
+    );
+    println!(
+        "cold coalesce: {} threads → 1 compute, {} hits, {} coalesced",
+        cold.threads, cold.hits, cold.coalesced
+    );
+
+    if !write_json {
+        return;
+    }
+    let throughput_json: Vec<String> = sweep
+        .iter()
+        .map(|pt| {
+            format!(
+                r#"    {{"workers": {}, "requests_per_s": {:.0}}}"#,
+                pt.workers, pt.requests_per_s
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "benchmark": "tarr-serve warm mixed workload (map/reorder/price) through serve_lines, GPC cluster with {gpc_nodes} nodes",
+  "requests_per_pass": {per_pass},
+  "passes": {passes},
+  "host_parallelism": {parallelism},
+  "throughput": [
+{throughput}
+  ],
+  "speedup_8v1": {speedup:.2},
+  "speedup_asserted": {speedup_asserted},
+  "cold_coalesce": {{
+    "threads": {cold_threads},
+    "computes": {misses},
+    "hits": {hits},
+    "coalesced": {coalesced},
+    "required_shared": {required}
+  }}
+}}
+"#,
+        per_pass = request_mix("w").len(),
+        throughput = throughput_json.join(",\n"),
+        cold_threads = cold.threads,
+        misses = cold.misses,
+        hits = cold.hits,
+        coalesced = cold.coalesced,
+        required = cold.threads - 1,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+    print!("{json}");
+}
+
+fn main() {
+    // `cargo test --benches` / a name filter runs the smoke pass and leaves
+    // the committed numbers alone.
+    let mut full_run = true;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => full_run = false,
+            s if s.starts_with('-') => {}
+            _ => full_run = false,
+        }
+    }
+    if full_run {
+        run(16, 200, 3, true);
+    } else {
+        run(4, 2, 1, false);
+    }
+}

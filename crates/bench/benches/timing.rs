@@ -127,6 +127,23 @@ fn bench_refine4096(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best (minimum) wall-clock seconds of `reps` runs of `work` — the
+/// noise-robust estimator for comparing two configurations of a
+/// sub-millisecond region: the minimum is the run least disturbed by
+/// scheduling and frequency noise, so the delta between configurations
+/// stops going negative when the true difference is under the noise floor.
+fn best_secs(reps: usize, mut work: impl FnMut() -> f64) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let out = work();
+            let dt = t.elapsed().as_secs_f64();
+            assert!(out.is_finite());
+            dt
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Median wall-clock seconds of `reps` runs of `work`.
 fn median_secs(reps: usize, mut work: impl FnMut() -> f64) -> f64 {
     let mut times: Vec<f64> = (0..reps)
@@ -365,14 +382,20 @@ fn write_summary() {
     // the pre-compiled schedule, with the tarr-trace recorder off (one
     // relaxed atomic load per site) and on (spans + counters buffered).
     // Measured last so the enabled phase cannot pollute the numbers above.
-    let trace_off_s = median_secs(25, || {
+    // Best-of-N per configuration: the true overhead is near the timer
+    // noise floor, and a median of interleaved runs can come out *negative*
+    // (the −0.22% a previous run of this file recorded). The minimum of
+    // each configuration is its least-disturbed run, and the reported delta
+    // clamps at zero — "no measurable overhead" rather than a nonsense
+    // negative cost.
+    let trace_off_s = best_secs(50, || {
         sweep
             .iter()
             .map(|&m| ts.time(&f.comm, &model, m))
             .sum::<f64>()
     });
     tarr_trace::set_enabled(true);
-    let trace_on_s = median_secs(25, || {
+    let trace_on_s = best_secs(50, || {
         sweep
             .iter()
             .map(|&m| ts.time(&f.comm, &model, m))
@@ -380,7 +403,8 @@ fn write_summary() {
     });
     tarr_trace::set_enabled(false);
     tarr_trace::reset();
-    let trace_overhead_pct = (trace_on_s / trace_off_s - 1.0) * 100.0;
+    let trace_overhead_raw_pct = (trace_on_s / trace_off_s - 1.0) * 100.0;
+    let trace_overhead_pct = trace_overhead_raw_pct.max(0.0);
     assert!(
         trace_overhead_pct < 2.0,
         "tracing overhead {trace_overhead_pct:.2}% on the compiled pricing \
@@ -413,7 +437,8 @@ fn write_summary() {
   "trace_overhead": {{
     "disabled_ms": {tr_off:.4},
     "enabled_ms": {tr_on:.4},
-    "overhead_pct": {tr_pct:.2}
+    "overhead_pct": {tr_pct:.2},
+    "overhead_raw_pct": {tr_raw:.2}
   }},
   "refine": {refine_json},
   "fault_repair": {fault_json}
@@ -436,6 +461,7 @@ fn write_summary() {
         tr_off = trace_off_s * 1e3,
         tr_on = trace_on_s * 1e3,
         tr_pct = trace_overhead_pct,
+        tr_raw = trace_overhead_raw_pct,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_timing.json");
     std::fs::write(path, &json).expect("write BENCH_timing.json");

@@ -109,6 +109,89 @@ struct Cell {
     reorder_improvement: Vec<f64>,
 }
 
+/// One seed's contribution to a cell, computed on a worker thread and
+/// folded into the cell serially.
+enum SeedOutcome {
+    /// All use cases priced; per-case contributions in `cases` order.
+    Applied {
+        cables_removed: usize,
+        default_slowdown: Vec<f64>,
+        reorder_improvement: Vec<f64>,
+    },
+    /// The fault set partitioned the fabric — counted, not an error. The
+    /// partial contributions of use cases priced before the partition was
+    /// detected are kept, exactly as the serial loop folded them.
+    Partitioned {
+        default_slowdown: Vec<f64>,
+        reorder_improvement: Vec<f64>,
+    },
+    /// A fault application failed for a reason that should abort the sweep.
+    Fatal(String),
+}
+
+/// Apply one seeded fault set to every use case and price it: the body of
+/// the seed loop, pulled out so seeds can run on worker threads. Pure —
+/// all output and accumulation happen at the serial fold.
+fn eval_seed(
+    make_cluster: &(dyn Fn() -> Cluster + Sync),
+    base: &Cluster,
+    p: usize,
+    rate: f64,
+    seed: u64,
+    cases: &[UseCase],
+) -> SeedOutcome {
+    let set = FaultSet::random(base, &FaultRates::links(rate), seed);
+    let mut default_slowdown = Vec::with_capacity(cases.len());
+    let mut reorder_improvement = Vec::with_capacity(cases.len());
+    for case in cases {
+        let ranks = if case.bruck { p - 8 } else { p };
+        let mut session = Session::from_layout(
+            make_cluster(),
+            InitialMapping::CYCLIC_BUNCH,
+            ranks,
+            SessionConfig::implicit(),
+        );
+        let probes = [
+            (case.probe)(case.msg_bytes, Scheme::Default),
+            (case.probe)(case.msg_bytes, case.scheme),
+        ];
+        let report = match session.apply_faults(&set, &probes) {
+            Ok(r) => r,
+            Err(FaultError::PartitionedFabric { .. }) => {
+                return SeedOutcome::Partitioned {
+                    default_slowdown,
+                    reorder_improvement,
+                }
+            }
+            Err(e) => return SeedOutcome::Fatal(format!("seed {seed:#x} rate {rate}: {e}")),
+        };
+        // Link failures never kill cores: nobody migrates, and the mapping
+        // recomputed on the degraded oracle must still be a bijection of
+        // the surviving job.
+        assert_eq!(report.ranks_migrated, 0, "link faults drained a core");
+        let m = &session.mapping(Mapper::Hrstc, case.pattern).mapping;
+        assert!(
+            is_permutation(m),
+            "{} mapping not bijective at rate {rate} seed {seed:#x}",
+            case.label
+        );
+        let [default, reordered] = &report.probes[..] else {
+            unreachable!("two probes per case");
+        };
+        default_slowdown.push(default.slowdown());
+        reorder_improvement.push(100.0 * (default.after - reordered.after) / default.after);
+    }
+    SeedOutcome::Applied {
+        cables_removed: set
+            .failed_cables
+            .iter()
+            .map(|&(_, _, n)| n as usize)
+            .sum::<usize>(),
+        default_slowdown,
+        reorder_improvement,
+    }
+}
+
 /// `--incremental`: one-cable re-convergence on a warm chorded-mesh
 /// session, plus a delta-vs-reference refinement pin, in one traced run.
 fn run_incremental(ranks: usize, trace: &TraceOpts) {
@@ -359,69 +442,89 @@ fn main() {
             base.cores_per_node()
         );
 
+        // Every (rate, seed) task is independent: dispatch them onto scoped
+        // worker threads, then fold the outcomes serially in (rate, seed)
+        // order. The fold performs the same f64 additions in the same order
+        // as the old serial loop, so every printed number is bit-identical
+        // at any worker count.
+        let tasks: Vec<(usize, f64, u64)> = rates
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, &rate)| {
+                (0..seeds_per_cell).map(move |s| {
+                    let seed = base_seed
+                        .wrapping_add((p as u64) << 32)
+                        .wrapping_add((ri as u64) << 16)
+                        .wrapping_add(s);
+                    (ri, rate, seed)
+                })
+            })
+            .collect();
+        let outcomes: Vec<std::sync::Mutex<Option<SeedOutcome>>> =
+            tasks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(tasks.len())
+            .max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(_, rate, seed)) = tasks.get(i) else {
+                        break;
+                    };
+                    let out = eval_seed(&make_cluster, &base, p, rate, seed, &cases);
+                    *outcomes[i].lock().expect("outcome slot poisoned") = Some(out);
+                });
+            }
+        });
+
         let mut cells: Vec<Cell> = Vec::new();
-        for (ri, &rate) in rates.iter().enumerate() {
+        let mut it = outcomes.iter();
+        for _ in 0..rates.len() {
             let mut cell = Cell {
                 default_slowdown: vec![0.0; cases.len()],
                 reorder_improvement: vec![0.0; cases.len()],
                 ..Cell::default()
             };
-            for s in 0..seeds_per_cell {
-                let seed = base_seed
-                    .wrapping_add((p as u64) << 32)
-                    .wrapping_add((ri as u64) << 16)
-                    .wrapping_add(s);
-                let set = FaultSet::random(&base, &FaultRates::links(rate), seed);
-                let mut ok = true;
-                for (ci, case) in cases.iter().enumerate() {
-                    let ranks = if case.bruck { p - 8 } else { p };
-                    let mut session = Session::from_layout(
-                        make_cluster(),
-                        InitialMapping::CYCLIC_BUNCH,
-                        ranks,
-                        SessionConfig::implicit(),
-                    );
-                    let probes = [
-                        (case.probe)(case.msg_bytes, Scheme::Default),
-                        (case.probe)(case.msg_bytes, case.scheme),
-                    ];
-                    let report = match session.apply_faults(&set, &probes) {
-                        Ok(r) => r,
-                        Err(FaultError::PartitionedFabric { .. }) => {
-                            ok = false;
-                            break;
+            for _ in 0..seeds_per_cell {
+                let slot = it.next().expect("one outcome per task");
+                let out = slot
+                    .lock()
+                    .expect("outcome slot poisoned")
+                    .take()
+                    .expect("worker filled every slot");
+                match out {
+                    SeedOutcome::Applied {
+                        cables_removed,
+                        default_slowdown,
+                        reorder_improvement,
+                    } => {
+                        cell.applied += 1;
+                        cell.cables_removed += cables_removed;
+                        for ci in 0..cases.len() {
+                            cell.default_slowdown[ci] += default_slowdown[ci];
+                            cell.reorder_improvement[ci] += reorder_improvement[ci];
                         }
-                        Err(e) => {
-                            eprintln!("error: seed {seed:#x} rate {rate}: {e}");
-                            std::process::exit(1);
+                    }
+                    SeedOutcome::Partitioned {
+                        default_slowdown,
+                        reorder_improvement,
+                    } => {
+                        cell.partitioned += 1;
+                        for (ci, v) in default_slowdown.into_iter().enumerate() {
+                            cell.default_slowdown[ci] += v;
                         }
-                    };
-                    // Link failures never kill cores: nobody migrates, and
-                    // the mapping recomputed on the degraded oracle must
-                    // still be a bijection of the surviving job.
-                    assert_eq!(report.ranks_migrated, 0, "link faults drained a core");
-                    let m = &session.mapping(Mapper::Hrstc, case.pattern).mapping;
-                    assert!(
-                        is_permutation(m),
-                        "{} mapping not bijective at rate {rate} seed {seed:#x}",
-                        case.label
-                    );
-                    let [default, reordered] = &report.probes[..] else {
-                        unreachable!("two probes per case");
-                    };
-                    cell.default_slowdown[ci] += default.slowdown();
-                    cell.reorder_improvement[ci] +=
-                        100.0 * (default.after - reordered.after) / default.after;
-                }
-                if ok {
-                    cell.applied += 1;
-                    cell.cables_removed += set
-                        .failed_cables
-                        .iter()
-                        .map(|&(_, _, n)| n as usize)
-                        .sum::<usize>();
-                } else {
-                    cell.partitioned += 1;
+                        for (ci, v) in reorder_improvement.into_iter().enumerate() {
+                            cell.reorder_improvement[ci] += v;
+                        }
+                    }
+                    SeedOutcome::Fatal(msg) => {
+                        eprintln!("error: {msg}");
+                        std::process::exit(1);
+                    }
                 }
             }
             cells.push(cell);

@@ -34,6 +34,7 @@ pub mod session;
 pub use hier::hierarchical_mapping;
 pub use refine::congestion_refine;
 pub use session::{
-    CacheStats, DegradationReport, DistanceBackend, Mapper, MappingInfo, PatternKind,
-    ProbeCollective, ProbeOutcome, ProbePoint, Scheme, Session, SessionConfig,
+    CacheStats, CoreCacheStats, DegradationReport, DistanceBackend, Mapper, MappingInfo,
+    PatternKind, ProbeCollective, ProbeOutcome, ProbePoint, Scheme, Session, SessionConfig,
+    SessionCore, SessionHandle,
 };

@@ -24,8 +24,10 @@
 //! bit-identical mappings and timings.
 
 mod degraded;
+mod shared;
 
 pub use degraded::{DegradationReport, ProbeCollective, ProbeOutcome, ProbePoint};
+pub use shared::{CoreCacheStats, SessionCore, SessionHandle};
 
 use crate::hier::{hierarchical_mapping, reordered_groups, HierMapper};
 use std::collections::hash_map::Entry;
@@ -226,6 +228,7 @@ pub struct CacheStats {
 }
 
 /// The extracted distance structure (dense table or O(P) oracle).
+#[derive(Clone)]
 enum SessionDistance {
     Dense(DistanceMatrix),
     Implicit(ImplicitDistance),

@@ -1,0 +1,316 @@
+//! Differential validation of the shared-core split: a [`SessionCore`]
+//! behind any number of [`SessionHandle`]s — including N threads hammering
+//! one core concurrently — must be **bit-identical** to a solo [`Session`]
+//! on the same inputs, under exact `f64` equality. The coalesce counters
+//! must also prove that concurrent identical requests actually shared
+//! computes rather than racing past each other.
+
+use std::sync::{Arc, Barrier};
+use tarr_collectives::allgather::{HierarchicalConfig, InterAlg, IntraPattern};
+use tarr_core::{
+    DistanceBackend, Mapper, ProbePoint, Scheme, Session, SessionConfig, SessionCore, SessionHandle,
+};
+use tarr_faults::{FaultRates, FaultSet};
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_topo::Cluster;
+
+const MAPPERS: [Mapper; 5] = [
+    Mapper::Hrstc,
+    Mapper::ScotchLike,
+    Mapper::ScotchTuned,
+    Mapper::Greedy,
+    Mapper::MvapichCyclic,
+];
+
+const FIXES: [OrderFix; 3] = [OrderFix::InitComm, OrderFix::EndShuffle, OrderFix::InPlace];
+
+const HCFG: HierarchicalConfig = HierarchicalConfig {
+    inter: InterAlg::RecursiveDoubling,
+    intra: IntraPattern::Binomial,
+};
+
+fn cfg(backend: DistanceBackend) -> SessionConfig {
+    SessionConfig {
+        backend,
+        ..SessionConfig::default()
+    }
+}
+
+/// The mixed workload both sides execute: every collective surface of the
+/// session, across mappers, fixes and both allgather algorithm regions.
+/// Returns the result vector in request order (NaN encodes "unsupported",
+/// which must agree on both sides too).
+fn run_workload_solo(s: &mut Session) -> Vec<f64> {
+    let mut out = Vec::new();
+    for msg in [256u64, 65536] {
+        out.push(s.allgather_time(msg, Scheme::Default));
+        for mapper in MAPPERS {
+            for fix in FIXES {
+                out.push(s.allgather_time(msg, Scheme::Reordered { mapper, fix }));
+            }
+        }
+        out.push(
+            s.hierarchical_allgather_time(msg, HCFG, Scheme::Default)
+                .unwrap_or(f64::NAN),
+        );
+        out.push(
+            s.hierarchical_allgather_time(msg, HCFG, Scheme::hrstc(OrderFix::InitComm))
+                .unwrap_or(f64::NAN),
+        );
+        out.push(s.gather_time(msg, Scheme::Default));
+        out.push(s.gather_time(msg, Scheme::hrstc(OrderFix::EndShuffle)));
+        out.push(s.bcast_time(msg, Scheme::scotch(OrderFix::InitComm)));
+        out.push(s.allreduce_time(msg, true, Scheme::hrstc(OrderFix::InPlace)));
+    }
+    let sizes: Vec<u64> = (0..s.size() as u64).map(|r| 64 + (r % 7) * 128).collect();
+    out.push(s.allgatherv_time(&sizes, Scheme::Default));
+    out.push(s.allgatherv_time(&sizes, Scheme::hrstc(OrderFix::InPlace)));
+    out
+}
+
+fn run_workload_handle(h: &mut SessionHandle) -> Vec<f64> {
+    let mut out = Vec::new();
+    for msg in [256u64, 65536] {
+        out.push(h.allgather_time(msg, Scheme::Default));
+        for mapper in MAPPERS {
+            for fix in FIXES {
+                out.push(h.allgather_time(msg, Scheme::Reordered { mapper, fix }));
+            }
+        }
+        out.push(
+            h.hierarchical_allgather_time(msg, HCFG, Scheme::Default)
+                .unwrap_or(f64::NAN),
+        );
+        out.push(
+            h.hierarchical_allgather_time(msg, HCFG, Scheme::hrstc(OrderFix::InitComm))
+                .unwrap_or(f64::NAN),
+        );
+        out.push(h.gather_time(msg, Scheme::Default));
+        out.push(h.gather_time(msg, Scheme::hrstc(OrderFix::EndShuffle)));
+        out.push(h.bcast_time(msg, Scheme::scotch(OrderFix::InitComm)));
+        out.push(h.allreduce_time(msg, true, Scheme::hrstc(OrderFix::InPlace)));
+    }
+    let sizes: Vec<u64> = (0..h.size() as u64).map(|r| 64 + (r % 7) * 128).collect();
+    out.push(h.allgatherv_time(&sizes, Scheme::Default));
+    out.push(h.allgatherv_time(&sizes, Scheme::hrstc(OrderFix::InPlace)));
+    out
+}
+
+fn assert_bitwise_eq(solo: &[f64], shared: &[f64], tag: &str) {
+    assert_eq!(solo.len(), shared.len(), "{tag}: result count");
+    for (i, (a, b)) in solo.iter().zip(shared.iter()).enumerate() {
+        assert!(
+            (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits(),
+            "{tag}: request {i} diverged: solo {a:?} vs shared {b:?}"
+        );
+    }
+}
+
+/// Solo vs shared, single-threaded, both distance backends and all four
+/// initial layouts: every collective result bit-identical, including the
+/// `None` (unsupported) cases.
+#[test]
+fn shared_core_matches_solo_session() {
+    for backend in [DistanceBackend::Dense, DistanceBackend::Implicit] {
+        for layout in InitialMapping::ALL {
+            let cluster = Cluster::gpc(4);
+            let p = cluster.total_cores();
+            let mut solo = Session::from_layout(cluster.clone(), layout, p, cfg(backend));
+            let core = Arc::new(SessionCore::from_layout(cluster, layout, p, cfg(backend)));
+            let mut handle = core.handle();
+            let a = run_workload_solo(&mut solo);
+            let b = run_workload_handle(&mut handle);
+            assert_bitwise_eq(&a, &b, &format!("{backend:?}/{}", layout.name()));
+            // The handle saw real cache traffic and the core computed each
+            // unique artifact exactly once (the workload revisits keys).
+            let stats = core.cache_stats();
+            assert!(stats.hits() > 0, "warm revisits must hit: {stats:?}");
+            let solo_stats = solo.cache_stats();
+            assert_eq!(
+                stats.mappings.misses, solo_stats.mapping_misses,
+                "same unique mapping computes as solo"
+            );
+        }
+    }
+}
+
+/// A solo session warmed by the full workload and then frozen with
+/// `into_shared` must hand every artifact to the core: re-running the
+/// workload through a handle recomputes nothing and changes no result.
+#[test]
+fn into_shared_preserves_warm_state() {
+    let cluster = Cluster::gpc(4);
+    let p = cluster.total_cores();
+    let mut solo = Session::from_layout(
+        cluster,
+        InitialMapping::BLOCK_BUNCH,
+        p,
+        cfg(DistanceBackend::Implicit),
+    );
+    let expected = run_workload_solo(&mut solo);
+    let core = Arc::new(solo.into_shared());
+    let mut handle = core.handle();
+    let replay = run_workload_handle(&mut handle);
+    assert_bitwise_eq(&expected, &replay, "warm replay");
+    let stats = core.cache_stats();
+    assert_eq!(
+        stats.mappings.misses, 0,
+        "mappings were pre-seeded: {stats:?}"
+    );
+    assert_eq!(stats.comms.misses, 0, "comms were pre-seeded: {stats:?}");
+    assert_eq!(
+        stats.scheds.misses, 0,
+        "schedules were pre-seeded: {stats:?}"
+    );
+    assert_eq!(
+        stats.prices.misses, 0,
+        "price totals were pre-seeded: {stats:?}"
+    );
+}
+
+/// N threads hammer one shared core with the same overlapping workload from
+/// a barrier start. Every thread's every result must be bit-identical to the
+/// solo reference, the core must have computed each unique artifact exactly
+/// once (misses equal the solo session's), and across retry rounds the
+/// coalesce counters must show at least one lookup that blocked on another
+/// thread's in-flight compute.
+#[test]
+fn concurrent_hammering_is_bit_identical_and_coalesces() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 20;
+
+    let cluster = Cluster::gpc(4);
+    let p = cluster.total_cores();
+    let backend = DistanceBackend::Implicit;
+    let mut solo = Session::from_layout(
+        cluster.clone(),
+        InitialMapping::BLOCK_BUNCH,
+        p,
+        cfg(backend),
+    );
+    let expected = run_workload_solo(&mut solo);
+    let solo_stats = solo.cache_stats();
+
+    let mut saw_coalesce = false;
+    for round in 0..ROUNDS {
+        let core = Arc::new(SessionCore::from_layout(
+            cluster.clone(),
+            InitialMapping::BLOCK_BUNCH,
+            p,
+            cfg(backend),
+        ));
+        let barrier = Barrier::new(THREADS);
+        let results: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let core = core.clone();
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let mut h = core.handle();
+                        barrier.wait();
+                        let r = run_workload_handle(&mut h);
+                        (r, h.coalesced())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (r, _)) in results.iter().enumerate() {
+            assert_bitwise_eq(&expected, r, &format!("round {round}, thread {i}"));
+        }
+        let stats = core.cache_stats();
+        // Compute-once across all 8 threads: the shared core ran exactly as
+        // many mapping computes as the solo session did.
+        assert_eq!(
+            stats.mappings.misses, solo_stats.mapping_misses,
+            "round {round}: one mapping compute per unique key: {stats:?}"
+        );
+        assert_eq!(
+            stats.scheds.misses, solo_stats.sched_misses,
+            "round {round}: one compile per unique schedule: {stats:?}"
+        );
+        if stats.coalesced() > 0 {
+            assert!(
+                results.iter().map(|(_, c)| c).sum::<u64>() > 0,
+                "core counted coalesces the handles did not see"
+            );
+            saw_coalesce = true;
+            break;
+        }
+    }
+    assert!(
+        saw_coalesce,
+        "no lookup coalesced onto an in-flight compute in {ROUNDS} barrier-started rounds"
+    );
+}
+
+/// Fault application on a shared core (functional: old core untouched, new
+/// core minted) must agree with the solo `apply_faults` path: identical
+/// probe timings, identical post-fault collective results, and the pre-fault
+/// core still prices the pre-fault topology.
+#[test]
+fn shared_fault_path_matches_solo() {
+    let cluster = Cluster::gpc(4);
+    let p = cluster.total_cores();
+    let backend = DistanceBackend::Implicit;
+    // Find a fault set both paths survive (no partition).
+    let set = (0..50)
+        .map(|s| FaultSet::random(&cluster, &FaultRates::links(0.05), 0xc0a1u64 << 8 | s))
+        .find(|set| {
+            let mut probe = Session::from_layout(
+                cluster.clone(),
+                InitialMapping::BLOCK_BUNCH,
+                p,
+                cfg(backend),
+            );
+            probe.apply_faults(set, &[]).is_ok()
+        })
+        .expect("a survivable link-fault set exists");
+
+    let probes = [
+        ProbePoint::allgather(512, Scheme::Default),
+        ProbePoint::allgather(512, Scheme::hrstc(OrderFix::InitComm)),
+        ProbePoint::bcast(4096, Scheme::Default),
+    ];
+
+    // Solo: warm, fault, re-run.
+    let mut solo = Session::from_layout(
+        cluster.clone(),
+        InitialMapping::BLOCK_BUNCH,
+        p,
+        cfg(backend),
+    );
+    let pre = run_workload_solo(&mut solo);
+    let solo_report = solo.apply_faults(&set, &probes).unwrap();
+    let post_solo = run_workload_solo(&mut solo);
+
+    // Shared: warm via handle, fault functionally, re-run on the new core.
+    let core = Arc::new(SessionCore::from_layout(
+        cluster,
+        InitialMapping::BLOCK_BUNCH,
+        p,
+        cfg(backend),
+    ));
+    let mut h = core.handle();
+    let pre_shared = run_workload_handle(&mut h);
+    assert_bitwise_eq(&pre, &pre_shared, "pre-fault");
+    let (degraded, shared_report) = core.apply_faults(&set, &probes).unwrap();
+    let degraded = Arc::new(degraded);
+    let mut h2 = degraded.handle();
+    let post_shared = run_workload_handle(&mut h2);
+    assert_bitwise_eq(&post_solo, &post_shared, "post-fault");
+
+    // Probe outcomes agree exactly.
+    assert_eq!(solo_report.probes.len(), shared_report.probes.len());
+    for (a, b) in solo_report.probes.iter().zip(shared_report.probes.iter()) {
+        assert_eq!(a.before.to_bits(), b.before.to_bits(), "probe before");
+        assert_eq!(a.after.to_bits(), b.after.to_bits(), "probe after");
+    }
+    assert_eq!(solo_report.ranks_migrated, shared_report.ranks_migrated);
+    assert_eq!(solo_report.summary, shared_report.summary);
+
+    // The old core is untouched: it still prices the pre-fault topology.
+    let mut h3 = core.handle();
+    let pre_again = run_workload_handle(&mut h3);
+    assert_bitwise_eq(&pre, &pre_again, "old core after functional fault");
+}

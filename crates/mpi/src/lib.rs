@@ -31,6 +31,7 @@
 //! sched.validate().unwrap();
 //! ```
 
+pub mod cache;
 pub mod comm;
 pub mod delta;
 pub mod exec;
@@ -38,6 +39,7 @@ pub mod schedule;
 pub mod stats;
 pub mod timing;
 
+pub use cache::{CacheCounters, CacheSnapshot, Lookup, ShardedOnceMap};
 pub use comm::Communicator;
 pub use delta::{DeltaPricer, RankStageIndex};
 pub use exec::{ExecError, FunctionalState};

@@ -1,0 +1,117 @@
+//! The `tarr-serve` daemon.
+//!
+//! ```text
+//! tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH]
+//! ```
+//!
+//! Without `--tcp`, requests are read line-by-line from stdin and replies
+//! written to stdout in request order — stdout carries **only** reply JSON,
+//! so the stream can be diffed against a fixture; status goes to stderr.
+//! With `--tcp ADDR`, the daemon listens on ADDR and serves each
+//! connection the same protocol (the process then runs until killed).
+//!
+//! `--trace-out PATH` enables the tarr-trace recorder and exports the
+//! JSONL timeline (spans, `serve.*` counters, queue-depth gauge) on exit.
+
+use std::io;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use tarr_serve::{serve_lines, serve_tcp, Engine, ServeOpts};
+
+struct Args {
+    opts: ServeOpts,
+    tcp: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        opts: ServeOpts::default(),
+        tcp: None,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--workers" => {
+                args.opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.opts.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--help" | "-h" => {
+                println!(
+                    "tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tarr-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.trace_out.is_some() {
+        tarr_trace::set_enabled(true);
+    }
+    let engine = Engine::new();
+    let result = match &args.tcp {
+        Some(addr) => {
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("tarr-serve: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "tarr-serve: listening on {addr} ({} workers per connection)",
+                args.opts.workers.max(1)
+            );
+            serve_tcp(&engine, listener, &args.opts).map(|()| 0)
+        }
+        None => {
+            let stdin = io::stdin();
+            serve_lines(&engine, stdin.lock(), io::stdout(), &args.opts)
+        }
+    };
+    if let Some(path) = &args.trace_out {
+        tarr_trace::sample_metrics();
+        match tarr_trace::export_jsonl(path) {
+            Ok(()) => eprintln!("tarr-serve: trace written to {path}"),
+            Err(e) => eprintln!("tarr-serve: trace export failed: {e}"),
+        }
+        tarr_trace::set_enabled(false);
+    }
+    match result {
+        Ok(served) => {
+            let s = engine.stats();
+            eprintln!(
+                "tarr-serve: served {served} requests ({} errors, {} coalesced)",
+                s.errors(),
+                s.coalesce()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tarr-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

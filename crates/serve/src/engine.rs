@@ -1,0 +1,328 @@
+//! The request engine: named clusters, each an `Arc`-shared
+//! [`SessionCore`], with op dispatch and admission/coalesce accounting.
+//!
+//! Every request that touches a cluster runs on a fresh [`SessionHandle`] —
+//! handles are a pointer plus counters, so per-request creation is free —
+//! and all handles of one cluster share the core's sharded coalescing
+//! caches. A `fault` op never mutates a core in place: it computes the
+//! degraded core off to the side and swaps the `Arc` under a brief write
+//! lock, so in-flight requests finish against the pre-fault topology.
+//!
+//! Metrics: `serve.request` / `serve.error` count dispatches, and
+//! `serve.coalesce` counts requests that reused shared-core state — a cache
+//! hit or a share of another thread's in-flight compute. The same totals
+//! are kept on plain atomics (readable via the `stats` op) so an untraced
+//! daemon still reports them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tarr_core::{DistanceBackend, SessionConfig, SessionCore, SessionHandle};
+use tarr_faults::{FaultRates, FaultSet};
+use tarr_topo::Cluster;
+use tarr_trace::json::{parse, Json};
+
+use crate::protocol::{
+    err_reply, need_str, need_u64, num, ok_reply, opt_bool, opt_f64, opt_u64, parse_layout,
+    parse_mapper, parse_pattern, parse_scheme, to_string,
+};
+
+/// Monotonic request totals, also mirrored onto `serve.*` trace counters.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    coalesce: AtomicU64,
+}
+
+impl EngineStats {
+    /// Requests dispatched (including failed ones).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed with an error reply.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Requests that reused shared-core state (cache hit or in-flight
+    /// share).
+    pub fn coalesce(&self) -> u64 {
+        self.coalesce.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared daemon state. See the module docs.
+#[derive(Default)]
+pub struct Engine {
+    clusters: RwLock<HashMap<String, Arc<SessionCore>>>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine with no clusters ingested.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Request totals.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The core currently serving `name`.
+    pub fn core(&self, name: &str) -> Option<Arc<SessionCore>> {
+        self.clusters
+            .read()
+            .expect("cluster map poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Process one raw request line into one serialized reply line.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        tarr_trace::counter_add!("serve.request", 1);
+        let reply = match parse(line) {
+            Err(e) => err_reply(None, &format!("bad request: {e}")),
+            Ok(req) => {
+                let sp = tarr_trace::span("serve.handle");
+                let _sp = match req.get("op").and_then(Json::as_str) {
+                    Some(op) => sp.arg("req_op", op.to_string()),
+                    None => sp,
+                };
+                match self.dispatch(&req) {
+                    Ok(reply) => reply,
+                    Err(msg) => err_reply(Some(&req), &msg),
+                }
+            }
+        };
+        if matches!(reply.get("ok"), Some(Json::Bool(false))) {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            tarr_trace::counter_add!("serve.error", 1);
+        }
+        to_string(&reply)
+    }
+
+    fn dispatch(&self, req: &Json) -> Result<Json, String> {
+        let op = need_str(req, "op")?;
+        match op {
+            "ingest" => self.op_ingest(req),
+            "map" => self.op_map(req),
+            "reorder" => self.op_reorder(req),
+            "price" => self.op_price(req),
+            "fault" => self.op_fault(req),
+            "stats" => Ok(self.op_stats(req)),
+            "shutdown" => Ok(ok_reply(req, "shutdown", Vec::new())),
+            other => Err(format!(
+                "unknown op \"{other}\" (ingest|map|reorder|price|fault|stats|shutdown)"
+            )),
+        }
+    }
+
+    /// A handle on the named cluster, or a client error.
+    fn handle_for(&self, req: &Json) -> Result<SessionHandle, String> {
+        let name = need_str(req, "cluster")?;
+        let core = self
+            .core(name)
+            .ok_or_else(|| format!("unknown cluster \"{name}\" (ingest it first)"))?;
+        Ok(core.handle())
+    }
+
+    /// Fold one finished request's handle accounting into the coalesce
+    /// metric: any reuse of shared-core state counts once per request.
+    fn settle(&self, h: &SessionHandle) {
+        let s = h.cache_stats();
+        let reused = s.mapping_hits + s.comm_hits + s.sched_hits + s.price_reused + h.coalesced();
+        if reused > 0 {
+            self.stats.coalesce.fetch_add(1, Ordering::Relaxed);
+            tarr_trace::counter_add!("serve.coalesce", 1);
+        }
+    }
+
+    fn op_ingest(&self, req: &Json) -> Result<Json, String> {
+        let name = need_str(req, "cluster")?;
+        let layout = match req.get("layout").and_then(Json::as_str) {
+            None => tarr_mapping::InitialMapping::BLOCK_BUNCH,
+            Some(l) => parse_layout(l)?,
+        };
+        let backend = match req.get("backend").and_then(Json::as_str) {
+            None | Some("implicit") => DistanceBackend::Implicit,
+            Some("dense") => DistanceBackend::Dense,
+            Some(other) => return Err(format!("unknown backend \"{other}\" (dense|implicit)")),
+        };
+        let p = opt_u64(req, "p")?.map(|v| v as usize);
+        let mut cfg = SessionConfig {
+            backend,
+            ..SessionConfig::default()
+        };
+        if let Some(seed) = opt_u64(req, "seed")? {
+            cfg.seed = seed;
+        }
+        let _sp = tarr_trace::span("serve.ingest").arg("cluster", name.to_string());
+        let core = if let Some(text) = req.get("snapshot").and_then(Json::as_str) {
+            SessionCore::from_snapshot_text(text, layout, p, cfg).map_err(|e| e.to_string())?
+        } else if let Some(path) = req.get("snapshot_path").and_then(Json::as_str) {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+            SessionCore::from_snapshot_text(&text, layout, p, cfg).map_err(|e| e.to_string())?
+        } else if let Some(nodes) = opt_u64(req, "gpc_nodes")? {
+            let cluster = Cluster::gpc(nodes as usize);
+            let p = p.unwrap_or_else(|| cluster.total_cores());
+            SessionCore::from_layout(cluster, layout, p, cfg)
+        } else {
+            return Err("ingest needs \"snapshot\", \"snapshot_path\" or \"gpc_nodes\"".into());
+        };
+        let fields = vec![
+            ("cluster".to_string(), Json::Str(name.to_string())),
+            ("ranks".to_string(), num(core.size() as u64)),
+            ("nodes".to_string(), num(core.cluster().num_nodes() as u64)),
+            (
+                "cores".to_string(),
+                num(core.cluster().total_cores() as u64),
+            ),
+        ];
+        self.clusters
+            .write()
+            .expect("cluster map poisoned")
+            .insert(name.to_string(), Arc::new(core));
+        Ok(ok_reply(req, "ingest", fields))
+    }
+
+    fn op_map(&self, req: &Json) -> Result<Json, String> {
+        let mut h = self.handle_for(req)?;
+        let mapper = parse_mapper(need_str(req, "mapper")?)?;
+        let pattern = parse_pattern(need_str(req, "pattern")?)?;
+        let info = h
+            .mapping(mapper, pattern)
+            .ok_or("unsupported mapper/pattern for this cluster")?;
+        let arr = info.mapping.iter().map(|&v| num(v as u64)).collect();
+        self.settle(&h);
+        Ok(ok_reply(
+            req,
+            "map",
+            vec![("mapping".to_string(), Json::Arr(arr))],
+        ))
+    }
+
+    fn op_reorder(&self, req: &Json) -> Result<Json, String> {
+        let mut h = self.handle_for(req)?;
+        let mapper = parse_mapper(need_str(req, "mapper")?)?;
+        let pattern = parse_pattern(need_str(req, "pattern")?)?;
+        let comm = h
+            .reordered_comm(mapper, pattern)
+            .ok_or("unsupported mapper/pattern for this cluster")?;
+        let arr = comm.cores().iter().map(|c| num(c.0 as u64)).collect();
+        self.settle(&h);
+        Ok(ok_reply(
+            req,
+            "reorder",
+            vec![("cores".to_string(), Json::Arr(arr))],
+        ))
+    }
+
+    fn op_price(&self, req: &Json) -> Result<Json, String> {
+        let mut h = self.handle_for(req)?;
+        let scheme = parse_scheme(req)?;
+        let msg = need_u64(req, "msg_bytes")?;
+        let collective = need_str(req, "collective")?;
+        let seconds = match collective {
+            "allgather" => h.allgather_time(msg, scheme),
+            "gather" => h.gather_time(msg, scheme),
+            "bcast" => h.bcast_time(msg, scheme),
+            "allreduce" => {
+                let raben = opt_bool(req, "rabenseifner")?.unwrap_or(true);
+                h.allreduce_time(msg, raben, scheme)
+            }
+            other => {
+                return Err(format!(
+                    "unknown collective \"{other}\" (allgather|gather|bcast|allreduce)"
+                ))
+            }
+        };
+        self.settle(&h);
+        Ok(ok_reply(
+            req,
+            "price",
+            vec![("seconds".to_string(), Json::Num(seconds))],
+        ))
+    }
+
+    fn op_fault(&self, req: &Json) -> Result<Json, String> {
+        let name = need_str(req, "cluster")?;
+        let core = self
+            .core(name)
+            .ok_or_else(|| format!("unknown cluster \"{name}\" (ingest it first)"))?;
+        let seed = need_u64(req, "seed")?;
+        let rates = FaultRates {
+            link_fail: opt_f64(req, "link_fail")?.unwrap_or(0.0),
+            switch_fail: opt_f64(req, "switch_fail")?.unwrap_or(0.0),
+            node_drain: opt_f64(req, "node_drain")?.unwrap_or(0.0),
+            core_drain: opt_f64(req, "core_drain")?.unwrap_or(0.0),
+        };
+        let set = FaultSet::random(core.cluster(), &rates, seed);
+        let _sp = tarr_trace::span("serve.fault").arg("cluster", name.to_string());
+        // The degraded core is minted off to the side; the swap below is the
+        // only write. In-flight requests keep their pre-fault Arc.
+        let (degraded, report) = core.apply_faults(&set, &[]).map_err(|e| e.to_string())?;
+        self.clusters
+            .write()
+            .expect("cluster map poisoned")
+            .insert(name.to_string(), Arc::new(degraded));
+        Ok(ok_reply(
+            req,
+            "fault",
+            vec![
+                (
+                    "cables_removed".to_string(),
+                    num(report.summary.cables_removed as u64),
+                ),
+                (
+                    "switches_removed".to_string(),
+                    num(report.summary.switches_removed as u64),
+                ),
+                (
+                    "nodes_lost".to_string(),
+                    num(report.summary.nodes_lost as u64),
+                ),
+                (
+                    "cores_lost".to_string(),
+                    num(report.summary.cores_lost as u64),
+                ),
+                (
+                    "ranks_migrated".to_string(),
+                    num(report.ranks_migrated as u64),
+                ),
+                (
+                    "mappings_dropped".to_string(),
+                    num(report.mappings_dropped as u64),
+                ),
+                (
+                    "comms_dropped".to_string(),
+                    num(report.comms_dropped as u64),
+                ),
+                (
+                    "scheds_dropped".to_string(),
+                    num(report.scheds_dropped as u64),
+                ),
+                ("scheds_kept".to_string(), num(report.scheds_kept as u64)),
+            ],
+        ))
+    }
+
+    fn op_stats(&self, req: &Json) -> Json {
+        let clusters = self.clusters.read().expect("cluster map poisoned").len();
+        ok_reply(
+            req,
+            "stats",
+            vec![
+                ("clusters".to_string(), num(clusters as u64)),
+                ("requests".to_string(), num(self.stats.requests())),
+                ("errors".to_string(), num(self.stats.errors())),
+                ("coalesce".to_string(), num(self.stats.coalesce())),
+            ],
+        )
+    }
+}

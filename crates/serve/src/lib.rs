@@ -1,0 +1,29 @@
+//! # tarr-serve — the topology-aware mapping service
+//!
+//! A long-running daemon over the shared-core session layer
+//! ([`tarr_core::SessionCore`]): it holds many ingested clusters, answers
+//! map / reorder / price / fault requests over a line-oriented JSON
+//! protocol (stdin/stdout, or TCP with `--tcp`), and serves them
+//! concurrently — N identical requests against one cluster share one
+//! compute through the core's coalescing caches, and reply order always
+//! equals request order regardless of worker count.
+//!
+//! ```text
+//! $ tarr-serve --workers 8
+//! {"id":1,"op":"ingest","cluster":"gpc","snapshot_path":"/tmp/gpc.snap"}
+//! {"id":1,"ok":true,"op":"ingest","cluster":"gpc","ranks":64,"nodes":8,"cores":64}
+//! {"id":2,"op":"price","cluster":"gpc","collective":"allgather","msg_bytes":65536,"mapper":"hrstc"}
+//! {"id":2,"ok":true,"op":"price","seconds":0.000123}
+//! ```
+//!
+//! Layering: [`protocol`] is the wire format (requests, replies, the JSON
+//! writer over [`tarr_trace::json`]), [`engine`] is the op dispatcher over
+//! the cluster map, [`server`] is the admission queue + worker pool +
+//! ordered-output stage.
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineStats};
+pub use server::{serve_lines, serve_tcp, ServeOpts};

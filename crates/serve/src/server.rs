@@ -1,0 +1,240 @@
+//! The serving loop: a bounded admission queue, a `std::thread::scope`
+//! worker pool, and an ordered-output stage that makes reply order equal
+//! request order no matter how many workers race.
+//!
+//! The reader thread assigns each request line a sequence number and
+//! enqueues it (blocking when the queue is at capacity — admission is
+//! backpressure, not rejection, so a fast client cannot balloon memory).
+//! Workers pop lines, run them through the [`Engine`], and hand
+//! `(seq, reply)` to the reorder buffer, which writes replies strictly in
+//! sequence order. A scripted session therefore produces byte-identical
+//! output at any worker count — the property the CI golden fixture pins.
+//!
+//! Metrics: `serve.admitted` counts enqueued requests and the
+//! `serve.queue.depth` gauge tracks the instantaneous queue length.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::sync::{Condvar, Mutex};
+
+use tarr_trace::json::{parse, Json};
+
+use crate::engine::Engine;
+
+/// Worker-pool and admission configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Worker threads processing requests (min 1).
+    pub workers: usize,
+    /// Admission-queue capacity; the reader blocks when it is full.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_cap: 1024,
+        }
+    }
+}
+
+struct QueueState {
+    items: VecDeque<(u64, String)>,
+    closed: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocking admission: waits for capacity, then enqueues.
+    fn push(&self, seq: u64, line: String) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        while st.items.len() >= self.cap {
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+        st.items.push_back((seq, line));
+        tarr_trace::counter_add!("serve.admitted", 1);
+        if tarr_trace::enabled() {
+            tarr_trace::gauge("serve.queue.depth").set(st.items.len() as f64);
+        }
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking pop; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<(u64, String)> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                if tarr_trace::enabled() {
+                    tarr_trace::gauge("serve.queue.depth").set(st.items.len() as f64);
+                }
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// The reorder buffer: workers deliver out of order, replies leave in
+/// sequence order.
+struct OrderedOut<W: Write> {
+    state: Mutex<OutState<W>>,
+}
+
+struct OutState<W: Write> {
+    next: u64,
+    pending: BTreeMap<u64, String>,
+    sink: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> OrderedOut<W> {
+    fn new(sink: W) -> Self {
+        OrderedOut {
+            state: Mutex::new(OutState {
+                next: 0,
+                pending: BTreeMap::new(),
+                sink,
+                error: None,
+            }),
+        }
+    }
+
+    fn deliver(&self, seq: u64, reply: String) {
+        let mut st = self.state.lock().expect("output poisoned");
+        st.pending.insert(seq, reply);
+        loop {
+            let next = st.next;
+            let Some(line) = st.pending.remove(&next) else {
+                break;
+            };
+            st.next += 1;
+            if st.error.is_none() {
+                let r = writeln!(st.sink, "{line}").and_then(|()| st.sink.flush());
+                if let Err(e) = r {
+                    st.error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> io::Result<u64> {
+        let st = self.state.into_inner().expect("output poisoned");
+        debug_assert!(st.pending.is_empty(), "replies left in the reorder buffer");
+        match st.error {
+            Some(e) => Err(e),
+            None => Ok(st.next),
+        }
+    }
+}
+
+fn is_shutdown(line: &str) -> bool {
+    matches!(
+        parse(line)
+            .ok()
+            .as_ref()
+            .and_then(|r| r.get("op"))
+            .and_then(Json::as_str),
+        Some("shutdown")
+    )
+}
+
+/// Serve one line-oriented stream: read requests from `input` until EOF or
+/// a `shutdown` op, process them on `opts.workers` scoped threads, write
+/// replies to `output` in request order. Returns the number of replies
+/// written.
+pub fn serve_lines(
+    engine: &Engine,
+    input: impl BufRead,
+    output: impl Write + Send,
+    opts: &ServeOpts,
+) -> io::Result<u64> {
+    let queue = Queue::new(opts.queue_cap);
+    let out = OrderedOut::new(output);
+    std::thread::scope(|scope| {
+        for _ in 0..opts.workers.max(1) {
+            scope.spawn(|| {
+                while let Some((seq, line)) = queue.pop() {
+                    let reply = engine.handle_line(&line);
+                    out.deliver(seq, reply);
+                }
+            });
+        }
+        let mut seq = 0u64;
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let stop = is_shutdown(&line);
+            queue.push(seq, line);
+            seq += 1;
+            if stop {
+                break;
+            }
+        }
+        queue.close();
+    });
+    out.finish()
+}
+
+/// Serve TCP connections forever: each accepted connection runs its own
+/// [`serve_lines`] loop on scoped threads against the shared engine, so
+/// concurrent connections coalesce onto the same cluster cores. A
+/// `shutdown` op ends its own connection only; the daemon runs until
+/// killed.
+pub fn serve_tcp(engine: &Engine, listener: TcpListener, opts: &ServeOpts) -> io::Result<()> {
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            let (stream, peer) = listener.accept()?;
+            let opts = opts.clone();
+            scope.spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(s) => io::BufReader::new(s),
+                    Err(e) => {
+                        eprintln!("serve: {peer}: {e}");
+                        return;
+                    }
+                };
+                if let Err(e) = serve_lines(engine, reader, stream, &opts) {
+                    eprintln!("serve: {peer}: {e}");
+                }
+            });
+        }
+    })
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests of the serve stack: engine dispatch, protocol
+//! round-trips, determinism of a scripted session at any worker count, and
+//! agreement with a solo [`Session`] on the same cluster.
+
+use std::io::{BufRead, BufReader, Write};
+use tarr_core::{DistanceBackend, Mapper, PatternKind, Scheme, Session, SessionConfig};
+use tarr_mapping::{InitialMapping, OrderFix};
+use tarr_serve::{serve_lines, serve_tcp, Engine, ServeOpts};
+use tarr_topo::Cluster;
+use tarr_trace::json::{parse, Json};
+
+const SCRIPT: &[&str] = &[
+    r#"{"id":1,"op":"ingest","cluster":"c1","gpc_nodes":4}"#,
+    r#"{"id":2,"op":"map","cluster":"c1","mapper":"hrstc","pattern":"ring"}"#,
+    r#"{"id":3,"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536,"mapper":"hrstc","fix":"in_place"}"#,
+    r#"{"id":4,"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536,"mapper":"hrstc","fix":"in_place"}"#,
+    r#"{"id":5,"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536}"#,
+    r#"{"id":6,"op":"reorder","cluster":"c1","mapper":"scotch","pattern":"rd"}"#,
+    r#"{"id":7,"op":"fault","cluster":"c1","seed":7,"link_fail":0.02}"#,
+    r#"{"id":8,"op":"map","cluster":"c1","mapper":"hrstc","pattern":"ring"}"#,
+    r#"{"id":9,"op":"price","cluster":"c1","collective":"gather","msg_bytes":4096,"mapper":"greedy","fix":"end_shuffle"}"#,
+];
+
+fn run_script(engine: &Engine, lines: &[&str]) -> Vec<Json> {
+    lines
+        .iter()
+        .map(|l| parse(&engine.handle_line(l)).expect("reply parses"))
+        .collect()
+}
+
+fn field_f64(reply: &Json, key: &str) -> f64 {
+    reply
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("reply lacks {key}: {reply:?}"))
+}
+
+#[test]
+fn scripted_session_is_ok_and_deterministic() {
+    let a = run_script(&Engine::new(), SCRIPT);
+    let b = run_script(&Engine::new(), SCRIPT);
+    assert_eq!(a, b, "two fresh engines must produce identical replies");
+    for (i, reply) in a.iter().enumerate() {
+        assert_eq!(
+            reply.get("ok"),
+            Some(&Json::Bool(true)),
+            "request {i} failed: {reply:?}"
+        );
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(i as u64 + 1));
+    }
+    // Warm repeat of the identical price request returns the identical
+    // number.
+    assert_eq!(
+        field_f64(&a[2], "seconds").to_bits(),
+        field_f64(&a[3], "seconds").to_bits()
+    );
+    // Reordering beats (or at worst ties) the default here.
+    assert!(field_f64(&a[2], "seconds") <= field_f64(&a[4], "seconds"));
+}
+
+#[test]
+fn engine_agrees_with_solo_session() {
+    let engine = Engine::new();
+    let replies = run_script(&engine, SCRIPT);
+
+    // Mirror the script's pre-fault state with a solo session. The protocol
+    // defaults: implicit backend, block-bunch layout, default seed.
+    let cluster = Cluster::gpc(4);
+    let p = cluster.total_cores();
+    let mut solo = Session::from_layout(
+        cluster,
+        InitialMapping::BLOCK_BUNCH,
+        p,
+        SessionConfig {
+            backend: DistanceBackend::Implicit,
+            ..SessionConfig::default()
+        },
+    );
+    let mapping: Vec<u64> = replies[1]
+        .get("mapping")
+        .and_then(Json::as_arr)
+        .expect("map reply carries the mapping")
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    let solo_mapping: Vec<u64> = solo
+        .mapping(Mapper::Hrstc, PatternKind::Ring)
+        .mapping
+        .iter()
+        .map(|&v| v as u64)
+        .collect();
+    assert_eq!(mapping, solo_mapping);
+
+    let t = solo.allgather_time(65536, Scheme::hrstc(OrderFix::InPlace));
+    assert_eq!(field_f64(&replies[2], "seconds").to_bits(), t.to_bits());
+    let t = solo.allgather_time(65536, Scheme::Default);
+    assert_eq!(field_f64(&replies[4], "seconds").to_bits(), t.to_bits());
+}
+
+#[test]
+fn errors_are_typed_not_fatal() {
+    let engine = Engine::new();
+    for (line, needle) in [
+        ("{not json", "bad request"),
+        (r#"{"op":"frobnicate"}"#, "unknown op"),
+        (
+            r#"{"op":"map","cluster":"nope","mapper":"hrstc","pattern":"ring"}"#,
+            "unknown cluster",
+        ),
+        (r#"{"op":"ingest","cluster":"x"}"#, "ingest needs"),
+        (r#"{"op":"price","cluster":"nope"}"#, "unknown cluster"),
+    ] {
+        let reply = parse(&engine.handle_line(line)).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "line: {line}");
+        let msg = reply.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+    }
+    assert_eq!(engine.stats().errors(), 5);
+    // The engine still works after the error barrage.
+    let ok = engine.handle_line(r#"{"op":"ingest","cluster":"x","gpc_nodes":2}"#);
+    assert!(ok.contains("\"ok\":true"));
+}
+
+#[test]
+fn worker_count_does_not_change_the_output_stream() {
+    let script = SCRIPT.join("\n");
+    let mut outputs = Vec::new();
+    for workers in [1usize, 8] {
+        let engine = Engine::new();
+        let mut out = Vec::new();
+        let served = serve_lines(
+            &engine,
+            script.as_bytes(),
+            &mut out,
+            &ServeOpts {
+                workers,
+                queue_cap: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(served, SCRIPT.len() as u64);
+        outputs.push(String::from_utf8(out).unwrap());
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "reply stream must be byte-identical at any worker count"
+    );
+}
+
+#[test]
+fn shutdown_stops_the_stream() {
+    let engine = Engine::new();
+    let script = [
+        r#"{"id":1,"op":"ingest","cluster":"c1","gpc_nodes":2}"#,
+        r#"{"id":2,"op":"shutdown"}"#,
+        r#"{"id":3,"op":"stats"}"#,
+    ]
+    .join("\n");
+    let mut out = Vec::new();
+    let served = serve_lines(&engine, script.as_bytes(), &mut out, &ServeOpts::default()).unwrap();
+    assert_eq!(served, 2, "the line after shutdown is never admitted");
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count(), 2);
+    assert!(text.lines().nth(1).unwrap().contains("\"op\":\"shutdown\""));
+}
+
+#[test]
+fn tcp_round_trip() {
+    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_tcp(
+            engine,
+            listener,
+            &ServeOpts {
+                workers: 2,
+                queue_cap: 16,
+            },
+        );
+    });
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut send = |line: &str| writeln!(stream, "{line}").unwrap();
+    send(r#"{"id":1,"op":"ingest","cluster":"t","gpc_nodes":2}"#);
+    send(
+        r#"{"id":2,"op":"price","cluster":"t","collective":"bcast","msg_bytes":1024,"mapper":"hrstc"}"#,
+    );
+    send(r#"{"id":3,"op":"shutdown"}"#);
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    let replies: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(replies.len(), 3);
+    for (i, r) in replies.iter().enumerate() {
+        let v = parse(r).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "reply {i}: {r}");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(i as u64 + 1));
+    }
+}
