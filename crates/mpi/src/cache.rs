@@ -136,20 +136,12 @@ where
             let map = shard.map.read().expect("cache shard poisoned");
             map.get(key).cloned()
         };
-        let (cell, vacant) = match cell {
-            Some(c) => (c, false),
-            None => {
-                let mut map = shard.map.write().expect("cache shard poisoned");
-                match map.entry(key.clone()) {
-                    std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        let c = Arc::new(OnceLock::new());
-                        e.insert(c.clone());
-                        (c, true)
-                    }
-                }
-            }
-        };
+        let cell = cell.unwrap_or_else(|| {
+            let mut map = shard.map.write().expect("cache shard poisoned");
+            map.entry(key.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        });
         if let Some(v) = cell.get() {
             self.counters.record(Lookup::Hit);
             return (v.clone(), Lookup::Hit);
@@ -164,15 +156,9 @@ where
                 f()
             })
             .clone();
-        let outcome = if ran {
-            Lookup::Miss
-        } else if vacant {
-            // We created the cell but lost the init race: still a shared
-            // compute from this caller's perspective.
-            Lookup::Coalesced
-        } else {
-            Lookup::Coalesced
-        };
+        // Whether we installed the cell or found one mid-initialization,
+        // losing the init race means sharing another caller's compute.
+        let outcome = if ran { Lookup::Miss } else { Lookup::Coalesced };
         self.counters.record(outcome);
         (v, outcome)
     }

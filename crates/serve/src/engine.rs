@@ -6,7 +6,10 @@
 //! and all handles of one cluster share the core's sharded coalescing
 //! caches. A `fault` op never mutates a core in place: it computes the
 //! degraded core off to the side and swaps the `Arc` under a brief write
-//! lock, so in-flight requests finish against the pre-fault topology.
+//! lock, so in-flight requests finish against the pre-fault topology. The
+//! swap is conditional (`Arc::ptr_eq` against the snapshot it degraded,
+//! retrying on mismatch), so concurrent faults/ingests on one cluster
+//! cannot silently discard each other's acknowledged updates.
 //!
 //! Metrics: `serve.request` / `serve.error` count dispatches, and
 //! `serve.coalesce` counts requests that reused shared-core state — a cache
@@ -252,9 +255,6 @@ impl Engine {
 
     fn op_fault(&self, req: &Json) -> Result<Json, String> {
         let name = need_str(req, "cluster")?;
-        let core = self
-            .core(name)
-            .ok_or_else(|| format!("unknown cluster \"{name}\" (ingest it first)"))?;
         let seed = need_u64(req, "seed")?;
         let rates = FaultRates {
             link_fail: opt_f64(req, "link_fail")?.unwrap_or(0.0),
@@ -262,15 +262,24 @@ impl Engine {
             node_drain: opt_f64(req, "node_drain")?.unwrap_or(0.0),
             core_drain: opt_f64(req, "core_drain")?.unwrap_or(0.0),
         };
-        let set = FaultSet::random(core.cluster(), &rates, seed);
         let _sp = tarr_trace::span("serve.fault").arg("cluster", name.to_string());
-        // The degraded core is minted off to the side; the swap below is the
-        // only write. In-flight requests keep their pre-fault Arc.
-        let (degraded, report) = core.apply_faults(&set, &[]).map_err(|e| e.to_string())?;
-        self.clusters
-            .write()
-            .expect("cluster map poisoned")
-            .insert(name.to_string(), Arc::new(degraded));
+        // The degraded core is minted off to the side from a snapshot Arc;
+        // in-flight requests keep their pre-fault Arc. The swap only lands
+        // if that snapshot is still the serving core — if a concurrent
+        // fault/ingest replaced it meanwhile, retry against the new core so
+        // neither request's acknowledged degradation is silently dropped.
+        let report = loop {
+            let core = self
+                .core(name)
+                .ok_or_else(|| format!("unknown cluster \"{name}\" (ingest it first)"))?;
+            let set = FaultSet::random(core.cluster(), &rates, seed);
+            let (degraded, report) = core.apply_faults(&set, &[]).map_err(|e| e.to_string())?;
+            let mut map = self.clusters.write().expect("cluster map poisoned");
+            if map.get(name).is_some_and(|cur| Arc::ptr_eq(cur, &core)) {
+                map.insert(name.to_string(), Arc::new(degraded));
+                break report;
+            }
+        };
         Ok(ok_reply(
             req,
             "fault",
@@ -312,6 +321,10 @@ impl Engine {
         ))
     }
 
+    /// The explicit exception to the protocol's determinism guarantee:
+    /// these counters are engine-global (shared across every connection)
+    /// and timing-dependent (coalesce depends on cache luck), so `stats`
+    /// replies must never appear in golden fixtures.
     fn op_stats(&self, req: &Json) -> Json {
         let clusters = self.clusters.read().expect("cluster map poisoned").len();
         ok_reply(

@@ -7,7 +7,11 @@
 //! Reply contents are **deterministic** — pure functions of the daemon's
 //! ingested state and the request — so a scripted session can be diffed
 //! against a golden fixture regardless of worker count (no wall-clock
-//! durations, no cache-luck flags ever appear in a reply).
+//! durations, no cache-luck flags ever appear in a reply). The one
+//! exception is `stats`: its counters are engine-global and timing-
+//! dependent (shared across connections, sensitive to cache luck), so it
+//! is an observability op, not a fixture-safe one — keep it out of golden
+//! fixtures.
 //!
 //! The parser is [`tarr_trace::json`] — the workspace's hand-rolled JSON —
 //! and this module adds the writer side plus typed field accessors.

@@ -7,8 +7,18 @@
 //! backpressure, not rejection, so a fast client cannot balloon memory).
 //! Workers pop lines, run them through the [`Engine`], and hand
 //! `(seq, reply)` to the reorder buffer, which writes replies strictly in
-//! sequence order. A scripted session therefore produces byte-identical
-//! output at any worker count — the property the CI golden fixture pins.
+//! sequence order.
+//!
+//! Reply *order* alone is not enough: `ingest` and `fault` mutate the
+//! engine, so a later request racing past one of them on another worker
+//! could observe the wrong state (a `map` outrunning its `ingest` sees an
+//! unknown cluster; a `price` outrunning a `fault` prices the pre-fault
+//! topology). Mutating ops therefore act as barriers: the reader waits for
+//! the queue to drain and every in-flight worker to finish, runs the
+//! mutating op inline on its own thread, then resumes parallel dispatch.
+//! Earlier requests see pre-op state, later ones see post-op state, and a
+//! scripted session produces byte-identical output at any worker count —
+//! the property the CI golden fixture pins.
 //!
 //! Metrics: `serve.admitted` counts enqueued requests and the
 //! `serve.queue.depth` gauge tracks the instantaneous queue length.
@@ -44,12 +54,16 @@ impl Default for ServeOpts {
 
 struct QueueState {
     items: VecDeque<(u64, String)>,
+    /// Requests popped by a worker whose reply has not yet been delivered.
+    in_flight: usize,
     closed: bool,
 }
 
 struct Queue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
+    /// Signalled on every dequeue and every completion: waiters are both
+    /// the admitting reader (capacity) and `wait_idle` (quiescence).
     not_full: Condvar,
     cap: usize,
 }
@@ -59,6 +73,7 @@ impl Queue {
         Queue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
+                in_flight: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -82,22 +97,41 @@ impl Queue {
         self.not_empty.notify_one();
     }
 
-    /// Blocking pop; `None` once the queue is closed and drained.
+    /// Blocking pop; `None` once the queue is closed and drained. A popped
+    /// request counts as in-flight until the worker calls [`Queue::done`].
     fn pop(&self) -> Option<(u64, String)> {
         let mut st = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = st.items.pop_front() {
+                st.in_flight += 1;
                 if tarr_trace::enabled() {
                     tarr_trace::gauge("serve.queue.depth").set(st.items.len() as f64);
                 }
                 drop(st);
-                self.not_full.notify_one();
+                self.not_full.notify_all();
                 return Some(item);
             }
             if st.closed {
                 return None;
             }
             st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// A worker finished (and delivered the reply for) a popped request.
+    fn done(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.in_flight -= 1;
+        drop(st);
+        self.not_full.notify_all();
+    }
+
+    /// Block until every admitted request has been processed and delivered:
+    /// the barrier before a state-mutating op runs.
+    fn wait_idle(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        while !st.items.is_empty() || st.in_flight > 0 {
+            st = self.not_full.wait(st).expect("queue poisoned");
         }
     }
 
@@ -160,21 +194,28 @@ impl<W: Write> OrderedOut<W> {
     }
 }
 
-fn is_shutdown(line: &str) -> bool {
-    matches!(
-        parse(line)
-            .ok()
-            .as_ref()
-            .and_then(|r| r.get("op"))
-            .and_then(Json::as_str),
-        Some("shutdown")
-    )
+/// The request's `"op"` string, if the line parses to an object with one.
+fn line_op(line: &str) -> Option<String> {
+    parse(line)
+        .ok()
+        .as_ref()
+        .and_then(|r| r.get("op"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+/// Ops that mutate engine state and must not run concurrently with any
+/// other request on the stream.
+fn is_mutating(op: Option<&str>) -> bool {
+    matches!(op, Some("ingest" | "fault"))
 }
 
 /// Serve one line-oriented stream: read requests from `input` until EOF or
 /// a `shutdown` op, process them on `opts.workers` scoped threads, write
-/// replies to `output` in request order. Returns the number of replies
-/// written.
+/// replies to `output` in request order. State-mutating ops (`ingest`,
+/// `fault`) are barriers: the reader quiesces the pool and runs them
+/// inline, so every request observes the engine state its stream position
+/// implies. Returns the number of replies written.
 pub fn serve_lines(
     engine: &Engine,
     input: impl BufRead,
@@ -189,6 +230,7 @@ pub fn serve_lines(
                 while let Some((seq, line)) = queue.pop() {
                     let reply = engine.handle_line(&line);
                     out.deliver(seq, reply);
+                    queue.done();
                 }
             });
         }
@@ -201,8 +243,16 @@ pub fn serve_lines(
             if line.trim().is_empty() {
                 continue;
             }
-            let stop = is_shutdown(&line);
-            queue.push(seq, line);
+            let op = line_op(&line);
+            let stop = matches!(op.as_deref(), Some("shutdown"));
+            if is_mutating(op.as_deref()) {
+                // Workers deliver before `done`, so once idle every earlier
+                // reply has been written and this one flushes in sequence.
+                queue.wait_idle();
+                out.deliver(seq, engine.handle_line(&line));
+            } else {
+                queue.push(seq, line);
+            }
             seq += 1;
             if stop {
                 break;

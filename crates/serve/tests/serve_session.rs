@@ -123,9 +123,12 @@ fn errors_are_typed_not_fatal() {
 
 #[test]
 fn worker_count_does_not_change_the_output_stream() {
+    // The script interleaves mutating ops (ingest, fault) with requests
+    // that depend on them, so any scheduling leak — a map outrunning its
+    // ingest, a price outrunning a fault — shows up as a diff. Repeat the
+    // parallel runs: the pre-barrier race was intermittent.
     let script = SCRIPT.join("\n");
-    let mut outputs = Vec::new();
-    for workers in [1usize, 8] {
+    let run = |workers: usize| {
         let engine = Engine::new();
         let mut out = Vec::new();
         let served = serve_lines(
@@ -139,12 +142,16 @@ fn worker_count_does_not_change_the_output_stream() {
         )
         .unwrap();
         assert_eq!(served, SCRIPT.len() as u64);
-        outputs.push(String::from_utf8(out).unwrap());
+        String::from_utf8(out).unwrap()
+    };
+    let serial = run(1);
+    for trial in 0..8 {
+        assert_eq!(
+            serial,
+            run(8),
+            "reply stream must be byte-identical at any worker count (trial {trial})"
+        );
     }
-    assert_eq!(
-        outputs[0], outputs[1],
-        "reply stream must be byte-identical at any worker count"
-    );
 }
 
 #[test]
