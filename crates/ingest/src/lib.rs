@@ -139,6 +139,7 @@ mod tests {
                     .map(String::from)
                     .to_vec(),
                 instants: ["ingest.classified"].map(String::from).to_vec(),
+                ..Default::default()
             },
         );
         assert!(report.is_ok(), "{report:?}");

@@ -1,0 +1,77 @@
+//! CI validator for a scraped `--metrics` Prometheus snapshot.
+//!
+//! ```text
+//! serve-metrics-check FILE [--expect-requests N]
+//! ```
+//!
+//! Exits nonzero unless the file is a structurally valid Prometheus text
+//! exposition (see [`tarr_serve::check_prometheus`]) and — when
+//! `--expect-requests` is given — the per-op `tarr_serve_requests_total`
+//! counters sum to exactly N (the pin that a scrape taken mid-session saw
+//! every dispatched request).
+
+use tarr_serve::check_prometheus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut expect_requests: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--expect-requests" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --expect-requests needs a value");
+                    std::process::exit(2);
+                });
+                expect_requests = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: --expect-requests: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: serve-metrics-check FILE [--expect-requests N]");
+                std::process::exit(0);
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("error: no metrics file given");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match check_prometheus(&text) {
+        Ok(r) => {
+            if let Some(want) = expect_requests {
+                if r.requests_total != want {
+                    eprintln!(
+                        "{file}: FAILED — tarr_serve_requests_total sums to {}, expected {want}",
+                        r.requests_total
+                    );
+                    std::process::exit(1);
+                }
+            }
+            println!(
+                "{file}: OK — {} families, {} series, {} requests",
+                r.families, r.series, r.requests_total
+            );
+        }
+        Err(e) => {
+            eprintln!("{file}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH]
+//!            [--metrics ADDR] [--slow-ms N]
 //! ```
 //!
 //! Without `--tcp`, requests are read line-by-line from stdin and replies
@@ -11,18 +12,26 @@
 //! connection the same protocol (the process then runs until killed).
 //!
 //! `--trace-out PATH` enables the tarr-trace recorder and exports the
-//! JSONL timeline (spans, `serve.*` counters, queue-depth gauge) on exit.
+//! JSONL timeline (request-tagged spans, `serve.*` counters, queue-depth
+//! and worker gauges) on exit. `--metrics ADDR` serves the Prometheus
+//! text-format RED-metrics snapshot over HTTP on ADDR (always available —
+//! no recorder needed). `--slow-ms N` logs any request whose queue-wait +
+//! service time reaches N milliseconds to stderr with its request id, op,
+//! cluster and per-stage self-times; `--slow-ms 0` logs every request.
 
 use std::io;
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use tarr_serve::{serve_lines, serve_tcp, Engine, ServeOpts};
+use tarr_serve::{serve_lines, serve_metrics, serve_tcp, Engine, ServeOpts};
 
 struct Args {
     opts: ServeOpts,
     tcp: Option<String>,
     trace_out: Option<String>,
+    metrics: Option<String>,
+    slow_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         opts: ServeOpts::default(),
         tcp: None,
         trace_out: None,
+        metrics: None,
+        slow_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,9 +58,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tcp" => args.tcp = Some(value("--tcp")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--slow-ms" => {
+                args.slow_ms = Some(
+                    value("--slow-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-ms: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH]"
+                    "tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH] \
+                     [--metrics ADDR] [--slow-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -70,7 +90,27 @@ fn main() -> ExitCode {
     if args.trace_out.is_some() {
         tarr_trace::set_enabled(true);
     }
-    let engine = Engine::new();
+    // Leaked so the metrics listener thread (which outlives the serve loop
+    // scope) can borrow it for the process lifetime.
+    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    if let Some(ms) = args.slow_ms {
+        engine.set_slow_threshold(Some(Duration::from_millis(ms)));
+    }
+    if let Some(addr) = &args.metrics {
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("tarr-serve: cannot bind metrics listener {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("tarr-serve: metrics on http://{addr}/metrics");
+        std::thread::spawn(move || {
+            if let Err(e) = serve_metrics(engine, listener) {
+                eprintln!("tarr-serve: metrics listener: {e}");
+            }
+        });
+    }
     let result = match &args.tcp {
         Some(addr) => {
             let listener = match TcpListener::bind(addr) {
@@ -84,11 +124,11 @@ fn main() -> ExitCode {
                 "tarr-serve: listening on {addr} ({} workers per connection)",
                 args.opts.workers.max(1)
             );
-            serve_tcp(&engine, listener, &args.opts).map(|()| 0)
+            serve_tcp(engine, listener, &args.opts).map(|()| 0)
         }
         None => {
             let stdin = io::stdin();
-            serve_lines(&engine, stdin.lock(), io::stdout(), &args.opts)
+            serve_lines(engine, stdin.lock(), io::stdout(), &args.opts)
         }
     };
     if let Some(path) = &args.trace_out {

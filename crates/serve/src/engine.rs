@@ -20,12 +20,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 use tarr_core::{DistanceBackend, SessionConfig, SessionCore, SessionHandle};
 use tarr_faults::{FaultRates, FaultSet};
 use tarr_topo::Cluster;
 use tarr_trace::json::{parse, Json};
 
+use crate::metrics::{op_index, ServeMetrics};
 use crate::protocol::{
     err_reply, need_str, need_u64, num, ok_reply, opt_bool, opt_f64, opt_u64, parse_layout,
     parse_mapper, parse_pattern, parse_scheme, to_string,
@@ -62,6 +64,10 @@ impl EngineStats {
 pub struct Engine {
     clusters: RwLock<HashMap<String, Arc<SessionCore>>>,
     stats: EngineStats,
+    metrics: ServeMetrics,
+    next_req: AtomicU64,
+    /// Slow-request log threshold in ns over queue-wait + service; 0 = off.
+    slow_ns: AtomicU64,
 }
 
 impl Engine {
@@ -75,6 +81,26 @@ impl Engine {
         &self.stats
     }
 
+    /// Always-on RED metrics (per-op/per-cluster counters + latency
+    /// histograms), independent of the trace recorder.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The next monotonic request id. Ids are engine-global, start at 1,
+    /// and are assigned at admission so the id order matches arrival order.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_req.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Log any request whose queue-wait + service time reaches `threshold`
+    /// to stderr with its per-stage self-time breakdown. `None` disables;
+    /// a zero threshold is clamped to 1 ns, i.e. it logs every request.
+    pub fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        let ns = threshold.map_or(0, |d| (d.as_nanos() as u64).max(1));
+        self.slow_ns.store(ns, Ordering::Relaxed);
+    }
+
     /// The core currently serving `name`.
     pub fn core(&self, name: &str) -> Option<Arc<SessionCore>> {
         self.clusters
@@ -84,27 +110,84 @@ impl Engine {
             .cloned()
     }
 
-    /// Process one raw request line into one serialized reply line.
+    /// Process one raw request line into one serialized reply line,
+    /// assigning it the next request id with zero queue-wait (the
+    /// single-threaded / test entry point; the serve loop assigns ids at
+    /// admission and calls [`Engine::handle_request`] directly).
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_request(self.next_request_id(), Duration::ZERO, line)
+    }
+
+    /// Process one admitted request: `req_id` tags every span the request
+    /// opens (via a [`tarr_trace::request_scope`]), `queue_wait` is the
+    /// admission→dispatch delay measured by the caller, and RED metrics /
+    /// the slow-request log are fed from the dispatch→reply service time
+    /// measured here.
+    pub fn handle_request(&self, req_id: u64, queue_wait: Duration, line: &str) -> String {
+        let started = Instant::now();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         tarr_trace::counter_add!("serve.request", 1);
-        let reply = match parse(line) {
+        let slow_ns = self.slow_ns.load(Ordering::Relaxed);
+        // A request scope costs two thread-local ops per span; only open
+        // one when something (the recorder or the slow log) consumes it.
+        let scope =
+            (tarr_trace::enabled() || slow_ns > 0).then(|| tarr_trace::request_scope(req_id));
+        let parsed = parse(line);
+        let (op, cluster) = match &parsed {
+            Ok(req) => (
+                req.get("op").and_then(Json::as_str),
+                req.get("cluster").and_then(Json::as_str),
+            ),
+            Err(_) => (None, None),
+        };
+        let op_idx = op_index(op.unwrap_or("other"));
+        self.metrics.begin(op_idx, cluster);
+        let reply = match &parsed {
             Err(e) => err_reply(None, &format!("bad request: {e}")),
             Ok(req) => {
-                let sp = tarr_trace::span("serve.handle");
-                let _sp = match req.get("op").and_then(Json::as_str) {
-                    Some(op) => sp.arg("req_op", op.to_string()),
-                    None => sp,
-                };
-                match self.dispatch(&req) {
+                let mut sp = tarr_trace::span("serve.handle")
+                    .arg("queue_wait_ns", queue_wait.as_nanos() as u64);
+                if sp.is_recording() {
+                    if let Some(op) = op {
+                        sp = sp.arg("req_op", op);
+                    }
+                    if let Some(cluster) = cluster {
+                        sp = sp.arg("cluster", cluster);
+                    }
+                }
+                let _sp = sp;
+                match self.dispatch(req) {
                     Ok(reply) => reply,
-                    Err(msg) => err_reply(Some(&req), &msg),
+                    Err(msg) => err_reply(Some(req), &msg),
                 }
             }
         };
-        if matches!(reply.get("ok"), Some(Json::Bool(false))) {
+        let ok = !matches!(reply.get("ok"), Some(Json::Bool(false)));
+        if !ok {
             self.stats.errors.fetch_add(1, Ordering::Relaxed);
             tarr_trace::counter_add!("serve.error", 1);
+        }
+        let service = started.elapsed();
+        self.metrics.end(op_idx, cluster, ok, queue_wait, service);
+        if let Some(scope) = scope {
+            if slow_ns > 0 && (queue_wait + service).as_nanos() as u64 >= slow_ns {
+                let breakdown = scope.finish();
+                let stages: Vec<String> = breakdown
+                    .stages
+                    .iter()
+                    .take(6)
+                    .map(|(name, ns)| format!("{name}={:?}", Duration::from_nanos(*ns)))
+                    .collect();
+                eprintln!(
+                    "tarr-serve: slow request {req_id} op={} cluster={} queue_wait={queue_wait:?} \
+                     service={service:?} stages: {}",
+                    op.unwrap_or("other"),
+                    cluster.unwrap_or("-"),
+                    stages.join(" ")
+                );
+            }
+            // Not slow: dropping the scope restores the previous request
+            // without computing the breakdown.
         }
         to_string(&reply)
     }
@@ -118,9 +201,10 @@ impl Engine {
             "price" => self.op_price(req),
             "fault" => self.op_fault(req),
             "stats" => Ok(self.op_stats(req)),
+            "metrics" => Ok(self.op_metrics(req)),
             "shutdown" => Ok(ok_reply(req, "shutdown", Vec::new())),
             other => Err(format!(
-                "unknown op \"{other}\" (ingest|map|reorder|price|fault|stats|shutdown)"
+                "unknown op \"{other}\" (ingest|map|reorder|price|fault|stats|metrics|shutdown)"
             )),
         }
     }
@@ -325,17 +409,64 @@ impl Engine {
     /// these counters are engine-global (shared across every connection)
     /// and timing-dependent (coalesce depends on cache luck), so `stats`
     /// replies must never appear in golden fixtures.
+    ///
+    /// `cluster_caches` breaks the shared-core caches down per cluster and
+    /// per cache family (mapping/comm/sched/price), each as
+    /// hit/miss/coalesced — the serving-side view of
+    /// [`SessionCore::cache_stats`].
     fn op_stats(&self, req: &Json) -> Json {
-        let clusters = self.clusters.read().expect("cluster map poisoned").len();
+        let cores: Vec<(String, Arc<SessionCore>)> = {
+            let map = self.clusters.read().expect("cluster map poisoned");
+            let mut v: Vec<_> = map.iter().map(|(k, c)| (k.clone(), c.clone())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let snap = |s: &tarr_mpi::CacheSnapshot| {
+            Json::Obj(vec![
+                ("hit".to_string(), num(s.hits)),
+                ("miss".to_string(), num(s.misses)),
+                ("coalesced".to_string(), num(s.coalesced)),
+            ])
+        };
+        let caches: Vec<(String, Json)> = cores
+            .iter()
+            .map(|(name, core)| {
+                let s = core.cache_stats();
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("mapping".to_string(), snap(&s.mappings)),
+                        ("comm".to_string(), snap(&s.comms)),
+                        ("sched".to_string(), snap(&s.scheds)),
+                        ("price".to_string(), snap(&s.prices)),
+                    ]),
+                )
+            })
+            .collect();
         ok_reply(
             req,
             "stats",
             vec![
-                ("clusters".to_string(), num(clusters as u64)),
+                ("clusters".to_string(), num(cores.len() as u64)),
                 ("requests".to_string(), num(self.stats.requests())),
                 ("errors".to_string(), num(self.stats.errors())),
                 ("coalesce".to_string(), num(self.stats.coalesce())),
+                ("cluster_caches".to_string(), Json::Obj(caches)),
             ],
+        )
+    }
+
+    /// Prometheus text-format snapshot of the RED metrics, as the `text`
+    /// field of an otherwise ordinary reply. Timing-dependent like `stats`:
+    /// never put `metrics` replies in golden fixtures.
+    fn op_metrics(&self, req: &Json) -> Json {
+        ok_reply(
+            req,
+            "metrics",
+            vec![(
+                "text".to_string(),
+                Json::Str(self.metrics.render_prometheus()),
+            )],
         )
     }
 }

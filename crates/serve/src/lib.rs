@@ -19,11 +19,21 @@
 //! Layering: [`protocol`] is the wire format (requests, replies, the JSON
 //! writer over [`tarr_trace::json`]), [`engine`] is the op dispatcher over
 //! the cluster map, [`server`] is the admission queue + worker pool +
-//! ordered-output stage.
+//! ordered-output stage, [`metrics`] is the always-on RED metrics store
+//! and its Prometheus text exposition (scraped via `--metrics` or the
+//! `metrics` op).
+//!
+//! Observability: every admitted request gets a monotonic id, carried as
+//! the `req_id` arg on every span it opens (request-scoped tracing via
+//! [`tarr_trace::request_scope`]), so one `--trace-out` JSONL export
+//! reconstructs each request's full span tree — `trace-analyze` does it
+//! offline.
 
 pub mod engine;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use engine::{Engine, EngineStats};
-pub use server::{serve_lines, serve_tcp, ServeOpts};
+pub use metrics::{check_prometheus, PromReport, ServeMetrics};
+pub use server::{serve_lines, serve_metrics, serve_tcp, ServeOpts};

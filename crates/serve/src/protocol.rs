@@ -7,11 +7,21 @@
 //! Reply contents are **deterministic** — pure functions of the daemon's
 //! ingested state and the request — so a scripted session can be diffed
 //! against a golden fixture regardless of worker count (no wall-clock
-//! durations, no cache-luck flags ever appear in a reply). The one
-//! exception is `stats`: its counters are engine-global and timing-
-//! dependent (shared across connections, sensitive to cache luck), so it
-//! is an observability op, not a fixture-safe one — keep it out of golden
-//! fixtures.
+//! durations, no cache-luck flags ever appear in a reply). The exceptions
+//! are the two observability ops:
+//!
+//! - `stats` — engine-global request/error/coalesce totals plus
+//!   `cluster_caches`, a per-cluster hit/miss/coalesced breakdown of each
+//!   shared-core cache (mapping/comm/sched/price). Which request lands a
+//!   hit vs. a miss vs. a coalesced share depends on worker interleaving
+//!   and cache luck, so the *totals* are stable for a scripted session but
+//!   the breakdown is not.
+//! - `metrics` — the Prometheus text snapshot of the RED metrics (per-op
+//!   and per-cluster counters, queue-wait/service latency histograms);
+//!   wall-clock durations by definition.
+//!
+//! Both are timing-dependent and engine-global (shared across every
+//! connection), so neither may ever appear in a golden fixture.
 //!
 //! The parser is [`tarr_trace::json`] — the workspace's hand-rolled JSON —
 //! and this module adds the writer side plus typed field accessors.

@@ -20,17 +20,26 @@
 //! scripted session produces byte-identical output at any worker count —
 //! the property the CI golden fixture pins.
 //!
-//! Metrics: `serve.admitted` counts enqueued requests and the
-//! `serve.queue.depth` gauge tracks the instantaneous queue length.
+//! Observability: the reader assigns every request a monotonic id (from
+//! [`Engine::next_request_id`]) and timestamps admission, so workers can
+//! split queue-wait (admission → dispatch) from service time (dispatch →
+//! reply) when they feed the engine's RED metrics. `serve.admitted` counts
+//! enqueued requests, the `serve.queue.depth` gauge tracks the
+//! instantaneous queue length, and `serve.workers.busy` tracks workers
+//! currently inside a request. [`serve_metrics`] is the companion scrape
+//! endpoint: a minimal HTTP/1.0 listener answering every request with the
+//! engine's Prometheus text snapshot.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::TcpListener;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use tarr_trace::json::{parse, Json};
 
 use crate::engine::Engine;
+use crate::metrics::ServeMetrics;
 
 /// Worker-pool and admission configuration.
 #[derive(Debug, Clone)]
@@ -52,24 +61,29 @@ impl Default for ServeOpts {
     }
 }
 
+/// One admitted request: output slot, request id, admission timestamp
+/// (queue-wait starts here), raw line.
+type Admitted = (u64, u64, Instant, String);
+
 struct QueueState {
-    items: VecDeque<(u64, String)>,
+    items: VecDeque<Admitted>,
     /// Requests popped by a worker whose reply has not yet been delivered.
     in_flight: usize,
     closed: bool,
 }
 
-struct Queue {
+struct Queue<'a> {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     /// Signalled on every dequeue and every completion: waiters are both
     /// the admitting reader (capacity) and `wait_idle` (quiescence).
     not_full: Condvar,
     cap: usize,
+    metrics: &'a ServeMetrics,
 }
 
-impl Queue {
-    fn new(cap: usize) -> Self {
+impl<'a> Queue<'a> {
+    fn new(cap: usize, metrics: &'a ServeMetrics) -> Self {
         Queue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -79,34 +93,31 @@ impl Queue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap: cap.max(1),
+            metrics,
         }
     }
 
     /// Blocking admission: waits for capacity, then enqueues.
-    fn push(&self, seq: u64, line: String) {
+    fn push(&self, seq: u64, req_id: u64, line: String) {
         let mut st = self.state.lock().expect("queue poisoned");
         while st.items.len() >= self.cap {
             st = self.not_full.wait(st).expect("queue poisoned");
         }
-        st.items.push_back((seq, line));
+        st.items.push_back((seq, req_id, Instant::now(), line));
         tarr_trace::counter_add!("serve.admitted", 1);
-        if tarr_trace::enabled() {
-            tarr_trace::gauge("serve.queue.depth").set(st.items.len() as f64);
-        }
+        self.metrics.set_queue_depth(st.items.len() as u64);
         drop(st);
         self.not_empty.notify_one();
     }
 
     /// Blocking pop; `None` once the queue is closed and drained. A popped
     /// request counts as in-flight until the worker calls [`Queue::done`].
-    fn pop(&self) -> Option<(u64, String)> {
+    fn pop(&self) -> Option<Admitted> {
         let mut st = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = st.items.pop_front() {
                 st.in_flight += 1;
-                if tarr_trace::enabled() {
-                    tarr_trace::gauge("serve.queue.depth").set(st.items.len() as f64);
-                }
+                self.metrics.set_queue_depth(st.items.len() as u64);
                 drop(st);
                 self.not_full.notify_all();
                 return Some(item);
@@ -222,13 +233,18 @@ pub fn serve_lines(
     output: impl Write + Send,
     opts: &ServeOpts,
 ) -> io::Result<u64> {
-    let queue = Queue::new(opts.queue_cap);
+    let metrics = engine.metrics();
+    metrics.set_workers(opts.workers.max(1) as u64);
+    let queue = Queue::new(opts.queue_cap, metrics);
     let out = OrderedOut::new(output);
     std::thread::scope(|scope| {
         for _ in 0..opts.workers.max(1) {
             scope.spawn(|| {
-                while let Some((seq, line)) = queue.pop() {
-                    let reply = engine.handle_line(&line);
+                while let Some((seq, req_id, admitted, line)) = queue.pop() {
+                    let wait = admitted.elapsed();
+                    metrics.worker_busy(true);
+                    let reply = engine.handle_request(req_id, wait, &line);
+                    metrics.worker_busy(false);
                     out.deliver(seq, reply);
                     queue.done();
                 }
@@ -243,15 +259,21 @@ pub fn serve_lines(
             if line.trim().is_empty() {
                 continue;
             }
+            // Ids are assigned here, at admission, so id order == arrival
+            // order even when workers finish out of order.
+            let req_id = engine.next_request_id();
             let op = line_op(&line);
             let stop = matches!(op.as_deref(), Some("shutdown"));
             if is_mutating(op.as_deref()) {
                 // Workers deliver before `done`, so once idle every earlier
                 // reply has been written and this one flushes in sequence.
+                // Runs inline without queueing: queue-wait is zero by
+                // construction (its wait shows up as barrier latency for
+                // *later* requests, not this one).
                 queue.wait_idle();
-                out.deliver(seq, engine.handle_line(&line));
+                out.deliver(seq, engine.handle_request(req_id, Duration::ZERO, &line));
             } else {
-                queue.push(seq, line);
+                queue.push(seq, req_id, line);
             }
             seq += 1;
             if stop {
@@ -261,6 +283,39 @@ pub fn serve_lines(
         queue.close();
     });
     out.finish()
+}
+
+/// Serve the engine's Prometheus text snapshot over HTTP/1.0, forever: one
+/// connection at a time (scrapes are rare and tiny), request head drained
+/// and ignored, snapshot rendered per scrape. Pair with a
+/// `TcpListener::bind` on the `--metrics` address.
+pub fn serve_metrics(engine: &Engine, listener: TcpListener) -> io::Result<()> {
+    loop {
+        let (mut stream, _) = listener.accept()?;
+        // Drain the request head (best-effort; a scrape that dawdles past
+        // the timeout just gets its snapshot early).
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut head = [0u8; 4096];
+        let mut seen = 0;
+        while seen < head.len() {
+            match stream.read(&mut head[seen..]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    seen += n;
+                    if head[..seen].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let body = engine.metrics().render_prometheus();
+        let reply = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(reply.as_bytes());
+    }
 }
 
 /// Serve TCP connections forever: each accepted connection runs its own

@@ -2,12 +2,18 @@
 //! round-trips, determinism of a scripted session at any worker count, and
 //! agreement with a solo [`Session`] on the same cluster.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use tarr_core::{DistanceBackend, Mapper, PatternKind, Scheme, Session, SessionConfig};
 use tarr_mapping::{InitialMapping, OrderFix};
-use tarr_serve::{serve_lines, serve_tcp, Engine, ServeOpts};
+use tarr_serve::{check_prometheus, serve_lines, serve_metrics, serve_tcp, Engine, ServeOpts};
 use tarr_topo::Cluster;
 use tarr_trace::json::{parse, Json};
+
+/// A repo-root fixture file (the same ones the CI serve job uses).
+fn fixture(name: &str) -> String {
+    let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
 
 const SCRIPT: &[&str] = &[
     r#"{"id":1,"op":"ingest","cluster":"c1","gpc_nodes":4}"#,
@@ -172,6 +178,154 @@ fn shutdown_stops_the_stream() {
 }
 
 #[test]
+fn golden_fixture_is_byte_identical_with_metrics_enabled() {
+    // The CI golden fixture, run in-process: RED metrics record every
+    // request (they are always on), and the reply stream must still be
+    // byte-identical to the golden at any worker count — the proof that
+    // observability never leaks into reply contents.
+    let (snapshot, warnings) =
+        tarr_ingest::ingest_snapshot(&fixture("gpc_node.xml"), &fixture("gpc_ib.txt")).unwrap();
+    assert!(warnings.is_empty(), "{warnings:?}");
+    let snap_path =
+        std::env::temp_dir().join(format!("tarr_serve_golden_{}.snap", std::process::id()));
+    std::fs::write(&snap_path, snapshot.to_text()).unwrap();
+    let script = fixture("serve_session.txt").replace("/tmp/gpc.snap", snap_path.to_str().unwrap());
+    let golden = fixture("serve_session.golden");
+    for workers in [1, 8] {
+        let engine = Engine::new();
+        let mut out = Vec::new();
+        let served = serve_lines(
+            &engine,
+            script.as_bytes(),
+            &mut out,
+            &ServeOpts {
+                workers,
+                queue_cap: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(served, 9);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            golden,
+            "golden fixture diverged at {workers} worker(s)"
+        );
+        assert_eq!(engine.metrics().total_requests(), 9);
+        let report = check_prometheus(&engine.metrics().render_prometheus()).unwrap();
+        assert_eq!(report.requests_total, 9);
+    }
+    let _ = std::fs::remove_file(&snap_path);
+}
+
+#[test]
+fn latency_histograms_count_every_admitted_request() {
+    // Queue-wait and service histograms each get exactly one sample per
+    // dispatched request, across all ops.
+    let engine = Engine::new();
+    let script = SCRIPT.join("\n");
+    let mut out = Vec::new();
+    let served = serve_lines(
+        &engine,
+        script.as_bytes(),
+        &mut out,
+        &ServeOpts {
+            workers: 4,
+            queue_cap: 4,
+        },
+    )
+    .unwrap();
+    assert_eq!(served, SCRIPT.len() as u64);
+    let m = engine.metrics();
+    let wait: u64 = tarr_serve::metrics::OPS
+        .iter()
+        .map(|op| m.queue_wait_snapshot(op).count)
+        .sum();
+    let service: u64 = tarr_serve::metrics::OPS
+        .iter()
+        .map(|op| m.service_snapshot(op).count)
+        .sum();
+    assert_eq!(wait, served, "one queue-wait sample per request");
+    assert_eq!(service, served, "one service sample per request");
+    assert_eq!(m.total_requests(), served);
+    // The inline-run mutating ops (ingest, fault) never queue: their
+    // queue-wait is recorded as exactly zero, which the log2 histogram
+    // keeps in its dedicated zero bucket.
+    assert!(m.queue_wait_snapshot("ingest").max == 0);
+    assert!(m.queue_wait_snapshot("fault").max == 0);
+}
+
+#[test]
+fn metrics_op_renders_parseable_prometheus() {
+    let engine = Engine::new();
+    engine.handle_line(r#"{"op":"ingest","cluster":"m1","gpc_nodes":2}"#);
+    engine.handle_line(
+        r#"{"op":"price","cluster":"m1","collective":"bcast","msg_bytes":1024,"mapper":"hrstc"}"#,
+    );
+    engine.handle_line(r#"{"op":"frobnicate"}"#);
+    let reply = parse(&engine.handle_line(r#"{"id":9,"op":"metrics"}"#)).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+    let text = reply.get("text").and_then(Json::as_str).unwrap();
+    let report = check_prometheus(text).unwrap();
+    // `begin` counts at dispatch, so the in-flight metrics request itself
+    // is part of its own snapshot and the totals line up exactly.
+    assert_eq!(report.requests_total, engine.stats().requests());
+    assert!(text.contains(r#"tarr_serve_requests_total{op="price"} 1"#));
+    assert!(text.contains(r#"tarr_serve_errors_total{op="other"} 1"#));
+    assert!(text.contains(r#"tarr_serve_cluster_requests_total{cluster="m1"} 2"#));
+}
+
+#[test]
+fn stats_breaks_caches_down_per_cluster() {
+    let engine = Engine::new();
+    engine.handle_line(r#"{"op":"ingest","cluster":"s1","gpc_nodes":2}"#);
+    let price =
+        r#"{"op":"price","cluster":"s1","collective":"bcast","msg_bytes":1024,"mapper":"hrstc"}"#;
+    engine.handle_line(price);
+    engine.handle_line(price); // warm repeat: guaranteed cache traffic
+    let reply = parse(&engine.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    let caches = reply.get("cluster_caches").expect("cluster_caches field");
+    let s1 = caches.get("s1").expect("per-cluster entry");
+    let mut hits = 0;
+    let mut misses = 0;
+    for family in ["mapping", "comm", "sched", "price"] {
+        let fam = s1.get(family).unwrap_or_else(|| panic!("{family} entry"));
+        for outcome in ["hit", "miss", "coalesced"] {
+            let v = fam.get(outcome).and_then(Json::as_u64);
+            assert!(v.is_some(), "{family}.{outcome} missing: {reply:?}");
+            match outcome {
+                "hit" => hits += v.unwrap(),
+                "miss" => misses += v.unwrap(),
+                _ => {}
+            }
+        }
+    }
+    assert!(misses > 0, "first price must miss: {reply:?}");
+    assert!(hits > 0, "warm repeat must hit: {reply:?}");
+}
+
+#[test]
+fn metrics_endpoint_serves_http() {
+    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    engine.handle_line(r#"{"op":"ingest","cluster":"h1","gpc_nodes":2}"#);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_metrics(engine, listener);
+    });
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(head.contains("text/plain"), "{head}");
+    let report = check_prometheus(body).unwrap();
+    assert_eq!(report.requests_total, engine.stats().requests());
+}
+
+#[test]
 fn tcp_round_trip() {
     let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
@@ -201,4 +355,55 @@ fn tcp_round_trip() {
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "reply {i}: {r}");
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(i as u64 + 1));
     }
+}
+
+#[test]
+fn slow_ms_zero_logs_every_request_to_stderr() {
+    // --slow-ms 0 means "log every request" — the only threshold the test
+    // can rely on, since warm requests finish in microseconds. Drives the
+    // real binary so the stderr format is covered end to end.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tarr-serve"))
+        .args(["--workers", "1", "--slow-ms", "0"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .unwrap()
+                .write_all(
+                    concat!(
+                        r#"{"id":1,"op":"ingest","cluster":"t","gpc_nodes":2}"#,
+                        "\n",
+                        r#"{"id":2,"op":"map","cluster":"t","mapper":"hrstc","pattern":"ring"}"#,
+                        "\n",
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            child.wait_with_output()
+        })
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let slow: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.contains("slow request"))
+        .collect();
+    assert_eq!(slow.len(), 2, "one log line per request:\n{stderr}");
+    assert!(
+        slow[0].contains("slow request 1 op=ingest cluster=t"),
+        "{}",
+        slow[0]
+    );
+    assert!(
+        slow[1].contains("slow request 2 op=map cluster=t") && slow[1].contains("stages:"),
+        "{}",
+        slow[1]
+    );
+    // Stage self-times come from the request scope even with the recorder
+    // off — the breakdown names the serve.handle stage at minimum.
+    assert!(slow[1].contains("serve.handle="), "{}", slow[1]);
 }

@@ -1,0 +1,311 @@
+//! Offline analysis of a JSONL export: reconstruct each request's span
+//! tree from the `req_id` arguments stamped by [`crate::request_scope`],
+//! attribute self-time and the critical path per request, and aggregate
+//! per span name. Library half of the `trace-analyze` binary; kept here so
+//! tests can drive it on synthetic exports.
+//!
+//! Tree building uses the same laminar-containment sweep as the validator:
+//! within one thread, spans sorted by (start asc, dur desc) form a
+//! nesting stack, so a span's parent is the innermost still-open interval
+//! on its thread. Request grouping happens first — a request's spans all
+//! carry its id (the scope is thread-local), so concurrent requests on
+//! different workers never entangle.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// One span node in a request's reconstructed tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Span name.
+    pub name: String,
+    /// Total duration, ns.
+    pub dur_ns: u64,
+    /// Duration minus direct children, ns.
+    pub self_ns: u64,
+    /// Direct children in start order.
+    pub children: Vec<Node>,
+}
+
+/// Every span recorded under one request id, as a tree per root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTree {
+    /// The `req_id` the spans carried.
+    pub id: u64,
+    /// The `req_op` argument of a root span, when present.
+    pub op: Option<String>,
+    /// The `cluster` argument of a root span, when present.
+    pub cluster: Option<String>,
+    /// The `queue_wait_ns` argument of a root span, when present.
+    pub queue_wait_ns: Option<u64>,
+    /// Sum of root-span durations (the request's service time), ns.
+    pub total_ns: u64,
+    /// Root spans (normally one `serve.handle`) with their subtrees.
+    pub roots: Vec<Node>,
+}
+
+/// Per-span-name aggregate over the whole export (request-tagged or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAgg {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Summed duration, ns.
+    pub total_ns: u64,
+    /// Summed self-time, ns.
+    pub self_ns: u64,
+    /// Largest single duration, ns.
+    pub max_ns: u64,
+}
+
+/// Everything `trace-analyze` reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// One tree per request id, ascending by id.
+    pub requests: Vec<RequestTree>,
+    /// Per-span-name aggregates, ascending by name.
+    pub by_name: Vec<NameAgg>,
+    /// Spans with no `req_id` argument (background/untagged work).
+    pub untagged_spans: usize,
+}
+
+struct SpanRec {
+    name: String,
+    tid: u64,
+    ts: u64,
+    dur: u64,
+    req: Option<u64>,
+    op: Option<String>,
+    cluster: Option<String>,
+    queue_wait_ns: Option<u64>,
+}
+
+fn arg_str(args: Option<&Json>, key: &str) -> Option<String> {
+    args?.get(key)?.as_str().map(str::to_string)
+}
+
+fn arg_u64(args: Option<&Json>, key: &str) -> Option<u64> {
+    args?.get(key)?.as_u64()
+}
+
+/// Indices of each span's direct children under the laminar sweep, plus
+/// the roots, for one already-(tid, ts asc, dur desc)-sorted slice.
+fn link(spans: &[&SpanRec]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // indices of open spans
+    for (i, s) in spans.iter().enumerate() {
+        while let Some(&top) = stack.last() {
+            let t = spans[top];
+            if t.tid != s.tid || t.ts + t.dur <= s.ts {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        match stack.last() {
+            Some(&parent) => children[parent].push(i),
+            None => roots.push(i),
+        }
+        stack.push(i);
+    }
+    (children, roots)
+}
+
+fn build(spans: &[&SpanRec], children: &[Vec<usize>], i: usize) -> Node {
+    let kids: Vec<Node> = children[i]
+        .iter()
+        .map(|&c| build(spans, children, c))
+        .collect();
+    let child_ns: u64 = kids.iter().map(|k| k.dur_ns).sum();
+    Node {
+        name: spans[i].name.clone(),
+        dur_ns: spans[i].dur,
+        self_ns: spans[i].dur.saturating_sub(child_ns),
+        children: kids,
+    }
+}
+
+/// Analyze a JSONL export. Only `span` lines matter; other line types are
+/// ignored (the validator owns their schema). Errors on unparseable lines.
+pub fn analyze(text: &str) -> Result<Analysis, String> {
+    let mut spans: Vec<SpanRec> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let need = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: span without \"{key}\"", i + 1))
+        };
+        let args = v.get("args");
+        spans.push(SpanRec {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: span without \"name\"", i + 1))?
+                .to_string(),
+            tid: need("tid")?,
+            ts: need("ts")?,
+            dur: need("dur")?,
+            req: arg_u64(args, "req_id"),
+            op: arg_str(args, "req_op"),
+            cluster: arg_str(args, "cluster"),
+            queue_wait_ns: arg_u64(args, "queue_wait_ns"),
+        });
+    }
+
+    // Global aggregate: self-times come from a sweep over ALL spans per
+    // thread, so untagged background spans attribute correctly too.
+    let mut all: Vec<&SpanRec> = spans.iter().collect();
+    all.sort_by_key(|s| (s.tid, s.ts, std::cmp::Reverse(s.dur)));
+    let (children, _) = link(&all);
+    let mut by_name: BTreeMap<String, NameAgg> = BTreeMap::new();
+    for (i, s) in all.iter().enumerate() {
+        let child_ns: u64 = children[i].iter().map(|&c| all[c].dur).sum();
+        let e = by_name.entry(s.name.clone()).or_insert(NameAgg {
+            name: s.name.clone(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+        });
+        e.count += 1;
+        e.total_ns += s.dur;
+        e.self_ns += s.dur.saturating_sub(child_ns);
+        e.max_ns = e.max_ns.max(s.dur);
+    }
+
+    // Per-request trees.
+    let mut by_req: BTreeMap<u64, Vec<&SpanRec>> = BTreeMap::new();
+    let mut untagged = 0usize;
+    for s in &spans {
+        match s.req {
+            Some(id) => by_req.entry(id).or_default().push(s),
+            None => untagged += 1,
+        }
+    }
+    let requests = by_req
+        .into_iter()
+        .map(|(id, mut group)| {
+            group.sort_by_key(|s| (s.tid, s.ts, std::cmp::Reverse(s.dur)));
+            let (children, roots) = link(&group);
+            let nodes: Vec<Node> = roots.iter().map(|&r| build(&group, &children, r)).collect();
+            let root_meta = roots.iter().map(|&r| group[r]).find(|s| s.op.is_some());
+            RequestTree {
+                id,
+                op: root_meta.and_then(|s| s.op.clone()),
+                cluster: roots
+                    .iter()
+                    .map(|&r| group[r])
+                    .find_map(|s| s.cluster.clone()),
+                queue_wait_ns: roots
+                    .iter()
+                    .map(|&r| group[r])
+                    .find_map(|s| s.queue_wait_ns),
+                total_ns: nodes.iter().map(|n| n.dur_ns).sum(),
+                roots: nodes,
+            }
+        })
+        .collect();
+
+    Ok(Analysis {
+        requests,
+        by_name: by_name.into_values().collect(),
+        untagged_spans: untagged,
+    })
+}
+
+/// The critical path of a request: from its largest root, repeatedly
+/// descend into the largest child. Returns `(name, dur_ns, self_ns)` per
+/// hop, root first.
+pub fn critical_path(tree: &RequestTree) -> Vec<(String, u64, u64)> {
+    let mut path = Vec::new();
+    let mut node = tree.roots.iter().max_by_key(|n| n.dur_ns);
+    while let Some(n) = node {
+        path.push((n.name.clone(), n.dur_ns, n.self_ns));
+        node = n.children.iter().max_by_key(|c| c.dur_ns);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(lines: &[&str]) -> String {
+        let mut s =
+            String::from(r#"{"type":"meta","format":"tarr-trace","version":1,"clock":"ns"}"#);
+        for l in lines {
+            s.push('\n');
+            s.push_str(l);
+        }
+        s
+    }
+
+    #[test]
+    fn reconstructs_request_trees_by_req_id() {
+        // Two requests interleaved on two threads plus one untagged span.
+        let text = doc(&[
+            r#"{"type":"span","name":"serve.handle","tid":0,"depth":0,"ts":0,"dur":100,"args":{"req_op":"price","cluster":"gpc","queue_wait_ns":7,"req_id":1}}"#,
+            r#"{"type":"span","name":"mpi.price","tid":0,"depth":1,"ts":10,"dur":80,"args":{"req_id":1}}"#,
+            r#"{"type":"span","name":"netsim.stage","tid":0,"depth":2,"ts":20,"dur":30,"args":{"req_id":1}}"#,
+            r#"{"type":"span","name":"serve.handle","tid":1,"depth":0,"ts":5,"dur":40,"args":{"req_op":"map","req_id":2}}"#,
+            r#"{"type":"span","name":"background","tid":2,"depth":0,"ts":0,"dur":9,"args":{}}"#,
+            r#"{"type":"counter","name":"c","ts":1,"value":1}"#,
+        ]);
+        let a = analyze(&text).unwrap();
+        assert_eq!(a.requests.len(), 2);
+        assert_eq!(a.untagged_spans, 1);
+
+        let r1 = &a.requests[0];
+        assert_eq!(r1.id, 1);
+        assert_eq!(r1.op.as_deref(), Some("price"));
+        assert_eq!(r1.cluster.as_deref(), Some("gpc"));
+        assert_eq!(r1.queue_wait_ns, Some(7));
+        assert_eq!(r1.total_ns, 100);
+        assert_eq!(r1.roots.len(), 1);
+        let root = &r1.roots[0];
+        assert_eq!(root.name, "serve.handle");
+        assert_eq!(root.self_ns, 20); // 100 − 80
+        assert_eq!(root.children[0].name, "mpi.price");
+        assert_eq!(root.children[0].self_ns, 50); // 80 − 30
+
+        let cp = critical_path(r1);
+        let names: Vec<&str> = cp.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, ["serve.handle", "mpi.price", "netsim.stage"]);
+
+        let r2 = &a.requests[1];
+        assert_eq!((r2.id, r2.total_ns), (2, 40));
+        assert_eq!(r2.op.as_deref(), Some("map"));
+        assert_eq!(r2.queue_wait_ns, None);
+    }
+
+    #[test]
+    fn aggregates_include_untagged_spans() {
+        let text = doc(&[
+            r#"{"type":"span","name":"w","tid":0,"depth":0,"ts":0,"dur":10,"args":{}}"#,
+            r#"{"type":"span","name":"w","tid":0,"depth":0,"ts":20,"dur":30,"args":{"req_id":5}}"#,
+        ]);
+        let a = analyze(&text).unwrap();
+        assert_eq!(a.by_name.len(), 1);
+        let agg = &a.by_name[0];
+        assert_eq!((agg.count, agg.total_ns, agg.max_ns), (2, 40, 30));
+        assert_eq!(agg.self_ns, 40);
+        assert_eq!(a.requests.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_span_lines() {
+        let text = doc(&[r#"{"type":"span","name":"w","tid":0}"#]);
+        let err = analyze(&text).unwrap_err();
+        assert!(err.contains("span without"), "{err}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline analyzer for tarr-trace JSONL exports.
+//!
+//! ```text
+//! trace-analyze FILE [--top N] [--min-requests N]
+//! ```
+//!
+//! Prints, from the `req_id`-tagged spans of the export: the request
+//! count, the top-N slowest requests as indented span trees with
+//! self-time and critical-path attribution, and a per-span-name aggregate
+//! table. Exits nonzero when the file is unreadable/malformed or fewer
+//! than `--min-requests` requests were found (the CI guard that a traced
+//! serve session actually produced attributable requests).
+
+use tarr_trace::analyze::{analyze, critical_path, Node};
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn print_node(node: &Node, indent: usize) {
+    println!(
+        "{:indent$}{} {} (self {})",
+        "",
+        node.name,
+        fmt_ns(node.dur_ns),
+        fmt_ns(node.self_ns),
+        indent = indent
+    );
+    for child in &node.children {
+        print_node(child, indent + 2);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut top = 5usize;
+    let mut min_requests = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--top" => {
+                top = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: --top: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--min-requests" => {
+                min_requests = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: --min-requests: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trace-analyze FILE [--top N] [--min-requests N]");
+                std::process::exit(0);
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("error: no trace file given");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let a = match analyze(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{file}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let tagged: usize = a.requests.iter().map(|r| count_nodes(&r.roots)).sum();
+    println!(
+        "{file}: {} requests, {} request-tagged spans, {} untagged",
+        a.requests.len(),
+        tagged,
+        a.untagged_spans
+    );
+
+    let mut slowest: Vec<_> = a.requests.iter().collect();
+    slowest.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    if !slowest.is_empty() {
+        println!("\n== top {} slowest requests ==", top.min(slowest.len()));
+        for r in slowest.iter().take(top) {
+            let op = r.op.as_deref().unwrap_or("?");
+            let cluster = r.cluster.as_deref().unwrap_or("-");
+            let wait = r.queue_wait_ns.map_or_else(|| "-".into(), fmt_ns);
+            println!(
+                "req {} op={op} cluster={cluster} queue_wait={wait} service={}",
+                r.id,
+                fmt_ns(r.total_ns)
+            );
+            for root in &r.roots {
+                print_node(root, 2);
+            }
+            let cp: Vec<String> = critical_path(r)
+                .iter()
+                .map(|(n, _, s)| format!("{n}({})", fmt_ns(*s)))
+                .collect();
+            println!("  critical path: {}", cp.join(" -> "));
+        }
+    }
+
+    if !a.by_name.is_empty() {
+        println!("\n== per-span-name aggregates ==");
+        println!(
+            "{:<40} {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "total", "self", "max"
+        );
+        for agg in &a.by_name {
+            println!(
+                "{:<40} {:>8} {:>12} {:>12} {:>12}",
+                agg.name,
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.self_ns),
+                fmt_ns(agg.max_ns)
+            );
+        }
+    }
+
+    if a.requests.len() < min_requests {
+        eprintln!(
+            "{file}: FAILED — {} request(s) found, --min-requests {min_requests}",
+            a.requests.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn count_nodes(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| 1 + count_nodes(&n.children))
+        .sum::<usize>()
+}

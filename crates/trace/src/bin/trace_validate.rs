@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! trace-validate FILE [--expect-span NAME]... [--expect-counter NAME]...
-//!                     [--expect-instant NAME]...
+//!                     [--expect-instant NAME]... [--expect-gauge-zeroed NAME]...
+//!                     [--expect-req-id-span NAME]...
 //! ```
 //!
 //! Exits nonzero (with a message naming the first violated rule) unless
@@ -28,10 +29,13 @@ fn main() {
             "--expect-span" => exp.spans.push(take(&mut i)),
             "--expect-counter" => exp.counters.push(take(&mut i)),
             "--expect-instant" => exp.instants.push(take(&mut i)),
+            "--expect-gauge-zeroed" => exp.zeroed_gauges.push(take(&mut i)),
+            "--expect-req-id-span" => exp.req_id_spans.push(take(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: trace-validate FILE [--expect-span N]... \
-                     [--expect-counter N]... [--expect-instant N]..."
+                     [--expect-counter N]... [--expect-instant N]... \
+                     [--expect-gauge-zeroed N]... [--expect-req-id-span N]..."
                 );
                 std::process::exit(0);
             }

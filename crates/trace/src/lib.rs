@@ -22,6 +22,13 @@
 //!   size-shaped distributions.
 //! * **Instant events** — point-in-time records ([`instant`]) carrying
 //!   structured args, used e.g. for per-stage traffic breakdowns.
+//! * **Request scopes** — a thread-local current-request context
+//!   ([`request_scope`]): every span or instant that closes inside the
+//!   scope carries a `req_id` argument (so one JSONL export reconstructs
+//!   each request's full span tree — see [`analyze`]), and the scope
+//!   accumulates per-span-name *self*-times, which it returns as a
+//!   [`RequestBreakdown`] even while the recorder is off — the substrate
+//!   for slow-request logging.
 //!
 //! Two exporters serialize the recording: newline-delimited JSON
 //! ([`export_jsonl`], the machine-checked format — see [`validate_jsonl`])
@@ -33,6 +40,7 @@
 //! process-wide singleton guarded by plain mutexes (contention is bounded:
 //! events are pushed once per span end, not per operation).
 
+pub mod analyze;
 mod export;
 pub mod json;
 mod validate;
@@ -40,7 +48,7 @@ mod validate;
 pub use export::{export_chrome, export_jsonl, summary_table};
 pub use validate::{validate_jsonl, Expectations, ValidationReport};
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -261,6 +269,7 @@ pub fn reset() {
     }
     for g in lock(&rec().gauges).values() {
         g.bits.store(0, Relaxed);
+        g.touched.store(false, Relaxed);
     }
     for h in lock(&rec().hists).values() {
         h.reset();
@@ -291,6 +300,170 @@ fn tid() -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// Request context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static REQ: RefCell<Option<ReqState>> = const { RefCell::new(None) };
+    /// Retired [`ReqState`]s, recycled so the per-request hot path reuses
+    /// their vector allocations instead of allocating per scope.
+    static REQ_POOL: RefCell<Vec<ReqState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Most pooled states a thread retains; beyond this they are dropped.
+const REQ_POOL_CAP: usize = 8;
+
+fn recycle_req_state(mut st: ReqState) {
+    REQ_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < REQ_POOL_CAP {
+            st.child_ns.clear();
+            st.self_ns.clear();
+            pool.push(st);
+        }
+    });
+}
+
+struct ReqState {
+    id: u64,
+    /// One accumulator per open tracked span on this thread plus a root
+    /// sentinel; each entry sums the durations of its direct children, so
+    /// a closing span's self-time is `dur − child_ns.pop()`.
+    child_ns: Vec<u64>,
+    /// Self-time accumulated per span name.
+    self_ns: Vec<(&'static str, u64)>,
+}
+
+/// The request id of the innermost active [`request_scope`] on this
+/// thread, if any.
+pub fn current_request() -> Option<u64> {
+    REQ.with(|r| r.borrow().as_ref().map(|st| st.id))
+}
+
+fn request_active() -> bool {
+    REQ.with(|r| r.borrow().is_some())
+}
+
+/// Open a child accumulator for a span starting under the active request.
+/// Returns false (and records nothing) when no scope is active.
+fn open_request_child() -> bool {
+    REQ.with(|r| match r.borrow_mut().as_mut() {
+        Some(st) => {
+            st.child_ns.push(0);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Close a tracked span: fold its self-time into the per-name table, add
+/// its full duration to the parent accumulator, and return the request id.
+fn close_request_child(name: &'static str, dur_ns: u64) -> Option<u64> {
+    REQ.with(|r| {
+        let mut b = r.borrow_mut();
+        let st = b.as_mut()?;
+        let children = st.child_ns.pop().unwrap_or(0);
+        let self_ns = dur_ns.saturating_sub(children);
+        match st.self_ns.iter_mut().find(|(n, _)| *n == name) {
+            Some(e) => e.1 += self_ns,
+            None => st.self_ns.push((name, self_ns)),
+        }
+        if let Some(parent) = st.child_ns.last_mut() {
+            *parent += dur_ns;
+        }
+        Some(st.id)
+    })
+}
+
+/// Per-request timing totals returned by [`RequestScope::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestBreakdown {
+    /// The id the scope was opened with.
+    pub id: u64,
+    /// Wall-clock nanoseconds between scope open and finish.
+    pub total_ns: u64,
+    /// Per-span-name *self*-time (duration minus child spans), sorted
+    /// largest first. Empty if no span closed inside the scope.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+/// RAII guard installing `id` as this thread's current request; see
+/// [`request_scope`].
+#[must_use = "the scope attributes spans to the request only while it is alive"]
+pub struct RequestScope {
+    id: u64,
+    prev: Option<ReqState>,
+    start_ns: u64,
+    armed: bool,
+}
+
+/// Install `id` as the current request on this thread. Until the returned
+/// scope is finished (or dropped), every [`span`] opened on this thread
+/// records a `req_id` argument and contributes its self-time to the
+/// scope's [`RequestBreakdown`]; [`instant`] events gain the same
+/// argument. Scopes nest (the previous request is restored on exit) and
+/// the state is purely thread-local — nothing on the hot path is shared.
+pub fn request_scope(id: u64) -> RequestScope {
+    let mut st = REQ_POOL.with(|p| p.borrow_mut().pop()).unwrap_or(ReqState {
+        id,
+        child_ns: Vec::new(),
+        self_ns: Vec::new(),
+    });
+    st.id = id;
+    st.child_ns.push(0);
+    let prev = REQ.with(|r| r.borrow_mut().replace(st));
+    RequestScope {
+        id,
+        prev,
+        start_ns: now_ns(),
+        armed: true,
+    }
+}
+
+impl RequestScope {
+    /// End the scope and return the accumulated per-stage self-times.
+    /// Costs a sort and an allocation — when the breakdown is not needed,
+    /// just drop the scope instead.
+    pub fn finish(mut self) -> RequestBreakdown {
+        self.armed = false;
+        let st = REQ.with(|r| {
+            let taken = r.borrow_mut().take();
+            *r.borrow_mut() = self.prev.take();
+            taken
+        });
+        let mut stages = match st {
+            Some(mut s) => {
+                let stages = std::mem::take(&mut s.self_ns);
+                recycle_req_state(s);
+                stages
+            }
+            None => Vec::new(),
+        };
+        stages.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        RequestBreakdown {
+            id: self.id,
+            total_ns: now_ns().saturating_sub(self.start_ns),
+            stages,
+        }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        if self.armed {
+            let taken = REQ.with(|r| {
+                let taken = r.borrow_mut().take();
+                *r.borrow_mut() = self.prev.take();
+                taken
+            });
+            if let Some(st) = taken {
+                recycle_req_state(st);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
 
@@ -299,6 +472,11 @@ struct SpanInner {
     ts_ns: u64,
     depth: u32,
     args: Args,
+    /// Push a trace event on drop (the recorder was on at open).
+    record: bool,
+    /// A request scope was active at open: close its child accumulator
+    /// (and stamp `req_id`) on drop.
+    tracked: bool,
 }
 
 /// An RAII span guard: records a complete event (name, thread, depth,
@@ -308,11 +486,14 @@ pub struct Span {
     inner: Option<SpanInner>,
 }
 
-/// Open a span. No-op (and allocation-free) while tracing is disabled.
+/// Open a span. No-op (and allocation-free) while tracing is disabled and
+/// no [`request_scope`] is active on this thread.
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    let record = enabled();
+    if !record && !request_active() {
         return Span { inner: None };
     }
+    let tracked = open_request_child();
     let depth = DEPTH.with(|d| {
         let v = d.get();
         d.set(v + 1);
@@ -323,12 +504,23 @@ pub fn span(name: &'static str) -> Span {
             name,
             ts_ns: now_ns(),
             depth,
-            args: Vec::new(),
+            // Sized for the common case (two caller args + req_id) so the
+            // builder chain never reallocates on the hot path.
+            args: Vec::with_capacity(4),
+            record,
+            tracked,
         }),
     }
 }
 
 impl Span {
+    /// Whether this span will record anything at all (recorder on, or a
+    /// request scope active at open). Lets callers skip building args
+    /// whose `Into<Value>` conversion allocates.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
     /// Attach a structured argument (builder style).
     pub fn arg(mut self, key: &'static str, value: impl Into<Value>) -> Self {
         if let Some(i) = &mut self.inner {
@@ -349,14 +541,26 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(i) = self.inner.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-            push_span(SpanEvent {
-                name: i.name,
-                tid: tid(),
-                depth: i.depth,
-                ts_ns: i.ts_ns,
-                dur_ns: now_ns().saturating_sub(i.ts_ns),
-                args: i.args,
-            });
+            let dur_ns = now_ns().saturating_sub(i.ts_ns);
+            let req_id = if i.tracked {
+                close_request_child(i.name, dur_ns)
+            } else {
+                None
+            };
+            if i.record {
+                let mut args = i.args;
+                if let Some(id) = req_id {
+                    args.push(("req_id", Value::U64(id)));
+                }
+                push_span(SpanEvent {
+                    name: i.name,
+                    tid: tid(),
+                    depth: i.depth,
+                    ts_ns: i.ts_ns,
+                    dur_ns,
+                    args,
+                });
+            }
         }
     }
 }
@@ -419,9 +623,13 @@ impl EventBuilder {
         self
     }
 
-    /// Record the event.
+    /// Record the event. Inside a [`request_scope`], a `req_id` argument
+    /// is appended automatically.
     pub fn emit(self) {
-        if let Some((name, args)) = self.inner {
+        if let Some((name, mut args)) = self.inner {
+            if let Some(id) = current_request() {
+                args.push(("req_id", Value::U64(id)));
+            }
             push_instant(InstantEvent {
                 name,
                 tid: tid(),
@@ -490,6 +698,10 @@ macro_rules! counter_add {
 /// A last-value gauge. Obtain with [`gauge`].
 pub struct Gauge {
     bits: AtomicU64,
+    /// Set at least once since the last reset — a touched gauge is sampled
+    /// even at 0.0, so exports show levels returning to zero (the
+    /// set/unset pairing `trace-validate` can then check).
+    touched: AtomicBool,
 }
 
 impl Gauge {
@@ -498,6 +710,7 @@ impl Gauge {
     pub fn set(&self, v: f64) {
         if enabled() {
             self.bits.store(v.to_bits(), Relaxed);
+            self.touched.store(true, Relaxed);
         }
     }
 
@@ -512,6 +725,7 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
     lock(&rec().gauges).entry(name).or_insert_with(|| {
         Box::leak(Box::new(Gauge {
             bits: AtomicU64::new(0),
+            touched: AtomicBool::new(false),
         }))
     })
 }
@@ -545,13 +759,76 @@ pub struct HistSnapshot {
     pub buckets: Vec<(u32, u64)>,
 }
 
+/// The `[lo, hi]` value range of log2 bucket `k`.
+pub fn bucket_bounds(k: u32) -> (u64, u64) {
+    match k {
+        0 => (0, 0),
+        64.. => (1u64 << 63, u64::MAX),
+        k => (1u64 << (k - 1), (1u64 << k) - 1),
+    }
+}
+
+impl HistSnapshot {
+    /// The `q`-quantile (`0 < q ≤ 1`) estimated from the log2 buckets:
+    /// find the bucket holding the target rank, linearly interpolate
+    /// inside it, and clamp to the observed min/max (so p100 is exactly
+    /// `max` and the coarse buckets cannot over-report). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(k, c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(k);
+                let into = (target - (cum - c)) as f64 / c as f64;
+                let v = lo as f64 + into * (hi - lo) as f64;
+                return (v as u64).clamp(self.min, self.max.max(self.min));
+            }
+        }
+        self.max
+    }
+
+    /// The (p50, p95, p99) triple — the percentile summary exposition and
+    /// benches report.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
 impl Histogram {
-    /// Record a value.
+    /// A standalone (unregistered) histogram for embedding in always-on
+    /// metric structs; pair with [`Histogram::record_always`], since the
+    /// gated [`Histogram::record`] is meant for registry histograms.
+    pub const fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// Record a value while tracing is enabled.
     #[inline]
     pub fn record(&self, v: u64) {
         if !enabled() {
             return;
         }
+        self.record_always(v);
+    }
+
+    /// Record a value regardless of the recorder switch — for histograms
+    /// owned by always-on metric structs rather than the trace registry.
+    #[inline]
+    pub fn record_always(&self, v: u64) {
         let idx = (64 - v.leading_zeros()) as usize; // 0 for v == 0
         self.buckets[idx].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
@@ -579,7 +856,8 @@ impl Histogram {
         }
     }
 
-    fn snapshot(&self) -> HistSnapshot {
+    /// A point-in-time copy of count/sum/min/max and the occupied buckets.
+    pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
             count: self.count.load(Relaxed),
             sum: self.sum.load(Relaxed),
@@ -606,17 +884,17 @@ impl Histogram {
     }
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
 /// Look up (registering on first use) the histogram named `name`.
 pub fn histogram(name: &'static str) -> &'static Histogram {
-    lock(&rec().hists).entry(name).or_insert_with(|| {
-        Box::leak(Box::new(Histogram {
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            min: AtomicU64::new(u64::MAX),
-            max: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }))
-    })
+    lock(&rec().hists)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
 }
 
 // ---------------------------------------------------------------------------
@@ -643,8 +921,10 @@ fn sample_metrics_at(ts_ns: u64) {
         });
     }
     for (&name, g) in lock(&rec().gauges).iter() {
-        let value = g.get();
-        if value != 0.0 {
+        // Touched gauges sample even at zero (so a level that returned to
+        // zero shows it); never-set gauges stay out of the export.
+        if g.touched.load(Relaxed) {
+            let value = g.get();
             out.push(Sample::Gauge { name, ts_ns, value });
         }
     }
@@ -757,6 +1037,138 @@ mod tests {
         assert_eq!(s.max, 1000);
         // 0→bucket 0, 1→1, 2..3→2, 4→3, 1000→10
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn request_scope_tags_spans_and_accumulates_self_times() {
+        let _g = test_guard();
+        set_enabled(true);
+        let scope = request_scope(42);
+        {
+            let _outer = span("req.outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("req.inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        instant("req.evt").emit();
+        let bd = scope.finish();
+        set_enabled(false);
+        assert_eq!(bd.id, 42);
+        assert!(bd.total_ns >= 4_000_000);
+        let stages: BTreeMap<&str, u64> = bd.stages.iter().copied().collect();
+        assert!(stages["req.inner"] >= 2_000_000);
+        // outer's self excludes inner's time
+        let outer_self = stages["req.outer"];
+        let spans = lock(&rec().spans).clone();
+        let outer = spans.iter().find(|s| s.name == "req.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "req.inner").unwrap();
+        assert_eq!(outer_self, outer.dur_ns - inner.dur_ns);
+        for s in [outer, inner] {
+            assert!(
+                s.args.contains(&("req_id", Value::U64(42))),
+                "{} lacks req_id: {:?}",
+                s.name,
+                s.args
+            );
+        }
+        let ev = &lock(&rec().instants).clone()[0];
+        assert!(ev.args.contains(&("req_id", Value::U64(42))));
+        assert_eq!(
+            current_request(),
+            None,
+            "finish restores the previous scope"
+        );
+    }
+
+    #[test]
+    fn request_scope_breaks_down_without_the_recorder() {
+        let _g = test_guard();
+        assert!(!enabled());
+        let scope = request_scope(7);
+        {
+            let _s = span("dark.work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let bd = scope.finish();
+        assert_eq!(bd.id, 7);
+        assert_eq!(bd.stages.len(), 1);
+        assert_eq!(bd.stages[0].0, "dark.work");
+        assert!(bd.stages[0].1 >= 2_000_000);
+        assert!(
+            lock(&rec().spans).is_empty(),
+            "recorder off: nothing buffered"
+        );
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        let _g = test_guard();
+        let outer = request_scope(1);
+        assert_eq!(current_request(), Some(1));
+        let inner = request_scope(2);
+        assert_eq!(current_request(), Some(2));
+        drop(inner);
+        assert_eq!(current_request(), Some(1));
+        let bd = outer.finish();
+        assert_eq!(bd.id, 1);
+        assert_eq!(current_request(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let _g = test_guard();
+        set_enabled(true);
+        let h = histogram("t.q");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        set_enabled(false);
+        let s = h.snapshot();
+        let (p50, p95, p99) = s.percentiles();
+        // log2 buckets are coarse: accept the right bucket, not the exact
+        // rank, and the clamp pins the extremes.
+        assert!((32..=64).contains(&p50), "p50 = {p50}");
+        assert!((64..=100).contains(&p95), "p95 = {p95}");
+        assert!((64..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 100, "p100 clamps to max");
+        let one = HistSnapshot {
+            count: 1,
+            sum: 7,
+            min: 7,
+            max: 7,
+            buckets: vec![(3, 1)],
+        };
+        assert_eq!(one.quantile(0.5), 7);
+        let empty = HistSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn touched_gauges_sample_at_zero() {
+        let _g = test_guard();
+        set_enabled(true);
+        gauge("t.level").set(3.0);
+        gauge("t.level").set(0.0);
+        gauge("t.never");
+        sample_metrics();
+        set_enabled(false);
+        let samples = lock(&rec().samples).clone();
+        let zeroed = samples.iter().any(|s| {
+            matches!(s, Sample::Gauge { name, value, .. } if *name == "t.level" && *value == 0.0)
+        });
+        assert!(zeroed, "a touched gauge samples even at zero");
+        let never = samples
+            .iter()
+            .any(|s| matches!(s, Sample::Gauge { name, .. } if *name == "t.never"));
+        assert!(!never, "a never-set gauge stays out of the export");
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //!
 //! Checks, in order:
 //! 1. every line parses as a JSON object of a known `type` with the
-//!    required fields of the right shapes;
+//!    required fields of the right shapes (histogram lines additionally
+//!    need strictly increasing bucket indices that sum to `count`);
 //! 2. spans nest per thread — sorted by start time, the intervals form a
 //!    laminar family (each pair nested or disjoint, never overlapping);
 //! 3. counter samples are monotone non-decreasing per counter name;
 //! 4. caller-supplied expectations hold (named spans/instants present,
-//!    named counters present with a nonzero final value).
+//!    named counters present with a nonzero final value, named gauges
+//!    set and returned to zero, named spans carrying a `req_id` arg on
+//!    every occurrence).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -23,6 +26,13 @@ pub struct Expectations {
     pub counters: Vec<String>,
     /// Instant-event names that must appear at least once.
     pub instants: Vec<String>,
+    /// Gauge names that must appear and whose *final* sample is 0 — the
+    /// set/unset pairing check for level gauges (e.g. busy workers must
+    /// all have gone idle by end of run).
+    pub zeroed_gauges: Vec<String>,
+    /// Span names whose every occurrence must carry an integer `req_id`
+    /// argument (request attribution never silently dropped).
+    pub req_id_spans: Vec<String>,
 }
 
 /// What a successful validation saw.
@@ -67,6 +77,9 @@ pub fn validate_jsonl(text: &str, exp: &Expectations) -> Result<ValidationReport
     let mut counter_series: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     let mut span_names: BTreeSet<String> = BTreeSet::new();
     let mut instant_names: BTreeSet<String> = BTreeSet::new();
+    // Per span name: occurrences lacking an integer args.req_id.
+    let mut spans_missing_req_id: BTreeMap<String, usize> = BTreeMap::new();
+    let mut gauge_last: BTreeMap<String, f64> = BTreeMap::new();
     let mut lines = 0usize;
     let mut instants = 0usize;
     let mut saw_meta = false;
@@ -91,6 +104,14 @@ pub fn validate_jsonl(text: &str, exp: &Expectations) -> Result<ValidationReport
                 let ts = need_u64(&v, "ts", line_no)?;
                 let dur = need_u64(&v, "dur", line_no)?;
                 need_args(&v, line_no)?;
+                let has_req_id = v
+                    .get("args")
+                    .and_then(|a| a.get("req_id"))
+                    .and_then(Json::as_u64)
+                    .is_some();
+                if !has_req_id {
+                    *spans_missing_req_id.entry(name.clone()).or_default() += 1;
+                }
                 span_names.insert(name.clone());
                 spans.push((tid, ts, dur, name));
             }
@@ -109,11 +130,13 @@ pub fn validate_jsonl(text: &str, exp: &Expectations) -> Result<ValidationReport
                 counter_series.entry(name).or_default().push(value);
             }
             "gauge" => {
-                need_str(&v, "name", line_no)?;
+                let name = need_str(&v, "name", line_no)?.to_string();
                 need_u64(&v, "ts", line_no)?;
-                v.get("value")
+                let value = v
+                    .get("value")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| format!("line {line_no}: gauge without numeric value"))?;
+                gauge_last.insert(name, value);
             }
             "hist" => {
                 need_str(&v, "name", line_no)?;
@@ -123,15 +146,29 @@ pub fn validate_jsonl(text: &str, exp: &Expectations) -> Result<ValidationReport
                     .get("buckets")
                     .and_then(Json::as_arr)
                     .ok_or_else(|| format!("line {line_no}: hist without buckets array"))?;
-                let total: u64 = buckets
-                    .iter()
-                    .map(|b| {
-                        b.as_arr()
-                            .filter(|p| p.len() == 2)
-                            .and_then(|p| p[1].as_u64())
-                            .ok_or_else(|| format!("line {line_no}: malformed bucket"))
-                    })
-                    .sum::<Result<u64, String>>()?;
+                let mut total = 0u64;
+                let mut last_idx: Option<u64> = None;
+                for b in buckets {
+                    let pair = b
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("line {line_no}: malformed bucket"))?;
+                    let idx = pair[0]
+                        .as_u64()
+                        .ok_or_else(|| format!("line {line_no}: malformed bucket"))?;
+                    let c = pair[1]
+                        .as_u64()
+                        .ok_or_else(|| format!("line {line_no}: malformed bucket"))?;
+                    if last_idx.is_some_and(|prev| idx <= prev) {
+                        return Err(format!(
+                            "line {line_no}: hist bucket indices not strictly increasing \
+                             ({:?} then {idx})",
+                            last_idx.unwrap()
+                        ));
+                    }
+                    last_idx = Some(idx);
+                    total += c;
+                }
                 if total != count {
                     return Err(format!(
                         "line {line_no}: hist bucket counts sum to {total}, count says {count}"
@@ -208,6 +245,29 @@ pub fn validate_jsonl(text: &str, exp: &Expectations) -> Result<ValidationReport
             ));
         }
     }
+    for want in &exp.zeroed_gauges {
+        match gauge_last.get(want) {
+            None => return Err(format!("expected gauge \"{want}\" never sampled")),
+            Some(&v) if v != 0.0 => {
+                return Err(format!(
+                    "gauge \"{want}\" ends at {v}, expected it back at 0"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    for want in &exp.req_id_spans {
+        if !span_names.contains(want) {
+            return Err(format!("expected span \"{want}\" not found"));
+        }
+        if let Some(&missing) = spans_missing_req_id.get(want) {
+            if missing > 0 {
+                return Err(format!(
+                    "{missing} \"{want}\" span(s) lack an integer \"req_id\" arg"
+                ));
+            }
+        }
+    }
 
     Ok(ValidationReport {
         lines,
@@ -249,6 +309,7 @@ mod tests {
             spans: vec!["outer".into()],
             counters: vec!["c".into()],
             instants: vec!["evt".into()],
+            ..Default::default()
         };
         let r = validate_jsonl(&text, &exp).unwrap();
         assert_eq!(r.spans, 2);
@@ -311,5 +372,59 @@ mod tests {
             r#"{"type":"hist","name":"h","count":3,"sum":3,"min":1,"max":2,"buckets":[[1,1]]}"#,
         ]);
         assert!(validate_jsonl(&text, &Expectations::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotone_hist_buckets() {
+        let text = doc(&[
+            r#"{"type":"hist","name":"h","count":2,"sum":3,"min":1,"max":2,"buckets":[[2,1],[1,1]]}"#,
+        ]);
+        let err = validate_jsonl(&text, &Expectations::default()).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
+    fn checks_gauge_returns_to_zero() {
+        let up_down = doc(&[
+            r#"{"type":"gauge","name":"busy","ts":1,"value":3}"#,
+            r#"{"type":"gauge","name":"busy","ts":2,"value":0}"#,
+        ]);
+        let exp = Expectations {
+            zeroed_gauges: vec!["busy".into()],
+            ..Default::default()
+        };
+        validate_jsonl(&up_down, &exp).unwrap();
+
+        let stuck = doc(&[r#"{"type":"gauge","name":"busy","ts":1,"value":3}"#]);
+        let err = validate_jsonl(&stuck, &exp).unwrap_err();
+        assert!(err.contains("expected it back at 0"), "{err}");
+
+        let absent = doc(&[r#"{"type":"counter","name":"c","ts":1,"value":1}"#]);
+        let err = validate_jsonl(&absent, &exp).unwrap_err();
+        assert!(err.contains("never sampled"), "{err}");
+    }
+
+    #[test]
+    fn checks_every_named_span_carries_req_id() {
+        let tagged = doc(&[
+            r#"{"type":"span","name":"serve.handle","tid":0,"depth":0,"ts":0,"dur":5,"args":{"req_id":1}}"#,
+            r#"{"type":"span","name":"serve.handle","tid":0,"depth":0,"ts":10,"dur":5,"args":{"req_id":2}}"#,
+        ]);
+        let exp = Expectations {
+            req_id_spans: vec!["serve.handle".into()],
+            ..Default::default()
+        };
+        validate_jsonl(&tagged, &exp).unwrap();
+
+        let untagged = doc(&[
+            r#"{"type":"span","name":"serve.handle","tid":0,"depth":0,"ts":0,"dur":5,"args":{"req_id":1}}"#,
+            r#"{"type":"span","name":"serve.handle","tid":0,"depth":0,"ts":10,"dur":5,"args":{}}"#,
+        ]);
+        let err = validate_jsonl(&untagged, &exp).unwrap_err();
+        assert!(err.contains("lack an integer"), "{err}");
+
+        let missing = doc(&[r#"{"type":"counter","name":"c","ts":1,"value":1}"#]);
+        let err = validate_jsonl(&missing, &exp).unwrap_err();
+        assert!(err.contains("not found"), "{err}");
     }
 }
