@@ -34,7 +34,7 @@ pub mod session;
 pub use hier::hierarchical_mapping;
 pub use refine::congestion_refine;
 pub use session::{
-    CacheStats, CoreCacheStats, DegradationReport, DistanceBackend, Mapper, MappingInfo,
-    PatternKind, ProbeCollective, ProbeOutcome, ProbePoint, Scheme, Session, SessionConfig,
-    SessionCore, SessionHandle,
+    CacheStats, CommKey, CoreCacheStats, CoreState, DegradationReport, DistanceBackend, Mapper,
+    MappingInfo, PatternKind, ProbeCollective, ProbeOutcome, ProbePoint, SchedKey, Scheme, Session,
+    SessionConfig, SessionCore, SessionHandle,
 };

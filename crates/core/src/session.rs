@@ -27,7 +27,7 @@ mod degraded;
 mod shared;
 
 pub use degraded::{DegradationReport, ProbeCollective, ProbeOutcome, ProbePoint};
-pub use shared::{CoreCacheStats, SessionCore, SessionHandle};
+pub use shared::{CoreCacheStats, CoreState, SessionCore, SessionHandle};
 
 use crate::hier::{hierarchical_mapping, reordered_groups, HierMapper};
 use std::collections::hash_map::Entry;
@@ -237,8 +237,11 @@ enum SessionDistance {
 /// Key of one compiled [`TimedSchedule`] in the schedule cache. Schedules
 /// whose *structure* depends on a mapping (an initComm prefix, or
 /// hierarchical phases over reordered groups) carry the responsible mapper.
+///
+/// Public so the persistence layer (`tarr-replay`) can snapshot and restore
+/// cache contents keyed exactly as the live session keys them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum SchedKey {
+pub enum SchedKey {
     /// A flat allgather algorithm over the default rank order.
     Flat(AllgatherAlg),
     /// A flat allgather prefixed with the mapper's initComm stage.
@@ -255,8 +258,11 @@ enum SchedKey {
 }
 
 /// Which communicator a cached stage-price vector was computed over.
+///
+/// Public for the same reason as [`SchedKey`]: snapshot/restore round-trips
+/// price-cache entries under their live keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CommKey {
+pub enum CommKey {
     /// The session's initial communicator.
     Default,
     /// The reordered communicator cached under `(mapper, pattern)`.

@@ -100,6 +100,34 @@ impl CoreCacheStats {
     }
 }
 
+/// The snapshot-facing export of a [`SessionCore`]: the rank→core binding
+/// plus the contents of the four shared caches, with all `Arc`s, sharding
+/// and wall-clock metadata stripped. Produced by
+/// [`SessionCore::export_state`], consumed by [`SessionCore::from_state`];
+/// the persistence layer (`tarr-replay`) owns the wire encoding. Cluster
+/// and [`SessionConfig`] travel separately — the cluster has its own
+/// versioned text format (`tarr-ingest`'s `ClusterSnapshot`) and the config
+/// is what `from_state` rebuilds the distance structure from.
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    /// `cores[rank] = core id` of the initial communicator.
+    pub cores: Vec<u32>,
+    /// Mapping-cache entries; `None` marks a cached "unsupported
+    /// configuration" outcome, `Some` the permutation itself.
+    pub mappings: Vec<PermEntry>,
+    /// Reordered-communicator cache entries as rank→core bindings.
+    pub comms: Vec<PermEntry>,
+    /// Compiled-schedule cache entries.
+    pub scheds: Vec<(SchedKey, Option<TimedSchedule>)>,
+    /// Fully-priced totals from the stage-price cache.
+    pub prices: Vec<((SchedKey, CommKey, u64), f64)>,
+}
+
+/// One exported permutation-cache entry: the `(mapper, pattern)` key and
+/// either the cached rank permutation or a cached "unsupported
+/// configuration" outcome (`None`).
+pub type PermEntry = ((Mapper, PatternKind), Option<Vec<u32>>);
+
 /// Per-client scratch a [`SessionHandle`] carries: the classic per-cache
 /// hit/miss accounting plus how many lookups this client coalesced onto
 /// another thread's compute.
@@ -330,6 +358,130 @@ impl SessionCore {
         let mut s = self.to_session();
         let report = s.apply_faults(faults, probes)?;
         Ok((s.into_shared(), report))
+    }
+
+    /// Export every piece of state a snapshot needs to rebuild this core
+    /// warm: the rank→core binding plus the contents of all four shared
+    /// caches. Wall-clock metadata ([`MappingInfo::compute`] /
+    /// `graph_build`, the distance-build time) is deliberately excluded —
+    /// it is not a function of the inputs and would make snapshots
+    /// non-reproducible. Entry order follows the sharded maps' internal
+    /// iteration order; callers that need determinism must sort.
+    pub fn export_state(&self) -> CoreState {
+        CoreState {
+            cores: self.comm.cores().iter().map(|c| c.0).collect(),
+            mappings: self
+                .mappings
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, v.map(|info| info.mapping.clone())))
+                .collect(),
+            comms: self
+                .comms
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, v.map(|c| c.cores().iter().map(|c| c.0).collect())))
+                .collect(),
+            scheds: self
+                .scheds
+                .entries()
+                .into_iter()
+                .map(|(k, v)| (k, v.map(|ts| (*ts).clone())))
+                .collect(),
+            prices: self.prices.entries(),
+        }
+    }
+
+    /// Rebuild a warm core from an exported [`CoreState`]: re-extract the
+    /// distance structure deterministically from `(cluster, cores, cfg)` —
+    /// it is a pure function of those inputs, so persisting it would only
+    /// add bytes and a second source of truth — then seed the four shared
+    /// caches with the exported entries. Structural invariants are
+    /// validated (bindings in range, mappings are permutations, cached
+    /// communicators match the binding multiset, prices finite) so a
+    /// corrupted snapshot surfaces as `Err`, never as a panic or a silently
+    /// wrong answer downstream.
+    pub fn from_state(
+        cluster: Cluster,
+        cfg: SessionConfig,
+        state: CoreState,
+    ) -> Result<SessionCore, String> {
+        if state.cores.is_empty() {
+            return Err("state has an empty rank→core binding".into());
+        }
+        let total = cluster.total_cores() as u32;
+        if let Some(&c) = state.cores.iter().find(|&&c| c >= total) {
+            return Err(format!(
+                "bound core {c} out of range (cluster has {total} cores)"
+            ));
+        }
+        let mut seen = vec![false; total as usize];
+        for &c in &state.cores {
+            if std::mem::replace(&mut seen[c as usize], true) {
+                return Err(format!("core {c} bound to two ranks"));
+            }
+        }
+        let p = state.cores.len();
+        let cores: Vec<tarr_topo::CoreId> =
+            state.cores.iter().map(|&c| tarr_topo::CoreId(c)).collect();
+        let mut sorted_cores = state.cores.clone();
+        sorted_cores.sort_unstable();
+        let core = Session::new(cluster, cores, cfg).into_shared();
+        for (k, v) in state.mappings {
+            let v = match v {
+                None => None,
+                Some(mapping) => {
+                    if mapping.len() != p {
+                        return Err(format!(
+                            "mapping for {k:?} has {} entries, expected {p}",
+                            mapping.len()
+                        ));
+                    }
+                    let mut hit = vec![false; p];
+                    for &slot in &mapping {
+                        if slot as usize >= p || std::mem::replace(&mut hit[slot as usize], true) {
+                            return Err(format!(
+                                "mapping for {k:?} is not a permutation of 0..{p}"
+                            ));
+                        }
+                    }
+                    Some(Arc::new(MappingInfo {
+                        mapping,
+                        compute: Duration::ZERO,
+                        graph_build: Duration::ZERO,
+                    }))
+                }
+            };
+            core.mappings.insert(k, v);
+        }
+        for (k, v) in state.comms {
+            let v = match v {
+                None => None,
+                Some(cs) => {
+                    let mut sorted = cs.clone();
+                    sorted.sort_unstable();
+                    if sorted != sorted_cores {
+                        return Err(format!(
+                            "cached communicator for {k:?} binds a different core set"
+                        ));
+                    }
+                    Some(Arc::new(Communicator::new(
+                        cs.into_iter().map(tarr_topo::CoreId).collect(),
+                    )))
+                }
+            };
+            core.comms.insert(k, v);
+        }
+        for (k, v) in state.scheds {
+            core.scheds.insert(k, v.map(Arc::new));
+        }
+        for (k, v) in state.prices {
+            if !v.is_finite() {
+                return Err(format!("cached price for {k:?} is not finite"));
+            }
+            core.prices.insert(k, v);
+        }
+        Ok(core)
     }
 
     fn model(&self) -> StageModel<'_> {

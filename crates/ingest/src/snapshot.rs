@@ -176,6 +176,14 @@ impl ClusterSnapshot {
         out
     }
 
+    /// The canonical snapshot text of a live [`Cluster`] — shorthand for
+    /// `ClusterSnapshot::from_cluster(c).to_text()`. The persistence layer
+    /// stores clusters in this form: it is versioned, diffable, and
+    /// round-trips bit-identically through [`ClusterSnapshot::parse`].
+    pub fn canonical_cluster_text(cluster: &Cluster) -> String {
+        Self::from_cluster(cluster).to_text()
+    }
+
     /// Parse the text format.
     pub fn parse(text: &str) -> Result<Self, IngestError> {
         /// Partially-parsed `[fabric.irregular]` state: switch count plus the

@@ -232,6 +232,40 @@ impl TimedSchedule {
         }
     }
 
+    /// Reassemble a compiled schedule from its exported parts (the
+    /// persistence path: `unique_stages()` + `stage_order()` round-trip
+    /// through a snapshot and come back through here). Validates the
+    /// invariants `compile` guarantees by construction — every `order`
+    /// entry indexes a unique stage (or is [`EMPTY_STAGE`]) and every
+    /// operand rank is below `p` — so a corrupted snapshot surfaces as a
+    /// typed error here instead of an out-of-bounds panic at pricing time.
+    pub fn from_parts(p: u32, uniq: Vec<Vec<MergedOp>>, order: Vec<u32>) -> Result<Self, String> {
+        let n = uniq.len() as u32;
+        for (si, stage) in uniq.iter().enumerate() {
+            if stage.is_empty() {
+                return Err(format!(
+                    "unique stage {si} is empty (compile never emits one)"
+                ));
+            }
+            for op in stage {
+                if op.from >= p || op.to >= p {
+                    return Err(format!(
+                        "unique stage {si} op {}→{} out of range for p={p}",
+                        op.from, op.to
+                    ));
+                }
+            }
+        }
+        for (oi, &slot) in order.iter().enumerate() {
+            if slot != EMPTY_STAGE && slot >= n {
+                return Err(format!(
+                    "stage order entry {oi} references unique stage {slot} of {n}"
+                ));
+            }
+        }
+        Ok(TimedSchedule { p, uniq, order })
+    }
+
     /// Communicator size the schedule was compiled for.
     pub fn p(&self) -> u32 {
         self.p

@@ -1,0 +1,521 @@
+//! The write-ahead event log: append-only, length-prefixed, checksummed.
+//!
+//! File layout:
+//!
+//! ```text
+//! [8]  magic  "TARRWAL\x01"
+//! then zero or more records, each:
+//! [4]  payload length (u32 LE)
+//! [8]  event id       (u64 LE, strictly increasing from 1)
+//! [8]  req id         (u64 LE, the serve request that caused it)
+//! [4]  CRC-32         over event id ‖ req id ‖ payload (LE bytes)
+//! [n]  payload        (a versioned [`Event`] encoding)
+//! ```
+//!
+//! **Crash consistency.** Appends are written in one `write_all` and
+//! `fdatasync`'d before the serve reply is emitted, so an acknowledged
+//! mutation is on disk. A crash mid-append leaves a *torn tail*: a record
+//! whose bytes stop at EOF or whose CRC fails **at EOF**. That is expected
+//! damage — [`read_wal`] reports it as [`WalTail::Torn`] and
+//! [`recover_wal`] truncates back to the last record boundary, losing only
+//! the never-acknowledged suffix. A bad record with *more data after it*
+//! cannot be explained by a torn append; that is real corruption and
+//! surfaces as a typed [`ReplayError::Corrupt`], never a panic and never a
+//! silent skip.
+
+use crate::event::Event;
+use crate::wire::crc32;
+use crate::ReplayError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file magic: name + format version byte.
+pub const WAL_MAGIC: &[u8; 8] = b"TARRWAL\x01";
+
+/// Fixed bytes per record before the payload.
+const RECORD_HEADER: usize = 4 + 8 + 8 + 4;
+
+/// Default WAL file name inside a state directory.
+pub const WAL_FILE: &str = "events.twal";
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic event id (1-based).
+    pub event_id: u64,
+    /// The serve `req_id` that produced the event.
+    pub req_id: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// What the end of the log looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every byte parsed; the file ends exactly on a record boundary.
+    Clean,
+    /// The file ends in a partially-written record (crash mid-append).
+    Torn {
+        /// Length of the valid prefix (a record boundary).
+        valid_len: u64,
+        /// Bytes of torn suffix after it.
+        dropped: u64,
+    },
+}
+
+/// Append-only writer with an explicit fsync per record.
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Open `path` for appending, creating it (with its magic header) if
+    /// absent. An existing file must start with [`WAL_MAGIC`]; its tail is
+    /// *not* validated here — boot goes through [`read_wal`] first and
+    /// passes the recovered length via [`WalWriter::open_at`].
+    pub fn open_append(path: &Path) -> Result<WalWriter, ReplayError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| ReplayError::io(path, e))?;
+        // An empty file (fresh, or truncated to nothing by torn-header
+        // recovery) gets its header written like a new one.
+        let exists = file.metadata().map_err(|e| ReplayError::io(path, e))?.len() > 0;
+        let bytes = if exists {
+            let mut magic = [0u8; 8];
+            file.read_exact(&mut magic)
+                .map_err(|_| ReplayError::corrupt(path, 0, "missing WAL magic"))?;
+            if &magic != WAL_MAGIC {
+                return Err(ReplayError::corrupt(path, 0, "bad WAL magic"));
+            }
+            let len = file.metadata().map_err(|e| ReplayError::io(path, e))?.len();
+            file.seek_end().map_err(|e| ReplayError::io(path, e))?;
+            len
+        } else {
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| ReplayError::io(path, e))?;
+            file.sync_data().map_err(|e| ReplayError::io(path, e))?;
+            WAL_MAGIC.len() as u64
+        };
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            bytes,
+        })
+    }
+
+    /// Open for appending at a known valid length (after [`read_wal`] +
+    /// recovery truncated any torn tail).
+    pub fn open_at(path: &Path, valid_len: u64) -> Result<WalWriter, ReplayError> {
+        let mut w = Self::open_append(path)?;
+        // A valid length below the header (0 = the file was missing, or
+        // its header itself was torn) means "no valid records": keep the
+        // bare header `open_append` ensured rather than truncating it away.
+        let valid_len = valid_len.max(WAL_MAGIC.len() as u64);
+        if w.bytes != valid_len {
+            w.file
+                .set_len(valid_len)
+                .map_err(|e| ReplayError::io(path, e))?;
+            w.file.seek_end().map_err(|e| ReplayError::io(path, e))?;
+            w.file.sync_data().map_err(|e| ReplayError::io(path, e))?;
+            w.bytes = valid_len;
+        }
+        Ok(w)
+    }
+
+    /// Append one framed record and `fdatasync` it. Returns the file size
+    /// after the append. The caller must not acknowledge the mutation
+    /// before this returns.
+    pub fn append(
+        &mut self,
+        event_id: u64,
+        req_id: u64,
+        payload: &[u8],
+    ) -> Result<u64, ReplayError> {
+        let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&event_id.to_le_bytes());
+        frame.extend_from_slice(&req_id.to_le_bytes());
+        let mut sum = Vec::with_capacity(16 + payload.len());
+        sum.extend_from_slice(&event_id.to_le_bytes());
+        sum.extend_from_slice(&req_id.to_le_bytes());
+        sum.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&sum).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| ReplayError::io(&self.path, e))?;
+        self.bytes += frame.len() as u64;
+        Ok(self.bytes)
+    }
+
+    /// Flush pending data to disk (appends already sync; this is for
+    /// teardown paths that want an explicit barrier).
+    pub fn sync(&mut self) -> Result<(), ReplayError> {
+        self.file
+            .sync_data()
+            .map_err(|e| ReplayError::io(&self.path, e))
+    }
+
+    /// Truncate back to the bare header — the `compact` op, after a
+    /// snapshot has captured everything the log described.
+    pub fn reset(&mut self) -> Result<u64, ReplayError> {
+        let len = WAL_MAGIC.len() as u64;
+        self.file
+            .set_len(len)
+            .map_err(|e| ReplayError::io(&self.path, e))?;
+        self.file
+            .seek_end()
+            .map_err(|e| ReplayError::io(&self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| ReplayError::io(&self.path, e))?;
+        self.bytes = len;
+        Ok(len)
+    }
+
+    /// Current file size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// `Seek::seek(SeekFrom::End(0))` without importing the trait at every
+/// call site.
+trait SeekEnd {
+    fn seek_end(&mut self) -> std::io::Result<u64>;
+}
+
+impl SeekEnd for File {
+    fn seek_end(&mut self) -> std::io::Result<u64> {
+        use std::io::{Seek, SeekFrom};
+        self.seek(SeekFrom::End(0))
+    }
+}
+
+/// Parse a WAL file. Returns the decoded records plus the tail
+/// classification; hard corruption (anywhere but a torn tail) is a typed
+/// error. A missing file is an empty, clean log.
+pub fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, WalTail), ReplayError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), WalTail::Clean))
+        }
+        Err(e) => return Err(ReplayError::io(path, e)),
+    };
+    if bytes.len() < WAL_MAGIC.len() {
+        // Crashed before the header hit disk: treat as torn-at-zero so
+        // recovery rewrites a fresh header.
+        return Ok((
+            Vec::new(),
+            WalTail::Torn {
+                valid_len: 0,
+                dropped: bytes.len() as u64,
+            },
+        ));
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(ReplayError::corrupt(path, 0, "bad WAL magic"));
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    let mut last_id = 0u64;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        let torn = |dropped: usize| WalTail::Torn {
+            valid_len: pos as u64,
+            dropped: dropped as u64,
+        };
+        if rest.len() < RECORD_HEADER {
+            return Ok((records, torn(rest.len())));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let total = RECORD_HEADER + len;
+        if rest.len() < total {
+            return Ok((records, torn(rest.len())));
+        }
+        let event_id = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let req_id = u64::from_le_bytes(rest[12..20].try_into().expect("8 bytes"));
+        let stored_crc = u32::from_le_bytes(rest[20..24].try_into().expect("4 bytes"));
+        let payload = &rest[RECORD_HEADER..total];
+        let mut sum = Vec::with_capacity(16 + len);
+        sum.extend_from_slice(&rest[4..20]);
+        sum.extend_from_slice(payload);
+        if crc32(&sum) != stored_crc {
+            if rest.len() == total {
+                // The damaged record is the last thing in the file — a torn
+                // append, recoverable.
+                return Ok((records, torn(rest.len())));
+            }
+            return Err(ReplayError::corrupt(
+                path,
+                pos as u64,
+                "record CRC mismatch mid-log",
+            ));
+        }
+        // CRC-valid frame: the payload must decode and ids must advance.
+        // Failures here are not explainable by a torn append.
+        let event = Event::decode(payload)
+            .map_err(|e| ReplayError::corrupt(path, (pos + RECORD_HEADER) as u64, e.what))?;
+        if event_id <= last_id {
+            return Err(ReplayError::corrupt(
+                path,
+                pos as u64,
+                "event ids not increasing",
+            ));
+        }
+        last_id = event_id;
+        records.push(WalRecord {
+            event_id,
+            req_id,
+            event,
+        });
+        pos += total;
+    }
+    Ok((records, WalTail::Clean))
+}
+
+/// [`read_wal`], then physically truncate any torn tail so the file ends
+/// on a record boundary (recreating the header if even that was torn).
+/// Returns the records, the tail as it was *found*, and the valid length.
+pub fn recover_wal(path: &Path) -> Result<(Vec<WalRecord>, WalTail, u64), ReplayError> {
+    let (records, tail) = read_wal(path)?;
+    match tail {
+        WalTail::Clean => {
+            let len = if path.exists() {
+                std::fs::metadata(path)
+                    .map_err(|e| ReplayError::io(path, e))?
+                    .len()
+            } else {
+                0
+            };
+            Ok((records, tail, len))
+        }
+        WalTail::Torn { valid_len, .. } => {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| ReplayError::io(path, e))?;
+            if valid_len == 0 {
+                // Header itself was torn: rewrite it whole.
+                file.set_len(0).map_err(|e| ReplayError::io(path, e))?;
+                let mut file = file;
+                file.write_all(WAL_MAGIC)
+                    .map_err(|e| ReplayError::io(path, e))?;
+                file.sync_data().map_err(|e| ReplayError::io(path, e))?;
+                Ok((records, tail, WAL_MAGIC.len() as u64))
+            } else {
+                file.set_len(valid_len)
+                    .map_err(|e| ReplayError::io(path, e))?;
+                file.sync_data().map_err(|e| ReplayError::io(path, e))?;
+                Ok((records, tail, valid_len))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BackendKind;
+    use crate::event::{FaultSpec, IngestSource, IngestSpec, LayoutKind};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tarr-replay-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn ev(i: u64) -> Event {
+        if i.is_multiple_of(2) {
+            Event::Ingest {
+                cluster: format!("c{i}"),
+                spec: IngestSpec {
+                    source: IngestSource::GpcNodes(2 + i),
+                    layout: LayoutKind::BlockBunch,
+                    p: None,
+                    seed: Some(i),
+                    backend: BackendKind::Implicit,
+                    replace: false,
+                },
+            }
+        } else {
+            Event::Fault {
+                cluster: format!("c{}", i - 1),
+                fault: FaultSpec {
+                    seed: i,
+                    link_fail: 0.01,
+                    switch_fail: 0.0,
+                    node_drain: 0.0,
+                    core_drain: 0.0,
+                },
+            }
+        }
+    }
+
+    fn write_log(path: &Path, n: u64) {
+        let mut w = WalWriter::open_append(path).unwrap();
+        for i in 1..=n {
+            w.append(i, 100 + i, &ev(i).encode()).unwrap();
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let d = tmpdir("roundtrip");
+        let path = d.join(WAL_FILE);
+        write_log(&path, 4);
+        let (records, tail) = read_wal(&path).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            let id = i as u64 + 1;
+            assert_eq!(r.event_id, id);
+            assert_eq!(r.req_id, 100 + id);
+            assert_eq!(r.event, ev(id));
+        }
+        // Reopen appends after the existing tail.
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append(5, 105, &ev(5).encode()).unwrap();
+        let (records, tail) = read_wal(&path).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records.len(), 5);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_file_is_empty_clean() {
+        let d = tmpdir("missing");
+        let (records, tail) = read_wal(&d.join("nope.twal")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(tail, WalTail::Clean);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn every_truncation_of_last_record_recovers() {
+        let d = tmpdir("torn");
+        let path = d.join(WAL_FILE);
+        write_log(&path, 3);
+        let full = std::fs::read(&path).unwrap();
+        // Find the boundary before the last record.
+        let (records, _) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        let last_len = 24 + ev(3).encode().len();
+        let boundary = full.len() - last_len;
+        for cut in boundary..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (recs, tail, valid) = recover_wal(&path).unwrap();
+            if cut == boundary {
+                // Exactly on the boundary: clean two-record log.
+                assert_eq!(tail, WalTail::Clean);
+            } else {
+                assert_eq!(
+                    tail,
+                    WalTail::Torn {
+                        valid_len: boundary as u64,
+                        dropped: (cut - boundary) as u64
+                    }
+                );
+            }
+            assert_eq!(recs.len(), 2, "cut at {cut}");
+            assert_eq!(valid, boundary as u64);
+            // After recovery the file reads clean and appends still work.
+            let (recs2, tail2) = read_wal(&path).unwrap();
+            assert_eq!(tail2, WalTail::Clean);
+            assert_eq!(recs2, recs);
+            let mut w = WalWriter::open_at(&path, valid).unwrap();
+            w.append(3, 103, &ev(3).encode()).unwrap();
+            let (recs3, _) = read_wal(&path).unwrap();
+            assert_eq!(recs3.len(), 3);
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_header_recovers_to_empty() {
+        let d = tmpdir("torn-header");
+        let path = d.join(WAL_FILE);
+        std::fs::write(&path, &WAL_MAGIC[..3]).unwrap();
+        let (recs, tail, valid) = recover_wal(&path).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(
+            tail,
+            WalTail::Torn {
+                valid_len: 0,
+                dropped: 3
+            }
+        );
+        assert_eq!(valid, WAL_MAGIC.len() as u64);
+        let mut w = WalWriter::open_at(&path, valid).unwrap();
+        w.append(1, 1, &ev(1).encode()).unwrap();
+        let (recs, tail) = read_wal(&path).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(recs.len(), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_hard_error() {
+        let d = tmpdir("corrupt");
+        let path = d.join(WAL_FILE);
+        write_log(&path, 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the FIRST record (there is data after it).
+        let idx = WAL_MAGIC.len() + RECORD_HEADER + 2;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_wal(&path) {
+            Err(ReplayError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn bad_magic_is_hard_error() {
+        let d = tmpdir("magic");
+        let path = d.join(WAL_FILE);
+        std::fs::write(&path, b"NOTAWAL\x01extra").unwrap();
+        assert!(matches!(read_wal(&path), Err(ReplayError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn non_monotonic_ids_are_hard_error() {
+        let d = tmpdir("ids");
+        let path = d.join(WAL_FILE);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append(2, 1, &ev(1).encode()).unwrap();
+        w.append(2, 2, &ev(2).encode()).unwrap();
+        assert!(matches!(read_wal(&path), Err(ReplayError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn reset_truncates_to_header() {
+        let d = tmpdir("reset");
+        let path = d.join(WAL_FILE);
+        write_log(&path, 3);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        assert_eq!(w.reset().unwrap(), WAL_MAGIC.len() as u64);
+        let (recs, tail) = read_wal(&path).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(tail, WalTail::Clean);
+        // And the writer keeps appending from the fresh header.
+        w.append(9, 9, &ev(1).encode()).unwrap();
+        let (recs, _) = read_wal(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].event_id, 9);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

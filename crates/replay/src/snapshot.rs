@@ -1,0 +1,920 @@
+//! Versioned warm-state snapshots of the whole engine.
+//!
+//! A snapshot captures every named cluster's [`tarr_core::CoreState`]
+//! (binding + all four cache contents), its cluster as canonical
+//! `topo-ingest` text, and its [`SessionConfig`] — everything needed to
+//! rebuild a warm [`SessionCore`] without re-running a single mapping,
+//! schedule compile, or price. The distance structure is *not* stored: it
+//! is a pure function of (cluster, binding, config) and is re-extracted on
+//! restore (O(P) on the implicit backend).
+//!
+//! File layout:
+//!
+//! ```text
+//! [8]  magic "TARRSNAP"
+//! [4]  version (u32 LE)
+//! [n]  body (version-specific)
+//! [4]  CRC-32 over the body
+//! ```
+//!
+//! **Versioning policy.** [`SNAP_VERSION`] is the only version ever
+//! written. Decoding dispatches on the stored version: every version ever
+//! shipped keeps its decoder forever, and each old decoder *migrates
+//! forward* into the current in-memory [`EngineSnapshot`] (V1 → V2 fills
+//! the then-nonexistent `meta` section with its V2 default). A version
+//! newer than [`SNAP_VERSION`] is a typed [`ReplayError::UnsupportedVersion`].
+//! `encode_with_version` can still write old versions — that is how the
+//! committed migration fixtures were generated and how the policy is
+//! tested.
+//!
+//! **Determinism.** Cache entries are sorted by their encoded key bytes
+//! and all wall-clock metadata is excluded, so two engines with identical
+//! state produce byte-identical snapshots regardless of hash-map iteration
+//! order or how long computes took.
+
+use crate::wire::{crc32, Dec, Enc, WireError};
+use crate::ReplayError;
+use std::path::Path;
+use std::sync::Arc;
+use tarr_collectives::{AllgatherAlg, InterAlg, IntraPattern};
+use tarr_core::{
+    CommKey, CoreState, DistanceBackend, Mapper, PatternKind, SchedKey, SessionConfig, SessionCore,
+};
+use tarr_ingest::ClusterSnapshot;
+use tarr_mpi::{MergedOp, TimedSchedule};
+
+/// Snapshot file magic.
+pub const SNAP_MAGIC: &[u8; 8] = b"TARRSNAP";
+
+/// Current (and only ever written) snapshot version.
+pub const SNAP_VERSION: u32 = 2;
+
+/// Default snapshot file name inside a state directory.
+pub const SNAP_FILE: &str = "snapshot.tsnap";
+
+/// One cluster's warm state, snapshot-shaped.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    /// The cluster in canonical `topo-ingest` text form.
+    pub cluster_text: String,
+    /// The session config the core was extracted under.
+    pub cfg: SessionConfig,
+    /// Exported binding + cache contents.
+    pub state: CoreState,
+}
+
+/// A whole-engine snapshot: every named cluster plus the WAL position it
+/// is consistent with.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Highest WAL event id already reflected in this snapshot. Boot
+    /// replays only records with larger ids.
+    pub last_event_id: u64,
+    /// Free-form key/value metadata (introduced in V2; empty under V1).
+    pub meta: Vec<(String, String)>,
+    /// Named clusters, sorted by name.
+    pub clusters: Vec<(String, ClusterState)>,
+}
+
+// ---------------------------------------------------------------------------
+// enum codes — wire-stable, append-only
+// ---------------------------------------------------------------------------
+
+fn enc_mapper(e: &mut Enc, m: Mapper) {
+    e.u8(match m {
+        Mapper::Hrstc => 0,
+        Mapper::ScotchLike => 1,
+        Mapper::ScotchTuned => 2,
+        Mapper::Greedy => 3,
+        Mapper::MvapichCyclic => 4,
+    });
+}
+
+fn dec_mapper(d: &mut Dec) -> Result<Mapper, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("mapper code")? {
+        0 => Mapper::Hrstc,
+        1 => Mapper::ScotchLike,
+        2 => Mapper::ScotchTuned,
+        3 => Mapper::Greedy,
+        4 => Mapper::MvapichCyclic,
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "mapper code",
+            })
+        }
+    })
+}
+
+fn enc_inter(e: &mut Enc, a: InterAlg) {
+    e.u8(match a {
+        InterAlg::RecursiveDoubling => 0,
+        InterAlg::Ring => 1,
+    });
+}
+
+fn dec_inter(d: &mut Dec) -> Result<InterAlg, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("inter alg code")? {
+        0 => InterAlg::RecursiveDoubling,
+        1 => InterAlg::Ring,
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "inter alg code",
+            })
+        }
+    })
+}
+
+fn enc_intra(e: &mut Enc, a: IntraPattern) {
+    e.u8(match a {
+        IntraPattern::Linear => 0,
+        IntraPattern::Binomial => 1,
+    });
+}
+
+fn dec_intra(d: &mut Dec) -> Result<IntraPattern, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("intra pattern code")? {
+        0 => IntraPattern::Linear,
+        1 => IntraPattern::Binomial,
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "intra pattern code",
+            })
+        }
+    })
+}
+
+fn enc_alg(e: &mut Enc, a: AllgatherAlg) {
+    e.u8(match a {
+        AllgatherAlg::RecursiveDoubling => 0,
+        AllgatherAlg::Ring => 1,
+        AllgatherAlg::Bruck => 2,
+    });
+}
+
+fn dec_alg(d: &mut Dec) -> Result<AllgatherAlg, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("allgather alg code")? {
+        0 => AllgatherAlg::RecursiveDoubling,
+        1 => AllgatherAlg::Ring,
+        2 => AllgatherAlg::Bruck,
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "allgather alg code",
+            })
+        }
+    })
+}
+
+fn enc_pattern(e: &mut Enc, p: PatternKind) {
+    match p {
+        PatternKind::Rd => e.u8(0),
+        PatternKind::Ring => e.u8(1),
+        PatternKind::Bruck => e.u8(2),
+        PatternKind::BinomialBcast => e.u8(3),
+        PatternKind::BinomialGather => e.u8(4),
+        PatternKind::Hier(inter, intra) => {
+            e.u8(5);
+            enc_inter(e, inter);
+            enc_intra(e, intra);
+        }
+    }
+}
+
+fn dec_pattern(d: &mut Dec) -> Result<PatternKind, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("pattern code")? {
+        0 => PatternKind::Rd,
+        1 => PatternKind::Ring,
+        2 => PatternKind::Bruck,
+        3 => PatternKind::BinomialBcast,
+        4 => PatternKind::BinomialGather,
+        5 => PatternKind::Hier(dec_inter(d)?, dec_intra(d)?),
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "pattern code",
+            })
+        }
+    })
+}
+
+fn enc_sched_key(e: &mut Enc, k: SchedKey) {
+    match k {
+        SchedKey::Flat(a) => {
+            e.u8(0);
+            enc_alg(e, a);
+        }
+        SchedKey::FlatInit(a, m) => {
+            e.u8(1);
+            enc_alg(e, a);
+            enc_mapper(e, m);
+        }
+        SchedKey::Gather => e.u8(2),
+        SchedKey::GatherInit(m) => {
+            e.u8(3);
+            enc_mapper(e, m);
+        }
+        SchedKey::Hier(inter, intra, m) => {
+            e.u8(4);
+            enc_inter(e, inter);
+            enc_intra(e, intra);
+            match m {
+                None => e.u8(0),
+                Some(m) => {
+                    e.u8(1);
+                    enc_mapper(e, m);
+                }
+            }
+        }
+        SchedKey::HierInit(inter, intra, m) => {
+            e.u8(5);
+            enc_inter(e, inter);
+            enc_intra(e, intra);
+            enc_mapper(e, m);
+        }
+    }
+}
+
+fn dec_sched_key(d: &mut Dec) -> Result<SchedKey, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("sched key tag")? {
+        0 => SchedKey::Flat(dec_alg(d)?),
+        1 => SchedKey::FlatInit(dec_alg(d)?, dec_mapper(d)?),
+        2 => SchedKey::Gather,
+        3 => SchedKey::GatherInit(dec_mapper(d)?),
+        4 => {
+            let inter = dec_inter(d)?;
+            let intra = dec_intra(d)?;
+            let mat = d.pos();
+            let m = match d.u8("sched key mapper flag")? {
+                0 => None,
+                1 => Some(dec_mapper(d)?),
+                _ => {
+                    return Err(WireError {
+                        offset: mat,
+                        what: "sched key mapper flag",
+                    })
+                }
+            };
+            SchedKey::Hier(inter, intra, m)
+        }
+        5 => SchedKey::HierInit(dec_inter(d)?, dec_intra(d)?, dec_mapper(d)?),
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "sched key tag",
+            })
+        }
+    })
+}
+
+fn enc_comm_key(e: &mut Enc, k: CommKey) {
+    match k {
+        CommKey::Default => e.u8(0),
+        CommKey::Reordered(m, p) => {
+            e.u8(1);
+            enc_mapper(e, m);
+            enc_pattern(e, p);
+        }
+    }
+}
+
+fn dec_comm_key(d: &mut Dec) -> Result<CommKey, WireError> {
+    let at = d.pos();
+    Ok(match d.u8("comm key tag")? {
+        0 => CommKey::Default,
+        1 => CommKey::Reordered(dec_mapper(d)?, dec_pattern(d)?),
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "comm key tag",
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// config
+// ---------------------------------------------------------------------------
+
+fn enc_cfg(e: &mut Enc, cfg: &SessionConfig) {
+    e.u64(cfg.seed);
+    e.u8(match cfg.backend {
+        DistanceBackend::Dense => 0,
+        DistanceBackend::Implicit => 1,
+    });
+    let d = &cfg.dist;
+    for v in [
+        d.same_core,
+        d.l2,
+        d.socket,
+        d.node,
+        d.same_leaf,
+        d.same_line,
+        d.cross_spine,
+        d.torus_hop,
+    ] {
+        e.u16(v);
+    }
+    e.f64(cfg.extraction.base_seconds);
+    e.f64(cfg.extraction.per_rank_seconds);
+    let n = &cfg.net;
+    e.f64(n.sw_overhead_s);
+    for ch in [
+        &n.shm,
+        &n.qpi,
+        &n.hca,
+        &n.leaf_link,
+        &n.spine_link,
+        &n.torus_link,
+        &n.switch_link,
+    ] {
+        e.f64(ch.latency_s);
+        e.f64(ch.bandwidth_bps);
+    }
+    e.f64(n.memcpy.latency_s);
+    e.f64(n.memcpy.bandwidth_bps);
+}
+
+fn dec_cfg(d: &mut Dec) -> Result<SessionConfig, WireError> {
+    let mut cfg = SessionConfig {
+        seed: d.u64("cfg seed")?,
+        ..SessionConfig::default()
+    };
+    let at = d.pos();
+    cfg.backend = match d.u8("cfg backend")? {
+        0 => DistanceBackend::Dense,
+        1 => DistanceBackend::Implicit,
+        _ => {
+            return Err(WireError {
+                offset: at,
+                what: "cfg backend",
+            })
+        }
+    };
+    cfg.dist.same_core = d.u16("cfg dist")?;
+    cfg.dist.l2 = d.u16("cfg dist")?;
+    cfg.dist.socket = d.u16("cfg dist")?;
+    cfg.dist.node = d.u16("cfg dist")?;
+    cfg.dist.same_leaf = d.u16("cfg dist")?;
+    cfg.dist.same_line = d.u16("cfg dist")?;
+    cfg.dist.cross_spine = d.u16("cfg dist")?;
+    cfg.dist.torus_hop = d.u16("cfg dist")?;
+    cfg.extraction.base_seconds = d.f64("cfg extraction")?;
+    cfg.extraction.per_rank_seconds = d.f64("cfg extraction")?;
+    cfg.net.sw_overhead_s = d.f64("cfg net")?;
+    for ch in [
+        &mut cfg.net.shm,
+        &mut cfg.net.qpi,
+        &mut cfg.net.hca,
+        &mut cfg.net.leaf_link,
+        &mut cfg.net.spine_link,
+        &mut cfg.net.torus_link,
+        &mut cfg.net.switch_link,
+    ] {
+        ch.latency_s = d.f64("cfg channel")?;
+        ch.bandwidth_bps = d.f64("cfg channel")?;
+    }
+    cfg.net.memcpy.latency_s = d.f64("cfg memcpy")?;
+    cfg.net.memcpy.bandwidth_bps = d.f64("cfg memcpy")?;
+    cfg.net.link_overrides = Vec::new();
+    Ok(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// schedules
+// ---------------------------------------------------------------------------
+
+fn enc_schedule(e: &mut Enc, ts: &TimedSchedule) {
+    e.u32(ts.p());
+    let uniq = ts.unique_stages();
+    e.u32(uniq.len() as u32);
+    for stage in uniq {
+        e.u32(stage.len() as u32);
+        for op in stage {
+            e.u32(op.from);
+            e.u32(op.to);
+            e.u64(op.blocks);
+            e.u64(op.raw);
+        }
+    }
+    e.vec_u32(ts.stage_order());
+}
+
+fn dec_schedule(d: &mut Dec) -> Result<TimedSchedule, WireError> {
+    let at = d.pos();
+    let p = d.u32("schedule p")?;
+    let n = d.u32("schedule unique count")? as usize;
+    let mut uniq = Vec::new();
+    for _ in 0..n {
+        let m = d.u32("schedule stage op count")? as usize;
+        let mut stage = Vec::new();
+        for _ in 0..m {
+            stage.push(MergedOp {
+                from: d.u32("schedule op from")?,
+                to: d.u32("schedule op to")?,
+                blocks: d.u64("schedule op blocks")?,
+                raw: d.u64("schedule op raw")?,
+            });
+        }
+        uniq.push(stage);
+    }
+    let order = d.vec_u32("schedule order")?;
+    TimedSchedule::from_parts(p, uniq, order).map_err(|_| WireError {
+        offset: at,
+        what: "schedule invariants",
+    })
+}
+
+// ---------------------------------------------------------------------------
+// cluster state
+// ---------------------------------------------------------------------------
+
+/// Sort cache entries by their encoded key bytes — the determinism trick
+/// that makes snapshots independent of hash-map iteration order.
+fn sort_by_key_bytes<K: Copy, V>(entries: &mut [(K, V)], enc_key: impl Fn(&mut Enc, K)) {
+    entries.sort_by_cached_key(|(k, _)| {
+        let mut e = Enc::new();
+        enc_key(&mut e, *k);
+        e.into_bytes()
+    });
+}
+
+impl ClusterState {
+    /// Capture one core. Fails (typed, never silently lossy) if the config
+    /// carries per-link overrides — they reference live fabric hops and
+    /// have no closed wire form yet; a future snapshot version can add one.
+    pub fn capture(core: &SessionCore) -> Result<ClusterState, ReplayError> {
+        let cfg = core.config().clone();
+        if !cfg.net.link_overrides.is_empty() {
+            return Err(ReplayError::BadSnapshot {
+                what: "sessions with per-link NetParams overrides are not snapshottable".into(),
+            });
+        }
+        let mut state = core.export_state();
+        sort_by_key_bytes(&mut state.mappings, |e, (m, p)| {
+            enc_mapper(e, m);
+            enc_pattern(e, p);
+        });
+        sort_by_key_bytes(&mut state.comms, |e, (m, p)| {
+            enc_mapper(e, m);
+            enc_pattern(e, p);
+        });
+        sort_by_key_bytes(&mut state.scheds, enc_sched_key);
+        sort_by_key_bytes(&mut state.prices, |e, (sk, ck, bytes)| {
+            enc_sched_key(e, sk);
+            enc_comm_key(e, ck);
+            e.u64(bytes);
+        });
+        Ok(ClusterState {
+            cluster_text: ClusterSnapshot::canonical_cluster_text(core.cluster()),
+            cfg,
+            state,
+        })
+    }
+
+    /// Rebuild a warm core: parse the cluster text, re-extract the distance
+    /// structure, seed the caches. All structural validation lives in
+    /// [`SessionCore::from_state`].
+    pub fn restore(&self) -> Result<SessionCore, ReplayError> {
+        let cluster = ClusterSnapshot::parse(&self.cluster_text)
+            .and_then(|s| s.to_cluster())
+            .map_err(|e| ReplayError::BadSnapshot {
+                what: format!("cluster text: {e}"),
+            })?;
+        SessionCore::from_state(cluster, self.cfg.clone(), self.state.clone())
+            .map_err(|what| ReplayError::BadSnapshot { what })
+    }
+
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.cluster_text);
+        enc_cfg(e, &self.cfg);
+        e.vec_u32(&self.state.cores);
+        e.u32(self.state.mappings.len() as u32);
+        for ((m, p), v) in &self.state.mappings {
+            enc_mapper(e, *m);
+            enc_pattern(e, *p);
+            match v {
+                None => e.u8(0),
+                Some(mapping) => {
+                    e.u8(1);
+                    e.vec_u32(mapping);
+                }
+            }
+        }
+        e.u32(self.state.comms.len() as u32);
+        for ((m, p), v) in &self.state.comms {
+            enc_mapper(e, *m);
+            enc_pattern(e, *p);
+            match v {
+                None => e.u8(0),
+                Some(cores) => {
+                    e.u8(1);
+                    e.vec_u32(cores);
+                }
+            }
+        }
+        e.u32(self.state.scheds.len() as u32);
+        for (k, v) in &self.state.scheds {
+            enc_sched_key(e, *k);
+            match v {
+                None => e.u8(0),
+                Some(ts) => {
+                    e.u8(1);
+                    enc_schedule(e, ts);
+                }
+            }
+        }
+        e.u32(self.state.prices.len() as u32);
+        for ((sk, ck, bytes), price) in &self.state.prices {
+            enc_sched_key(e, *sk);
+            enc_comm_key(e, *ck);
+            e.u64(*bytes);
+            e.f64(*price);
+        }
+    }
+
+    fn decode(d: &mut Dec) -> Result<ClusterState, WireError> {
+        let cluster_text = d.str("cluster text")?;
+        let cfg = dec_cfg(d)?;
+        let cores = d.vec_u32("binding")?;
+        let opt_vec = |d: &mut Dec, what: &'static str| -> Result<Option<Vec<u32>>, WireError> {
+            let at = d.pos();
+            match d.u8(what)? {
+                0 => Ok(None),
+                1 => Ok(Some(d.vec_u32(what)?)),
+                _ => Err(WireError { offset: at, what }),
+            }
+        };
+        let n = d.u32("mapping count")? as usize;
+        let mut mappings = Vec::new();
+        for _ in 0..n {
+            let key = (dec_mapper(d)?, dec_pattern(d)?);
+            mappings.push((key, opt_vec(d, "mapping entry")?));
+        }
+        let n = d.u32("comm count")? as usize;
+        let mut comms = Vec::new();
+        for _ in 0..n {
+            let key = (dec_mapper(d)?, dec_pattern(d)?);
+            comms.push((key, opt_vec(d, "comm entry")?));
+        }
+        let n = d.u32("sched count")? as usize;
+        let mut scheds = Vec::new();
+        for _ in 0..n {
+            let key = dec_sched_key(d)?;
+            let at = d.pos();
+            let v = match d.u8("sched entry flag")? {
+                0 => None,
+                1 => Some(dec_schedule(d)?),
+                _ => {
+                    return Err(WireError {
+                        offset: at,
+                        what: "sched entry flag",
+                    })
+                }
+            };
+            scheds.push((key, v));
+        }
+        let n = d.u32("price count")? as usize;
+        let mut prices = Vec::new();
+        for _ in 0..n {
+            let key = (dec_sched_key(d)?, dec_comm_key(d)?, d.u64("price bytes")?);
+            prices.push((key, d.f64("price value")?));
+        }
+        Ok(ClusterState {
+            cluster_text,
+            cfg,
+            state: CoreState {
+                cores,
+                mappings,
+                comms,
+                scheds,
+                prices,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// engine snapshot
+// ---------------------------------------------------------------------------
+
+impl EngineSnapshot {
+    /// Encode at the current [`SNAP_VERSION`].
+    pub fn encode(&self) -> Result<Vec<u8>, ReplayError> {
+        self.encode_with_version(SNAP_VERSION)
+    }
+
+    /// Encode at an explicit version — the migration-fixture generator and
+    /// the version-policy tests. V1 predates `meta`, so encoding a
+    /// snapshot that carries metadata at V1 is a typed refusal rather than
+    /// silent data loss.
+    pub fn encode_with_version(&self, version: u32) -> Result<Vec<u8>, ReplayError> {
+        if version == 0 || version > SNAP_VERSION {
+            return Err(ReplayError::UnsupportedVersion(version));
+        }
+        if version < 2 && !self.meta.is_empty() {
+            return Err(ReplayError::BadSnapshot {
+                what: format!("metadata requires snapshot v2, asked to encode v{version}"),
+            });
+        }
+        let mut body = Enc::new();
+        body.u64(self.last_event_id);
+        if version >= 2 {
+            body.u32(self.meta.len() as u32);
+            for (k, v) in &self.meta {
+                body.str(k);
+                body.str(v);
+            }
+        }
+        let mut clusters: Vec<&(String, ClusterState)> = self.clusters.iter().collect();
+        clusters.sort_by(|a, b| a.0.cmp(&b.0));
+        body.u32(clusters.len() as u32);
+        for (name, cs) in clusters {
+            body.str(name);
+            cs.encode(&mut body);
+        }
+        let body = body.into_bytes();
+        let mut e = Enc::new();
+        e.raw(SNAP_MAGIC);
+        e.u32(version);
+        e.raw(&body);
+        e.u32(crc32(&body));
+        Ok(e.into_bytes())
+    }
+
+    /// Decode any supported version, migrating forward to the current
+    /// in-memory form.
+    pub fn decode(bytes: &[u8]) -> Result<EngineSnapshot, ReplayError> {
+        let wire = |e: WireError| ReplayError::BadSnapshot {
+            what: e.to_string(),
+        };
+        let mut d = Dec::new(bytes);
+        let magic = d.raw(8, "snapshot magic").map_err(wire)?;
+        if magic != SNAP_MAGIC {
+            return Err(ReplayError::BadSnapshot {
+                what: "bad snapshot magic".into(),
+            });
+        }
+        let version = d.u32("snapshot version").map_err(wire)?;
+        if version == 0 || version > SNAP_VERSION {
+            return Err(ReplayError::UnsupportedVersion(version));
+        }
+        if d.remaining() < 4 {
+            return Err(ReplayError::BadSnapshot {
+                what: "missing snapshot checksum".into(),
+            });
+        }
+        let body = d.raw(d.remaining() - 4, "snapshot body").map_err(wire)?;
+        let stored = d.u32("snapshot checksum").map_err(wire)?;
+        if crc32(body) != stored {
+            return Err(ReplayError::BadSnapshot {
+                what: "snapshot checksum mismatch".into(),
+            });
+        }
+        let mut d = Dec::new(body);
+        let last_event_id = d.u64("last event id").map_err(wire)?;
+        // V1 → V2 migration: the meta section did not exist; default empty.
+        let mut meta = Vec::new();
+        if version >= 2 {
+            let n = d.u32("meta count").map_err(wire)? as usize;
+            for _ in 0..n {
+                let k = d.str("meta key").map_err(wire)?;
+                let v = d.str("meta value").map_err(wire)?;
+                meta.push((k, v));
+            }
+        }
+        let n = d.u32("cluster count").map_err(wire)? as usize;
+        let mut clusters = Vec::new();
+        for _ in 0..n {
+            let name = d.str("cluster name").map_err(wire)?;
+            clusters.push((name, ClusterState::decode(&mut d).map_err(wire)?));
+        }
+        d.finish("snapshot trailing bytes").map_err(wire)?;
+        Ok(EngineSnapshot {
+            last_event_id,
+            meta,
+            clusters,
+        })
+    }
+
+    /// Capture a whole engine worth of cores (sorted by name inside
+    /// `encode`, so caller order does not matter).
+    pub fn capture(
+        last_event_id: u64,
+        cores: &[(String, Arc<SessionCore>)],
+    ) -> Result<EngineSnapshot, ReplayError> {
+        let mut clusters = Vec::with_capacity(cores.len());
+        for (name, core) in cores {
+            clusters.push((name.clone(), ClusterState::capture(core)?));
+        }
+        Ok(EngineSnapshot {
+            last_event_id,
+            meta: Vec::new(),
+            clusters,
+        })
+    }
+}
+
+/// Atomically write `snap` as `dir/snapshot.tsnap`: encode, write to a
+/// temp file, fsync it, rename over the target, fsync the directory. A
+/// crash at any point leaves either the old snapshot or the new one —
+/// never a torn mix.
+pub fn write_atomic(dir: &Path, snap: &EngineSnapshot) -> Result<u64, ReplayError> {
+    use std::io::Write;
+    let bytes = snap.encode()?;
+    let target = dir.join(SNAP_FILE);
+    let tmp = dir.join(format!("{SNAP_FILE}.tmp"));
+    let mut f = std::fs::File::create(&tmp).map_err(|e| ReplayError::io(&tmp, e))?;
+    f.write_all(&bytes).map_err(|e| ReplayError::io(&tmp, e))?;
+    f.sync_all().map_err(|e| ReplayError::io(&tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, &target).map_err(|e| ReplayError::io(&target, e))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// Load `dir/snapshot.tsnap` if present.
+pub fn load(dir: &Path) -> Result<Option<EngineSnapshot>, ReplayError> {
+    let path = dir.join(SNAP_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ReplayError::io(&path, e)),
+    };
+    Ok(Some(EngineSnapshot::decode(&bytes)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tarr_mapping::InitialMapping;
+    use tarr_topo::Cluster;
+
+    fn scheme(m: Mapper) -> tarr_core::Scheme {
+        tarr_core::Scheme::Reordered {
+            mapper: m,
+            fix: tarr_mapping::OrderFix::InitComm,
+        }
+    }
+
+    fn warm_core() -> Arc<SessionCore> {
+        let cluster = Cluster::gpc(2);
+        let core = SessionCore::from_layout(
+            cluster,
+            InitialMapping::BLOCK_BUNCH,
+            16,
+            SessionConfig::default(),
+        );
+        let core = Arc::new(core);
+        let mut h = core.handle();
+        // Warm a little of everything: mapping, comm, schedule, price.
+        let _ = h.allgather_time(4096, scheme(Mapper::Hrstc));
+        let _ = h.allgather_time(65536, scheme(Mapper::ScotchLike));
+        let _ = h.allgather_time(4096, tarr_core::Scheme::Default);
+        let _ = h.gather_time(1024, scheme(Mapper::Hrstc));
+        core
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_is_deterministic() {
+        let core = warm_core();
+        let snap = EngineSnapshot::capture(7, &[("gpc".into(), core)]).unwrap();
+        let a = snap.encode().unwrap();
+        let decoded = EngineSnapshot::decode(&a).unwrap();
+        assert_eq!(decoded.last_event_id, 7);
+        assert_eq!(decoded.clusters.len(), 1);
+        let b = decoded.encode().unwrap();
+        assert_eq!(a, b, "encode→decode→encode must be a fixed point");
+    }
+
+    #[test]
+    fn two_identically_warmed_cores_snapshot_identically() {
+        let a = EngineSnapshot::capture(1, &[("x".into(), warm_core())])
+            .unwrap()
+            .encode()
+            .unwrap();
+        let b = EngineSnapshot::capture(1, &[("x".into(), warm_core())])
+            .unwrap()
+            .encode()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rebuilds_a_working_core() {
+        let core = warm_core();
+        let before = {
+            let mut h = core.handle();
+            let t = h.allgather_time(4096, scheme(Mapper::Hrstc));
+            (core, t)
+        };
+        let snap = EngineSnapshot::capture(1, &[("gpc".into(), before.0.clone())]).unwrap();
+        let bytes = snap.encode().unwrap();
+        let restored = EngineSnapshot::decode(&bytes).unwrap().clusters[0]
+            .1
+            .restore()
+            .unwrap();
+        let restored = Arc::new(restored);
+        let mut h = restored.handle();
+        let t = h.allgather_time(4096, scheme(Mapper::Hrstc));
+        assert_eq!(
+            t.to_bits(),
+            before.1.to_bits(),
+            "restored price must be bit-identical"
+        );
+        // And it came from the cache, not a recompute.
+        let stats = restored.cache_stats();
+        assert_eq!(
+            stats.misses(),
+            0,
+            "warm restore must not recompute: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_migrate_forward() {
+        let core = warm_core();
+        let snap = EngineSnapshot::capture(3, &[("gpc".into(), core)]).unwrap();
+        let v1 = snap.encode_with_version(1).unwrap();
+        let decoded = EngineSnapshot::decode(&v1).unwrap();
+        assert_eq!(decoded.last_event_id, 3);
+        assert!(decoded.meta.is_empty());
+        assert_eq!(decoded.clusters.len(), 1);
+        decoded.clusters[0].1.restore().unwrap();
+        // Re-encoding a migrated snapshot writes the current version.
+        let v2 = decoded.encode().unwrap();
+        assert_eq!(&v2[8..12], &SNAP_VERSION.to_le_bytes());
+    }
+
+    #[test]
+    fn meta_cannot_be_downgraded_to_v1() {
+        let mut snap = EngineSnapshot {
+            last_event_id: 0,
+            meta: Vec::new(),
+            clusters: Vec::new(),
+        };
+        snap.meta.push(("k".into(), "v".into()));
+        assert!(matches!(
+            snap.encode_with_version(1),
+            Err(ReplayError::BadSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_refused() {
+        let snap = EngineSnapshot {
+            last_event_id: 0,
+            meta: Vec::new(),
+            clusters: Vec::new(),
+        };
+        let mut bytes = snap.encode().unwrap();
+        bytes[8..12].copy_from_slice(&(SNAP_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            EngineSnapshot::decode(&bytes),
+            Err(ReplayError::UnsupportedVersion(v)) if v == SNAP_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let core = warm_core();
+        let snap = EngineSnapshot::capture(1, &[("gpc".into(), core)]).unwrap();
+        let bytes = snap.encode().unwrap();
+        // Checksum catches a flipped body byte.
+        let mut bad = bytes.clone();
+        bad[40] ^= 0xFF;
+        assert!(matches!(
+            EngineSnapshot::decode(&bad),
+            Err(ReplayError::BadSnapshot { .. })
+        ));
+        // Truncations are typed, never panics.
+        for cut in 0..bytes.len().min(64) {
+            assert!(EngineSnapshot::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn atomic_write_and_load() {
+        let dir = std::env::temp_dir().join(format!("tarr-replay-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load(&dir).unwrap().is_none());
+        let snap = EngineSnapshot::capture(5, &[("gpc".into(), warm_core())]).unwrap();
+        let n = write_atomic(&dir, &snap).unwrap();
+        assert!(n > 0);
+        let loaded = load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.last_event_id, 5);
+        assert_eq!(loaded.encode().unwrap(), snap.encode().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

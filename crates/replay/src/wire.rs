@@ -1,0 +1,324 @@
+//! The hand-rolled binary wire layer every persisted byte goes through.
+//!
+//! Zero-dependency by design (the workspace's serde is a no-op facade):
+//! a tiny append-only encoder ([`Enc`]), a bounds-checked cursor decoder
+//! ([`Dec`]) whose every failure carries the byte offset it happened at,
+//! and the IEEE CRC-32 both the WAL framing and the snapshot trailer use.
+//!
+//! Conventions, fixed forever (versioning happens a layer up, in the
+//! record/snapshot headers — never by reinterpreting these primitives):
+//!
+//! * all integers little-endian, fixed width;
+//! * `f64` as the raw IEEE-754 bit pattern (`to_bits`/`from_bits`), so
+//!   round-trips are bit-exact — including NaN payloads — and never pass
+//!   through decimal text;
+//! * strings and vectors length-prefixed with a `u32` count;
+//! * decode never trusts a length prefix further than the bytes actually
+//!   present — `need()` runs before any allocation, so a corrupt prefix
+//!   cannot drive an OOM.
+
+use std::fmt;
+
+/// A decode failure: what was being read and the offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset into the buffer where the read began.
+    pub offset: usize,
+    /// What the decoder was trying to read.
+    pub what: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truncated or corrupt data: {} at byte {}",
+            self.what, self.offset
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append raw bytes with no length prefix (magic numbers, payloads
+    /// whose length is framed elsewhere).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a `u32`-count-prefixed vector of `u32`s.
+    pub fn vec_u32(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+}
+
+/// Bounds-checked cursor over a byte slice.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed the whole buffer.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fail unless the entire buffer was consumed — trailing garbage after
+    /// a structurally-valid decode is corruption, not padding.
+    pub fn finish(self, what: &'static str) -> Result<(), WireError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(WireError {
+                offset: self.pos,
+                what,
+            })
+        }
+    }
+
+    fn need(&self, n: usize, what: &'static str) -> Result<(), WireError> {
+        if self.remaining() < n {
+            Err(WireError {
+                offset: self.pos,
+                what,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read `n` raw bytes.
+    pub fn raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.need(n, what)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.raw(1, what)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.raw(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.raw(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.raw(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let at = self.pos;
+        let len = self.u32(what)? as usize;
+        let bytes = self.raw(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError { offset: at, what })
+    }
+
+    /// Read a `u32`-count-prefixed vector of `u32`s.
+    pub fn vec_u32(&mut self, what: &'static str) -> Result<Vec<u32>, WireError> {
+        let n = self.u32(what)? as usize;
+        // 4 bytes per element must still be present — checked before the
+        // allocation so a corrupt count cannot request gigabytes.
+        self.need(n.saturating_mul(4), what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32(what)?);
+        }
+        Ok(out)
+    }
+}
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the checksum of
+/// zip/png/ethernet, computed bytewise from a lazily-built table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // 256-entry table, built once. `OnceLock` keeps this dependency-free.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.f64(-0.0);
+        e.f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN with payload
+        e.str("héllo");
+        e.vec_u32(&[3, 1, 2]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u16("b").unwrap(), 0xBEEF);
+        assert_eq!(d.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("d").unwrap(), u64::MAX - 3);
+        assert_eq!(d.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.f64("f").unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(d.str("g").unwrap(), "héllo");
+        assert_eq!(d.vec_u32("h").unwrap(), vec![3, 1, 2]);
+        d.finish("trailing").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panic() {
+        let mut e = Enc::new();
+        e.str("hello");
+        let bytes = e.into_bytes();
+        // Every proper prefix fails with a WireError, never a panic.
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            let err = d.str("s").unwrap_err();
+            assert!(err.offset <= cut);
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_does_not_allocate() {
+        // A count claiming u32::MAX elements with 4 bytes of data behind it.
+        let mut e = Enc::new();
+        e.u32(u32::MAX);
+        e.u32(42);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(d.vec_u32("v").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut e = Enc::new();
+        e.u32(1);
+        e.u8(0xAB);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        d.u32("x").unwrap();
+        assert!(d.finish("tail").is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Snapshot forward-migration: the checked-in V1 fixture must keep
+//! loading, bit-identically, on every future build. V1 snapshots have no
+//! meta section; decode migrates them to the in-memory form with empty
+//! meta. If this test fails after a format change, the change broke the
+//! "old snapshots load forever" contract — fix the decoder, never the
+//! fixture.
+//!
+//! Regenerate (only when *adding* a fixture, never to paper over a
+//! decode break): `TARR_REGEN_FIXTURES=1 cargo test -p tarr-replay
+//! --test migration`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use tarr_replay::{probe_suite, BackendKind, EngineSnapshot, IngestSource, IngestSpec, LayoutKind};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/snapshot_v1.tsnap")
+}
+
+/// The fixture's source state, reproducible from first principles: a
+/// seeded 16-rank GPC core warmed by the standard probe suite (which
+/// deterministically fills the mapping/comm/sched/price caches).
+fn warm_fixture_core() -> Arc<tarr_core::SessionCore> {
+    let spec = IngestSpec {
+        source: IngestSource::GpcNodes(2),
+        layout: LayoutKind::BlockBunch,
+        p: None,
+        seed: Some(42),
+        backend: BackendKind::Implicit,
+        replace: false,
+    };
+    let core = Arc::new(tarr_replay::build_core(&spec).unwrap());
+    let _ = probe_suite(&core);
+    core
+}
+
+#[test]
+fn v1_fixture_loads_forever() {
+    let path = fixture_path();
+    let core = warm_fixture_core();
+    if std::env::var("TARR_REGEN_FIXTURES").is_ok() {
+        let snap = EngineSnapshot::capture(3, &[("gpc".to_string(), core.clone())]).unwrap();
+        let bytes = snap.encode_with_version(1).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()));
+    let snap = EngineSnapshot::decode(&bytes).expect("V1 snapshot must decode on every build");
+    assert_eq!(snap.last_event_id, 3);
+    assert!(snap.meta.is_empty(), "V1 migrates to empty meta");
+    assert_eq!(snap.clusters.len(), 1);
+    assert_eq!(snap.clusters[0].0, "gpc");
+    let restored = Arc::new(snap.clusters[0].1.restore().unwrap());
+    assert_eq!(
+        probe_suite(&restored),
+        probe_suite(&core),
+        "V1-restored state must answer probes bit-identically"
+    );
+}

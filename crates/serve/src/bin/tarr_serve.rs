@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH]
-//!            [--metrics ADDR] [--slow-ms N]
+//!            [--metrics ADDR] [--slow-ms N] [--state-dir DIR]
 //! ```
 //!
 //! Without `--tcp`, requests are read line-by-line from stdin and replies
@@ -18,6 +18,13 @@
 //! no recorder needed). `--slow-ms N` logs any request whose queue-wait +
 //! service time reaches N milliseconds to stderr with its request id, op,
 //! cluster and per-stage self-times; `--slow-ms 0` logs every request.
+//!
+//! `--state-dir DIR` turns persistence on: the daemon boots from
+//! `DIR/snapshot.tsnap` plus the `DIR/events.twal` write-ahead log
+//! (recovering a torn tail left by a crash), then fsyncs every `ingest` /
+//! `fault` to the WAL before acknowledging it. The `snapshot` and
+//! `compact` ops write warm snapshots; a SIGKILL'd daemon restarted with
+//! the same `--state-dir` resumes bit-identically.
 
 use std::io;
 use std::net::TcpListener;
@@ -32,6 +39,7 @@ struct Args {
     trace_out: Option<String>,
     metrics: Option<String>,
     slow_ms: Option<u64>,
+    state_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics: None,
         slow_ms: None,
+        state_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,10 +75,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--slow-ms: {e}"))?,
                 );
             }
+            "--state-dir" => args.state_dir = Some(value("--state-dir")?),
             "--help" | "-h" => {
                 println!(
                     "tarr-serve [--workers N] [--queue-cap N] [--tcp ADDR] [--trace-out PATH] \
-                     [--metrics ADDR] [--slow-ms N]"
+                     [--metrics ADDR] [--slow-ms N] [--state-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -92,7 +102,32 @@ fn main() -> ExitCode {
     }
     // Leaked so the metrics listener thread (which outlives the serve loop
     // scope) can borrow it for the process lifetime.
-    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    let engine: &'static Engine =
+        match &args.state_dir {
+            None => Box::leak(Box::new(Engine::new())),
+            Some(dir) => {
+                match Engine::with_state_dir(std::path::Path::new(dir)) {
+                    Ok((engine, boot)) => {
+                        eprintln!(
+                    "tarr-serve: state dir {dir}: snapshot {}({} bytes), {} events replayed, \
+                     {} skipped, {} torn bytes recovered, {} clusters warm, next event {}",
+                    if boot.snapshot_loaded { "loaded " } else { "absent " },
+                    boot.snapshot_bytes,
+                    boot.events_replayed,
+                    boot.events_skipped,
+                    boot.recovered_bytes,
+                    boot.clusters,
+                    boot.next_event_id
+                );
+                        Box::leak(Box::new(engine))
+                    }
+                    Err(e) => {
+                        eprintln!("tarr-serve: cannot boot from state dir {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
     if let Some(ms) = args.slow_ms {
         engine.set_slow_threshold(Some(Duration::from_millis(ms)));
     }
@@ -131,6 +166,13 @@ fn main() -> ExitCode {
             serve_lines(engine, stdin.lock(), io::stdout(), &args.opts)
         }
     };
+    // Teardown order (shutdown op and EOF alike): flush the WAL first so
+    // every acknowledged mutation is durable, then export the complete
+    // trace, then report. Replies were already flushed in sequence by the
+    // serve loop before it returned.
+    if let Err(e) = engine.flush() {
+        eprintln!("tarr-serve: wal flush failed: {e}");
+    }
     if let Some(path) = &args.trace_out {
         tarr_trace::sample_metrics();
         match tarr_trace::export_jsonl(path) {

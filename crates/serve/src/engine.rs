@@ -18,20 +18,33 @@
 //! daemon still reports them.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use tarr_core::{DistanceBackend, SessionConfig, SessionCore, SessionHandle};
-use tarr_faults::{FaultRates, FaultSet};
-use tarr_topo::Cluster;
+use tarr_core::{SessionCore, SessionHandle};
+use tarr_replay::{
+    build_core, fault_core, restore_dir, write_snapshot, BackendKind, EngineSnapshot, Event,
+    FaultSpec, IngestSource, IngestSpec, LayoutKind, ReplayError, WalTail, WalWriter, WAL_FILE,
+};
 use tarr_trace::json::{parse, Json};
 
 use crate::metrics::{op_index, ServeMetrics};
 use crate::protocol::{
-    err_reply, need_str, need_u64, num, ok_reply, opt_bool, opt_f64, opt_u64, parse_layout,
+    err_reply, err_reply_coded, need_str, need_u64, num, ok_reply, opt_bool, opt_f64, opt_u64,
     parse_mapper, parse_pattern, parse_scheme, to_string,
 };
+
+/// Unwrap a replay-layer error into the op's message: `Apply` carries the
+/// build/fault message verbatim, so protocol error texts are unchanged
+/// from the pre-persistence engine.
+fn unwrap_apply(e: ReplayError) -> String {
+    match e {
+        ReplayError::Apply(msg) => msg,
+        other => other.to_string(),
+    }
+}
 
 /// Monotonic request totals, also mirrored onto `serve.*` trace counters.
 #[derive(Debug, Default)]
@@ -59,6 +72,71 @@ impl EngineStats {
     }
 }
 
+/// An op failure: the message plus an optional machine-readable code
+/// (rendered as the reply's `code` field). Plain `String` errors convert
+/// into uncoded failures, so unchanged ops keep their `?` flow.
+struct OpError {
+    code: Option<&'static str>,
+    msg: String,
+}
+
+impl OpError {
+    fn coded(code: &'static str, msg: String) -> OpError {
+        OpError {
+            code: Some(code),
+            msg,
+        }
+    }
+}
+
+impl From<String> for OpError {
+    fn from(msg: String) -> OpError {
+        OpError { code: None, msg }
+    }
+}
+
+impl From<&str> for OpError {
+    fn from(msg: &str) -> OpError {
+        OpError {
+            code: None,
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// The WAL cursor: the open writer plus the id the next event gets.
+struct WalState {
+    writer: WalWriter,
+    next_event: u64,
+}
+
+/// Persistence state, present only when the engine was booted with a
+/// state directory.
+struct Persist {
+    dir: PathBuf,
+    /// Locked second, always after the clusters lock (never the reverse).
+    wal: Mutex<WalState>,
+}
+
+/// What [`Engine::with_state_dir`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootReport {
+    /// Whether `snapshot.tsnap` was present and loaded.
+    pub snapshot_loaded: bool,
+    /// Snapshot file size in bytes (0 if absent).
+    pub snapshot_bytes: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub events_replayed: u64,
+    /// WAL records skipped because the snapshot already covered them.
+    pub events_skipped: u64,
+    /// Torn-tail bytes truncated during recovery (0 = the WAL was clean).
+    pub recovered_bytes: u64,
+    /// Clusters serving after boot.
+    pub clusters: usize,
+    /// The id the next logged event will get.
+    pub next_event_id: u64,
+}
+
 /// The shared daemon state. See the module docs.
 #[derive(Default)]
 pub struct Engine {
@@ -68,12 +146,93 @@ pub struct Engine {
     next_req: AtomicU64,
     /// Slow-request log threshold in ns over queue-wait + service; 0 = off.
     slow_ns: AtomicU64,
+    /// WAL + snapshot state; `None` = the in-memory-only engine.
+    persist: Option<Persist>,
 }
 
 impl Engine {
     /// An engine with no clusters ingested.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// An engine booted from a state directory: load the latest snapshot,
+    /// recover the WAL (truncating a torn tail — the unacknowledged
+    /// record a crash left behind), replay the log tail, and keep the WAL
+    /// open for appends. The directory is created if missing.
+    pub fn with_state_dir(dir: &Path) -> Result<(Engine, BootReport), String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create state dir {}: {e}", dir.display()))?;
+        let restore = restore_dir(dir, true).map_err(|e| e.to_string())?;
+        let recovered_bytes = match restore.tail {
+            WalTail::Clean => 0,
+            WalTail::Torn { dropped, .. } => dropped,
+        };
+        let writer = WalWriter::open_at(&dir.join(WAL_FILE), restore.wal_bytes)
+            .map_err(|e| e.to_string())?;
+        let report = BootReport {
+            snapshot_loaded: restore.snapshot_loaded,
+            snapshot_bytes: restore.snapshot_bytes,
+            events_replayed: restore.events_replayed,
+            events_skipped: restore.events_skipped,
+            recovered_bytes,
+            clusters: restore.state.clusters.len(),
+            next_event_id: restore.state.last_event_id + 1,
+        };
+        let mut engine = Engine {
+            clusters: RwLock::new(restore.state.clusters.into_iter().collect()),
+            ..Engine::default()
+        };
+        engine.metrics.set_wal_bytes(writer.bytes());
+        engine.metrics.set_snapshot_bytes(restore.snapshot_bytes);
+        engine.persist = Some(Persist {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(WalState {
+                writer,
+                next_event: report.next_event_id,
+            }),
+        });
+        Ok((engine, report))
+    }
+
+    /// The state directory this engine persists to, if any.
+    pub fn state_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.dir.as_path())
+    }
+
+    /// Flush the WAL to disk. Every append already fsyncs before its reply
+    /// is acknowledged; this is the explicit teardown barrier.
+    pub fn flush(&self) -> Result<(), String> {
+        if let Some(p) = &self.persist {
+            p.wal
+                .lock()
+                .expect("wal poisoned")
+                .writer
+                .sync()
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Append one mutation to the WAL and fsync it. Callers hold the
+    /// clusters **write** lock (lock order: clusters → wal), so log order
+    /// always matches apply order; logging *before* the map insert means a
+    /// crash between the two replays the event at boot — never loses it.
+    fn log_event(&self, req_id: u64, event: &Event) -> Result<(), OpError> {
+        let Some(p) = &self.persist else {
+            return Ok(());
+        };
+        let mut wal = p.wal.lock().expect("wal poisoned");
+        let id = wal.next_event;
+        let started = Instant::now();
+        let bytes = wal
+            .writer
+            .append(id, req_id, &event.encode())
+            .map_err(|e| OpError::coded("persist_io", format!("wal append failed: {e}")))?;
+        self.metrics.record_fsync(started.elapsed());
+        wal.next_event = id + 1;
+        self.metrics.set_wal_bytes(bytes);
+        Ok(())
     }
 
     /// Request totals.
@@ -156,9 +315,12 @@ impl Engine {
                     }
                 }
                 let _sp = sp;
-                match self.dispatch(req) {
+                match self.dispatch(req_id, req) {
                     Ok(reply) => reply,
-                    Err(msg) => err_reply(Some(req), &msg),
+                    Err(e) => match e.code {
+                        Some(code) => err_reply_coded(Some(req), code, &e.msg),
+                        None => err_reply(Some(req), &e.msg),
+                    },
                 }
             }
         };
@@ -192,20 +354,24 @@ impl Engine {
         to_string(&reply)
     }
 
-    fn dispatch(&self, req: &Json) -> Result<Json, String> {
+    fn dispatch(&self, req_id: u64, req: &Json) -> Result<Json, OpError> {
         let op = need_str(req, "op")?;
         match op {
-            "ingest" => self.op_ingest(req),
-            "map" => self.op_map(req),
-            "reorder" => self.op_reorder(req),
-            "price" => self.op_price(req),
-            "fault" => self.op_fault(req),
+            "ingest" => self.op_ingest(req_id, req),
+            "map" => self.op_map(req).map_err(OpError::from),
+            "reorder" => self.op_reorder(req).map_err(OpError::from),
+            "price" => self.op_price(req).map_err(OpError::from),
+            "fault" => self.op_fault(req_id, req),
+            "snapshot" => self.op_snapshot(req),
+            "compact" => self.op_compact(req),
             "stats" => Ok(self.op_stats(req)),
             "metrics" => Ok(self.op_metrics(req)),
             "shutdown" => Ok(ok_reply(req, "shutdown", Vec::new())),
             other => Err(format!(
-                "unknown op \"{other}\" (ingest|map|reorder|price|fault|stats|metrics|shutdown)"
-            )),
+                "unknown op \"{other}\" \
+                 (ingest|map|reorder|price|fault|snapshot|compact|stats|metrics|shutdown)"
+            )
+            .into()),
         }
     }
 
@@ -229,39 +395,62 @@ impl Engine {
         }
     }
 
-    fn op_ingest(&self, req: &Json) -> Result<Json, String> {
+    /// The typed rejection for an un-authorised overwrite.
+    fn cluster_exists(name: &str) -> OpError {
+        OpError::coded(
+            "cluster_exists",
+            format!("cluster \"{name}\" already ingested (set \"replace\": true to overwrite)"),
+        )
+    }
+
+    fn op_ingest(&self, req_id: u64, req: &Json) -> Result<Json, OpError> {
         let name = need_str(req, "cluster")?;
         let layout = match req.get("layout").and_then(Json::as_str) {
-            None => tarr_mapping::InitialMapping::BLOCK_BUNCH,
-            Some(l) => parse_layout(l)?,
+            None => LayoutKind::BlockBunch,
+            Some(l) => LayoutKind::parse(l).ok_or_else(|| {
+                format!(
+                    "unknown layout \"{l}\" \
+                     (block_bunch|block_scatter|cyclic_bunch|cyclic_scatter)"
+                )
+            })?,
         };
         let backend = match req.get("backend").and_then(Json::as_str) {
-            None | Some("implicit") => DistanceBackend::Implicit,
-            Some("dense") => DistanceBackend::Dense,
-            Some(other) => return Err(format!("unknown backend \"{other}\" (dense|implicit)")),
+            None | Some("implicit") => BackendKind::Implicit,
+            Some("dense") => BackendKind::Dense,
+            Some(other) => {
+                return Err(format!("unknown backend \"{other}\" (dense|implicit)").into())
+            }
         };
-        let p = opt_u64(req, "p")?.map(|v| v as usize);
-        let mut cfg = SessionConfig {
-            backend,
-            ..SessionConfig::default()
-        };
-        if let Some(seed) = opt_u64(req, "seed")? {
-            cfg.seed = seed;
+        let replace = opt_bool(req, "replace")?.unwrap_or(false);
+        // Cheap early rejection before any build work; rechecked under the
+        // write lock so racing ingests cannot both pass.
+        if !replace && self.core(name).is_some() {
+            return Err(Self::cluster_exists(name));
         }
-        let _sp = tarr_trace::span("serve.ingest").arg("cluster", name.to_string());
-        let core = if let Some(text) = req.get("snapshot").and_then(Json::as_str) {
-            SessionCore::from_snapshot_text(text, layout, p, cfg).map_err(|e| e.to_string())?
+        // The WAL records the ingest *semantics* by value: a
+        // `snapshot_path` is resolved to its text now, so replay never
+        // depends on a file that may have changed or vanished.
+        let source = if let Some(text) = req.get("snapshot").and_then(Json::as_str) {
+            IngestSource::SnapshotText(text.to_string())
         } else if let Some(path) = req.get("snapshot_path").and_then(Json::as_str) {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
-            SessionCore::from_snapshot_text(&text, layout, p, cfg).map_err(|e| e.to_string())?
+            IngestSource::SnapshotText(text)
         } else if let Some(nodes) = opt_u64(req, "gpc_nodes")? {
-            let cluster = Cluster::gpc(nodes as usize);
-            let p = p.unwrap_or_else(|| cluster.total_cores());
-            SessionCore::from_layout(cluster, layout, p, cfg)
+            IngestSource::GpcNodes(nodes)
         } else {
             return Err("ingest needs \"snapshot\", \"snapshot_path\" or \"gpc_nodes\"".into());
         };
+        let spec = IngestSpec {
+            source,
+            layout,
+            p: opt_u64(req, "p")?,
+            seed: opt_u64(req, "seed")?,
+            backend,
+            replace,
+        };
+        let _sp = tarr_trace::span("serve.ingest").arg("cluster", name.to_string());
+        let core = build_core(&spec).map_err(unwrap_apply)?;
         let fields = vec![
             ("cluster".to_string(), Json::Str(name.to_string())),
             ("ranks".to_string(), num(core.size() as u64)),
@@ -271,10 +460,18 @@ impl Engine {
                 num(core.cluster().total_cores() as u64),
             ),
         ];
-        self.clusters
-            .write()
-            .expect("cluster map poisoned")
-            .insert(name.to_string(), Arc::new(core));
+        let event = Event::Ingest {
+            cluster: name.to_string(),
+            spec,
+        };
+        {
+            let mut map = self.clusters.write().expect("cluster map poisoned");
+            if !replace && map.contains_key(name) {
+                return Err(Self::cluster_exists(name));
+            }
+            self.log_event(req_id, &event)?;
+            map.insert(name.to_string(), Arc::new(core));
+        }
         Ok(ok_reply(req, "ingest", fields))
     }
 
@@ -337,29 +534,35 @@ impl Engine {
         ))
     }
 
-    fn op_fault(&self, req: &Json) -> Result<Json, String> {
+    fn op_fault(&self, req_id: u64, req: &Json) -> Result<Json, OpError> {
         let name = need_str(req, "cluster")?;
-        let seed = need_u64(req, "seed")?;
-        let rates = FaultRates {
+        let fault = FaultSpec {
+            seed: need_u64(req, "seed")?,
             link_fail: opt_f64(req, "link_fail")?.unwrap_or(0.0),
             switch_fail: opt_f64(req, "switch_fail")?.unwrap_or(0.0),
             node_drain: opt_f64(req, "node_drain")?.unwrap_or(0.0),
             core_drain: opt_f64(req, "core_drain")?.unwrap_or(0.0),
         };
         let _sp = tarr_trace::span("serve.fault").arg("cluster", name.to_string());
+        let event = Event::Fault {
+            cluster: name.to_string(),
+            fault: fault.clone(),
+        };
         // The degraded core is minted off to the side from a snapshot Arc;
         // in-flight requests keep their pre-fault Arc. The swap only lands
         // if that snapshot is still the serving core — if a concurrent
         // fault/ingest replaced it meanwhile, retry against the new core so
         // neither request's acknowledged degradation is silently dropped.
+        // The WAL append happens inside the winning iteration, under the
+        // write lock, so log order matches swap order exactly.
         let report = loop {
             let core = self
                 .core(name)
                 .ok_or_else(|| format!("unknown cluster \"{name}\" (ingest it first)"))?;
-            let set = FaultSet::random(core.cluster(), &rates, seed);
-            let (degraded, report) = core.apply_faults(&set, &[]).map_err(|e| e.to_string())?;
+            let (degraded, report) = fault_core(&core, &fault).map_err(unwrap_apply)?;
             let mut map = self.clusters.write().expect("cluster map poisoned");
             if map.get(name).is_some_and(|cur| Arc::ptr_eq(cur, &core)) {
+                self.log_event(req_id, &event)?;
                 map.insert(name.to_string(), Arc::new(degraded));
                 break report;
             }
@@ -401,6 +604,89 @@ impl Engine {
                     num(report.scheds_dropped as u64),
                 ),
                 ("scheds_kept".to_string(), num(report.scheds_kept as u64)),
+            ],
+        ))
+    }
+
+    /// Capture the engine under the clusters read lock: the sorted cores
+    /// plus the WAL position they are consistent with. Mutating ops hold
+    /// the clusters **write** lock across their WAL append, so holding the
+    /// read lock while reading the cursor guarantees the pair is coherent.
+    fn snapshot_cut(&self, p: &Persist) -> (u64, Vec<(String, Arc<SessionCore>)>) {
+        let map = self.clusters.read().expect("cluster map poisoned");
+        let last_event_id = p.wal.lock().expect("wal poisoned").next_event - 1;
+        let mut cores: Vec<_> = map.iter().map(|(k, c)| (k.clone(), c.clone())).collect();
+        cores.sort_by(|a, b| a.0.cmp(&b.0));
+        (last_event_id, cores)
+    }
+
+    fn no_state_dir() -> OpError {
+        OpError::coded(
+            "no_state_dir",
+            "persistence is off (start tarr-serve with --state-dir)".to_string(),
+        )
+    }
+
+    fn persist_error(e: ReplayError) -> OpError {
+        match e {
+            ReplayError::BadSnapshot { what } => {
+                OpError::coded("persist_unsupported", format!("cannot snapshot: {what}"))
+            }
+            other => OpError::coded("persist_io", other.to_string()),
+        }
+    }
+
+    /// Write a snapshot of the current state to the state directory. The
+    /// encode and the atomic file write run off-lock: the cloned Arcs are
+    /// immutable, and a concurrent mutation only advances the WAL past the
+    /// recorded `last_event_id` — boot replays the difference.
+    fn op_snapshot(&self, req: &Json) -> Result<Json, OpError> {
+        let p = self.persist.as_ref().ok_or_else(Self::no_state_dir)?;
+        let _sp = tarr_trace::span("serve.snapshot");
+        let (last_event_id, cores) = self.snapshot_cut(p);
+        let snap = EngineSnapshot::capture(last_event_id, &cores).map_err(Self::persist_error)?;
+        let bytes = write_snapshot(&p.dir, &snap).map_err(Self::persist_error)?;
+        self.metrics.set_snapshot_bytes(bytes);
+        Ok(ok_reply(
+            req,
+            "snapshot",
+            vec![
+                ("clusters".to_string(), num(cores.len() as u64)),
+                ("last_event_id".to_string(), num(last_event_id)),
+                ("bytes".to_string(), num(bytes)),
+            ],
+        ))
+    }
+
+    /// Snapshot, then truncate the WAL back to its header. Unlike
+    /// `snapshot`, the whole exchange holds the clusters read lock and the
+    /// WAL cursor: a mutation sneaking between the snapshot and the
+    /// truncation would be erased from both, so the pair must be atomic.
+    /// (The serve loop additionally quiesces `compact` like any mutating
+    /// op, making the hold uncontended in the daemon.)
+    fn op_compact(&self, req: &Json) -> Result<Json, OpError> {
+        let p = self.persist.as_ref().ok_or_else(Self::no_state_dir)?;
+        let _sp = tarr_trace::span("serve.compact");
+        let map = self.clusters.read().expect("cluster map poisoned");
+        let mut wal = p.wal.lock().expect("wal poisoned");
+        let last_event_id = wal.next_event - 1;
+        let mut cores: Vec<_> = map.iter().map(|(k, c)| (k.clone(), c.clone())).collect();
+        cores.sort_by(|a, b| a.0.cmp(&b.0));
+        let snap = EngineSnapshot::capture(last_event_id, &cores).map_err(Self::persist_error)?;
+        let bytes = write_snapshot(&p.dir, &snap).map_err(Self::persist_error)?;
+        let wal_bytes = wal.writer.reset().map_err(Self::persist_error)?;
+        drop(wal);
+        drop(map);
+        self.metrics.set_snapshot_bytes(bytes);
+        self.metrics.set_wal_bytes(wal_bytes);
+        Ok(ok_reply(
+            req,
+            "compact",
+            vec![
+                ("clusters".to_string(), num(cores.len() as u64)),
+                ("last_event_id".to_string(), num(last_event_id)),
+                ("snapshot_bytes".to_string(), num(bytes)),
+                ("wal_bytes".to_string(), num(wal_bytes)),
             ],
         ))
     }

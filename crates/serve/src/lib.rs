@@ -34,6 +34,6 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{Engine, EngineStats};
+pub use engine::{BootReport, Engine, EngineStats};
 pub use metrics::{check_prometheus, PromReport, ServeMetrics};
 pub use server::{serve_lines, serve_metrics, serve_tcp, ServeOpts};

@@ -29,10 +29,11 @@ use tarr_trace::{bucket_bounds, HistSnapshot, Histogram};
 /// The protocol ops metrics are broken down by, alphabetical so the
 /// exposition is sorted by construction. Unknown/unparseable requests land
 /// in `other`.
-pub const OPS: [&str; 9] = [
-    "fault", "ingest", "map", "metrics", "other", "price", "reorder", "shutdown", "stats",
+pub const OPS: [&str; 11] = [
+    "compact", "fault", "ingest", "map", "metrics", "other", "price", "reorder", "shutdown",
+    "snapshot", "stats",
 ];
-const OTHER: usize = 4;
+const OTHER: usize = 5;
 
 /// The index of `op` in [`OPS`] (`other` when unknown).
 pub fn op_index(op: &str) -> usize {
@@ -72,6 +73,12 @@ pub struct ServeMetrics {
     workers_busy: AtomicU64,
     workers: AtomicU64,
     queue_depth: AtomicU64,
+    /// WAL append fdatasync latency, ns (persistence enabled only).
+    fsync: Histogram,
+    /// Current WAL file size in bytes (0 without persistence).
+    wal_bytes: AtomicU64,
+    /// Size of the last written/loaded snapshot in bytes (0 = none).
+    snapshot_bytes: AtomicU64,
 }
 
 impl Default for ServeMetrics {
@@ -82,6 +89,9 @@ impl Default for ServeMetrics {
             workers_busy: AtomicU64::new(0),
             workers: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            fsync: Histogram::new(),
+            wal_bytes: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
         }
     }
 }
@@ -148,6 +158,26 @@ impl ServeMetrics {
     pub(crate) fn set_queue_depth(&self, n: u64) {
         self.queue_depth.store(n, Relaxed);
         tarr_trace::gauge("serve.queue.depth").set(n as f64);
+    }
+
+    /// Record one WAL-append fdatasync latency.
+    pub(crate) fn record_fsync(&self, d: Duration) {
+        self.fsync.record_always(d.as_nanos() as u64);
+    }
+
+    /// Record the WAL file size after an append/compact.
+    pub(crate) fn set_wal_bytes(&self, bytes: u64) {
+        self.wal_bytes.store(bytes, Relaxed);
+    }
+
+    /// Record the size of the last snapshot written (or loaded at boot).
+    pub(crate) fn set_snapshot_bytes(&self, bytes: u64) {
+        self.snapshot_bytes.store(bytes, Relaxed);
+    }
+
+    /// Snapshot of the WAL fsync-latency histogram (ns).
+    pub fn fsync_snapshot(&self) -> HistSnapshot {
+        self.fsync.snapshot()
     }
 
     /// Requests dispatched for `op` so far.
@@ -218,6 +248,12 @@ impl ServeMetrics {
                 self.ops[i].errors.load(Relaxed)
             ));
         }
+        render_histogram_single(
+            &mut out,
+            "tarr_serve_fsync_seconds",
+            "WAL append fdatasync latency (persistence enabled only).",
+            self.fsync.snapshot(),
+        );
         out.push_str(
             "# HELP tarr_serve_queue_depth Requests waiting in the admission queue.\n\
              # TYPE tarr_serve_queue_depth gauge\n",
@@ -248,6 +284,22 @@ impl ServeMetrics {
             "Dispatch-to-reply service time by op.",
             |i| self.ops[i].service.snapshot(),
         );
+        out.push_str(
+            "# HELP tarr_serve_snapshot_bytes Size of the last snapshot written or loaded.\n\
+             # TYPE tarr_serve_snapshot_bytes gauge\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_snapshot_bytes {}\n",
+            self.snapshot_bytes.load(Relaxed)
+        ));
+        out.push_str(
+            "# HELP tarr_serve_wal_bytes Current write-ahead-log file size.\n\
+             # TYPE tarr_serve_wal_bytes gauge\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_wal_bytes {}\n",
+            self.wal_bytes.load(Relaxed)
+        ));
         out.push_str(
             "# HELP tarr_serve_workers Configured worker-pool size.\n\
              # TYPE tarr_serve_workers gauge\n",
@@ -312,6 +364,30 @@ fn render_histogram_family(
             fmt_f64(h.sum as f64 / 1e9)
         ));
     }
+}
+
+/// Render a one-series (unlabelled) histogram family, same bucket scheme
+/// as [`render_histogram_family`].
+fn render_histogram_single(out: &mut String, family: &str, help: &str, h: HistSnapshot) {
+    out.push_str(&format!(
+        "# HELP {family} {help}\n# TYPE {family} histogram\n"
+    ));
+    let mut cum = 0u64;
+    let mut iter = h.buckets.iter().peekable();
+    let top = h.buckets.last().map_or(0, |&(k, _)| k);
+    for k in 0..=top {
+        if let Some(&&(bk, c)) = iter.peek() {
+            if bk == k {
+                cum += c;
+                iter.next();
+            }
+        }
+        let le = fmt_f64(bucket_bounds(k).1 as f64 / 1e9);
+        out.push_str(&format!("{family}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{family}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{family}_count {}\n", h.count));
+    out.push_str(&format!("{family}_sum {}\n", fmt_f64(h.sum as f64 / 1e9)));
 }
 
 /// What [`check_prometheus`] saw in a valid exposition.
@@ -567,6 +643,20 @@ mod tests {
             p50 >= 1_000_000 && p50 <= p95 && p95 <= p99,
             "{p50} {p95} {p99}"
         );
+    }
+
+    #[test]
+    fn persistence_metrics_render() {
+        let m = ServeMetrics::default();
+        m.record_fsync(Duration::from_micros(120));
+        m.set_wal_bytes(4096);
+        m.set_snapshot_bytes(1 << 20);
+        let text = m.render_prometheus();
+        check_prometheus(&text).unwrap();
+        assert!(text.contains("tarr_serve_wal_bytes 4096"));
+        assert!(text.contains("tarr_serve_snapshot_bytes 1048576"));
+        assert!(text.contains("tarr_serve_fsync_seconds_count 1"));
+        assert_eq!(m.fsync_snapshot().count, 1);
     }
 
     #[test]

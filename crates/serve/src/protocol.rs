@@ -209,6 +209,20 @@ pub fn err_reply(req: Option<&Json>, msg: &str) -> Json {
     Json::Obj(obj)
 }
 
+/// Build an error reply with a machine-readable `code` after the message.
+/// Typed errors let scripted clients branch (e.g. `cluster_exists` →
+/// retry with `"replace": true`) without string-matching the message.
+pub fn err_reply_coded(req: Option<&Json>, code: &str, msg: &str) -> Json {
+    let mut obj = Vec::with_capacity(4);
+    if let Some(id) = req.and_then(|r| r.get("id")) {
+        obj.push(("id".to_string(), id.clone()));
+    }
+    obj.push(("ok".to_string(), Json::Bool(false)));
+    obj.push(("error".to_string(), Json::Str(msg.to_string())));
+    obj.push(("code".to_string(), Json::Str(code.to_string())));
+    Json::Obj(obj)
+}
+
 /// A `u64` as a JSON number (everything the protocol counts is far below
 /// 2^53).
 pub fn num(v: u64) -> Json {

@@ -215,10 +215,11 @@ fn line_op(line: &str) -> Option<String> {
         .map(str::to_string)
 }
 
-/// Ops that mutate engine state and must not run concurrently with any
+/// Ops that mutate engine state — or cut a consistent point-in-time view
+/// of it (`snapshot`, `compact`) — and must not run concurrently with any
 /// other request on the stream.
 fn is_mutating(op: Option<&str>) -> bool {
-    matches!(op, Some("ingest" | "fault"))
+    matches!(op, Some("ingest" | "fault" | "snapshot" | "compact"))
 }
 
 /// Serve one line-oriented stream: read requests from `input` until EOF or

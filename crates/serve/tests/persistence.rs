@@ -1,0 +1,306 @@
+//! End-to-end tests of the persistence layer: WAL-backed restart,
+//! `replace`-gated ingest, `snapshot`/`compact` ops, torn-tail recovery,
+//! and the teardown flush contract (trace + WAL complete after a
+//! `shutdown` op).
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use tarr_serve::Engine;
+use tarr_trace::json::{parse, Json};
+
+/// A fresh scratch directory per test.
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tarr-serve-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn reply(engine: &Engine, line: &str) -> Json {
+    parse(&engine.handle_line(line)).expect("reply parses")
+}
+
+fn assert_ok(r: &Json) {
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+}
+
+const INGEST: &str = r#"{"id":1,"op":"ingest","cluster":"c1","gpc_nodes":2}"#;
+
+#[test]
+fn ingest_overwrite_needs_replace() {
+    let engine = Engine::new();
+    assert_ok(&reply(&engine, INGEST));
+    // Same name again: typed rejection, state untouched.
+    let before = engine.core("c1").unwrap();
+    let r = reply(&engine, INGEST);
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r:?}");
+    assert_eq!(
+        r.get("code").and_then(Json::as_str),
+        Some("cluster_exists"),
+        "{r:?}"
+    );
+    let msg = r.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("\"replace\": true"), "{msg}");
+    assert!(
+        std::sync::Arc::ptr_eq(&before, &engine.core("c1").unwrap()),
+        "rejected overwrite must not touch the serving core"
+    );
+    // With the flag: a fresh (here larger) core replaces the binding.
+    let r = reply(
+        &engine,
+        r#"{"id":3,"op":"ingest","cluster":"c1","gpc_nodes":4,"replace":true}"#,
+    );
+    assert_ok(&r);
+    assert_eq!(engine.core("c1").unwrap().size(), 32);
+}
+
+#[test]
+fn snapshot_without_state_dir_is_typed() {
+    let engine = Engine::new();
+    assert_ok(&reply(&engine, INGEST));
+    for op in ["snapshot", "compact"] {
+        let r = reply(&engine, &format!(r#"{{"op":"{op}"}}"#));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r:?}");
+        assert_eq!(
+            r.get("code").and_then(Json::as_str),
+            Some("no_state_dir"),
+            "{r:?}"
+        );
+    }
+}
+
+/// The cache-transparent probes both sides of a restart differential run.
+fn probes(engine: &Engine) -> Vec<String> {
+    [
+        r#"{"op":"map","cluster":"c1","mapper":"hrstc","pattern":"ring"}"#,
+        r#"{"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536,"mapper":"hrstc"}"#,
+        r#"{"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536}"#,
+        r#"{"op":"price","cluster":"c1","collective":"gather","msg_bytes":4096,"mapper":"scotch","fix":"in_place"}"#,
+    ]
+    .iter()
+    .map(|l| engine.handle_line(l))
+    .collect()
+}
+
+#[test]
+fn restart_from_wal_is_bit_identical() {
+    let d = tmpdir("wal-restart");
+    let mutations = [
+        INGEST,
+        r#"{"id":2,"op":"fault","cluster":"c1","seed":7,"link_fail":0.05}"#,
+    ];
+    // Live engine: mutate, probe, drop without any explicit flush — every
+    // acknowledged mutation is already fsync'd.
+    let live = {
+        let (engine, boot) = Engine::with_state_dir(&d).unwrap();
+        assert_eq!(boot.clusters, 0);
+        for m in &mutations {
+            assert_ok(&reply(&engine, m));
+        }
+        probes(&engine)
+    };
+    // Restarted engine: boots from the WAL alone (no snapshot was taken).
+    let (engine, boot) = Engine::with_state_dir(&d).unwrap();
+    assert!(!boot.snapshot_loaded);
+    assert_eq!(boot.events_replayed, 2);
+    assert_eq!(boot.clusters, 1);
+    assert_eq!(boot.next_event_id, 3);
+    assert_eq!(probes(&engine), live, "probe divergence after restart");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn snapshot_then_compact_then_restart() {
+    let d = tmpdir("snap-compact");
+    let live = {
+        let (engine, _) = Engine::with_state_dir(&d).unwrap();
+        assert_ok(&reply(&engine, INGEST));
+        // Warm the caches so the snapshot carries real state.
+        let live = probes(&engine);
+        let r = reply(&engine, r#"{"op":"snapshot"}"#);
+        assert_ok(&r);
+        assert_eq!(r.get("clusters").and_then(Json::as_u64), Some(1));
+        assert_eq!(r.get("last_event_id").and_then(Json::as_u64), Some(1));
+        assert!(d.join(tarr_replay::SNAP_FILE).exists());
+        // A fault after the snapshot lands in the WAL tail...
+        assert_ok(&reply(
+            &engine,
+            r#"{"op":"fault","cluster":"c1","seed":9,"link_fail":0.05}"#,
+        ));
+        // ...and compact folds it in and truncates the log.
+        let r = reply(&engine, r#"{"op":"compact"}"#);
+        assert_ok(&r);
+        assert_eq!(r.get("last_event_id").and_then(Json::as_u64), Some(2));
+        let wal_bytes = r.get("wal_bytes").and_then(Json::as_u64).unwrap();
+        assert_eq!(wal_bytes, tarr_replay::WAL_MAGIC.len() as u64);
+        drop(live);
+        probes(&engine)
+    };
+    let (engine, boot) = Engine::with_state_dir(&d).unwrap();
+    assert!(boot.snapshot_loaded);
+    assert_eq!(boot.events_replayed, 0, "compact left nothing to replay");
+    assert_eq!(boot.next_event_id, 3);
+    assert_eq!(
+        probes(&engine),
+        live,
+        "probe divergence after compacted restart"
+    );
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn torn_wal_tail_is_recovered_on_boot() {
+    let d = tmpdir("torn");
+    {
+        let (engine, _) = Engine::with_state_dir(&d).unwrap();
+        assert_ok(&reply(&engine, INGEST));
+        assert_ok(&reply(
+            &engine,
+            r#"{"op":"fault","cluster":"c1","seed":3,"link_fail":0.05}"#,
+        ));
+    }
+    // Simulate a crash mid-append: chop bytes off the last record.
+    let wal = d.join(tarr_replay::WAL_FILE);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+    let (engine, boot) = Engine::with_state_dir(&d).unwrap();
+    assert!(boot.recovered_bytes > 0, "{boot:?}");
+    assert_eq!(
+        boot.events_replayed, 1,
+        "only the ingest survived: {boot:?}"
+    );
+    assert_eq!(boot.next_event_id, 2);
+    // The torn fault was never acknowledged; the cluster serves pre-fault.
+    assert_ok(&reply(
+        &engine,
+        r#"{"op":"map","cluster":"c1","mapper":"hrstc","pattern":"ring"}"#,
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Spawn the real daemon reading stdin, with a state dir.
+fn spawn_serve(dir: &std::path::Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_tarr-serve"))
+        .args(["--workers", "2", "--state-dir", dir.to_str().unwrap()])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn sigkill_and_restart_resumes_bit_identically() {
+    // The in-binary version of the CI replay job: serve a scripted session
+    // with --state-dir, SIGKILL the daemon mid-session (after the replies
+    // to every mutation were read, i.e. acknowledged), restart from disk,
+    // finish the session, and diff the concatenated replies against a
+    // never-killed run. Everything after the kill point is
+    // cache-transparent (map/price), so the reply streams must be
+    // byte-identical.
+    let part1 = [
+        INGEST,
+        r#"{"id":2,"op":"fault","cluster":"c1","seed":7,"link_fail":0.05}"#,
+        r#"{"id":3,"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536,"mapper":"hrstc"}"#,
+    ];
+    let part2 = [
+        r#"{"id":4,"op":"map","cluster":"c1","mapper":"hrstc","pattern":"ring"}"#,
+        r#"{"id":5,"op":"price","cluster":"c1","collective":"allgather","msg_bytes":65536,"mapper":"hrstc"}"#,
+        r#"{"id":6,"op":"price","cluster":"c1","collective":"gather","msg_bytes":4096}"#,
+        r#"{"id":7,"op":"shutdown"}"#,
+    ];
+
+    // Reference: the whole session against one uninterrupted daemon.
+    let d_ref = tmpdir("kill-ref");
+    let mut child = spawn_serve(&d_ref, &[]);
+    let mut stdin = child.stdin.take().unwrap();
+    for l in part1.iter().chain(&part2) {
+        writeln!(stdin, "{l}").unwrap();
+    }
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let reference = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(reference.lines().count(), part1.len() + part2.len());
+
+    // Killed run: part 1, read its replies, SIGKILL, restart, part 2.
+    let d = tmpdir("kill-run");
+    let mut child = spawn_serve(&d, &[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut killed = String::new();
+    for l in &part1 {
+        writeln!(stdin, "{l}").unwrap();
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        killed.push_str(&line);
+    }
+    child.kill().unwrap(); // SIGKILL: no teardown path runs
+    child.wait().unwrap();
+
+    let mut child = spawn_serve(&d, &[]);
+    let mut stdin = child.stdin.take().unwrap();
+    for l in &part2 {
+        writeln!(stdin, "{l}").unwrap();
+    }
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    killed.push_str(&String::from_utf8(out.stdout).unwrap());
+
+    assert_eq!(
+        killed, reference,
+        "kill+restart reply stream diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&d_ref);
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn shutdown_flushes_trace_and_wal() {
+    // The teardown contract: after a `shutdown` op the process exits with
+    // a complete, schema-valid trace file and a clean, fully-synced WAL.
+    let d = tmpdir("teardown");
+    let trace_path = d.join("trace.jsonl");
+    let mut child = spawn_serve(&d, &["--trace-out", trace_path.to_str().unwrap()]);
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, "{INGEST}").unwrap();
+    writeln!(
+        stdin,
+        r#"{{"id":2,"op":"fault","cluster":"c1","seed":7,"link_fail":0.05}}"#
+    )
+    .unwrap();
+    writeln!(stdin, r#"{{"id":3,"op":"shutdown"}}"#).unwrap();
+    // Deliberately no stdin close: the shutdown op alone must tear down.
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    drop(stdin);
+
+    // Trace file: present and schema-valid, with the serve spans recorded.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let exp = tarr_trace::Expectations {
+        spans: vec![
+            "serve.handle".into(),
+            "serve.ingest".into(),
+            "serve.fault".into(),
+        ],
+        counters: vec!["serve.request".into()],
+        req_id_spans: vec!["serve.handle".into()],
+        ..Default::default()
+    };
+    let report = tarr_trace::validate_jsonl(&trace, &exp).unwrap();
+    assert!(report.spans >= 3, "{report:?}");
+
+    // WAL: clean tail, both mutations present, decodable end to end.
+    let (records, tail) = tarr_replay::read_wal(&d.join(tarr_replay::WAL_FILE)).unwrap();
+    assert_eq!(tail, tarr_replay::WalTail::Clean);
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].event.op(), "ingest");
+    assert_eq!(records[1].event.op(), "fault");
+    let _ = std::fs::remove_dir_all(&d);
+}

@@ -204,15 +204,15 @@ fn golden_fixture_is_byte_identical_with_metrics_enabled() {
             },
         )
         .unwrap();
-        assert_eq!(served, 9);
+        assert_eq!(served, 12);
         assert_eq!(
             String::from_utf8(out).unwrap(),
             golden,
             "golden fixture diverged at {workers} worker(s)"
         );
-        assert_eq!(engine.metrics().total_requests(), 9);
+        assert_eq!(engine.metrics().total_requests(), 12);
         let report = check_prometheus(&engine.metrics().render_prometheus()).unwrap();
-        assert_eq!(report.requests_total, 9);
+        assert_eq!(report.requests_total, 12);
     }
     let _ = std::fs::remove_file(&snap_path);
 }
