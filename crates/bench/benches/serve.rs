@@ -100,6 +100,7 @@ fn measure_rps(engine: &Engine, script: &str, workers: usize, reps: usize) -> f6
         let opts = ServeOpts {
             workers,
             queue_cap: 1024,
+            ..Default::default()
         };
         let t = Instant::now();
         let served = serve_lines(engine, script.as_bytes(), io::sink(), &opts)
@@ -186,6 +187,7 @@ fn serve_trace_overhead(gpc_nodes: usize, passes: usize) -> (f64, f64, f64) {
     let opts = ServeOpts {
         workers: 1,
         queue_cap: 1024,
+        ..Default::default()
     };
     // Replays run as interleaved off/on pairs and the overhead is the best
     // *paired* ratio: adjacent replays see the same host state, so drift

@@ -1,0 +1,401 @@
+//! Deterministic failpoints for crash-consistency and overload testing.
+//!
+//! A *failpoint* is a named site in production code (`wal.append.fsync`,
+//! `snap.rename`, `conn.write`, ...) where a test run can inject an IO
+//! error, a short write, or a hard process crash. Sites are compiled into
+//! release binaries but cost a single relaxed atomic load while disarmed —
+//! the registry lock is only touched once at least one plan is armed.
+//!
+//! Injection plans are **seeded and deterministic**: a plan names a site,
+//! an action kind, and the 1-based hit count at which it fires (`@0` =
+//! every hit). Short-write lengths derive from a splitmix64 hash of
+//! `(seed, site, hit)`, so a failing CI sweep reproduces locally from the
+//! same `TARR_CHAOS` / `TARR_CHAOS_SEED` strings alone.
+//!
+//! Configuration grammar (env var `TARR_CHAOS`, comma-separated):
+//!
+//! ```text
+//! site=kind@n[,site=kind@n...]
+//! kind ∈ { enospc, err, short, crash }
+//! n    ∈ 0 (every hit) | 1.. (fire on exactly the n-th hit)
+//! ```
+//!
+//! `crash` aborts the process *at the site* (after an stderr marker line),
+//! simulating `kill -9` mid-operation; the other kinds surface as
+//! `std::io::Error` values the call site must propagate as typed errors.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What an armed failpoint injects when it fires.
+#[derive(Debug)]
+pub enum Action {
+    /// Fail with this IO error instead of performing the operation.
+    Error(io::Error),
+    /// Perform a short write: the raw u64 is seed-derived; call sites
+    /// reduce it modulo the frame length to pick a strict prefix.
+    Short(u64),
+}
+
+/// Parsed injection kind (the `kind` in `site=kind@n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `ErrorKind::StorageFull` ("no space left on device").
+    Enospc,
+    /// A generic injected IO error (`ErrorKind::Other`).
+    Err,
+    /// Short write: a strict prefix of the frame is written, then an error.
+    Short,
+    /// Abort the process in place (simulates `kill -9` at the site).
+    Crash,
+}
+
+impl Kind {
+    fn parse(s: &str) -> Result<Kind, String> {
+        match s {
+            "enospc" => Ok(Kind::Enospc),
+            "err" => Ok(Kind::Err),
+            "short" => Ok(Kind::Short),
+            "crash" => Ok(Kind::Crash),
+            other => Err(format!(
+                "unknown failpoint kind {other:?} (expected enospc|err|short|crash)"
+            )),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Enospc => "enospc",
+            Kind::Err => "err",
+            Kind::Short => "short",
+            Kind::Crash => "crash",
+        }
+    }
+}
+
+/// One armed plan: fire `kind` at `site` on the `at`-th hit (0 = every hit).
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Site name the plan matches (exact string equality).
+    pub site: String,
+    /// Action kind to inject.
+    pub kind: Kind,
+    /// 1-based hit count at which the plan fires; 0 fires on every hit.
+    pub at: u64,
+}
+
+#[derive(Debug)]
+struct SiteState {
+    plan: Plan,
+    hits: u64,
+    fired: u64,
+}
+
+/// Generation counter; non-zero while any plan is armed. The *only* cost a
+/// disarmed failpoint pays is one relaxed load of this atomic.
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    sites: Vec::new(),
+    seed: 0,
+});
+
+#[derive(Debug)]
+struct Registry {
+    sites: Vec<SiteState>,
+    seed: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a; stable across platforms so seeds reproduce everywhere.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// True when at least one plan is armed. A single relaxed atomic load;
+/// this is the fast path every production failpoint evaluates.
+#[inline(always)]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Arm a set of plans with a short-write seed, replacing any prior set.
+pub fn arm(plans: Vec<Plan>, seed: u64) {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.seed = seed;
+    reg.sites = plans
+        .into_iter()
+        .map(|plan| SiteState {
+            plan,
+            hits: 0,
+            fired: 0,
+        })
+        .collect();
+    let n = reg.sites.len() as u64;
+    ARMED.store(n, Ordering::Relaxed);
+}
+
+/// Parse a `site=kind@n[,...]` spec and arm it. Empty spec disarms.
+pub fn arm_str(spec: &str, seed: u64) -> Result<(), String> {
+    let mut plans = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (site, rest) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad failpoint spec {part:?} (expected site=kind@n)"))?;
+        let (kind, at) = match rest.split_once('@') {
+            Some((k, n)) => (
+                Kind::parse(k)?,
+                n.parse::<u64>()
+                    .map_err(|_| format!("bad hit count {n:?} in {part:?}"))?,
+            ),
+            None => (Kind::parse(rest)?, 0),
+        };
+        if site.is_empty() {
+            return Err(format!("empty site name in {part:?}"));
+        }
+        plans.push(Plan {
+            site: site.to_string(),
+            kind,
+            at,
+        });
+    }
+    arm(plans, seed);
+    Ok(())
+}
+
+/// Arm from `TARR_CHAOS` (+ optional `TARR_CHAOS_SEED`); returns whether
+/// anything was armed. Unset/empty env is a no-op `Ok(false)`.
+pub fn arm_from_env() -> Result<bool, String> {
+    let spec = match std::env::var("TARR_CHAOS") {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => return Ok(false),
+    };
+    let seed = match std::env::var("TARR_CHAOS_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("bad TARR_CHAOS_SEED {s:?} (expected u64)"))?,
+        Err(_) => 0,
+    };
+    arm_str(&spec, seed)?;
+    Ok(armed())
+}
+
+/// Disarm every plan and reset hit counters.
+pub fn disarm_all() {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.sites.clear();
+    ARMED.store(0, Ordering::Relaxed);
+}
+
+/// Evaluate the failpoint `site`: count the hit and return the injected
+/// [`Action`] if an armed plan fires. `Kind::Crash` never returns — it
+/// prints a marker line to stderr and aborts the process in place.
+///
+/// Disarmed cost is one relaxed atomic load.
+#[inline]
+pub fn hit(site: &str) -> Option<Action> {
+    if !armed() {
+        return None;
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &str) -> Option<Action> {
+    let mut reg = REGISTRY.lock().unwrap();
+    let seed = reg.seed;
+    let st = reg.sites.iter_mut().find(|s| s.plan.site == site)?;
+    st.hits += 1;
+    let fires = match st.plan.at {
+        0 => true,
+        n => st.hits == n,
+    };
+    if !fires {
+        return None;
+    }
+    st.fired += 1;
+    let kind = st.plan.kind;
+    let hits = st.hits;
+    drop(reg);
+    eprintln!("tarr-chaos: fired {} at {site} (hit {hits})", kind.name());
+    match kind {
+        Kind::Enospc => Some(Action::Error(io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!("tarr-chaos: injected ENOSPC at {site}"),
+        ))),
+        Kind::Err => Some(Action::Error(io::Error::other(format!(
+            "tarr-chaos: injected IO error at {site}"
+        )))),
+        Kind::Short => Some(Action::Short(splitmix64(
+            seed ^ site_hash(site) ^ hits.wrapping_mul(0x9E37_79B9),
+        ))),
+        Kind::Crash => {
+            // Flush the marker so harnesses can attribute the abort, then
+            // die without unwinding or atexit — a faithful kill -9 stand-in.
+            use std::io::Write as _;
+            let _ = io::stderr().flush();
+            std::process::abort();
+        }
+    }
+}
+
+/// Evaluate `site` as a plain fallible step: short writes are meaningless
+/// here, so both error kinds surface as `Err`. Crash still aborts.
+#[inline]
+pub fn fail_io(site: &str) -> io::Result<()> {
+    match hit(site) {
+        None => Ok(()),
+        Some(Action::Error(e)) => Err(e),
+        Some(Action::Short(_)) => Err(io::Error::other(format!(
+            "tarr-chaos: injected short IO at {site}"
+        ))),
+    }
+}
+
+/// Total times `site` has been evaluated while armed (fired or not).
+pub fn hits(site: &str) -> u64 {
+    let reg = REGISTRY.lock().unwrap();
+    reg.sites
+        .iter()
+        .find(|s| s.plan.site == site)
+        .map_or(0, |s| s.hits)
+}
+
+/// Times `site` actually injected its action.
+pub fn fired(site: &str) -> u64 {
+    let reg = REGISTRY.lock().unwrap();
+    reg.sites
+        .iter()
+        .find(|s| s.plan.site == site)
+        .map_or(0, |s| s.fired)
+}
+
+/// Coverage report: `(site, hits, fired)` for every armed plan.
+pub fn report() -> Vec<(String, u64, u64)> {
+    let reg = REGISTRY.lock().unwrap();
+    reg.sites
+        .iter()
+        .map(|s| (s.plan.site.clone(), s.hits, s.fired))
+        .collect()
+}
+
+/// Injection-site inventory threaded through the workspace; kept here so
+/// sweeps (CI, matrix tests) enumerate sites from one place.
+pub const SITES: &[&str] = &[
+    "wal.append.write",
+    "wal.append.fsync",
+    "snap.write",
+    "snap.fsync",
+    "snap.rename",
+    "conn.read",
+    "conn.write",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests share it, so each takes the
+    // lock-step of disarming around its own arm/assert block.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_hits_are_free_and_none() {
+        let _g = TEST_LOCK.lock().unwrap();
+        disarm_all();
+        assert!(!armed());
+        assert!(hit("wal.append.write").is_none());
+        assert!(fail_io("snap.rename").is_ok());
+    }
+
+    #[test]
+    fn one_shot_fires_exactly_once_at_nth_hit() {
+        let _g = TEST_LOCK.lock().unwrap();
+        arm_str("wal.append.fsync=enospc@2", 7).unwrap();
+        assert!(hit("wal.append.fsync").is_none()); // hit 1
+        match hit("wal.append.fsync") {
+            Some(Action::Error(e)) => {
+                assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+                assert!(e.to_string().contains("wal.append.fsync"));
+            }
+            other => panic!("expected ENOSPC at hit 2, got {other:?}"),
+        }
+        assert!(hit("wal.append.fsync").is_none()); // hit 3: one-shot done
+        assert_eq!(hits("wal.append.fsync"), 3);
+        assert_eq!(fired("wal.append.fsync"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn every_hit_plan_fires_repeatedly() {
+        let _g = TEST_LOCK.lock().unwrap();
+        arm_str("conn.write=err@0", 0).unwrap();
+        for _ in 0..3 {
+            assert!(matches!(hit("conn.write"), Some(Action::Error(_))));
+        }
+        assert_eq!(fired("conn.write"), 3);
+        disarm_all();
+    }
+
+    #[test]
+    fn short_lengths_are_seed_deterministic() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let draw = |seed| {
+            arm_str("wal.append.write=short@1", seed).unwrap();
+            let raw = match hit("wal.append.write") {
+                Some(Action::Short(raw)) => raw,
+                other => panic!("expected short, got {other:?}"),
+            };
+            disarm_all();
+            raw
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn unarmed_sites_pass_through_while_others_are_armed() {
+        let _g = TEST_LOCK.lock().unwrap();
+        arm_str("snap.rename=err@1", 0).unwrap();
+        assert!(hit("wal.append.write").is_none());
+        assert!(fail_io("snap.fsync").is_ok());
+        assert!(fail_io("snap.rename").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        assert!(arm_str("nosite", 0).is_err());
+        assert!(arm_str("a=b@1", 0).is_err());
+        assert!(arm_str("a=err@x", 0).is_err());
+        assert!(arm_str("=err@1", 0).is_err());
+        let _g = TEST_LOCK.lock().unwrap();
+        arm_str("", 0).unwrap(); // empty spec = disarm
+        assert!(!armed());
+    }
+
+    #[test]
+    fn multi_site_specs_arm_independently() {
+        let _g = TEST_LOCK.lock().unwrap();
+        arm_str("snap.write=err@1, wal.append.fsync=enospc@1", 1).unwrap();
+        assert!(fail_io("snap.write").is_err());
+        assert!(fail_io("wal.append.fsync").is_err());
+        let rep = report();
+        assert_eq!(rep.len(), 2);
+        assert!(rep.iter().all(|(_, hits, fired)| *hits == 1 && *fired == 1));
+        disarm_all();
+    }
+}

@@ -69,6 +69,10 @@ pub struct WalWriter {
     file: File,
     path: PathBuf,
     bytes: u64,
+    /// Set when a failed append could not be rolled back to the last
+    /// record boundary: further appends would risk mid-log corruption, so
+    /// they are refused until the process restarts through recovery.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -107,6 +111,7 @@ impl WalWriter {
             file,
             path: path.to_path_buf(),
             bytes,
+            poisoned: false,
         })
     }
 
@@ -148,12 +153,66 @@ impl WalWriter {
         sum.extend_from_slice(payload);
         frame.extend_from_slice(&crc32(&sum).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file
-            .write_all(&frame)
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| ReplayError::io(&self.path, e))?;
-        self.bytes += frame.len() as u64;
-        Ok(self.bytes)
+        if self.poisoned {
+            return Err(ReplayError::io(
+                &self.path,
+                std::io::Error::other(
+                    "WAL writer poisoned by an earlier failed append; restart to recover",
+                ),
+            ));
+        }
+        match self.write_frame(&frame) {
+            Ok(()) => {
+                self.bytes += frame.len() as u64;
+                Ok(self.bytes)
+            }
+            Err(e) => {
+                // The failed append may have left a partial frame behind
+                // (short write, or a write that errored midway). Roll the
+                // file back to the last acknowledged boundary so the log
+                // still reads clean and the *next* append cannot turn the
+                // partial frame into mid-log corruption. If even the
+                // rollback fails, poison the writer: callers keep getting
+                // typed errors and recovery happens at restart.
+                let healed = self
+                    .file
+                    .set_len(self.bytes)
+                    .and_then(|()| self.file.seek_end().map(|_| ()))
+                    .and_then(|()| self.file.sync_data());
+                if healed.is_err() {
+                    self.poisoned = true;
+                }
+                Err(ReplayError::io(&self.path, e))
+            }
+        }
+    }
+
+    /// The raw framed write + fdatasync, with chaos injection sites:
+    /// `wal.append.write` (error or seeded short write before any real IO
+    /// reaches the file) and `wal.append.fsync` (record fully written but
+    /// durability unknown — exactly the window a crash-consistency harness
+    /// needs to probe).
+    fn write_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        match tarr_chaos::hit("wal.append.write") {
+            Some(tarr_chaos::Action::Error(e)) => return Err(e),
+            Some(tarr_chaos::Action::Short(raw)) => {
+                // Land a strict prefix, as a real torn write would, then fail.
+                let n = (raw as usize) % frame.len().max(1);
+                self.file.write_all(&frame[..n])?;
+                return Err(std::io::Error::other(
+                    "tarr-chaos: injected short write at wal.append.write",
+                ));
+            }
+            None => {}
+        }
+        self.file.write_all(frame)?;
+        tarr_chaos::fail_io("wal.append.fsync")?;
+        self.file.sync_data()
+    }
+
+    /// True once a failed append could not be rolled back (see `append`).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Flush pending data to disk (appends already sync; this is for

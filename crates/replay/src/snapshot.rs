@@ -728,19 +728,54 @@ impl EngineSnapshot {
 /// crash at any point leaves either the old snapshot or the new one —
 /// never a torn mix.
 pub fn write_atomic(dir: &Path, snap: &EngineSnapshot) -> Result<u64, ReplayError> {
-    use std::io::Write;
     let bytes = snap.encode()?;
     let target = dir.join(SNAP_FILE);
     let tmp = dir.join(format!("{SNAP_FILE}.tmp"));
-    let mut f = std::fs::File::create(&tmp).map_err(|e| ReplayError::io(&tmp, e))?;
-    f.write_all(&bytes).map_err(|e| ReplayError::io(&tmp, e))?;
-    f.sync_all().map_err(|e| ReplayError::io(&tmp, e))?;
+    match write_atomic_inner(dir, &target, &tmp, &bytes) {
+        Ok(()) => Ok(bytes.len() as u64),
+        Err(e) => {
+            // Any failure leaves at worst a stale tmp file; remove it so a
+            // later snapshot (or boot) never sees leftovers. The target is
+            // untouched until the rename, so the old snapshot survives.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The fallible core of [`write_atomic`], with chaos injection sites
+/// (`snap.write`, `snap.fsync`, `snap.rename`) at each durability step.
+fn write_atomic_inner(
+    dir: &Path,
+    target: &Path,
+    tmp: &Path,
+    bytes: &[u8],
+) -> Result<(), ReplayError> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(tmp).map_err(|e| ReplayError::io(tmp, e))?;
+    match tarr_chaos::hit("snap.write") {
+        Some(tarr_chaos::Action::Error(e)) => return Err(ReplayError::io(tmp, e)),
+        Some(tarr_chaos::Action::Short(raw)) => {
+            // Land a strict prefix of the snapshot, as a torn write would.
+            let n = (raw as usize) % bytes.len().max(1);
+            let _ = f.write_all(&bytes[..n]);
+            return Err(ReplayError::io(
+                tmp,
+                std::io::Error::other("tarr-chaos: injected short write at snap.write"),
+            ));
+        }
+        None => {}
+    }
+    f.write_all(bytes).map_err(|e| ReplayError::io(tmp, e))?;
+    tarr_chaos::fail_io("snap.fsync").map_err(|e| ReplayError::io(tmp, e))?;
+    f.sync_all().map_err(|e| ReplayError::io(tmp, e))?;
     drop(f);
-    std::fs::rename(&tmp, &target).map_err(|e| ReplayError::io(&target, e))?;
+    tarr_chaos::fail_io("snap.rename").map_err(|e| ReplayError::io(target, e))?;
+    std::fs::rename(tmp, target).map_err(|e| ReplayError::io(target, e))?;
     if let Ok(d) = std::fs::File::open(dir) {
         let _ = d.sync_all();
     }
-    Ok(bytes.len() as u64)
+    Ok(())
 }
 
 /// Load `dir/snapshot.tsnap` if present.

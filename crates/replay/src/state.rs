@@ -127,6 +127,12 @@ pub struct Restore {
 /// is physically truncated (the serve boot path); without it the torn
 /// bytes are left untouched (the read-only inspection path).
 pub fn restore_dir(dir: &Path, recover: bool) -> Result<Restore, ReplayError> {
+    if recover {
+        // A crash between the snapshot tmp write and its rename leaves a
+        // stale `.tmp` behind; it was never the live snapshot, so boot
+        // discards it rather than letting it accumulate.
+        let _ = std::fs::remove_file(dir.join(format!("{}.tmp", snapshot::SNAP_FILE)));
+    }
     let snap = snapshot::load(dir)?;
     let snapshot_loaded = snap.is_some();
     let snapshot_bytes = if snapshot_loaded {

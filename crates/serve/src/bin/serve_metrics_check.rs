@@ -5,12 +5,14 @@
 //! ```
 //!
 //! Exits nonzero unless the file is a structurally valid Prometheus text
-//! exposition (see [`tarr_serve::check_prometheus`]) and — when
-//! `--expect-requests` is given — the per-op `tarr_serve_requests_total`
+//! exposition (see [`tarr_serve::check_prometheus`]) that carries every
+//! family in [`tarr_serve::REQUIRED_FAMILIES`] — so an exposition that
+//! silently drops a metric fails CI, not code review — and, when
+//! `--expect-requests` is given, the per-op `tarr_serve_requests_total`
 //! counters sum to exactly N (the pin that a scrape taken mid-session saw
 //! every dispatched request).
 
-use tarr_serve::check_prometheus;
+use tarr_serve::{check_prometheus, missing_families};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +55,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let missing = missing_families(&text);
+    if !missing.is_empty() {
+        eprintln!("{file}: FAILED — missing required families: {missing:?}");
+        std::process::exit(1);
+    }
     match check_prometheus(&text) {
         Ok(r) => {
             if let Some(want) = expect_requests {

@@ -148,6 +148,19 @@ pub struct Engine {
     slow_ns: AtomicU64,
     /// WAL + snapshot state; `None` = the in-memory-only engine.
     persist: Option<Persist>,
+    /// Token buckets by client identity (TCP peer IP, or "local" for
+    /// stdio), shared across every connection of that client.
+    quotas: Mutex<HashMap<String, Bucket>>,
+}
+
+/// One client's token bucket: fractional tokens plus the last refill time.
+#[derive(Debug, Default)]
+struct Bucket {
+    tokens: f64,
+    last: Option<Instant>,
+    /// Whether the bucket has admitted its first request (fresh buckets
+    /// start full at `burst`).
+    primed: bool,
 }
 
 impl Engine {
@@ -228,11 +241,46 @@ impl Engine {
         let bytes = wal
             .writer
             .append(id, req_id, &event.encode())
-            .map_err(|e| OpError::coded("persist_io", format!("wal append failed: {e}")))?;
+            .map_err(|e| {
+                // The daemon stays up serving read-only ops; the gauge flags
+                // the degradation until an append succeeds again.
+                self.metrics.set_wal_degraded(true);
+                OpError::coded("persist_io", format!("wal append failed: {e}"))
+            })?;
         self.metrics.record_fsync(started.elapsed());
+        self.metrics.set_wal_degraded(false);
         wal.next_event = id + 1;
         self.metrics.set_wal_bytes(bytes);
         Ok(())
+    }
+
+    /// Take one token from `client`'s bucket (capacity `burst`, refilling
+    /// at `per_sec` tokens/second; fresh buckets start full). On rejection
+    /// returns a `retry_after_ms` hint: the time until one token refills,
+    /// or 0 when `per_sec` is 0 (the bucket never refills — test mode).
+    pub fn quota_take(&self, client: &str, burst: u64, per_sec: f64) -> Result<(), u64> {
+        let mut quotas = self.quotas.lock().expect("quotas poisoned");
+        let b = quotas.entry(client.to_string()).or_default();
+        if !b.primed {
+            b.tokens = burst as f64;
+            b.primed = true;
+        }
+        let now = Instant::now();
+        if per_sec > 0.0 {
+            if let Some(last) = b.last {
+                b.tokens =
+                    (b.tokens + now.duration_since(last).as_secs_f64() * per_sec).min(burst as f64);
+            }
+        }
+        b.last = Some(now);
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else if per_sec > 0.0 {
+            Err(((1.0 - b.tokens) / per_sec * 1000.0).ceil() as u64)
+        } else {
+            Err(0)
+        }
     }
 
     /// Request totals.
@@ -315,12 +363,32 @@ impl Engine {
                     }
                 }
                 let _sp = sp;
-                match self.dispatch(req_id, req) {
-                    Ok(reply) => reply,
-                    Err(e) => match e.code {
+                // A panicking handler must cost its own request only: the
+                // worker thread, the reorder buffer and every other
+                // in-flight request survive, and the client gets a typed
+                // `internal_error` instead of a dropped connection.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.dispatch(req_id, req)
+                }));
+                match caught {
+                    Ok(Ok(reply)) => reply,
+                    Ok(Err(e)) => match e.code {
                         Some(code) => err_reply_coded(Some(req), code, &e.msg),
                         None => err_reply(Some(req), &e.msg),
                     },
+                    Err(payload) => {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        self.metrics.add_panic();
+                        err_reply_coded(
+                            Some(req),
+                            "internal_error",
+                            &format!("request handler panicked: {what}"),
+                        )
+                    }
                 }
             }
         };
@@ -366,10 +434,11 @@ impl Engine {
             "compact" => self.op_compact(req),
             "stats" => Ok(self.op_stats(req)),
             "metrics" => Ok(self.op_metrics(req)),
+            "debug" => self.op_debug(req),
             "shutdown" => Ok(ok_reply(req, "shutdown", Vec::new())),
             other => Err(format!(
                 "unknown op \"{other}\" \
-                 (ingest|map|reorder|price|fault|snapshot|compact|stats|metrics|shutdown)"
+                 (ingest|map|reorder|price|fault|snapshot|compact|stats|metrics|debug|shutdown)"
             )
             .into()),
         }
@@ -754,5 +823,25 @@ impl Engine {
                 Json::Str(self.metrics.render_prometheus()),
             )],
         )
+    }
+
+    /// Test-only escape hatches for exercising the serving stack's fault
+    /// paths from outside the process: `{"op":"debug","action":"panic"}`
+    /// panics inside the worker (proving panic isolation),
+    /// `"action":"sleep"` holds a worker for `ms` milliseconds (making
+    /// load shedding deterministic in tests), `"action":"noop"` does
+    /// nothing. Non-mutating; never state-dependent.
+    fn op_debug(&self, req: &Json) -> Result<Json, OpError> {
+        match need_str(req, "action")? {
+            "panic" => panic!("debug op requested a panic"),
+            "sleep" => {
+                // Clamp so a stray request can't wedge a worker for long.
+                let ms = opt_u64(req, "ms")?.unwrap_or(0).min(10_000);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(ok_reply(req, "debug", vec![("ms".to_string(), num(ms))]))
+            }
+            "noop" => Ok(ok_reply(req, "debug", Vec::new())),
+            other => Err(format!("unknown debug action \"{other}\" (panic|sleep|noop)").into()),
+        }
     }
 }

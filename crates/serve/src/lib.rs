@@ -33,7 +33,12 @@ pub mod engine;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod shutdown;
 
 pub use engine::{BootReport, Engine, EngineStats};
-pub use metrics::{check_prometheus, PromReport, ServeMetrics};
-pub use server::{serve_lines, serve_metrics, serve_tcp, ServeOpts};
+pub use metrics::{
+    check_prometheus, missing_families, PromReport, ServeMetrics, PROTOCOL_ERROR_KINDS,
+    REQUIRED_FAMILIES,
+};
+pub use server::{serve_lines, serve_metrics, serve_tcp, QuotaCfg, ServeOpts};
+pub use shutdown::{install_sigterm, term_flag};

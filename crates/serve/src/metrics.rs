@@ -29,11 +29,52 @@ use tarr_trace::{bucket_bounds, HistSnapshot, Histogram};
 /// The protocol ops metrics are broken down by, alphabetical so the
 /// exposition is sorted by construction. Unknown/unparseable requests land
 /// in `other`.
-pub const OPS: [&str; 11] = [
-    "compact", "fault", "ingest", "map", "metrics", "other", "price", "reorder", "shutdown",
-    "snapshot", "stats",
+pub const OPS: [&str; 12] = [
+    "compact", "debug", "fault", "ingest", "map", "metrics", "other", "price", "reorder",
+    "shutdown", "snapshot", "stats",
 ];
-const OTHER: usize = 5;
+const OTHER: usize = 6;
+
+/// Per-connection protocol-error kinds (the `kind` label of
+/// `tarr_serve_protocol_errors_total`), alphabetical so the exposition is
+/// sorted by construction.
+pub const PROTOCOL_ERROR_KINDS: [&str; 4] =
+    ["bad_json", "bad_utf8", "idle_timeout", "line_too_long"];
+
+/// Every family [`ServeMetrics::render_prometheus`] emits unconditionally
+/// (per-cluster families only appear once a cluster has traffic, so they
+/// are excluded). `serve-metrics-check` fails a scrape that is missing any
+/// of these — a stale exposition breaks CI, not code review.
+pub const REQUIRED_FAMILIES: [&str; 18] = [
+    "tarr_serve_conn_rejected_total",
+    "tarr_serve_connections",
+    "tarr_serve_drain_seconds",
+    "tarr_serve_errors_total",
+    "tarr_serve_fsync_seconds",
+    "tarr_serve_panics_total",
+    "tarr_serve_protocol_errors_total",
+    "tarr_serve_queue_depth",
+    "tarr_serve_queue_wait_seconds",
+    "tarr_serve_quota_rejected_total",
+    "tarr_serve_requests_total",
+    "tarr_serve_service_seconds",
+    "tarr_serve_shed_total",
+    "tarr_serve_snapshot_bytes",
+    "tarr_serve_wal_bytes",
+    "tarr_serve_wal_degraded",
+    "tarr_serve_workers",
+    "tarr_serve_workers_busy",
+];
+
+/// The `# TYPE`-declared families missing from a text exposition, out of
+/// [`REQUIRED_FAMILIES`]. Empty = complete.
+pub fn missing_families(text: &str) -> Vec<&'static str> {
+    REQUIRED_FAMILIES
+        .iter()
+        .filter(|name| !text.contains(&format!("# TYPE {name} ")))
+        .copied()
+        .collect()
+}
 
 /// The index of `op` in [`OPS`] (`other` when unknown).
 pub fn op_index(op: &str) -> usize {
@@ -79,6 +120,25 @@ pub struct ServeMetrics {
     wal_bytes: AtomicU64,
     /// Size of the last written/loaded snapshot in bytes (0 = none).
     snapshot_bytes: AtomicU64,
+    /// Requests shed at admission because their deadline would be missed.
+    shed: AtomicU64,
+    /// Requests rejected by a per-client token-bucket quota.
+    quota_rejected: AtomicU64,
+    /// Connections refused at accept because the connection cap was hit.
+    conn_rejected: AtomicU64,
+    /// Live TCP connections being served.
+    connections: AtomicU64,
+    /// Per-kind protocol violations (see [`PROTOCOL_ERROR_KINDS`]).
+    protocol_errors: [AtomicU64; PROTOCOL_ERROR_KINDS.len()],
+    /// Request handlers that panicked (isolated into `internal_error`).
+    panics: AtomicU64,
+    /// Duration of the last graceful drain, f64 seconds as bits (0 = none).
+    drain_seconds: AtomicU64,
+    /// 1 while the WAL is refusing appends (last append failed), else 0.
+    wal_degraded: AtomicU64,
+    /// EWMA of per-request service time in ns (α = 1/8), the shedding
+    /// estimator's cost model.
+    ewma_service_ns: AtomicU64,
 }
 
 impl Default for ServeMetrics {
@@ -92,6 +152,15 @@ impl Default for ServeMetrics {
             fsync: Histogram::new(),
             wal_bytes: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            conn_rejected: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            protocol_errors: [const { AtomicU64::new(0) }; PROTOCOL_ERROR_KINDS.len()],
+            panics: AtomicU64::new(0),
+            drain_seconds: AtomicU64::new(0),
+            wal_degraded: AtomicU64::new(0),
+            ewma_service_ns: AtomicU64::new(0),
         }
     }
 }
@@ -137,6 +206,108 @@ impl ServeMetrics {
         }
         op.queue_wait.record_always(queue_wait.as_nanos() as u64);
         op.service.record_always(service.as_nanos() as u64);
+        // EWMA with α = 1/8 on a relaxed load/store: races lose an update,
+        // never corrupt the estimate — fine for an admission cost model.
+        let sample = (service.as_nanos() as u64).max(1);
+        let old = self.ewma_service_ns.load(Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.ewma_service_ns.store(new.max(1), Relaxed);
+    }
+
+    /// The shedding estimator's per-request cost in ns (≥ 1 once any
+    /// request has completed; 0 on a fresh engine).
+    pub fn estimated_service_ns(&self) -> u64 {
+        self.ewma_service_ns.load(Relaxed)
+    }
+
+    /// Count a request shed at admission (deadline would be missed).
+    pub(crate) fn add_shed(&self) {
+        self.shed.fetch_add(1, Relaxed);
+        tarr_trace::counter_add!("serve.shed", 1);
+    }
+
+    /// Count a request rejected by a client quota.
+    pub(crate) fn add_quota_rejected(&self) {
+        self.quota_rejected.fetch_add(1, Relaxed);
+        tarr_trace::counter_add!("serve.quota_rejected", 1);
+    }
+
+    /// Count a connection refused at accept (connection cap).
+    pub(crate) fn add_conn_rejected(&self) {
+        self.conn_rejected.fetch_add(1, Relaxed);
+        tarr_trace::counter_add!("serve.conn_rejected", 1);
+    }
+
+    /// A TCP connection opened (`true`) or closed (`false`).
+    pub(crate) fn connection(&self, open: bool) {
+        let now = if open {
+            self.connections.fetch_add(1, Relaxed) + 1
+        } else {
+            self.connections.fetch_sub(1, Relaxed) - 1
+        };
+        tarr_trace::gauge("serve.connections").set(now as f64);
+    }
+
+    /// Count one protocol violation of `kind` (a [`PROTOCOL_ERROR_KINDS`]
+    /// entry; anything else is ignored rather than panicking).
+    pub(crate) fn add_protocol_error(&self, kind: &str) {
+        if let Ok(i) = PROTOCOL_ERROR_KINDS.binary_search(&kind) {
+            self.protocol_errors[i].fetch_add(1, Relaxed);
+        }
+        tarr_trace::counter_add!("serve.protocol_error", 1);
+    }
+
+    /// Count a request handler panic (isolated into `internal_error`).
+    pub(crate) fn add_panic(&self) {
+        self.panics.fetch_add(1, Relaxed);
+        tarr_trace::counter_add!("serve.panic", 1);
+    }
+
+    /// Record the duration of a completed graceful drain.
+    pub(crate) fn set_drain_seconds(&self, secs: f64) {
+        self.drain_seconds.store(secs.to_bits(), Relaxed);
+        tarr_trace::gauge("serve.drain_seconds").set(secs);
+    }
+
+    /// Flip the WAL-degraded gauge (1 = last append failed, mutations are
+    /// being refused with `persist_io`; cleared by the next success).
+    pub(crate) fn set_wal_degraded(&self, degraded: bool) {
+        self.wal_degraded.store(u64::from(degraded), Relaxed);
+        tarr_trace::gauge("serve.wal_degraded").set(f64::from(u8::from(degraded)));
+    }
+
+    /// Requests shed at admission so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Relaxed)
+    }
+
+    /// Quota rejections so far.
+    pub fn quota_rejected_total(&self) -> u64 {
+        self.quota_rejected.load(Relaxed)
+    }
+
+    /// Connection-cap rejections so far.
+    pub fn conn_rejected_total(&self) -> u64 {
+        self.conn_rejected.load(Relaxed)
+    }
+
+    /// Isolated handler panics so far.
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Relaxed)
+    }
+
+    /// Whether the WAL is currently refusing appends.
+    pub fn wal_degraded(&self) -> bool {
+        self.wal_degraded.load(Relaxed) != 0
+    }
+
+    /// Duration of the last graceful drain in seconds (0 = none yet).
+    pub fn drain_seconds(&self) -> f64 {
+        f64::from_bits(self.drain_seconds.load(Relaxed))
     }
 
     /// A worker picked up (`true`) or finished (`false`) a request.
@@ -239,6 +410,30 @@ impl ServeMetrics {
             ));
         }
         out.push_str(
+            "# HELP tarr_serve_conn_rejected_total Connections refused at the connection cap.\n\
+             # TYPE tarr_serve_conn_rejected_total counter\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_conn_rejected_total {}\n",
+            self.conn_rejected.load(Relaxed)
+        ));
+        out.push_str(
+            "# HELP tarr_serve_connections Live TCP connections being served.\n\
+             # TYPE tarr_serve_connections gauge\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_connections {}\n",
+            self.connections.load(Relaxed)
+        ));
+        out.push_str(
+            "# HELP tarr_serve_drain_seconds Duration of the last graceful drain (0 = none).\n\
+             # TYPE tarr_serve_drain_seconds gauge\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_drain_seconds {}\n",
+            fmt_f64(self.drain_seconds())
+        ));
+        out.push_str(
             "# HELP tarr_serve_errors_total Error replies by op.\n\
              # TYPE tarr_serve_errors_total counter\n",
         );
@@ -255,6 +450,24 @@ impl ServeMetrics {
             self.fsync.snapshot(),
         );
         out.push_str(
+            "# HELP tarr_serve_panics_total Request handlers that panicked (isolated).\n\
+             # TYPE tarr_serve_panics_total counter\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_panics_total {}\n",
+            self.panics.load(Relaxed)
+        ));
+        out.push_str(
+            "# HELP tarr_serve_protocol_errors_total Per-connection protocol violations by kind.\n\
+             # TYPE tarr_serve_protocol_errors_total counter\n",
+        );
+        for (i, kind) in PROTOCOL_ERROR_KINDS.iter().enumerate() {
+            out.push_str(&format!(
+                "tarr_serve_protocol_errors_total{{kind=\"{kind}\"}} {}\n",
+                self.protocol_errors[i].load(Relaxed)
+            ));
+        }
+        out.push_str(
             "# HELP tarr_serve_queue_depth Requests waiting in the admission queue.\n\
              # TYPE tarr_serve_queue_depth gauge\n",
         );
@@ -268,6 +481,14 @@ impl ServeMetrics {
             "Admission-to-dispatch wait by op.",
             |i| self.ops[i].queue_wait.snapshot(),
         );
+        out.push_str(
+            "# HELP tarr_serve_quota_rejected_total Requests rejected by a client quota.\n\
+             # TYPE tarr_serve_quota_rejected_total counter\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_quota_rejected_total {}\n",
+            self.quota_rejected.load(Relaxed)
+        ));
         out.push_str(
             "# HELP tarr_serve_requests_total Requests dispatched by op.\n\
              # TYPE tarr_serve_requests_total counter\n",
@@ -285,6 +506,14 @@ impl ServeMetrics {
             |i| self.ops[i].service.snapshot(),
         );
         out.push_str(
+            "# HELP tarr_serve_shed_total Requests shed at admission (deadline would be missed).\n\
+             # TYPE tarr_serve_shed_total counter\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_shed_total {}\n",
+            self.shed.load(Relaxed)
+        ));
+        out.push_str(
             "# HELP tarr_serve_snapshot_bytes Size of the last snapshot written or loaded.\n\
              # TYPE tarr_serve_snapshot_bytes gauge\n",
         );
@@ -299,6 +528,14 @@ impl ServeMetrics {
         out.push_str(&format!(
             "tarr_serve_wal_bytes {}\n",
             self.wal_bytes.load(Relaxed)
+        ));
+        out.push_str(
+            "# HELP tarr_serve_wal_degraded 1 while the WAL refuses appends (read-only mode).\n\
+             # TYPE tarr_serve_wal_degraded gauge\n",
+        );
+        out.push_str(&format!(
+            "tarr_serve_wal_degraded {}\n",
+            self.wal_degraded.load(Relaxed)
         ));
         out.push_str(
             "# HELP tarr_serve_workers Configured worker-pool size.\n\
@@ -643,6 +880,74 @@ mod tests {
             p50 >= 1_000_000 && p50 <= p95 && p95 <= p99,
             "{p50} {p95} {p99}"
         );
+    }
+
+    #[test]
+    fn overload_metrics_render_and_are_required() {
+        let m = ServeMetrics::default();
+        let text = m.render_prometheus();
+        assert!(
+            missing_families(&text).is_empty(),
+            "fresh exposition must carry every required family: missing {:?}",
+            missing_families(&text)
+        );
+        m.add_shed();
+        m.add_quota_rejected();
+        m.add_conn_rejected();
+        m.connection(true);
+        m.add_protocol_error("line_too_long");
+        m.add_protocol_error("bad_utf8");
+        m.add_protocol_error("not_a_kind"); // ignored, no panic
+        m.add_panic();
+        m.set_drain_seconds(0.25);
+        m.set_wal_degraded(true);
+        let text = m.render_prometheus();
+        check_prometheus(&text).unwrap();
+        assert!(text.contains("tarr_serve_shed_total 1"));
+        assert!(text.contains("tarr_serve_quota_rejected_total 1"));
+        assert!(text.contains("tarr_serve_conn_rejected_total 1"));
+        assert!(text.contains("tarr_serve_connections 1"));
+        assert!(text.contains(r#"tarr_serve_protocol_errors_total{kind="line_too_long"} 1"#));
+        assert!(text.contains(r#"tarr_serve_protocol_errors_total{kind="bad_utf8"} 1"#));
+        assert!(text.contains(r#"tarr_serve_protocol_errors_total{kind="bad_json"} 0"#));
+        assert!(text.contains("tarr_serve_panics_total 1"));
+        assert!(text.contains("tarr_serve_drain_seconds 0.25"));
+        assert!(text.contains("tarr_serve_wal_degraded 1"));
+        m.set_wal_degraded(false);
+        assert!(!m.wal_degraded());
+        // A truncated exposition is caught by the family check.
+        let cut = text.replace("# TYPE tarr_serve_shed_total counter\n", "");
+        assert_eq!(missing_families(&cut), vec!["tarr_serve_shed_total"]);
+    }
+
+    #[test]
+    fn ewma_tracks_service_time() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.estimated_service_ns(), 0);
+        m.end(
+            op_index("map"),
+            None,
+            true,
+            Duration::ZERO,
+            Duration::from_micros(100),
+        );
+        assert_eq!(m.estimated_service_ns(), 100_000);
+        m.end(
+            op_index("map"),
+            None,
+            true,
+            Duration::ZERO,
+            Duration::from_micros(900),
+        );
+        // 100_000 - 12_500 + 112_500 = 200_000
+        assert_eq!(m.estimated_service_ns(), 200_000);
+    }
+
+    #[test]
+    fn protocol_error_kinds_stay_sorted() {
+        let mut sorted = PROTOCOL_ERROR_KINDS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, PROTOCOL_ERROR_KINDS, "kinds use binary_search");
     }
 
     #[test]

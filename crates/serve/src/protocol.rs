@@ -223,6 +223,17 @@ pub fn err_reply_coded(req: Option<&Json>, code: &str, msg: &str) -> Json {
     Json::Obj(obj)
 }
 
+/// Build a coded error reply that also carries a `retry_after_ms` hint —
+/// the admission-control rejections (`overloaded`, `quota_rejected`) tell
+/// well-behaved clients when trying again might succeed.
+pub fn err_reply_retry(req: Option<&Json>, code: &str, msg: &str, retry_after_ms: u64) -> Json {
+    let Json::Obj(mut obj) = err_reply_coded(req, code, msg) else {
+        unreachable!("err_reply_coded returns an object");
+    };
+    obj.push(("retry_after_ms".to_string(), num(retry_after_ms)));
+    Json::Obj(obj)
+}
+
 /// A `u64` as a JSON number (everything the protocol counts is far below
 /// 2^53).
 pub fn num(v: u64) -> Json {

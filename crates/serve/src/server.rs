@@ -20,6 +20,37 @@
 //! scripted session produces byte-identical output at any worker count —
 //! the property the CI golden fixture pins.
 //!
+//! On top of that base loop sits the overload hardening (all of it
+//! configured through [`ServeOpts`], all off-by-default-compatible with
+//! the original behaviour):
+//!
+//! - **Protocol limits** — request lines are read through a capped
+//!   [`LineReader`]: a line longer than `max_line_bytes` is discarded (the
+//!   client gets a typed `line_too_long` error, the connection survives),
+//!   invalid UTF-8 gets `bad_utf8`, unparseable JSON counts as `bad_json`.
+//!   Each connection has an error budget (`max_protocol_errors`); the
+//!   violation that exhausts it gets code `error_budget` and the
+//!   connection closes.
+//! - **Deadline shedding** — a request carrying `deadline_ms` is refused
+//!   at admission with a typed `overloaded` reply (plus `retry_after_ms`)
+//!   when `pending × EWMA(service)` already exceeds the deadline. Requests
+//!   without a deadline are never shed.
+//! - **Client quotas** — an optional token bucket per client identity
+//!   (TCP peer IP, `"local"` on stdio) refuses excess requests with
+//!   `quota_rejected` + `retry_after_ms` before they cost a queue slot.
+//! - **Idle reaping / timeouts** — connections silent past `idle_timeout`
+//!   get a typed `idle_timeout` error and are closed; TCP reads poll on a
+//!   short timeout so the reaper and the shutdown flag both get a chance
+//!   to run even with no traffic.
+//! - **Graceful drain** — when `opts.shutdown` (see
+//!   [`crate::shutdown::install_sigterm`]) flips, the reader stops
+//!   admitting, already-admitted requests finish and flush in order, and
+//!   [`serve_lines`] returns normally; the drain duration lands in the
+//!   `tarr_serve_drain_seconds` gauge.
+//! - **Connection caps** — [`serve_tcp`] bounds concurrent connections;
+//!   an accept over the cap gets a single `conn_rejected` error line and
+//!   is dropped without spawning a thread.
+//!
 //! Observability: the reader assigns every request a monotonic id (from
 //! [`Engine::next_request_id`]) and timestamps admission, so workers can
 //! split queue-wait (admission → dispatch) from service time (dispatch →
@@ -30,9 +61,11 @@
 //! endpoint: a minimal HTTP/1.0 listener answering every request with the
 //! engine's Prometheus text snapshot.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -40,14 +73,53 @@ use tarr_trace::json::{parse, Json};
 
 use crate::engine::Engine;
 use crate::metrics::ServeMetrics;
+use crate::protocol::{err_reply_coded, err_reply_retry, to_string};
 
-/// Worker-pool and admission configuration.
+/// Per-client token-bucket quota: a client may burst `burst` requests,
+/// refilled at `per_sec` tokens per second. `per_sec = 0` means the bucket
+/// never refills — useful for deterministic tests (`burst` requests total,
+/// then rejection with a `retry_after_ms` of 0).
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaCfg {
+    /// Bucket capacity (fresh clients start full).
+    pub burst: u64,
+    /// Refill rate in tokens per second (0 = never refill).
+    pub per_sec: f64,
+}
+
+/// Worker-pool, admission, and hardening configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOpts {
     /// Worker threads processing requests (min 1).
     pub workers: usize,
     /// Admission-queue capacity; the reader blocks when it is full.
     pub queue_cap: usize,
+    /// Longest accepted request line in bytes; longer lines are discarded
+    /// with a typed `line_too_long` error (min 1).
+    pub max_line_bytes: usize,
+    /// Protocol violations (oversized / bad-UTF-8 / unparseable lines)
+    /// tolerated per connection before it is closed with `error_budget`.
+    /// 0 = unlimited.
+    pub max_protocol_errors: u64,
+    /// Close a connection silent for this long (typed `idle_timeout`
+    /// error). Only effective when reads time out and tick — i.e. over
+    /// TCP; a blocking stdio read cannot be reaped.
+    pub idle_timeout: Option<Duration>,
+    /// TCP write timeout for reply delivery (stuck clients get a write
+    /// error instead of wedging a connection thread forever).
+    pub write_timeout: Option<Duration>,
+    /// Concurrent TCP connections served; accepts beyond this are refused
+    /// with a single `conn_rejected` error line (min 1).
+    pub max_conns: usize,
+    /// Per-client admission quota; `None` = unlimited.
+    pub quota: Option<QuotaCfg>,
+    /// Client identity for quota accounting: the TCP peer IP, or
+    /// `"local"` for stdio sessions.
+    pub client: String,
+    /// Graceful-drain flag (typically from
+    /// [`crate::shutdown::install_sigterm`]): when it reads `true` the
+    /// reader stops admitting, drains in-flight work, and returns.
+    pub shutdown: Option<&'static AtomicBool>,
 }
 
 impl Default for ServeOpts {
@@ -57,6 +129,14 @@ impl Default for ServeOpts {
                 .map(|n| n.get())
                 .unwrap_or(1),
             queue_cap: 1024,
+            max_line_bytes: 1 << 20,
+            max_protocol_errors: 64,
+            idle_timeout: None,
+            write_timeout: None,
+            max_conns: 64,
+            quota: None,
+            client: "local".to_string(),
+            shutdown: None,
         }
     }
 }
@@ -146,6 +226,13 @@ impl<'a> Queue<'a> {
         }
     }
 
+    /// Instantaneous (queued, in-flight) load — the shedding estimator's
+    /// view of the backlog.
+    fn load(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("queue poisoned");
+        (st.items.len(), st.in_flight)
+    }
+
     fn close(&self) {
         self.state.lock().expect("queue poisoned").closed = true;
         self.not_empty.notify_all();
@@ -187,7 +274,9 @@ impl<W: Write> OrderedOut<W> {
             };
             st.next += 1;
             if st.error.is_none() {
-                let r = writeln!(st.sink, "{line}").and_then(|()| st.sink.flush());
+                let r = tarr_chaos::fail_io("conn.write")
+                    .and_then(|()| writeln!(st.sink, "{line}"))
+                    .and_then(|()| st.sink.flush());
                 if let Err(e) = r {
                     st.error = Some(e);
                 }
@@ -205,16 +294,6 @@ impl<W: Write> OrderedOut<W> {
     }
 }
 
-/// The request's `"op"` string, if the line parses to an object with one.
-fn line_op(line: &str) -> Option<String> {
-    parse(line)
-        .ok()
-        .as_ref()
-        .and_then(|r| r.get("op"))
-        .and_then(Json::as_str)
-        .map(str::to_string)
-}
-
 /// Ops that mutate engine state — or cut a consistent point-in-time view
 /// of it (`snapshot`, `compact`) — and must not run concurrently with any
 /// other request on the stream.
@@ -222,15 +301,134 @@ fn is_mutating(op: Option<&str>) -> bool {
     matches!(op, Some("ingest" | "fault" | "snapshot" | "compact"))
 }
 
-/// Serve one line-oriented stream: read requests from `input` until EOF or
-/// a `shutdown` op, process them on `opts.workers` scoped threads, write
-/// replies to `output` in request order. State-mutating ops (`ingest`,
-/// `fault`) are barriers: the reader quiesces the pool and runs them
-/// inline, so every request observes the engine state its stream position
-/// implies. Returns the number of replies written.
+/// One reader-side input event; see [`LineReader`].
+enum LineEvent {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// A line exceeded the length cap and was discarded up to its newline.
+    TooLong,
+    /// A complete line that was not valid UTF-8 (discarded).
+    BadUtf8,
+    /// The read timed out (`WouldBlock`/`TimedOut`): no data, but the
+    /// caller gets a chance to check idle/shutdown state.
+    Tick,
+    /// End of stream (clean EOF or a fatal read error).
+    Eof,
+}
+
+/// An incremental, length-capped line reader over a raw [`Read`].
+///
+/// Unlike `BufRead::lines`, it (a) bounds memory per line — an attacker
+/// sending an endless unterminated line costs `max` bytes, not the heap —
+/// (b) survives invalid UTF-8 without killing the stream, and (c) turns
+/// read timeouts into [`LineEvent::Tick`]s so the serving loop can reap
+/// idle connections and observe the shutdown flag while blocked.
+struct LineReader<R: Read> {
+    inner: R,
+    /// The accumulated partial line (never grows past `max` + one chunk).
+    buf: Vec<u8>,
+    max: usize,
+    /// Discarding an oversized line until its newline.
+    overflow: bool,
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R, max: usize) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            max: max.max(1),
+            overflow: false,
+            eof: false,
+        }
+    }
+
+    /// Strip the terminator and classify a completed raw line.
+    fn finish_line(&mut self, mut line: Vec<u8>) -> LineEvent {
+        if line.last() == Some(&b'\n') {
+            line.pop();
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if self.overflow || line.len() > self.max {
+            self.overflow = false;
+            return LineEvent::TooLong;
+        }
+        match String::from_utf8(line) {
+            Ok(s) => LineEvent::Line(s),
+            Err(_) => LineEvent::BadUtf8,
+        }
+    }
+
+    fn next_event(&mut self) -> LineEvent {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return self.finish_line(line);
+            }
+            // No complete line buffered: enforce the cap on the partial,
+            // then (in overflow mode) drop what we have — it will never be
+            // parsed, only skipped.
+            if self.buf.len() > self.max {
+                self.overflow = true;
+            }
+            if self.overflow {
+                self.buf.clear();
+            }
+            if self.eof {
+                if self.buf.is_empty() && !self.overflow {
+                    return LineEvent::Eof;
+                }
+                // A trailing unterminated line still counts.
+                let line = std::mem::take(&mut self.buf);
+                return self.finish_line(line);
+            }
+            if tarr_chaos::fail_io("conn.read").is_err() {
+                // Injected connection-read failure: same as the peer
+                // vanishing mid-stream.
+                self.eof = true;
+                continue;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return LineEvent::Tick;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => self.eof = true,
+            }
+        }
+    }
+}
+
+/// Whether protocol error number `count` exhausts a budget of `max`
+/// (0 = unlimited).
+fn budget_hit(max: u64, count: u64) -> bool {
+    max > 0 && count >= max
+}
+
+/// Serve one line-oriented stream: read requests from `input` until EOF, a
+/// `shutdown` op, or a graceful-drain signal; process them on
+/// `opts.workers` scoped threads; write replies to `output` in request
+/// order. State-mutating ops (`ingest`, `fault`) are barriers: the reader
+/// quiesces the pool and runs them inline, so every request observes the
+/// engine state its stream position implies. Protocol violations, quota
+/// rejections, and deadline sheds are answered with typed errors at the
+/// violating request's position in the reply order (they consume a
+/// sequence slot but never a worker). Returns the number of replies
+/// written.
 pub fn serve_lines(
     engine: &Engine,
-    input: impl BufRead,
+    input: impl Read,
     output: impl Write + Send,
     opts: &ServeOpts,
 ) -> io::Result<u64> {
@@ -238,6 +436,9 @@ pub fn serve_lines(
     metrics.set_workers(opts.workers.max(1) as u64);
     let queue = Queue::new(opts.queue_cap, metrics);
     let out = OrderedOut::new(output);
+    // Set by the reader (scope's own thread) when the shutdown flag is
+    // observed; read after the scope joins to time the drain.
+    let drain_started: Cell<Option<Instant>> = Cell::new(None);
     std::thread::scope(|scope| {
         for _ in 0..opts.workers.max(1) {
             scope.spawn(|| {
@@ -251,21 +452,144 @@ pub fn serve_lines(
                 }
             });
         }
+        let mut reader = LineReader::new(input, opts.max_line_bytes);
         let mut seq = 0u64;
-        for line in input.lines() {
-            let line = match line {
-                Ok(l) => l,
-                Err(_) => break,
+        let mut proto_errors = 0u64;
+        let mut last_activity = Instant::now();
+        'reader: loop {
+            if opts
+                .shutdown
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            {
+                drain_started.set(Some(Instant::now()));
+                break;
+            }
+            let event = reader.next_event();
+            let line = match event {
+                LineEvent::Eof => break,
+                LineEvent::Tick => {
+                    if let Some(idle) = opts.idle_timeout {
+                        if last_activity.elapsed() >= idle {
+                            metrics.add_protocol_error("idle_timeout");
+                            out.deliver(
+                                seq,
+                                to_string(&err_reply_coded(
+                                    None,
+                                    "idle_timeout",
+                                    "connection idle past the idle timeout; closing",
+                                )),
+                            );
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                LineEvent::TooLong | LineEvent::BadUtf8 => {
+                    last_activity = Instant::now();
+                    let (kind, msg) = match event {
+                        LineEvent::TooLong => (
+                            "line_too_long",
+                            "request line exceeds the configured maximum length",
+                        ),
+                        _ => ("bad_utf8", "request line is not valid UTF-8"),
+                    };
+                    proto_errors += 1;
+                    metrics.add_protocol_error(kind);
+                    let exhausted = budget_hit(opts.max_protocol_errors, proto_errors);
+                    let (code, msg) = if exhausted {
+                        (
+                            "error_budget",
+                            "protocol-error budget exhausted; closing connection",
+                        )
+                    } else {
+                        (kind, msg)
+                    };
+                    out.deliver(seq, to_string(&err_reply_coded(None, code, msg)));
+                    seq += 1;
+                    if exhausted {
+                        break 'reader;
+                    }
+                    continue;
+                }
+                LineEvent::Line(line) => {
+                    last_activity = Instant::now();
+                    line
+                }
             };
             if line.trim().is_empty() {
                 continue;
             }
+            let parsed = parse(&line).ok();
+            if parsed.is_none() {
+                proto_errors += 1;
+                metrics.add_protocol_error("bad_json");
+                if budget_hit(opts.max_protocol_errors, proto_errors) {
+                    out.deliver(
+                        seq,
+                        to_string(&err_reply_coded(
+                            None,
+                            "error_budget",
+                            "protocol-error budget exhausted; closing connection",
+                        )),
+                    );
+                    break;
+                }
+                // Below the budget the line still goes to the engine so
+                // malformed requests keep their established parse-error
+                // reply text.
+            }
+            let op = parsed
+                .as_ref()
+                .and_then(|r| r.get("op"))
+                .and_then(Json::as_str);
+            let stop = matches!(op, Some("shutdown"));
+            // Admission control, cheapest first: quota (a constant-time
+            // bucket probe), then the deadline shed estimate. Both answer
+            // at this request's reply position without costing a worker.
+            // `shutdown` is exempt — a throttled client may always leave.
+            if let (Some(q), Some(req), false) = (&opts.quota, parsed.as_ref(), stop) {
+                if let Err(retry_ms) = engine.quota_take(&opts.client, q.burst, q.per_sec) {
+                    metrics.add_quota_rejected();
+                    out.deliver(
+                        seq,
+                        to_string(&err_reply_retry(
+                            Some(req),
+                            "quota_rejected",
+                            "per-client request quota exhausted",
+                            retry_ms,
+                        )),
+                    );
+                    seq += 1;
+                    continue;
+                }
+            }
+            if let Some(deadline_ms) = parsed
+                .as_ref()
+                .and_then(|r| r.get("deadline_ms"))
+                .and_then(Json::as_u64)
+            {
+                let (queued, in_flight) = queue.load();
+                let pending = (queued + in_flight) as u64;
+                let est_ns = pending.saturating_mul(metrics.estimated_service_ns().max(1));
+                if pending > 0 && est_ns > deadline_ms.saturating_mul(1_000_000) {
+                    metrics.add_shed();
+                    out.deliver(
+                        seq,
+                        to_string(&err_reply_retry(
+                            parsed.as_ref(),
+                            "overloaded",
+                            "estimated queue wait exceeds deadline_ms; request shed",
+                            est_ns.div_ceil(1_000_000).max(1),
+                        )),
+                    );
+                    seq += 1;
+                    continue;
+                }
+            }
             // Ids are assigned here, at admission, so id order == arrival
             // order even when workers finish out of order.
             let req_id = engine.next_request_id();
-            let op = line_op(&line);
-            let stop = matches!(op.as_deref(), Some("shutdown"));
-            if is_mutating(op.as_deref()) {
+            if is_mutating(op) {
                 // Workers deliver before `done`, so once idle every earlier
                 // reply has been written and this one flushes in sequence.
                 // Runs inline without queueing: queue-wait is zero by
@@ -283,6 +607,9 @@ pub fn serve_lines(
         }
         queue.close();
     });
+    if let Some(t0) = drain_started.get() {
+        metrics.set_drain_seconds(t0.elapsed().as_secs_f64());
+    }
     out.finish()
 }
 
@@ -319,28 +646,83 @@ pub fn serve_metrics(engine: &Engine, listener: TcpListener) -> io::Result<()> {
     }
 }
 
-/// Serve TCP connections forever: each accepted connection runs its own
+/// Serve TCP connections: each accepted connection runs its own
 /// [`serve_lines`] loop on scoped threads against the shared engine, so
 /// concurrent connections coalesce onto the same cluster cores. A
 /// `shutdown` op ends its own connection only; the daemon runs until
-/// killed.
+/// killed — or, when `opts.shutdown` is set, until the flag flips, at
+/// which point the listener stops accepting, every live connection drains,
+/// and the call returns `Ok(())`.
 pub fn serve_tcp(engine: &Engine, listener: TcpListener, opts: &ServeOpts) -> io::Result<()> {
+    // Non-blocking accept so the loop can observe the shutdown flag; the
+    // accepted sockets themselves are switched back to blocking reads with
+    // a short timeout (the serving loop's Tick cadence).
+    listener.set_nonblocking(true)?;
+    let metrics = engine.metrics();
+    let active = AtomicUsize::new(0);
+    let active = &active;
     std::thread::scope(|scope| -> io::Result<()> {
         loop {
-            let (stream, peer) = listener.accept()?;
-            let opts = opts.clone();
-            scope.spawn(move || {
-                let reader = match stream.try_clone() {
-                    Ok(s) => io::BufReader::new(s),
-                    Err(e) => {
-                        eprintln!("serve: {peer}: {e}");
-                        return;
-                    }
-                };
-                if let Err(e) = serve_lines(engine, reader, stream, &opts) {
-                    eprintln!("serve: {peer}: {e}");
+            if opts
+                .shutdown
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            {
+                // Stop accepting; the scope join below waits for every
+                // connection thread to finish its own drain.
+                return Ok(());
+            }
+            let (stream, peer) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
                 }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if active.load(Ordering::Relaxed) >= opts.max_conns.max(1) {
+                metrics.add_conn_rejected();
+                let mut stream = stream;
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let reply = to_string(&err_reply_retry(
+                    None,
+                    "conn_rejected",
+                    "connection limit reached; retry later",
+                    CONN_RETRY_MS,
+                ));
+                let _ = writeln!(stream, "{reply}");
+                continue;
+            }
+            active.fetch_add(1, Ordering::Relaxed);
+            metrics.connection(true);
+            let mut conn_opts = opts.clone();
+            conn_opts.client = peer.ip().to_string();
+            scope.spawn(move || {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(READ_TICK));
+                if let Some(wt) = conn_opts.write_timeout {
+                    let _ = stream.set_write_timeout(Some(wt));
+                }
+                match stream.try_clone() {
+                    Ok(reader) => {
+                        if let Err(e) = serve_lines(engine, reader, stream, &conn_opts) {
+                            eprintln!("serve: {peer}: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("serve: {peer}: {e}"),
+                }
+                metrics.connection(false);
+                active.fetch_sub(1, Ordering::Relaxed);
             });
         }
     })
 }
+
+/// Accept-loop poll cadence while the listener has nothing to hand out.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read timeout: the Tick cadence for idle reaping and
+/// shutdown observation.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// `retry_after_ms` hint on connection-cap rejections.
+const CONN_RETRY_MS: u64 = 100;

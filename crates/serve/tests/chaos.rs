@@ -1,0 +1,310 @@
+//! Fault injection through the serving stack: WAL-degraded read-only mode,
+//! connection IO failpoints, and the crash matrix — kill the real binary
+//! at every persistence failpoint, restart from the same `--state-dir`,
+//! resend what was never answered, and require the combined reply stream
+//! to be byte-identical to an uninjected run.
+//!
+//! The chaos registry is process-global: every in-process arming test
+//! serializes on [`CHAOS_LOCK`]. The crash matrix arms via the child's
+//! `TARR_CHAOS` environment instead, so it needs no lock.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+
+use tarr_serve::{serve_lines, Engine, ServeOpts};
+use tarr_trace::json::{parse, Json};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tarr-chaos-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn code(reply: &Json) -> Option<&str> {
+    reply.get("code").and_then(Json::as_str)
+}
+
+/// Satellite: a full WAL (ENOSPC on append) degrades the daemon to
+/// read-only — mutations get typed `persist_io` replies, reads keep
+/// working, the `tarr_serve_wal_degraded` gauge flips, and a recovered
+/// disk clears it.
+#[test]
+fn wal_enospc_degrades_to_read_only_service() {
+    let _g = CHAOS_LOCK.lock().unwrap();
+    tarr_chaos::disarm_all();
+    let dir = tmpdir("enospc");
+    let (engine, _boot) = Engine::with_state_dir(&dir).unwrap();
+
+    let ok = engine.handle_line(r#"{"op":"ingest","cluster":"a","gpc_nodes":2}"#);
+    assert!(ok.contains("\"ok\":true"), "{ok}");
+    assert!(!engine.metrics().wal_degraded());
+
+    // Disk full: every append fails until disarmed (`@0` = every hit).
+    tarr_chaos::arm_str("wal.append.write=enospc@0", 1).unwrap();
+    let reply =
+        parse(&engine.handle_line(r#"{"op":"ingest","cluster":"b","gpc_nodes":2}"#)).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(code(&reply), Some("persist_io"), "{reply:?}");
+    assert!(
+        engine.metrics().wal_degraded(),
+        "gauge flips on failed append"
+    );
+    assert!(engine
+        .metrics()
+        .render_prometheus()
+        .contains("tarr_serve_wal_degraded 1"));
+
+    // The daemon is alive and serving read-only ops against warm state.
+    for line in [
+        r#"{"op":"map","cluster":"a","mapper":"hrstc","pattern":"ring"}"#,
+        r#"{"op":"price","cluster":"a","collective":"bcast","msg_bytes":1024}"#,
+        r#"{"op":"stats"}"#,
+    ] {
+        let r = engine.handle_line(line);
+        assert!(r.contains("\"ok\":true"), "read-only op must survive: {r}");
+    }
+    // The failed mutation was rolled back: cluster b does not exist.
+    let r = engine.handle_line(r#"{"op":"map","cluster":"b","mapper":"hrstc","pattern":"ring"}"#);
+    assert!(r.contains("unknown cluster"), "{r}");
+
+    // Disk recovered: the next mutation succeeds and clears the gauge.
+    tarr_chaos::disarm_all();
+    let ok = engine.handle_line(r#"{"op":"ingest","cluster":"b","gpc_nodes":2}"#);
+    assert!(ok.contains("\"ok\":true"), "{ok}");
+    assert!(!engine.metrics().wal_degraded());
+    assert!(engine
+        .metrics()
+        .render_prometheus()
+        .contains("tarr_serve_wal_degraded 0"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failing connection read is indistinguishable from the peer hanging
+/// up: the session ends cleanly after delivering what was admitted.
+#[test]
+fn conn_read_failure_ends_the_session_cleanly() {
+    let _g = CHAOS_LOCK.lock().unwrap();
+    tarr_chaos::disarm_all();
+    let engine = Engine::new();
+    tarr_chaos::arm_str("conn.read=err@2", 3).unwrap();
+    let mut out = Vec::new();
+    // One small read per line: the first line is served, the second read
+    // hits the failpoint and the session drains.
+    let input: &[u8] = b"{\"id\":1,\"op\":\"stats\"}\n{\"id\":2,\"op\":\"stats\"}\n";
+    let served = serve_lines(
+        &engine,
+        OneByOne(input, 0),
+        &mut out,
+        &ServeOpts {
+            workers: 1,
+            queue_cap: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    tarr_chaos::disarm_all();
+    assert_eq!(served, 1, "the admitted request is still answered");
+    assert!(String::from_utf8(out).unwrap().contains("\"id\":1"));
+}
+
+/// A failing connection write surfaces as the serve loop's io::Result —
+/// typed, not a panic, and the engine survives for other connections.
+#[test]
+fn conn_write_failure_is_a_typed_error() {
+    let _g = CHAOS_LOCK.lock().unwrap();
+    tarr_chaos::disarm_all();
+    let engine = Engine::new();
+    tarr_chaos::arm_str("conn.write=err@1", 3).unwrap();
+    let mut out = Vec::new();
+    let err = serve_lines(
+        &engine,
+        &b"{\"id\":1,\"op\":\"stats\"}\n"[..],
+        &mut out,
+        &ServeOpts::default(),
+    )
+    .unwrap_err();
+    tarr_chaos::disarm_all();
+    assert!(err.to_string().contains("tarr-chaos"), "{err}");
+    // The engine is unharmed.
+    assert!(engine
+        .handle_line(r#"{"op":"stats"}"#)
+        .contains("\"ok\":true"));
+}
+
+/// Reader adapter delivering one line per read call, so a `@n` one-shot
+/// failpoint maps onto the n-th request line deterministically.
+struct OneByOne<'a>(&'a [u8], usize);
+
+impl std::io::Read for OneByOne<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let rest = &self.0[self.1..];
+        if rest.is_empty() {
+            return Ok(0);
+        }
+        let n = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap_or(rest.len())
+            .min(buf.len());
+        buf[..n].copy_from_slice(&rest[..n]);
+        self.1 += n;
+        Ok(n)
+    }
+}
+
+/// The scripted session for the crash matrix. `replace: true` on every
+/// ingest makes resending idempotent: if the crash landed after the WAL
+/// append but before the acknowledgement, the replayed-and-resent ingest
+/// returns the identical reply instead of `cluster_exists`. The snapshot
+/// runs before any cache-warming op: snapshots capture warm mapper caches
+/// by design, so a snapshot taken after `price` would report more bytes
+/// in the reference run than after a cold crash-restart — the reply is
+/// only byte-stable while the snapshot is a pure function of logged state.
+const SESSION: &[&str] = &[
+    r#"{"id":1,"op":"ingest","cluster":"a","gpc_nodes":2,"replace":true}"#,
+    r#"{"id":2,"op":"snapshot"}"#,
+    r#"{"id":3,"op":"price","cluster":"a","collective":"allgather","msg_bytes":65536,"mapper":"hrstc"}"#,
+    r#"{"id":4,"op":"ingest","cluster":"b","gpc_nodes":4,"replace":true}"#,
+    r#"{"id":5,"op":"map","cluster":"b","mapper":"scotch","pattern":"rd"}"#,
+    r#"{"id":6,"op":"shutdown"}"#,
+];
+
+/// Run the binary over `lines` with `chaos` armed (None = clean), return
+/// (stdout reply lines, exit success, stderr).
+fn run_binary(
+    dir: &std::path::Path,
+    lines: &[&str],
+    chaos: Option<&str>,
+) -> (Vec<String>, bool, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tarr-serve"));
+    cmd.args(["--workers", "1", "--state-dir", dir.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    match chaos {
+        Some(spec) => cmd.env("TARR_CHAOS", spec).env("TARR_CHAOS_SEED", "42"),
+        None => cmd.env_remove("TARR_CHAOS"),
+    };
+    let mut child = cmd.spawn().unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for line in lines {
+            // The child may abort mid-script; a broken pipe here is part
+            // of the experiment, not a test failure.
+            if writeln!(stdin, "{line}").is_err() {
+                break;
+            }
+        }
+    }
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    (
+        stdout.lines().map(str::to_string).collect(),
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Crash the binary at `site_spec`, restart clean from the same state
+/// dir, resend everything unanswered, and require the combined reply
+/// stream to equal the uninjected reference byte-for-byte.
+fn crash_case(tag: &str, site_spec: &str) {
+    let ref_dir = tmpdir(&format!("crash-{tag}-ref"));
+    let (reference, ok, err) = run_binary(&ref_dir, SESSION, None);
+    assert!(ok, "reference run must succeed: {err}");
+    assert_eq!(reference.len(), SESSION.len(), "{reference:?}");
+
+    let dir = tmpdir(&format!("crash-{tag}"));
+    let (before, ok, err) = run_binary(&dir, SESSION, Some(site_spec));
+    assert!(!ok, "the injected run must die: {err}");
+    assert!(
+        err.contains("tarr-chaos: fired"),
+        "abort must be attributable to the failpoint: {err}"
+    );
+    assert!(
+        before.len() < SESSION.len(),
+        "crash must land mid-session: {before:?}"
+    );
+    // Every reply that did get out matches the reference prefix: nothing
+    // acknowledged was wrong, nothing acknowledged is later contradicted.
+    assert_eq!(before[..], reference[..before.len()], "{tag}: prefix");
+
+    // The surviving state dir passes strict verification.
+    let verify = Command::new(env!("CARGO_BIN_EXE_tarr-serve"))
+        .args(["--workers", "1"])
+        .arg("--state-dir")
+        .arg(&dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(verify.success(), "{tag}: post-crash boot must succeed");
+
+    // Restart clean and resend the unanswered tail.
+    let (after, ok, err) = run_binary(&dir, &SESSION[before.len()..], None);
+    assert!(ok, "{tag}: restarted run must succeed: {err}");
+    let mut combined = before;
+    combined.extend(after);
+    assert_eq!(
+        combined, reference,
+        "{tag}: crash + restart + resend must be byte-identical to the clean run"
+    );
+}
+
+#[test]
+fn crash_at_wal_append_write_is_recoverable() {
+    // Second WAL append = the `ingest b` request (id 4).
+    crash_case("wal-write", "wal.append.write=crash@2");
+}
+
+#[test]
+fn crash_at_wal_append_fsync_is_recoverable() {
+    // The frame is in the file but unacknowledged; boot replays it and the
+    // idempotent resend returns the identical reply.
+    crash_case("wal-fsync", "wal.append.fsync=crash@2");
+}
+
+#[test]
+fn crash_at_snapshot_rename_is_recoverable() {
+    // Dies inside the `snapshot` op: the old snapshot (none) stays live,
+    // the stale tmp is discarded at boot, and the WAL alone rebuilds.
+    crash_case("snap-rename", "snap.rename=crash@1");
+}
+
+#[test]
+fn enospc_on_live_binary_yields_persist_io_and_exit_zero() {
+    // IO-error (non-crash) injection through the real binary: the failed
+    // mutation gets `persist_io`, everything else still works, and the
+    // daemon exits cleanly.
+    let dir = tmpdir("enospc-bin");
+    let (lines, ok, err) = run_binary(&dir, SESSION, Some("wal.append.write=enospc@2"));
+    assert!(ok, "IO errors must not kill the daemon: {err}");
+    assert_eq!(lines.len(), SESSION.len());
+    let ingest_b = parse(&lines[3]).unwrap();
+    assert_eq!(ingest_b.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(code(&ingest_b), Some("persist_io"), "{lines:?}");
+    // The dependent map fails typed (cluster b never existed)…
+    assert!(lines[4].contains("unknown cluster"), "{lines:?}");
+    // …and the acknowledged prefix survives a restart.
+    let (replies, ok, _) = run_binary(
+        &dir,
+        &[
+            r#"{"op":"price","cluster":"a","collective":"allgather","msg_bytes":65536,"mapper":"hrstc"}"#,
+        ],
+        None,
+    );
+    assert!(ok);
+    assert_eq!(
+        replies[0].replace("\"id\":1,", ""),
+        lines[2].replace("\"id\":3,", ""),
+        "replayed state prices identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,343 @@
+//! Overload & client-hardening behaviour of the serving stack: protocol
+//! limits (line caps, UTF-8, error budgets), deadline shedding, per-client
+//! quotas, panic isolation, idle reaping, connection caps, and graceful
+//! SIGTERM drain through the real binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tarr_serve::{serve_lines, serve_tcp, Engine, QuotaCfg, ServeOpts};
+use tarr_trace::json::{parse, Json};
+
+fn opts1() -> ServeOpts {
+    ServeOpts {
+        workers: 1,
+        queue_cap: 16,
+        ..Default::default()
+    }
+}
+
+fn run(engine: &Engine, input: &[u8], opts: &ServeOpts) -> (u64, Vec<Json>) {
+    let mut out = Vec::new();
+    let served = serve_lines(engine, input, &mut out, opts).unwrap();
+    let replies = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).expect("every output line is reply JSON"))
+        .collect();
+    (served, replies)
+}
+
+fn code(reply: &Json) -> Option<&str> {
+    reply.get("code").and_then(Json::as_str)
+}
+
+#[test]
+fn quota_bucket_rejects_over_burst_with_retry_hint() {
+    // per_sec = 0: the bucket never refills, so exactly `burst` requests
+    // pass — deterministic regardless of timing.
+    let engine = Engine::new();
+    let opts = ServeOpts {
+        quota: Some(QuotaCfg {
+            burst: 2,
+            per_sec: 0.0,
+        }),
+        ..opts1()
+    };
+    let script = [
+        r#"{"id":1,"op":"ingest","cluster":"q","gpc_nodes":2}"#,
+        r#"{"id":2,"op":"map","cluster":"q","mapper":"hrstc","pattern":"ring"}"#,
+        r#"{"id":3,"op":"map","cluster":"q","mapper":"hrstc","pattern":"ring"}"#,
+        r#"{"id":4,"op":"shutdown"}"#,
+    ]
+    .join("\n");
+    let (served, replies) = run(&engine, script.as_bytes(), &opts);
+    assert_eq!(served, 4);
+    assert_eq!(replies[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)));
+    // Request 3 is over budget: typed rejection, answered in order, with
+    // a retry hint (0 = the bucket never refills).
+    assert_eq!(replies[2].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(code(&replies[2]), Some("quota_rejected"));
+    assert_eq!(replies[2].get("id").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        replies[2].get("retry_after_ms").and_then(Json::as_u64),
+        Some(0)
+    );
+    // `shutdown` is quota-exempt: a throttled client may always leave.
+    assert_eq!(replies[3].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(engine.metrics().quota_rejected_total(), 1);
+}
+
+#[test]
+fn quota_refills_over_time() {
+    let engine = Engine::new();
+    assert!(engine.quota_take("c", 1, 1000.0).is_ok());
+    // Bucket drained; at 1000 tokens/sec it is back within a few ms.
+    let retry = engine.quota_take("c", 1, 1000.0).unwrap_err();
+    assert!(retry <= 1, "hint should be ~1ms, got {retry}");
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(engine.quota_take("c", 1, 1000.0).is_ok());
+    // Distinct clients get distinct buckets.
+    assert!(engine.quota_take("other", 1, 0.0).is_ok());
+}
+
+#[test]
+fn deadline_shedding_is_deterministic_under_backlog() {
+    let engine = Engine::new();
+    let script = [
+        r#"{"id":1,"op":"ingest","cluster":"s","gpc_nodes":2}"#,
+        // Holds the single worker long enough that the next line is read
+        // while this one is still in flight.
+        r#"{"id":2,"op":"debug","action":"sleep","ms":300}"#,
+        // deadline_ms 0 with a nonzero backlog must shed.
+        r#"{"id":3,"op":"map","cluster":"s","mapper":"hrstc","pattern":"ring","deadline_ms":0}"#,
+        r#"{"id":4,"op":"shutdown"}"#,
+    ]
+    .join("\n");
+    let (served, replies) = run(&engine, script.as_bytes(), &opts1());
+    assert_eq!(served, 4);
+    assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)), "{replies:?}");
+    assert_eq!(replies[2].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(code(&replies[2]), Some("overloaded"));
+    assert!(replies[2].get("retry_after_ms").and_then(Json::as_u64) >= Some(1));
+    assert_eq!(engine.metrics().shed_total(), 1);
+}
+
+#[test]
+fn deadline_without_backlog_is_admitted() {
+    let engine = Engine::new();
+    let script = [
+        r#"{"id":1,"op":"ingest","cluster":"d","gpc_nodes":2}"#,
+        // An idle pool always admits, however tight the deadline.
+        r#"{"id":2,"op":"map","cluster":"d","mapper":"hrstc","pattern":"ring","deadline_ms":0}"#,
+        r#"{"id":3,"op":"shutdown"}"#,
+    ]
+    .join("\n");
+    let (_, replies) = run(&engine, script.as_bytes(), &opts1());
+    assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)), "{replies:?}");
+    assert_eq!(engine.metrics().shed_total(), 0);
+}
+
+#[test]
+fn oversized_lines_get_typed_errors_and_bounded_memory() {
+    let engine = Engine::new();
+    let opts = ServeOpts {
+        max_line_bytes: 64,
+        ..opts1()
+    };
+    let mut input = Vec::new();
+    input.extend_from_slice(format!("{{\"id\":1,\"pad\":\"{}\"}}\n", "x".repeat(500)).as_bytes());
+    input.extend_from_slice(b"{\"id\":2,\"op\":\"ingest\",\"cluster\":\"l\",\"gpc_nodes\":2}\n");
+    input.extend_from_slice(b"{\"id\":3,\"op\":\"shutdown\"}\n");
+    let (served, replies) = run(&engine, &input, &opts);
+    assert_eq!(served, 3);
+    assert_eq!(code(&replies[0]), Some("line_too_long"), "{replies:?}");
+    // The connection survives: the next requests are served normally.
+    assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(replies[2].get("ok"), Some(&Json::Bool(true)));
+    let text = engine.metrics().render_prometheus();
+    assert!(text.contains(r#"tarr_serve_protocol_errors_total{kind="line_too_long"} 1"#));
+}
+
+#[test]
+fn invalid_utf8_gets_a_typed_error() {
+    let engine = Engine::new();
+    let mut input: Vec<u8> = Vec::new();
+    input.extend_from_slice(b"{\"op\":\xff\xfe}\n");
+    input.extend_from_slice(b"{\"id\":2,\"op\":\"shutdown\"}\n");
+    let (served, replies) = run(&engine, &input, &opts1());
+    assert_eq!(served, 2);
+    assert_eq!(code(&replies[0]), Some("bad_utf8"));
+    assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn protocol_error_budget_closes_the_connection() {
+    let engine = Engine::new();
+    let opts = ServeOpts {
+        max_protocol_errors: 2,
+        ..opts1()
+    };
+    let script = "not json at all\nstill not json\n{\"id\":3,\"op\":\"stats\"}\n";
+    let (served, replies) = run(&engine, script.as_bytes(), &opts);
+    // First violation: the engine's established parse-error reply. Second:
+    // the budget-exhausting `error_budget`, then the stream closes — the
+    // valid request after it is never admitted.
+    assert_eq!(served, 2, "{replies:?}");
+    assert_eq!(replies[0].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(code(&replies[1]), Some("error_budget"));
+    let text = engine.metrics().render_prometheus();
+    assert!(text.contains(r#"tarr_serve_protocol_errors_total{kind="bad_json"} 2"#));
+}
+
+#[test]
+fn worker_panic_is_isolated_into_internal_error() {
+    let engine = Engine::new();
+    let script = [
+        r#"{"id":1,"op":"ingest","cluster":"p","gpc_nodes":2}"#,
+        r#"{"id":2,"op":"debug","action":"panic"}"#,
+        r#"{"id":3,"op":"map","cluster":"p","mapper":"hrstc","pattern":"ring"}"#,
+        r#"{"id":4,"op":"shutdown"}"#,
+    ]
+    .join("\n");
+    let (served, replies) = run(&engine, script.as_bytes(), &opts1());
+    assert_eq!(served, 4, "a panicking request costs itself only");
+    assert_eq!(replies[1].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(code(&replies[1]), Some("internal_error"));
+    assert!(replies[1]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("panicked"));
+    // The worker, the engine, and later requests all survive.
+    assert_eq!(replies[2].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(engine.metrics().panics_total(), 1);
+    assert!(engine
+        .metrics()
+        .render_prometheus()
+        .contains("tarr_serve_panics_total 1"));
+}
+
+#[test]
+fn debug_sleep_and_noop_reply_ok() {
+    let engine = Engine::new();
+    let reply = parse(&engine.handle_line(r#"{"op":"debug","action":"noop"}"#)).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+    let reply = parse(&engine.handle_line(r#"{"op":"debug","action":"sleep","ms":1}"#)).unwrap();
+    assert_eq!(reply.get("ms").and_then(Json::as_u64), Some(1));
+    let reply = parse(&engine.handle_line(r#"{"op":"debug","action":"warp"}"#)).unwrap();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+}
+
+#[test]
+fn graceful_drain_answers_admitted_work_before_returning() {
+    // A shutdown flag flipped mid-stream: everything admitted before the
+    // flag is observed still gets its reply, then serve_lines returns and
+    // records the drain duration.
+    let engine = Engine::new();
+    let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    flag.store(true, Ordering::Relaxed);
+    let opts = ServeOpts {
+        shutdown: Some(flag),
+        ..opts1()
+    };
+    // The flag is checked before the first read: nothing is admitted.
+    let (served, replies) = run(&engine, b"{\"id\":1,\"op\":\"stats\"}\n", &opts);
+    assert_eq!(served, 0);
+    assert!(replies.is_empty());
+    assert!(engine.metrics().drain_seconds() >= 0.0);
+    assert!(engine
+        .metrics()
+        .render_prometheus()
+        .contains("tarr_serve_drain_seconds"));
+}
+
+#[test]
+fn idle_connections_are_reaped_over_tcp() {
+    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_tcp(
+            engine,
+            listener,
+            &ServeOpts {
+                idle_timeout: Some(Duration::from_millis(250)),
+                ..opts1()
+            },
+        );
+    });
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    writeln!(
+        stream,
+        r#"{{"id":1,"op":"ingest","cluster":"i","gpc_nodes":2}}"#
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    // Now go silent: the reaper closes us with a typed error, then EOF.
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("idle_timeout"), "{line}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF after reap");
+}
+
+#[test]
+fn connection_cap_rejects_with_a_typed_line() {
+    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_tcp(
+            engine,
+            listener,
+            &ServeOpts {
+                max_conns: 1,
+                ..opts1()
+            },
+        );
+    });
+    // First connection occupies the only slot (prove it is being served).
+    let mut first = std::net::TcpStream::connect(addr).unwrap();
+    writeln!(first, r#"{{"id":1,"op":"stats"}}"#).unwrap();
+    let mut reader = BufReader::new(first.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    // Second connection is refused with one typed line, then closed.
+    let second = std::net::TcpStream::connect(addr).unwrap();
+    let mut rejected = String::new();
+    BufReader::new(second)
+        .read_to_string(&mut rejected)
+        .unwrap();
+    let reply = parse(rejected.trim()).unwrap();
+    assert_eq!(code(&reply), Some("conn_rejected"), "{rejected}");
+    assert!(reply.get("retry_after_ms").and_then(Json::as_u64).is_some());
+    assert_eq!(engine.metrics().conn_rejected_total(), 1);
+    writeln!(first, r#"{{"op":"shutdown"}}"#).unwrap();
+}
+
+/// SIGTERM against the real binary (stdio session): the in-flight session
+/// drains, acknowledged replies are all delivered, the exit is clean, and
+/// the drain report lands on stderr.
+#[test]
+fn sigterm_drains_the_real_binary() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_tarr-serve"))
+        .args(["--workers", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    stdin
+        .write_all(b"{\"id\":1,\"op\":\"ingest\",\"cluster\":\"t\",\"gpc_nodes\":2}\n")
+        .unwrap();
+    stdin.flush().unwrap();
+    // Give the request time to be served, then signal. `Child::kill` sends
+    // SIGKILL, so shell out for a real SIGTERM.
+    std::thread::sleep(Duration::from_millis(400));
+    let killed = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    std::thread::sleep(Duration::from_millis(100));
+    drop(stdin); // EOF unblocks the stdio reader so it can see the flag
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "drain must exit 0: {out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.contains("\"id\":1") && l.contains("\"ok\":true")),
+        "acknowledged reply must be delivered: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("drained in"), "drain report: {stderr}");
+}

@@ -1,0 +1,170 @@
+//! Fuzzing the wire protocol: arbitrary bytes, adversarial nesting,
+//! extreme numbers, and mid-rune truncation all flow through the real
+//! serve loop (and once through a real TCP socket). The invariant is
+//! uniform — every reply line is valid JSON, the loop never panics, and
+//! the engine keeps serving afterwards.
+//!
+//! The vendored proptest has no string strategies, so inputs are built
+//! from byte vectors and integer strategies.
+
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use tarr_serve::{serve_lines, serve_tcp, Engine, ServeOpts};
+use tarr_trace::json::{parse, Json};
+
+/// Single worker keeps each proptest case's thread footprint small.
+fn opts() -> ServeOpts {
+    ServeOpts {
+        workers: 1,
+        queue_cap: 8,
+        ..Default::default()
+    }
+}
+
+/// Run `input` through the serve loop, return the reply lines after
+/// asserting each one parses as JSON.
+fn run_raw(engine: &Engine, input: &[u8]) -> Result<Vec<Json>, String> {
+    let mut out = Vec::new();
+    serve_lines(engine, input, &mut out, &opts()).map_err(|e| e.to_string())?;
+    let text = String::from_utf8(out).map_err(|e| format!("non-UTF-8 reply bytes: {e}"))?;
+    text.lines()
+        .map(|line| parse(line).map_err(|e| format!("non-JSON reply line {line:?}: {e}")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary bytes on the wire: the loop survives, every reply is
+    /// JSON, and the engine still answers afterwards.
+    #[test]
+    fn raw_bytes_never_break_the_loop(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let engine = Engine::new();
+        let replies = run_raw(&engine, &bytes);
+        prop_assert!(replies.is_ok(), "{}", replies.unwrap_err());
+        prop_assert!(
+            engine.handle_line(r#"{"op":"stats"}"#).contains("\"ok\":true"),
+            "engine must survive garbage input"
+        );
+    }
+
+    /// Adversarial nesting up to 4096 levels: the parser's depth cap
+    /// turns it into a typed parse error instead of a stack overflow
+    /// (the test completing at all is the real assertion).
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow(
+        depth in 1usize..4096,
+        braces in any::<bool>(),
+    ) {
+        let engine = Engine::new();
+        let line = if braces { "{\"k\":".repeat(depth) } else { "[".repeat(depth) };
+        let reply = parse(&engine.handle_line(&line)).unwrap();
+        prop_assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{:?}", reply);
+    }
+
+    /// Numbers far outside any sane range — up to ~60 digits — get a
+    /// typed refusal, never a panic or a bogus acknowledgement.
+    #[test]
+    fn extreme_numbers_get_typed_replies(n in 1u64..u64::MAX, zeros in 0usize..40) {
+        let engine = Engine::new();
+        let line = format!(
+            r#"{{"op":"ingest","cluster":"x","gpc_nodes":{n}{}}}"#,
+            "0".repeat(zeros)
+        );
+        let reply = parse(&engine.handle_line(&line)).unwrap();
+        // Either refused outright or (tiny n, zero padding) accepted —
+        // but never a panic, and always well-formed JSON back.
+        if reply.get("ok") == Some(&Json::Bool(true)) {
+            prop_assert!(n.checked_mul(10u64.saturating_pow(zeros as u32)).is_some());
+        }
+        prop_assert!(
+            engine.handle_line(r#"{"op":"stats"}"#).contains("\"ok\":true")
+        );
+    }
+
+    /// A valid request truncated at every byte offset — including inside
+    /// a multi-byte UTF-8 rune — never takes down the session: the next
+    /// request on the same connection is still answered.
+    #[test]
+    fn truncated_requests_are_survivable(cut in 0usize..80) {
+        const LINE: &str = r#"{"id":1,"op":"ingest","cluster":"tüv","gpc_nodes":2}"#;
+        let bytes = LINE.as_bytes();
+        let cut = cut.min(bytes.len());
+        let mut input = bytes[..cut].to_vec();
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"id\":2,\"op\":\"stats\"}\n");
+        let engine = Engine::new();
+        let replies = run_raw(&engine, &input).unwrap();
+        // The truncated line yields one reply (typed error or, at full
+        // length, success) unless it was cut to nothing; the follow-up
+        // stats must always be answered.
+        let last = replies.last().expect("stats reply");
+        prop_assert_eq!(last.get("id").and_then(Json::as_u64), Some(2));
+        prop_assert_eq!(last.get("ok"), Some(&Json::Bool(true)), "{:?}", last);
+        prop_assert!(replies.len() == if cut == 0 { 1 } else { 2 });
+    }
+}
+
+/// The same contract over a real socket: binary garbage and malformed
+/// JSON get typed replies, the connection stays up for a valid request,
+/// and the listener keeps accepting fresh connections afterwards.
+#[test]
+fn garbage_over_tcp_gets_typed_replies_and_the_listener_survives() {
+    let engine: &'static Engine = Box::leak(Box::new(Engine::new()));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_tcp(
+            engine,
+            listener,
+            &ServeOpts {
+                workers: 1,
+                queue_cap: 8,
+                max_protocol_errors: 8,
+                ..Default::default()
+            },
+        );
+    });
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(b"\xff\xfe\xfd\n").unwrap(); // invalid UTF-8
+    stream.write_all(b"{\"op\": nope}\n").unwrap(); // invalid JSON
+    stream
+        .write_all(b"{\"id\":3,\"op\":\"stats\"}\n{\"id\":4,\"op\":\"shutdown\"}\n")
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    let replies: Vec<Json> = reader
+        .lines()
+        .map(|l| parse(&l.unwrap()).expect("every reply is JSON"))
+        .collect();
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    assert_eq!(
+        replies[0].get("code").and_then(Json::as_str),
+        Some("bad_utf8")
+    );
+    assert_eq!(
+        replies[1].get("ok"),
+        Some(&Json::Bool(false)),
+        "{:?}",
+        replies[1]
+    );
+    assert_eq!(
+        replies[2].get("ok"),
+        Some(&Json::Bool(true)),
+        "{:?}",
+        replies[2]
+    );
+    assert_eq!(
+        replies[3].get("op").and_then(Json::as_str),
+        Some("shutdown")
+    );
+
+    // `shutdown` ended that connection only — the daemon still accepts.
+    let mut fresh = std::net::TcpStream::connect(addr).unwrap();
+    fresh.write_all(b"{\"id\":9,\"op\":\"stats\"}\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(fresh).read_line(&mut line).unwrap();
+    let reply = parse(&line).unwrap();
+    assert_eq!(reply.get("id").and_then(Json::as_u64), Some(9));
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{line}");
+}

@@ -144,6 +144,7 @@ fn worker_count_does_not_change_the_output_stream() {
             &ServeOpts {
                 workers,
                 queue_cap: 4,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -201,6 +202,7 @@ fn golden_fixture_is_byte_identical_with_metrics_enabled() {
             &ServeOpts {
                 workers,
                 queue_cap: 4,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -231,6 +233,7 @@ fn latency_histograms_count_every_admitted_request() {
         &ServeOpts {
             workers: 4,
             queue_cap: 4,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -337,6 +340,7 @@ fn tcp_round_trip() {
             &ServeOpts {
                 workers: 2,
                 queue_cap: 16,
+                ..Default::default()
             },
         );
     });

@@ -99,6 +99,7 @@ pub fn parse(s: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -109,9 +110,17 @@ pub fn parse(s: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Deepest container nesting [`parse`] accepts. The parser recurses per
+/// container, so without a cap adversarial input like ten thousand `[`s
+/// would overflow the stack instead of returning an error — the serving
+/// stack feeds untrusted network bytes straight in here.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -248,12 +257,25 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -269,6 +291,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -278,10 +301,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -292,6 +317,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -352,6 +378,20 @@ mod tests {
         for bad in ["{", "[1,", "\"", "{\"a\":}", "1 2", "tru", "{\"a\" 1}"] {
             assert!(parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn depth_is_capped_not_a_stack_overflow() {
+        // Just inside the cap parses; one past it errors; absurdly deep
+        // input errors instead of exhausting the stack.
+        let deep = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&deep(MAX_DEPTH)).is_ok());
+        assert!(parse(&deep(MAX_DEPTH + 1))
+            .unwrap_err()
+            .contains("nesting deeper"));
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        let objs = format!("{}1{}", "{\"k\":".repeat(200), "}".repeat(200));
+        assert!(parse(&objs).unwrap_err().contains("nesting deeper"));
     }
 
     #[test]
